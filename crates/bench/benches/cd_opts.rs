@@ -1,0 +1,51 @@
+//! Criterion benches behind Fig 6(c): the CD algorithm with entropy
+//! caching and contingency-table materialisation toggled.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hypdb_causal::cd::{discover_parents, CdConfig};
+use hypdb_causal::oracle::{CiConfig, DataOracle, IndependenceTestKind};
+use hypdb_datasets::random_data::{random_data, RandomDataConfig};
+
+fn bench_cd_configs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cd_optimisations");
+    group.sample_size(10);
+    let d = random_data(&RandomDataConfig {
+        nodes: 8,
+        expected_edges: 12.0,
+        rows: 50_000,
+        min_categories: 2,
+        max_categories: 5,
+        seed: 0xCD,
+        ..RandomDataConfig::default()
+    });
+    let configs: [(&str, bool, bool); 4] = [
+        ("plain", false, false),
+        ("cache", true, false),
+        ("materialize", false, true),
+        ("both", true, true),
+    ];
+    for (name, cache, mat) in configs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| {
+                let cfg = CiConfig {
+                    kind: IndependenceTestKind::ChiSquared,
+                    cache_entropies: cache,
+                    materialize: mat,
+                    ..CiConfig::default()
+                };
+                let oracle = DataOracle::over_all_attrs(&d.table, d.table.all_rows(), cfg);
+                discover_parents(&oracle, 0, CdConfig::default())
+            })
+        });
+    }
+    // Warm oracle = the "precomputed entropies" floor of Fig 6(c).
+    let oracle = DataOracle::over_all_attrs(&d.table, d.table.all_rows(), CiConfig::default());
+    discover_parents(&oracle, 0, CdConfig::default());
+    group.bench_function("warm", |b| {
+        b.iter(|| discover_parents(&oracle, 0, CdConfig::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cd_configs);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion benches behind Fig 6(d) / Fig 8(b): answering group-by
+//! count workloads with and without a materialised data cube.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hypdb_causal::subsets::subsets_ascending;
+use hypdb_datasets::random_data::{random_data, RandomDataConfig};
+use hypdb_table::contingency::ContingencyTable;
+use hypdb_table::cube::DataCube;
+use hypdb_table::{AttrId, Table};
+
+fn binary_table(rows: usize, attrs: usize) -> Table {
+    random_data(&RandomDataConfig {
+        nodes: attrs,
+        expected_edges: attrs as f64,
+        rows,
+        min_categories: 2,
+        max_categories: 2,
+        seed: 0xC0BE,
+        ..RandomDataConfig::default()
+    })
+    .table
+}
+
+fn workload(attrs: usize) -> Vec<Vec<AttrId>> {
+    let ids: Vec<AttrId> = (0..attrs as u32).map(AttrId).collect();
+    subsets_ascending(&ids, 3)
+        .into_iter()
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+fn bench_cube(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cube_workload");
+    group.sample_size(10);
+    for rows in [100_000usize, 500_000] {
+        let t = binary_table(rows, 10);
+        let subsets = workload(10);
+        group.throughput(Throughput::Elements(subsets.len() as u64));
+        group.bench_with_input(BenchmarkId::new("no_cube", rows), &rows, |b, _| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for s in &subsets {
+                    acc ^= ContingencyTable::from_table(&t, &t.all_rows(), s).support();
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cube", rows), &rows, |b, _| {
+            b.iter(|| {
+                let all: Vec<AttrId> = t.schema().attr_ids().collect();
+                let cube = DataCube::build(&t, &t.all_rows(), &all, 12).expect("cube");
+                let mut acc = 0u64;
+                for s in &subsets {
+                    acc ^= cube.counts_for(s).expect("covered").support();
+                }
+                acc
+            })
+        });
+        // The amortised regime: cube already built (repeat querying).
+        let all: Vec<AttrId> = t.schema().attr_ids().collect();
+        let cube = DataCube::build(&t, &t.all_rows(), &all, 12).expect("cube");
+        group.bench_with_input(BenchmarkId::new("cube_warm", rows), &rows, |b, _| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for s in &subsets {
+                    acc ^= cube.counts_for(s).expect("covered").support();
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cube);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Criterion micro-benchmarks behind Fig 6(b): the cost of one
+//! conditional-independence test per procedure, plus the HyMIT β
+//! threshold ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hypdb_datasets::random_data::{random_data, RandomDataConfig};
+use hypdb_stats::independence::{chi2_test, hymit, mit, mit_sampled, shuffle_test, MitConfig};
+use hypdb_table::contingency::Stratified;
+use hypdb_table::AttrId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup(rows: usize) -> (hypdb_table::Table, AttrId, AttrId, Vec<AttrId>) {
+    let d = random_data(&RandomDataConfig {
+        nodes: 6,
+        expected_edges: 9.0,
+        rows,
+        min_categories: 2,
+        max_categories: 6,
+        seed: 0xBE,
+        ..RandomDataConfig::default()
+    });
+    let t = d.table;
+    let x = AttrId(0);
+    let y = AttrId(1);
+    let z = vec![AttrId(2), AttrId(3)];
+    (t, x, y, z)
+}
+
+fn bench_tests(c: &mut Criterion) {
+    let mut group = c.benchmark_group("independence_test");
+    group.sample_size(10);
+    for rows in [10_000usize, 50_000] {
+        let (t, x, y, z) = setup(rows);
+        let strata = Stratified::build(&t, &t.all_rows(), x, y, &z);
+        group.bench_with_input(BenchmarkId::new("chi2", rows), &rows, |b, _| {
+            b.iter(|| chi2_test(&strata))
+        });
+        group.bench_with_input(BenchmarkId::new("mit_m100", rows), &rows, |b, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| mit(&strata, 100, &mut rng))
+        });
+        group.bench_with_input(BenchmarkId::new("mit_sampled_m100", rows), &rows, |b, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let k = MitConfig::auto_group_sample(strata.num_groups());
+            b.iter(|| mit_sampled(&strata, 100, k, &mut rng))
+        });
+        group.bench_with_input(BenchmarkId::new("hymit", rows), &rows, |b, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| hymit(&strata, &MitConfig::default(), &mut rng))
+        });
+        // The naive baseline re-shuffles raw rows: O(m·n).
+        let xc = t.column(x).codes().to_vec();
+        let yc = t.column(y).codes().to_vec();
+        let groups: Vec<u32> = {
+            let c2 = t.column(z[0]).codes();
+            let c3 = t.column(z[1]).codes();
+            let card2 = t.cardinality(z[0]);
+            (0..t.nrows())
+                .map(|i| c2[i] + card2 * c3[i])
+                .collect()
+        };
+        group.bench_with_input(BenchmarkId::new("shuffle_m100", rows), &rows, |b, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| shuffle_test(&xc, &yc, &groups, 100, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hymit_beta(c: &mut Criterion) {
+    // Ablation: the β switch-over threshold of HyMIT (§6, "β = 5 is
+    // ideal"). Low β = almost always χ² (fast, risky on sparse data);
+    // high β = almost always MIT (safe, slow).
+    let mut group = c.benchmark_group("hymit_beta");
+    group.sample_size(10);
+    let (t, x, y, z) = setup(20_000);
+    let strata = Stratified::build(&t, &t.all_rows(), x, y, &z);
+    for beta in [1.0f64, 5.0, 25.0, 125.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("beta_{beta}")),
+            &beta,
+            |b, &beta| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let cfg = MitConfig {
+                    beta,
+                    ..MitConfig::default()
+                };
+                b.iter(|| hymit(&strata, &cfg, &mut rng))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tests, bench_hymit_beta);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Table 1: end-to-end runtimes of detection, explanation and
+//! resolution on the five evaluation datasets.
+
+use crate::report::{f3, MdTable};
+use crate::Scale;
+use hypdb_core::{HypDb, Query};
+use hypdb_datasets as ds;
+use hypdb_table::Table;
+
+struct Case {
+    name: &'static str,
+    table: Table,
+    sql: String,
+}
+
+fn cases(scale: Scale) -> Vec<Case> {
+    let staples_rows = scale.pick(200_000, 988_871);
+    vec![
+        Case {
+            name: "AdultData",
+            table: ds::adult_data(&ds::AdultConfig::default()),
+            sql: "SELECT Gender, avg(Income) FROM AdultData GROUP BY Gender".into(),
+        },
+        Case {
+            name: "StaplesData",
+            table: ds::staples_data(&ds::StaplesConfig {
+                rows: staples_rows,
+                ..ds::StaplesConfig::default()
+            }),
+            sql: "SELECT Income, avg(Price) FROM StaplesData GROUP BY Income".into(),
+        },
+        Case {
+            name: "BerkeleyData",
+            table: ds::berkeley_data(),
+            sql: "SELECT Gender, avg(Accepted) FROM BerkeleyData GROUP BY Gender".into(),
+        },
+        Case {
+            name: "CancerData",
+            table: ds::cancer_data(2_000, 17),
+            sql: "SELECT Lung_Cancer, avg(Car_Accident) FROM CancerData GROUP BY Lung_Cancer"
+                .into(),
+        },
+        Case {
+            name: "FlightData",
+            table: ds::flight_data(&ds::FlightConfig::default()),
+            sql: "SELECT Carrier, avg(Delayed) FROM FlightData \
+                  WHERE Carrier IN ('AA','UA') AND Airport IN ('COS','MFE','MTJ','ROC') \
+                  GROUP BY Carrier"
+                .into(),
+        },
+    ]
+}
+
+/// Runs the experiment and prints the table.
+pub fn run(scale: Scale) {
+    crate::report::section("Table 1 — runtimes (seconds) for detection / explanation / resolution");
+    let mut out = MdTable::new(["dataset", "columns", "rows", "Det.", "Exp.", "Res."]);
+    for case in cases(scale) {
+        let query = Query::from_sql(&case.sql, &case.table).expect("query");
+        let report = HypDb::new(&case.table).analyze(&query).expect("analysis");
+        out.row([
+            case.name.to_string(),
+            case.table.nattrs().to_string(),
+            case.table.nrows().to_string(),
+            f3(report.timings.detection),
+            f3(report.timings.explanation),
+            f3(report.timings.resolution),
+        ]);
+    }
+    out.print();
+    println!(
+        "\n(paper, for shape: Adult 65/<1/<1, Staples 5/<1/<1, Berkeley 2/<1/<1, \
+         Cancer <1/<1/<1, Flight 20/<1/<1 — detection dominates, explanation \
+         and resolution are interactive)"
+    );
+}

@@ -1,0 +1,308 @@
+//! The CD (Covariate Detection) algorithm — Alg 1 / Prop 4.1, the
+//! paper's method for learning `PA_T` directly from data without
+//! learning the entire causal DAG.
+//!
+//! Phase I collects candidates: every `Z ∈ MB(T)` such that `T` is a
+//! collider on a path between `Z` and some `W ∈ MB(T)` — detected by the
+//! signature `(Z ⊥⊥ W | S) ∧ (Z ̸⊥⊥ W | S ∪ {T})` for some
+//! `S ⊆ MB(Z) − {T}`. This finds all parents, plus possibly parents of
+//! children that happen to be ancestors of `T`. Phase II removes every
+//! candidate that can be separated from `T` by some
+//! `S' ⊆ MB(T) − {C}` — non-neighbours of `T` cannot be parents.
+
+use crate::blanket::{grow_shrink, iamb};
+use crate::oracle::{CiOracle, Var};
+use crate::subsets::subsets_ascending;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Which Markov-boundary learner CD uses internally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum BlanketAlgorithm {
+    /// Grow–Shrink (the paper's choice, §4).
+    #[default]
+    GrowShrink,
+    /// IAMB.
+    Iamb,
+}
+
+/// Configuration for the CD algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CdConfig {
+    /// Cap on the size of conditioning sets enumerated in both phases.
+    /// The worst case is exponential in the largest Markov boundary
+    /// (§4); boundaries are small in practice (≤ 8 in the paper's
+    /// experiments), but a cap keeps adversarial inputs bounded.
+    pub max_sepset: usize,
+    /// Markov-boundary learner.
+    pub blanket: BlanketAlgorithm,
+}
+
+impl Default for CdConfig {
+    fn default() -> Self {
+        CdConfig {
+            // The largest conditioning set HypDB used in the paper's
+            // experiments had 6 attributes (§7.3); 5 keeps interactive
+            // latency with plenty of headroom and is configurable.
+            max_sepset: 5,
+            blanket: BlanketAlgorithm::GrowShrink,
+        }
+    }
+}
+
+/// Output of covariate discovery.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CdOutcome {
+    /// The discovered parent set `PA_T` (the covariates `Z`).
+    pub parents: Vec<Var>,
+    /// The Markov boundary `MB(T)` the search ran over.
+    pub markov_boundary: Vec<Var>,
+    /// Phase-I candidates before the phase-II neighbour filter.
+    pub candidates: Vec<Var>,
+}
+
+/// The CD algorithm bound to an oracle.
+pub struct CovariateDiscovery<'o, O: CiOracle + ?Sized> {
+    oracle: &'o O,
+    cfg: CdConfig,
+    /// Markov boundaries are consulted repeatedly (phase I touches
+    /// `MB(Z)` for every `Z ∈ MB(T)`); memoise them per instance.
+    blankets: std::cell::RefCell<std::collections::BTreeMap<Var, Vec<Var>>>,
+}
+
+impl<'o, O: CiOracle + ?Sized> CovariateDiscovery<'o, O> {
+    /// Binds the algorithm to an oracle.
+    pub fn new(oracle: &'o O, cfg: CdConfig) -> Self {
+        CovariateDiscovery {
+            oracle,
+            cfg,
+            blankets: std::cell::RefCell::new(std::collections::BTreeMap::new()),
+        }
+    }
+
+    fn blanket(&self, v: Var) -> Vec<Var> {
+        if let Some(b) = self.blankets.borrow().get(&v) {
+            return b.clone();
+        }
+        let b = match self.cfg.blanket {
+            BlanketAlgorithm::GrowShrink => grow_shrink(self.oracle, v),
+            BlanketAlgorithm::Iamb => iamb(self.oracle, v),
+        };
+        self.blankets.borrow_mut().insert(v, b.clone());
+        b
+    }
+
+    /// Runs Alg 1 for treatment `t`.
+    pub fn discover(&self, t: Var) -> CdOutcome {
+        let mb_t = self.blanket(t);
+        let mut candidates: BTreeSet<Var> = BTreeSet::new();
+
+        // Phase I.
+        for &z in &mb_t {
+            if candidates.contains(&z) {
+                continue;
+            }
+            let mb_z = self.blanket(z);
+            let pool: Vec<Var> = mb_z.iter().copied().filter(|&v| v != t).collect();
+            'search: for s in subsets_ascending(&pool, self.cfg.max_sepset) {
+                for &w in &mb_t {
+                    if w == z || s.contains(&w) {
+                        continue;
+                    }
+                    let mut s_t = s.clone();
+                    s_t.push(t);
+                    // The independence half needs power (an acceptance
+                    // from an underpowered test means nothing); the
+                    // dependence half needs calibration only.
+                    if !self.oracle.reliable(z, w, &s)
+                        || !self.oracle.reliable_dependence(z, w, &s_t)
+                    {
+                        continue;
+                    }
+                    if self.oracle.independent(z, w, &s)
+                        && self.oracle.dependent(z, w, &s_t)
+                    {
+                        candidates.insert(z);
+                        candidates.insert(w);
+                        break 'search;
+                    }
+                }
+            }
+        }
+
+        // Phase II: discard candidates separable from T. A separation
+        // claim needs a *reliable* acceptance of independence.
+        let mut parents = Vec::new();
+        'cands: for &c in &candidates {
+            let others: Vec<Var> = mb_t.iter().copied().filter(|&v| v != c).collect();
+            for s in subsets_ascending(&others, self.cfg.max_sepset) {
+                if self.oracle.reliable(t, c, &s) && self.oracle.independent(t, c, &s) {
+                    continue 'cands;
+                }
+            }
+            parents.push(c);
+        }
+
+        CdOutcome {
+            parents,
+            markov_boundary: mb_t,
+            candidates: candidates.into_iter().collect(),
+        }
+    }
+}
+
+/// Convenience wrapper: runs CD with a config in one call.
+pub fn discover_parents<O: CiOracle + ?Sized>(oracle: &O, t: Var, cfg: CdConfig) -> CdOutcome {
+    CovariateDiscovery::new(oracle, cfg).discover(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::GraphOracle;
+    use hypdb_graph::dag::Dag;
+
+    fn cd(oracle: &GraphOracle, t: Var) -> CdOutcome {
+        discover_parents(oracle, t, CdConfig::default())
+    }
+
+    #[test]
+    fn recovers_two_nonadjacent_parents() {
+        // Z -> T <- W, T -> C <- D, T -> Y (§4's running structure).
+        let mut g = Dag::with_names(["Z", "W", "T", "C", "D", "Y"]);
+        g.add_edge(0, 2);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(4, 3);
+        g.add_edge(2, 5);
+        let o = GraphOracle::new(g);
+        let out = cd(&o, 2);
+        assert_eq!(out.parents, vec![0, 1]);
+        assert_eq!(out.markov_boundary, vec![0, 1, 3, 4, 5]);
+    }
+
+    #[test]
+    fn phase_two_removes_ancestor_spouse() {
+        // Z -> T, W -> T, D -> Z, D -> C, T -> C:
+        // D is both a spouse (via C) and a grandparent (via Z); it
+        // satisfies the phase-I signature through the collider at T but
+        // is separated from T by {Z}, so phase II must drop it.
+        let mut g = Dag::with_names(["Z", "W", "T", "C", "D"]);
+        g.add_edge(0, 2); // Z -> T
+        g.add_edge(1, 2); // W -> T
+        g.add_edge(4, 0); // D -> Z
+        g.add_edge(4, 3); // D -> C
+        g.add_edge(2, 3); // T -> C
+        let o = GraphOracle::new(g);
+        let out = cd(&o, 2);
+        assert!(
+            out.candidates.contains(&4),
+            "phase I should flag D, got {:?}",
+            out.candidates
+        );
+        assert_eq!(out.parents, vec![0, 1], "phase II must drop D");
+    }
+
+    #[test]
+    fn three_mutually_nonadjacent_parents() {
+        let mut g = Dag::new(5);
+        g.add_edge(0, 3);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        g.add_edge(3, 4);
+        let o = GraphOracle::new(g);
+        let out = cd(&o, 3);
+        assert_eq!(out.parents, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn root_node_has_no_parents() {
+        let mut g = Dag::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        let o = GraphOracle::new(g);
+        let out = cd(&o, 0);
+        assert!(out.parents.is_empty());
+    }
+
+    #[test]
+    fn single_parent_undetectable() {
+        // Chain 0 -> 1 -> 2: node 1's single parent cannot be oriented
+        // from data (Markov-equivalence); the assumption of §4 fails and
+        // CD correctly returns no parents (HypDB then falls back to
+        // MB(T) − {Y}).
+        let mut g = Dag::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let o = GraphOracle::new(g);
+        let out = cd(&o, 1);
+        assert!(out.parents.is_empty());
+        assert_eq!(out.markov_boundary, vec![0, 2]);
+    }
+
+    #[test]
+    fn collider_child_not_a_parent() {
+        // T -> C <- D: C and D must not be reported as parents of T.
+        let mut g = Dag::new(4);
+        g.add_edge(0, 1); // T=0 -> C=1
+        g.add_edge(2, 1); // D=2 -> C=1
+        g.add_edge(3, 0); // P=3 -> T
+        let o = GraphOracle::new(g);
+        let out = cd(&o, 0);
+        assert!(!out.parents.contains(&1));
+        assert!(!out.parents.contains(&2));
+    }
+
+    #[test]
+    fn diamond_parents() {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3: parents of 3 are {1, 2}
+        // (non-adjacent, shared ancestor 0).
+        let mut g = Dag::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        let o = GraphOracle::new(g);
+        let out = cd(&o, 3);
+        assert_eq!(out.parents, vec![1, 2]);
+    }
+
+    #[test]
+    fn sepset_cap_limits_search() {
+        let mut g = Dag::new(4);
+        g.add_edge(0, 3);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        let o = GraphOracle::new(g);
+        let out = discover_parents(
+            &o,
+            3,
+            CdConfig {
+                max_sepset: 0,
+                ..CdConfig::default()
+            },
+        );
+        // With S limited to ∅ the parents are still found here (S = ∅
+        // suffices for marginally independent parents).
+        assert_eq!(out.parents, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn iamb_blanket_variant_agrees() {
+        let mut g = Dag::new(5);
+        g.add_edge(0, 3);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        g.add_edge(3, 4);
+        let o = GraphOracle::new(g);
+        let out = discover_parents(
+            &o,
+            3,
+            CdConfig {
+                blanket: BlanketAlgorithm::Iamb,
+                ..CdConfig::default()
+            },
+        );
+        assert_eq!(out.parents, vec![0, 1, 2]);
+    }
+}

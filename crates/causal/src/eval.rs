@@ -1,0 +1,184 @@
+//! Quality metrics for parent recovery (§7.4): precision, recall and F1
+//! of discovered parent sets against a ground-truth DAG.
+
+use hypdb_graph::dag::Dag;
+use serde::{Deserialize, Serialize};
+
+/// Confusion counts for parent recovery.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParentScore {
+    /// True positives: recovered edges that exist.
+    pub tp: u64,
+    /// False positives: recovered edges that do not exist.
+    pub fp: u64,
+    /// False negatives: true edges missed.
+    pub fn_: u64,
+}
+
+impl ParentScore {
+    /// Adds one node's predicted-vs-true parent sets.
+    pub fn accumulate(&mut self, predicted: &[usize], truth: &[usize]) {
+        for p in predicted {
+            if truth.contains(p) {
+                self.tp += 1;
+            } else {
+                self.fp += 1;
+            }
+        }
+        for t in truth {
+            if !predicted.contains(t) {
+                self.fn_ += 1;
+            }
+        }
+    }
+
+    /// Merges another score (micro-averaging).
+    pub fn merge(&mut self, other: ParentScore) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+    }
+
+    /// Precision (1.0 when nothing was predicted).
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall (1.0 when nothing was expected).
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// F1 (harmonic mean; 0 when both precision and recall are 0, 1 when
+    /// the task is trivially empty and nothing was predicted).
+    pub fn f1(&self) -> f64 {
+        if self.tp + self.fp + self.fn_ == 0 {
+            return 1.0;
+        }
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Scores predicted parent sets against a ground-truth DAG. `predicted`
+/// maps each node to its predicted parents; nodes may be restricted with
+/// `only_nodes` (e.g. Fig 5(c)'s "nodes with at least two parents").
+pub fn parent_f1(
+    truth: &Dag,
+    predicted: &[(usize, Vec<usize>)],
+    only_nodes: Option<&dyn Fn(usize) -> bool>,
+) -> ParentScore {
+    let mut score = ParentScore::default();
+    for (node, preds) in predicted {
+        if let Some(filter) = only_nodes {
+            if !filter(*node) {
+                continue;
+            }
+        }
+        score.accumulate(preds, &truth.parent_set(*node));
+    }
+    score
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Dag {
+        let mut g = Dag::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        g
+    }
+
+    #[test]
+    fn perfect_recovery_scores_one() {
+        let g = diamond();
+        let preds: Vec<(usize, Vec<usize>)> =
+            (0..4).map(|v| (v, g.parent_set(v))).collect();
+        let s = parent_f1(&g, &preds, None);
+        assert_eq!(s.f1(), 1.0);
+        assert_eq!(s.tp, 4);
+        assert_eq!(s.fp + s.fn_, 0);
+    }
+
+    #[test]
+    fn misses_reduce_recall() {
+        let g = diamond();
+        let preds = vec![(3usize, vec![1usize])]; // missed parent 2
+        let s = parent_f1(&g, &preds, None);
+        assert_eq!(s.tp, 1);
+        assert_eq!(s.fn_, 1);
+        assert!((s.recall() - 0.5).abs() < 1e-12);
+        assert!((s.precision() - 1.0).abs() < 1e-12);
+        assert!((s.f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extras_reduce_precision() {
+        let g = diamond();
+        let preds = vec![(1usize, vec![0usize, 2usize])]; // 2 is spurious
+        let s = parent_f1(&g, &preds, None);
+        assert_eq!(s.tp, 1);
+        assert_eq!(s.fp, 1);
+        assert!((s.precision() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_filter_restricts_scoring() {
+        let g = diamond();
+        // Only node 3 has >= 2 parents.
+        let filter = |v: usize| g.parent_set(v).len() >= 2;
+        let preds = vec![(1usize, vec![2usize]), (3usize, vec![1usize, 2usize])];
+        let s = parent_f1(&g, &preds, Some(&filter));
+        // Node 1's wrong prediction is filtered out.
+        assert_eq!(s.fp, 0);
+        assert_eq!(s.tp, 2);
+        assert_eq!(s.f1(), 1.0);
+    }
+
+    #[test]
+    fn empty_task_is_perfect() {
+        let s = ParentScore::default();
+        assert_eq!(s.f1(), 1.0);
+        assert_eq!(s.precision(), 1.0);
+        assert_eq!(s.recall(), 1.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ParentScore {
+            tp: 1,
+            fp: 2,
+            fn_: 3,
+        };
+        a.merge(ParentScore {
+            tp: 4,
+            fp: 5,
+            fn_: 6,
+        });
+        assert_eq!(
+            a,
+            ParentScore {
+                tp: 5,
+                fp: 7,
+                fn_: 9
+            }
+        );
+    }
+}

@@ -1,0 +1,722 @@
+//! Conditional-independence oracles (§4 assumes one; §5–§6 build it).
+//!
+//! The [`CiOracle`] trait is what every discovery algorithm consumes.
+//! Two implementations:
+//!
+//! * [`DataOracle`] — backed by a table selection. Implements the §6
+//!   optimisations behind feature flags: **entropy caching** (shared
+//!   entropies across CMI statements) and **contingency-table
+//!   materialisation** (marginals derived from cached supersets instead
+//!   of re-scanning rows). The test procedure is configurable: χ², MIT,
+//!   MIT with group sampling, or the HyMIT hybrid.
+//! * [`GraphOracle`] — exact d-separation on a known DAG; the
+//!   noise-free oracle used to validate discovery algorithms.
+
+use hypdb_graph::dag::Dag;
+use hypdb_graph::dsep::d_separated_pair;
+use hypdb_stats::crosstab::CrossTab;
+use hypdb_stats::independence::{
+    mit, mit_sampled, MitConfig, Strata, TestMethod, TestOutcome,
+};
+use hypdb_stats::math::chi2_sf;
+use hypdb_stats::EntropyEstimator;
+use hypdb_table::contingency::ContingencyTable;
+use hypdb_table::hash::FxHashMap;
+use hypdb_table::{AttrId, RowSet, Table};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Variable index within an oracle (0-based, oracle-local).
+pub type Var = usize;
+
+/// Which independence-test procedure a [`DataOracle`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum IndependenceTestKind {
+    /// Asymptotic χ² (G) test.
+    ChiSquared,
+    /// MIT permutation test over all conditioning groups.
+    Mit,
+    /// MIT over a weighted sample of conditioning groups.
+    MitSampled {
+        /// Maximum number of groups to keep.
+        max_groups: usize,
+    },
+    /// HyMIT: χ² when `df·β ≤ n`, MIT (with auto group sampling)
+    /// otherwise.
+    HyMit,
+}
+
+/// Oracle configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CiConfig {
+    /// Significance level for `independent` decisions (§7.3 uses 0.01).
+    pub alpha: f64,
+    /// Test procedure.
+    pub kind: IndependenceTestKind,
+    /// Permutation-test parameters (m, β).
+    pub mit: MitConfig,
+    /// Entropy estimator for reported CMI statistics (§2 uses
+    /// Miller–Madow).
+    pub estimator: EntropyEstimator,
+    /// §6 "Caching entropy".
+    pub cache_entropies: bool,
+    /// §6 "Materializing contingency tables".
+    pub materialize: bool,
+    /// RNG seed for the permutation tests.
+    pub seed: u64,
+}
+
+impl Default for CiConfig {
+    fn default() -> Self {
+        CiConfig {
+            alpha: 0.01,
+            kind: IndependenceTestKind::HyMit,
+            mit: MitConfig::default(),
+            estimator: EntropyEstimator::MillerMadow,
+            cache_entropies: true,
+            materialize: true,
+            seed: 0x48_7970_4442, // "HypDB"
+        }
+    }
+}
+
+/// Work counters, the instrumentation behind Fig 6(a)/(c).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OracleStats {
+    /// Independence tests performed.
+    pub tests: u64,
+    /// Full row scans to build a contingency table.
+    pub table_scans: u64,
+    /// Contingency tables served from the materialisation cache.
+    pub count_cache_hits: u64,
+    /// Contingency tables derived by marginalising a cached superset.
+    pub marginalizations: u64,
+    /// Entropy values served from the entropy cache.
+    pub entropy_hits: u64,
+    /// Entropy values computed.
+    pub entropy_misses: u64,
+}
+
+/// The conditional-independence oracle interface.
+pub trait CiOracle {
+    /// Number of variables `0..n` the oracle ranges over.
+    fn num_vars(&self) -> usize;
+
+    /// Tests `X ⊥⊥ Y | Z`; `x`, `y` must be distinct and absent from `z`.
+    fn test(&self, x: Var, y: Var, z: &[Var]) -> TestOutcome;
+
+    /// Decision threshold.
+    fn alpha(&self) -> f64;
+
+    /// True when the test does **not** reject independence.
+    fn independent(&self, x: Var, y: Var, z: &[Var]) -> bool {
+        self.test(x, y, z).independent(self.alpha())
+    }
+
+    /// True when dependence is significant.
+    fn dependent(&self, x: Var, y: Var, z: &[Var]) -> bool {
+        !self.independent(x, y, z)
+    }
+
+    /// Association strength heuristic (used by IAMB's ordering); default
+    /// is the test statistic (estimated CMI).
+    fn assoc(&self, x: Var, y: Var, z: &[Var]) -> f64 {
+        self.test(x, y, z).statistic
+    }
+
+    /// Whether an *acceptance* of `X ⊥⊥ Y | Z` would be reliable — i.e.
+    /// whether there is enough data per degree of freedom for a failure
+    /// to reject to mean anything. Constraint-based discovery must not
+    /// conclude a separation from an underpowered test (§4's "not
+    /// robust to sparse subpopulations" failure mode); callers skip
+    /// unreliable tests instead. Exact oracles are always reliable.
+    fn reliable(&self, _x: Var, _y: Var, _z: &[Var]) -> bool {
+        true
+    }
+
+    /// Whether a *rejection* (a dependence verdict) would be reliable.
+    /// This is a calibration question, not a power question: a
+    /// permutation test's rejection is trustworthy even on shattered
+    /// data (the paper's core argument for MIT), whereas a sparse χ²
+    /// rejection is anti-conservative. Defaults to the acceptance rule.
+    fn reliable_dependence(&self, x: Var, y: Var, z: &[Var]) -> bool {
+        self.reliable(x, y, z)
+    }
+
+    /// Work counters.
+    fn stats(&self) -> OracleStats;
+
+    /// Resets work counters.
+    fn reset_stats(&self);
+}
+
+/// Data-backed oracle over a table selection.
+pub struct DataOracle<'a> {
+    table: &'a Table,
+    rows: RowSet,
+    vars: Vec<AttrId>,
+    cfg: CiConfig,
+    counts: Mutex<FxHashMap<Vec<Var>, Arc<ContingencyTable>>>,
+    entropies: Mutex<FxHashMap<Vec<Var>, f64>>,
+    counters: Mutex<OracleStats>,
+    rng: Mutex<StdRng>,
+}
+
+impl<'a> DataOracle<'a> {
+    /// Builds an oracle over `vars` (oracle variable `i` ↔ `vars[i]`)
+    /// restricted to `rows`.
+    pub fn new(table: &'a Table, rows: RowSet, vars: Vec<AttrId>, cfg: CiConfig) -> Self {
+        DataOracle {
+            table,
+            rows,
+            vars,
+            cfg,
+            counts: Mutex::new(FxHashMap::default()),
+            entropies: Mutex::new(FxHashMap::default()),
+            counters: Mutex::new(OracleStats::default()),
+            rng: Mutex::new(StdRng::seed_from_u64(cfg.seed)),
+        }
+    }
+
+    /// Oracle over every attribute of the table.
+    pub fn over_all_attrs(table: &'a Table, rows: RowSet, cfg: CiConfig) -> Self {
+        let vars: Vec<AttrId> = table.schema().attr_ids().collect();
+        DataOracle::new(table, rows, vars, cfg)
+    }
+
+    /// The attribute backing an oracle variable.
+    pub fn attr_of(&self, v: Var) -> AttrId {
+        self.vars[v]
+    }
+
+    /// The oracle variable of an attribute, if covered.
+    pub fn var_of(&self, a: AttrId) -> Option<Var> {
+        self.vars.iter().position(|&x| x == a)
+    }
+
+    /// The variable list.
+    pub fn vars(&self) -> &[AttrId] {
+        &self.vars
+    }
+
+    /// Number of selected rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The oracle's configuration.
+    pub fn config(&self) -> &CiConfig {
+        &self.cfg
+    }
+
+    /// Counts over `vars` in the *given* order. Internally normalises to
+    /// a sorted cache key and derives reorderings/marginals from cached
+    /// supersets when materialisation is enabled.
+    pub fn counts_for(&self, vars: &[Var]) -> Arc<ContingencyTable> {
+        let mut sorted: Vec<Var> = vars.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        debug_assert_eq!(sorted.len(), vars.len(), "duplicate variables in counts_for");
+        let base = self.sorted_counts(&sorted);
+        if sorted == vars {
+            return base;
+        }
+        // Reorder by marginalising onto the requested permutation.
+        let positions: Vec<usize> = vars
+            .iter()
+            .map(|v| sorted.binary_search(v).expect("var present"))
+            .collect();
+        Arc::new(base.marginal(&positions))
+    }
+
+    fn sorted_counts(&self, sorted: &[Var]) -> Arc<ContingencyTable> {
+        if self.cfg.materialize {
+            if let Some(hit) = self.counts.lock().get(sorted).cloned() {
+                self.counters.lock().count_cache_hits += 1;
+                return hit;
+            }
+            // Find the smallest cached superset to marginalise from.
+            let superset: Option<(Vec<Var>, Arc<ContingencyTable>)> = {
+                let cache = self.counts.lock();
+                cache
+                    .iter()
+                    .filter(|(key, _)| is_subset(sorted, key))
+                    .min_by_key(|(key, _)| key.len())
+                    .map(|(k, v)| (k.clone(), v.clone()))
+            };
+            let ct = if let Some((key, sup)) = superset {
+                self.counters.lock().marginalizations += 1;
+                let positions: Vec<usize> = sorted
+                    .iter()
+                    .map(|v| key.binary_search(v).expect("subset"))
+                    .collect();
+                Arc::new(sup.marginal(&positions))
+            } else {
+                self.counters.lock().table_scans += 1;
+                let attrs: Vec<AttrId> = sorted.iter().map(|&v| self.vars[v]).collect();
+                Arc::new(ContingencyTable::from_table(self.table, &self.rows, &attrs))
+            };
+            self.counts.lock().insert(sorted.to_vec(), ct.clone());
+            ct
+        } else {
+            self.counters.lock().table_scans += 1;
+            let attrs: Vec<AttrId> = sorted.iter().map(|&v| self.vars[v]).collect();
+            Arc::new(ContingencyTable::from_table(self.table, &self.rows, &attrs))
+        }
+    }
+
+    /// Entropy (config estimator) of the joint distribution of `vars`,
+    /// cached when enabled. The empty set has entropy 0.
+    pub fn entropy(&self, vars: &[Var]) -> f64 {
+        if vars.is_empty() {
+            return 0.0;
+        }
+        let mut sorted: Vec<Var> = vars.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if self.cfg.cache_entropies {
+            if let Some(&h) = self.entropies.lock().get(&sorted) {
+                self.counters.lock().entropy_hits += 1;
+                return h;
+            }
+        }
+        self.counters.lock().entropy_misses += 1;
+        let h = self.sorted_counts(&sorted).entropy(self.cfg.estimator);
+        if self.cfg.cache_entropies {
+            self.entropies.lock().insert(sorted, h);
+        }
+        h
+    }
+
+    /// Estimated CMI `Î(X;Y|Z)` with the configured estimator, via the
+    /// entropy identity (this is where entropy caching pays off: `H(XZ)`
+    /// and `H(Z)` are shared across many statements).
+    pub fn cmi(&self, x: Var, y: Var, z: &[Var]) -> f64 {
+        let mut xz = z.to_vec();
+        xz.push(x);
+        let mut yz = z.to_vec();
+        yz.push(y);
+        let mut xyz = z.to_vec();
+        xyz.push(x);
+        xyz.push(y);
+        self.entropy(&xz) + self.entropy(&yz) - self.entropy(&xyz) - self.entropy(z)
+    }
+
+    /// The paper's degrees-of-freedom formula
+    /// `(|Π_X|−1)(|Π_Y|−1)|Π_Z|`, with supports measured on the current
+    /// selection.
+    fn paper_dof(&self, x: Var, y: Var, z: &[Var]) -> f64 {
+        let sx = self.counts_for(&[x]).support().max(1);
+        let sy = self.counts_for(&[y]).support().max(1);
+        let sz = if z.is_empty() {
+            1
+        } else {
+            let mut zs = z.to_vec();
+            zs.sort_unstable();
+            self.sorted_counts(&zs).support().max(1)
+        };
+        ((sx - 1) * (sy - 1) * sz) as f64
+    }
+
+    /// Builds the stratified cross tabs of `(x, y)` given `z` from the
+    /// (possibly cached) joint contingency table.
+    fn strata(&self, x: Var, y: Var, z: &[Var]) -> Strata {
+        let mut order = Vec::with_capacity(z.len() + 2);
+        order.push(x);
+        order.push(y);
+        let mut zs = z.to_vec();
+        zs.sort_unstable();
+        order.extend_from_slice(&zs);
+        let ct = self.counts_for(&order);
+        let dims = ct.dims();
+        let (r, c) = (dims[0] as usize, dims[1] as usize);
+        if z.is_empty() {
+            return Strata::single(ct.to_crosstab());
+        }
+        let mut groups: FxHashMap<Box<[u32]>, CrossTab> = FxHashMap::default();
+        ct.for_each(|key, count| {
+            let tab = groups
+                .entry(key[2..].to_vec().into_boxed_slice())
+                .or_insert_with(|| CrossTab::zeros(r, c));
+            tab.add(key[0] as usize, key[1] as usize, count);
+        });
+        Strata::new(groups.into_values().collect())
+    }
+
+    fn chi2_outcome(&self, x: Var, y: Var, z: &[Var]) -> TestOutcome {
+        let stat = self.cmi(x, y, z);
+        let n = self.rows.len() as f64;
+        let df = self.paper_dof(x, y, z);
+        let g = 2.0 * n * stat.max(0.0);
+        let p = if df == 0.0 { 1.0 } else { chi2_sf(g, df) };
+        TestOutcome {
+            statistic: stat,
+            p_value: p,
+            ci95: None,
+            df: Some(df),
+            method: TestMethod::ChiSquared,
+            permutations: None,
+        }
+    }
+}
+
+fn is_subset(small: &[Var], big: &[Var]) -> bool {
+    // Both sorted.
+    let mut it = big.iter();
+    'outer: for s in small {
+        for b in it.by_ref() {
+            if b == s {
+                continue 'outer;
+            }
+            if b > s {
+                return false;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+impl CiOracle for DataOracle<'_> {
+    fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    fn test(&self, x: Var, y: Var, z: &[Var]) -> TestOutcome {
+        assert!(x != y && !z.contains(&x) && !z.contains(&y));
+        self.counters.lock().tests += 1;
+        match self.cfg.kind {
+            IndependenceTestKind::ChiSquared => self.chi2_outcome(x, y, z),
+            IndependenceTestKind::Mit => {
+                let strata = self.strata(x, y, z);
+                let mut rng = self.rng.lock();
+                let mut out = mit(&strata, self.cfg.mit.permutations, &mut *rng);
+                out.statistic = self.cmi(x, y, z);
+                out
+            }
+            IndependenceTestKind::MitSampled { max_groups } => {
+                let strata = self.strata(x, y, z);
+                let mut rng = self.rng.lock();
+                let mut out =
+                    mit_sampled(&strata, self.cfg.mit.permutations, max_groups, &mut *rng);
+                out.statistic = self.cmi(x, y, z);
+                out
+            }
+            IndependenceTestKind::HyMit => {
+                let n = self.rows.len() as f64;
+                let df = self.paper_dof(x, y, z);
+                if df == 0.0 || df * self.cfg.mit.beta <= n {
+                    self.chi2_outcome(x, y, z)
+                } else {
+                    let strata = self.strata(x, y, z);
+                    let g = strata.num_groups();
+                    let mut rng = self.rng.lock();
+                    let mut out = if g > 64 {
+                        mit_sampled(
+                            &strata,
+                            self.cfg.mit.permutations,
+                            MitConfig::auto_group_sample(g),
+                            &mut *rng,
+                        )
+                    } else {
+                        mit(&strata, self.cfg.mit.permutations, &mut *rng)
+                    };
+                    out.statistic = self.cmi(x, y, z);
+                    out
+                }
+            }
+        }
+    }
+
+    fn alpha(&self) -> f64 {
+        self.cfg.alpha
+    }
+
+    fn assoc(&self, x: Var, y: Var, z: &[Var]) -> f64 {
+        self.cmi(x, y, z)
+    }
+
+    /// The χ²-style power heuristic: a test is reliable when
+    /// `df · β ≤ n` (the same rule HyMIT uses to trust the asymptotic
+    /// approximation, §6).
+    fn reliable(&self, x: Var, y: Var, z: &[Var]) -> bool {
+        let df = self.paper_dof(x, y, z);
+        df > 0.0 && df * self.cfg.mit.beta <= self.rows.len() as f64
+    }
+
+    /// Dependence verdicts are calibrated for the permutation-based
+    /// procedures regardless of sparseness (HyMIT switches to MIT
+    /// exactly when χ² would be untrustworthy); the pure χ² oracle
+    /// keeps the power gate.
+    fn reliable_dependence(&self, x: Var, y: Var, z: &[Var]) -> bool {
+        match self.cfg.kind {
+            IndependenceTestKind::ChiSquared => self.reliable(x, y, z),
+            IndependenceTestKind::Mit
+            | IndependenceTestKind::MitSampled { .. }
+            | IndependenceTestKind::HyMit => {
+                // Still require a non-degenerate pair (both variables
+                // must vary in the selection).
+                self.counts_for(&[x]).support() > 1 && self.counts_for(&[y]).support() > 1
+            }
+        }
+    }
+
+    fn stats(&self) -> OracleStats {
+        *self.counters.lock()
+    }
+
+    fn reset_stats(&self) {
+        *self.counters.lock() = OracleStats::default();
+    }
+}
+
+/// Exact d-separation oracle over a known DAG (for tests & calibration).
+pub struct GraphOracle {
+    dag: Dag,
+    counters: Mutex<OracleStats>,
+}
+
+impl GraphOracle {
+    /// Wraps a DAG; variable `i` is DAG node `i`.
+    pub fn new(dag: Dag) -> Self {
+        GraphOracle {
+            dag,
+            counters: Mutex::new(OracleStats::default()),
+        }
+    }
+
+    /// The wrapped DAG.
+    pub fn dag(&self) -> &Dag {
+        &self.dag
+    }
+}
+
+impl CiOracle for GraphOracle {
+    fn num_vars(&self) -> usize {
+        self.dag.len()
+    }
+
+    fn test(&self, x: Var, y: Var, z: &[Var]) -> TestOutcome {
+        self.counters.lock().tests += 1;
+        let sep = d_separated_pair(&self.dag, x, y, z);
+        TestOutcome {
+            statistic: if sep { 0.0 } else { 1.0 },
+            p_value: if sep { 1.0 } else { 0.0 },
+            ci95: None,
+            df: None,
+            method: TestMethod::ChiSquared,
+            permutations: None,
+        }
+    }
+
+    fn alpha(&self) -> f64 {
+        0.5
+    }
+
+    fn stats(&self) -> OracleStats {
+        *self.counters.lock()
+    }
+
+    fn reset_stats(&self) {
+        *self.counters.lock() = OracleStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypdb_graph::bayes::BayesNet;
+    use rand::SeedableRng;
+
+    /// Z -> X, Z -> Y (X ⊥ Y | Z), n = 20k.
+    fn fork_table() -> Table {
+        let mut dag = Dag::with_names(["X", "Y", "Z"]);
+        dag.add_edge(2, 0);
+        dag.add_edge(2, 1);
+        let mut net = BayesNet::uniform(dag, vec![2, 2, 2]);
+        net.set_cpt(2, vec![0.5, 0.5]);
+        net.set_cpt(0, vec![0.85, 0.15, 0.15, 0.85]);
+        net.set_cpt(1, vec![0.2, 0.8, 0.8, 0.2]);
+        let mut rng = StdRng::seed_from_u64(11);
+        net.sample_table(&mut rng, 20_000)
+    }
+
+    fn oracle(table: &Table, kind: IndependenceTestKind) -> DataOracle<'_> {
+        let cfg = CiConfig {
+            kind,
+            ..CiConfig::default()
+        };
+        DataOracle::over_all_attrs(table, table.all_rows(), cfg)
+    }
+
+    #[test]
+    fn chi2_oracle_fork_structure() {
+        let t = fork_table();
+        let o = oracle(&t, IndependenceTestKind::ChiSquared);
+        assert!(o.dependent(0, 1, &[]), "X, Y marginally dependent");
+        assert!(o.independent(0, 1, &[2]), "X ⊥ Y | Z");
+        assert!(o.dependent(0, 2, &[]));
+        assert_eq!(o.stats().tests, 3);
+    }
+
+    #[test]
+    fn all_test_kinds_agree_on_fork() {
+        let t = fork_table();
+        for kind in [
+            IndependenceTestKind::ChiSquared,
+            IndependenceTestKind::Mit,
+            IndependenceTestKind::MitSampled { max_groups: 8 },
+            IndependenceTestKind::HyMit,
+        ] {
+            let o = oracle(&t, kind);
+            assert!(o.dependent(0, 1, &[]), "{kind:?}: marginal dependence");
+            assert!(o.independent(0, 1, &[2]), "{kind:?}: conditional indep");
+        }
+    }
+
+    #[test]
+    fn entropy_cache_hits() {
+        let t = fork_table();
+        let o = oracle(&t, IndependenceTestKind::ChiSquared);
+        o.cmi(0, 1, &[2]);
+        let s1 = o.stats();
+        assert!(s1.entropy_misses >= 4);
+        o.cmi(0, 2, &[1]); // shares H(XYZ)... and more
+        let s2 = o.stats();
+        assert!(s2.entropy_hits > 0, "shared entropies must hit the cache");
+    }
+
+    #[test]
+    fn caching_off_recomputes() {
+        let t = fork_table();
+        let cfg = CiConfig {
+            kind: IndependenceTestKind::ChiSquared,
+            cache_entropies: false,
+            materialize: false,
+            ..CiConfig::default()
+        };
+        let o = DataOracle::over_all_attrs(&t, t.all_rows(), cfg);
+        o.cmi(0, 1, &[2]);
+        o.cmi(0, 1, &[2]);
+        let s = o.stats();
+        assert_eq!(s.entropy_hits, 0);
+        assert_eq!(s.count_cache_hits, 0);
+        assert!(s.table_scans >= 8);
+    }
+
+    #[test]
+    fn materialization_derives_marginals() {
+        let t = fork_table();
+        let o = oracle(&t, IndependenceTestKind::ChiSquared);
+        // Prime with the full joint.
+        o.counts_for(&[0, 1, 2]);
+        let before = o.stats();
+        // All strict subsets should now derive, not scan.
+        o.entropy(&[0, 1]);
+        o.entropy(&[2]);
+        let after = o.stats();
+        assert_eq!(after.table_scans, before.table_scans);
+        assert_eq!(after.marginalizations, before.marginalizations + 2);
+    }
+
+    #[test]
+    fn counts_respect_order() {
+        let t = fork_table();
+        let o = oracle(&t, IndependenceTestKind::ChiSquared);
+        let xy = o.counts_for(&[0, 1]);
+        let yx = o.counts_for(&[1, 0]);
+        assert_eq!(xy.get(&[0, 1]), yx.get(&[1, 0]));
+        assert_eq!(xy.total(), yx.total());
+    }
+
+    #[test]
+    fn graph_oracle_is_exact() {
+        let mut dag = Dag::new(3);
+        dag.add_edge(0, 2);
+        dag.add_edge(1, 2);
+        let o = GraphOracle::new(dag);
+        assert!(o.independent(0, 1, &[]));
+        assert!(o.dependent(0, 1, &[2]));
+        assert!(o.dependent(0, 2, &[1]));
+        assert_eq!(o.stats().tests, 3);
+        o.reset_stats();
+        assert_eq!(o.stats().tests, 0);
+    }
+
+    #[test]
+    fn subset_helper() {
+        assert!(is_subset(&[1, 3], &[0, 1, 2, 3]));
+        assert!(!is_subset(&[1, 4], &[0, 1, 2, 3]));
+        assert!(is_subset(&[], &[0]));
+        assert!(!is_subset(&[0], &[]));
+    }
+
+    #[test]
+    fn reliability_gates_are_asymmetric() {
+        // A table with a wide key-like column: conditioning on it
+        // shatters the data, so acceptances must be unreliable.
+        use hypdb_table::TableBuilder;
+        let mut b = TableBuilder::new(["x", "y", "k"]);
+        for i in 0..400u32 {
+            let x = (i % 2).to_string();
+            let y = ((i / 2) % 2).to_string();
+            let k = (i % 199).to_string();
+            b.push_row([x.as_str(), y.as_str(), k.as_str()]).unwrap();
+        }
+        let t = b.finish();
+        // χ² oracle: both gates use the power rule.
+        let chi = DataOracle::over_all_attrs(
+            &t,
+            t.all_rows(),
+            CiConfig {
+                kind: IndependenceTestKind::ChiSquared,
+                ..CiConfig::default()
+            },
+        );
+        assert!(!chi.reliable(0, 1, &[2]), "shattered: acceptance unreliable");
+        assert!(
+            !chi.reliable_dependence(0, 1, &[2]),
+            "sparse χ² rejection is anti-conservative"
+        );
+        assert!(chi.reliable(0, 1, &[]), "marginal test is fine");
+        // Permutation oracle: rejections stay trustworthy.
+        let mitc = DataOracle::over_all_attrs(
+            &t,
+            t.all_rows(),
+            CiConfig {
+                kind: IndependenceTestKind::HyMit,
+                ..CiConfig::default()
+            },
+        );
+        assert!(!mitc.reliable(0, 1, &[2]));
+        assert!(mitc.reliable_dependence(0, 1, &[2]));
+    }
+
+    #[test]
+    fn degenerate_variable_never_reliable() {
+        use hypdb_table::TableBuilder;
+        let mut b = TableBuilder::new(["x", "c"]);
+        for i in 0..50u32 {
+            b.push_row([(i % 2).to_string().as_str(), "const"]).unwrap();
+        }
+        let t = b.finish();
+        let o = DataOracle::over_all_attrs(&t, t.all_rows(), CiConfig::default());
+        // `c` has a single value: df = 0 -> no test is informative.
+        assert!(!o.reliable(0, 1, &[]));
+        assert!(!o.reliable_dependence(0, 1, &[]));
+    }
+
+    #[test]
+    fn restricted_var_set_maps_attrs() {
+        let t = fork_table();
+        let ids = t.attrs(["Z", "X"]).unwrap();
+        let o = DataOracle::new(&t, t.all_rows(), ids.clone(), CiConfig::default());
+        assert_eq!(o.num_vars(), 2);
+        assert_eq!(o.attr_of(0), ids[0]);
+        assert_eq!(o.var_of(ids[1]), Some(1));
+        assert!(o.dependent(0, 1, &[])); // Z and X are dependent
+    }
+}

@@ -1,0 +1,239 @@
+//! Dropping logical dependencies before discovery (§4).
+//!
+//! Integrity constraints confuse constraint-based discovery: an
+//! approximate FD `X ⇒ T` (e.g. `AirportWAC ⇒ Airport`) makes `T`
+//! conditionally independent of everything given `X`, severing it from
+//! the DAG; key-like attributes (`ID`, `FlightNum`, `TailNum`)
+//! participate in such FDs by construction. HypDB therefore
+//!
+//! 1. discards attributes *equivalent* to another attribute
+//!    (`H(X|Y) ≈ 0 ∧ H(Y|X) ≈ 0`), keeping one representative,
+//! 2. discards *key-like* attributes, detected by the paper's
+//!    entropy-scaling heuristic: entropy is a property of the generative
+//!    distribution, not of the sample size — an attribute whose entropy
+//!    keeps growing with the sample size is a key fragment, not a
+//!    category.
+
+use hypdb_stats::entropy::entropy_plugin;
+use hypdb_table::contingency::ContingencyTable;
+use hypdb_table::{AttrId, RowSet, Table};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for logical-dependency dropping.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PreprocessConfig {
+    /// `ε` for the approximate-FD test `H(X|Y) ≤ ε ∧ H(Y|X) ≤ ε`.
+    pub fd_epsilon: f64,
+    /// Number of nested subsample sizes for the key heuristic.
+    pub key_levels: usize,
+    /// Entropy growth (nats) per doubling of the sample size above which
+    /// an attribute is considered key-like.
+    pub key_growth_threshold: f64,
+    /// Seed for the subsampling.
+    pub seed: u64,
+}
+
+impl Default for PreprocessConfig {
+    fn default() -> Self {
+        PreprocessConfig {
+            fd_epsilon: 0.05,
+            key_levels: 4,
+            key_growth_threshold: 0.35,
+            seed: 0xFD,
+        }
+    }
+}
+
+/// What was dropped and why.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PreprocessReport {
+    /// Attributes that survive.
+    pub kept: Vec<AttrId>,
+    /// `(dropped, kept_representative)` pairs from the FD test.
+    pub dropped_fd: Vec<(AttrId, AttrId)>,
+    /// Attributes dropped as key-like.
+    pub dropped_keys: Vec<AttrId>,
+}
+
+/// Runs both filters over `attrs` of `table` restricted to `rows`.
+pub fn drop_logical_dependencies(
+    table: &Table,
+    rows: &RowSet,
+    attrs: &[AttrId],
+    cfg: &PreprocessConfig,
+) -> PreprocessReport {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // --- Key-like attributes (entropy-vs-sample-size scaling). ---
+    let row_ids: Vec<u32> = rows.iter().collect();
+    let n = row_ids.len();
+    let mut dropped_keys = Vec::new();
+    let mut survivors: Vec<AttrId> = Vec::new();
+    if n >= 16 {
+        // Nested subsamples of sizes n, n/2, n/4, …
+        let mut sizes = Vec::new();
+        let mut s = n;
+        for _ in 0..cfg.key_levels {
+            sizes.push(s);
+            s /= 2;
+            if s < 8 {
+                break;
+            }
+        }
+        sizes.reverse(); // ascending
+        // One shared shuffled order => nested samples.
+        let mut order = row_ids.clone();
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        for &a in attrs {
+            let codes = table.column(a).codes();
+            let card = table.cardinality(a).max(1) as usize;
+            let mut prev_h: Option<f64> = None;
+            let mut growths = Vec::new();
+            let mut counts = vec![0u64; card];
+            let mut consumed = 0usize;
+            for &size in &sizes {
+                while consumed < size {
+                    counts[codes[order[consumed] as usize] as usize] += 1;
+                    consumed += 1;
+                }
+                let h = entropy_plugin(counts.iter().copied());
+                if let Some(p) = prev_h {
+                    growths.push(h - p);
+                }
+                prev_h = Some(h);
+            }
+            // Key-like: entropy grows by more than the threshold at
+            // every doubling (monotone scaling with sample size).
+            let key_like = !growths.is_empty()
+                && growths.iter().all(|&g| g > cfg.key_growth_threshold);
+            if key_like {
+                dropped_keys.push(a);
+            } else {
+                survivors.push(a);
+            }
+        }
+    } else {
+        survivors = attrs.to_vec();
+    }
+
+    // --- Approximate-FD equivalences among survivors. ---
+    let mut dropped_fd = Vec::new();
+    let mut kept: Vec<AttrId> = Vec::new();
+    let mut entropies: Vec<f64> = Vec::new();
+    for &a in &survivors {
+        let h_a = ContingencyTable::from_table(table, rows, &[a])
+            .entropy(hypdb_stats::EntropyEstimator::PlugIn);
+        let mut representative: Option<AttrId> = None;
+        for (i, &b) in kept.iter().enumerate() {
+            // Quick reject: equivalence needs similar entropies.
+            if (h_a - entropies[i]).abs() > 2.0 * cfg.fd_epsilon {
+                continue;
+            }
+            let h_ab = ContingencyTable::from_table(table, rows, &[a, b])
+                .entropy(hypdb_stats::EntropyEstimator::PlugIn);
+            let h_a_given_b = h_ab - entropies[i];
+            let h_b_given_a = h_ab - h_a;
+            if h_a_given_b <= cfg.fd_epsilon && h_b_given_a <= cfg.fd_epsilon {
+                representative = Some(b);
+                break;
+            }
+        }
+        match representative {
+            Some(b) => dropped_fd.push((a, b)),
+            None => {
+                kept.push(a);
+                entropies.push(h_a);
+            }
+        }
+    }
+
+    PreprocessReport {
+        kept,
+        dropped_fd,
+        dropped_keys,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypdb_table::TableBuilder;
+
+    /// carrier/airport categorical data + `wac` (bijective with
+    /// airport) + `id` (unique per row).
+    fn sample(n: usize) -> Table {
+        let mut b = TableBuilder::new(["carrier", "airport", "wac", "id"]);
+        let airports = ["COS", "MFE", "MTJ", "ROC"];
+        let wacs = ["41", "74", "82", "22"]; // one per airport
+        for i in 0..n {
+            let a = i % 4;
+            let carrier = if (i / 4) % 2 == 0 { "AA" } else { "UA" };
+            let id = i.to_string();
+            b.push_row([carrier, airports[a], wacs[a], id.as_str()])
+                .unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn detects_bijective_fd() {
+        let t = sample(1024);
+        let attrs: Vec<AttrId> = t.schema().attr_ids().collect();
+        let rows = t.all_rows();
+        let rep = drop_logical_dependencies(&t, &rows, &attrs, &PreprocessConfig::default());
+        let airport = t.attr("airport").unwrap();
+        let wac = t.attr("wac").unwrap();
+        // wac should be dropped in favour of airport (first-kept wins).
+        assert!(rep.dropped_fd.contains(&(wac, airport)), "{rep:?}");
+        assert!(rep.kept.contains(&airport));
+    }
+
+    #[test]
+    fn detects_key_attribute() {
+        let t = sample(1024);
+        let attrs: Vec<AttrId> = t.schema().attr_ids().collect();
+        let rows = t.all_rows();
+        let rep = drop_logical_dependencies(&t, &rows, &attrs, &PreprocessConfig::default());
+        let id = t.attr("id").unwrap();
+        assert!(rep.dropped_keys.contains(&id), "{rep:?}");
+        assert!(!rep.kept.contains(&id));
+    }
+
+    #[test]
+    fn keeps_ordinary_attributes() {
+        let t = sample(1024);
+        let attrs: Vec<AttrId> = t.schema().attr_ids().collect();
+        let rows = t.all_rows();
+        let rep = drop_logical_dependencies(&t, &rows, &attrs, &PreprocessConfig::default());
+        assert!(rep.kept.contains(&t.attr("carrier").unwrap()));
+        assert!(rep.kept.contains(&t.attr("airport").unwrap()));
+        // Exactly airport+carrier survive.
+        assert_eq!(rep.kept.len(), 2);
+    }
+
+    #[test]
+    fn tiny_tables_skip_key_heuristic() {
+        let t = sample(8);
+        let attrs: Vec<AttrId> = t.schema().attr_ids().collect();
+        let rows = t.all_rows();
+        let rep = drop_logical_dependencies(&t, &rows, &attrs, &PreprocessConfig::default());
+        assert!(rep.dropped_keys.is_empty());
+    }
+
+    #[test]
+    fn self_equivalence_not_tested() {
+        // A single attribute can never be dropped.
+        let t = sample(256);
+        let carrier = t.attr("carrier").unwrap();
+        let rows = t.all_rows();
+        let rep =
+            drop_logical_dependencies(&t, &rows, &[carrier], &PreprocessConfig::default());
+        assert_eq!(rep.kept, vec![carrier]);
+    }
+}

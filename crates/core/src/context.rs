@@ -1,0 +1,124 @@
+//! Context enumeration: `Γ_i = C ∧ (X = x_i)` for each combination
+//! `x_i` of the query's non-treatment grouping attributes (§2).
+
+use crate::query::Query;
+use hypdb_table::groupby::group_counts;
+use hypdb_table::{AttrId, Predicate, RowSet, Table};
+
+/// One context of a query: a sub-population selected by the WHERE
+/// clause plus one grouping-value combination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Context {
+    /// `(attribute, value)` pairs identifying the context (empty when
+    /// the query has no grouping besides the treatment).
+    pub values: Vec<(AttrId, String)>,
+    /// The rows of the context.
+    pub rows: RowSet,
+}
+
+impl Context {
+    /// Human-readable label, e.g. `Quarter=1, Year=2017`.
+    pub fn label(&self, table: &Table) -> String {
+        if self.values.is_empty() {
+            return "(all)".to_string();
+        }
+        self.values
+            .iter()
+            .map(|(a, v)| format!("{}={v}", table.schema().name(*a)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+/// Enumerates the contexts of `query` over `table`, sorted by grouping
+/// key. Empty contexts are not produced (only observed combinations).
+pub fn contexts(table: &Table, query: &Query) -> Vec<Context> {
+    let base = query.predicate.select(table);
+    if query.grouping.is_empty() {
+        return vec![Context {
+            values: Vec::new(),
+            rows: base,
+        }];
+    }
+    let combos = group_counts(table, &base, &query.grouping);
+    combos
+        .into_iter()
+        .map(|g| {
+            let preds: Vec<Predicate> = query
+                .grouping
+                .iter()
+                .zip(g.key.iter())
+                .map(|(&a, &code)| Predicate::Eq(a, code))
+                .collect();
+            let rows = Predicate::and(preds).select_within(table, &base);
+            let values = query
+                .grouping
+                .iter()
+                .zip(g.key.iter())
+                .map(|(&a, &code)| (a, table.column(a).dict().value(code).to_string()))
+                .collect();
+            Context { values, rows }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryBuilder;
+    use hypdb_table::TableBuilder;
+
+    fn table() -> Table {
+        let mut b = TableBuilder::new(["T", "Y", "X"]);
+        for (t, y, x) in [
+            ("a", "1", "p"),
+            ("b", "0", "p"),
+            ("a", "0", "q"),
+            ("b", "1", "q"),
+            ("a", "1", "q"),
+        ] {
+            b.push_row([t, y, x]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn no_grouping_single_context() {
+        let t = table();
+        let q = QueryBuilder::new("T").outcome("Y").build(&t).unwrap();
+        let cs = contexts(&t, &q);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].rows.len(), 5);
+        assert_eq!(cs[0].label(&t), "(all)");
+    }
+
+    #[test]
+    fn grouping_splits_contexts() {
+        let t = table();
+        let q = QueryBuilder::new("T")
+            .outcome("Y")
+            .group_by("X")
+            .build(&t)
+            .unwrap();
+        let cs = contexts(&t, &q);
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs[0].label(&t), "X=p");
+        assert_eq!(cs[0].rows.len(), 2);
+        assert_eq!(cs[1].label(&t), "X=q");
+        assert_eq!(cs[1].rows.len(), 3);
+    }
+
+    #[test]
+    fn where_restricts_contexts() {
+        let t = table();
+        let q = QueryBuilder::new("T")
+            .outcome("Y")
+            .group_by("X")
+            .filter_eq("X", "q")
+            .build(&t)
+            .unwrap();
+        let cs = contexts(&t, &q);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].label(&t), "X=q");
+    }
+}

@@ -1,0 +1,229 @@
+//! Bias detection (Def 3.1, Prop 3.2): a query is *balanced* w.r.t. a
+//! variable set `V` in a context `Γ_i` iff `(T ⊥⊥ V | Γ_i)` — the
+//! treatment groups then have the same distribution of covariates, and
+//! the naive group-by difference is an unbiased effect estimate.
+//!
+//! The check is an independence test between `T` and the *joint*
+//! variable `V` on the context's rows: `I(T; V | Γ_i) = 0`.
+
+use hypdb_stats::crosstab::CrossTab;
+use hypdb_stats::independence::{chi2_test, hymit, MitConfig, Strata, TestOutcome};
+use hypdb_table::hash::FxHashMap;
+use hypdb_table::{AttrId, RowSet, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Result of a bias check in one context.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BiasReport {
+    /// The independence-test outcome for `I(T; V | Γ)`.
+    pub test: TestOutcome,
+    /// Significance level used for the verdict.
+    pub alpha: f64,
+    /// True when the null `I(T;V|Γ) = 0` was rejected: the query is
+    /// biased w.r.t. `V` in this context.
+    pub biased: bool,
+    /// Number of distinct observed value combinations of `V`.
+    pub v_support: usize,
+}
+
+/// Builds the `T × joint(V)` cross tab over the context rows. The joint
+/// domain of `V` is compacted to its observed combinations (first-seen
+/// order), which keeps the table linear in the data.
+pub fn joint_crosstab(table: &Table, rows: &RowSet, t: AttrId, v: &[AttrId]) -> CrossTab {
+    let r = table.cardinality(t).max(1) as usize;
+    let tcol = table.column(t).codes();
+    let vcols: Vec<&[u32]> = v.iter().map(|&a| table.column(a).codes()).collect();
+    // First pass: index observed V-combinations.
+    let mut index: FxHashMap<Box<[u32]>, usize> = FxHashMap::default();
+    let mut cells: Vec<(usize, usize)> = Vec::with_capacity(rows.len());
+    let mut key = vec![0u32; v.len()];
+    for row in rows.iter() {
+        for (slot, col) in key.iter_mut().zip(&vcols) {
+            *slot = col[row as usize];
+        }
+        let next = index.len();
+        let j = *index
+            .entry(key.clone().into_boxed_slice())
+            .or_insert(next);
+        cells.push((tcol[row as usize] as usize, j));
+    }
+    let c = index.len().max(1);
+    let mut tab = CrossTab::zeros(r, c);
+    for (i, j) in cells {
+        tab.add(i, j, 1);
+    }
+    tab
+}
+
+/// Tests whether the query is balanced w.r.t. `v` on `rows`
+/// (`Γ` = the context selection). Uses HyMIT: χ² when the sample is
+/// large relative to the joint support, the MIT permutation test
+/// otherwise.
+pub fn detect_bias(
+    table: &Table,
+    rows: &RowSet,
+    t: AttrId,
+    v: &[AttrId],
+    alpha: f64,
+    mit_cfg: &MitConfig,
+    seed: u64,
+) -> BiasReport {
+    if v.is_empty() || rows.is_empty() {
+        // Nothing to be imbalanced against.
+        let strata = Strata::new(vec![]);
+        let test = chi2_test(&strata);
+        return BiasReport {
+            biased: false,
+            alpha,
+            v_support: 0,
+            test,
+        };
+    }
+    let tab = joint_crosstab(table, rows, t, v);
+    let v_support = tab.ncols();
+    let strata = Strata::single(tab);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let test = hymit(&strata, mit_cfg, &mut rng);
+    BiasReport {
+        biased: test.dependent(alpha),
+        alpha,
+        v_support,
+        test,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypdb_table::TableBuilder;
+
+    /// Confounded data: Z skews both T and Y.
+    fn confounded() -> Table {
+        let mut b = TableBuilder::new(["T", "Y", "Z"]);
+        for (t, y, z, n) in [
+            ("t1", "1", "a", 30u32),
+            ("t1", "0", "a", 10),
+            ("t0", "1", "a", 5),
+            ("t0", "0", "a", 5),
+            ("t1", "1", "b", 5),
+            ("t1", "0", "b", 10),
+            ("t0", "1", "b", 10),
+            ("t0", "0", "b", 40),
+        ] {
+            for _ in 0..n {
+                b.push_row([t, y, z]).unwrap();
+            }
+        }
+        b.finish()
+    }
+
+    /// Balanced data: T assigned 50/50 within each Z group.
+    fn balanced() -> Table {
+        let mut b = TableBuilder::new(["T", "Y", "Z"]);
+        for (t, y, z, n) in [
+            ("t1", "1", "a", 20u32),
+            ("t1", "0", "a", 10),
+            ("t0", "1", "a", 20),
+            ("t0", "0", "a", 10),
+            ("t1", "1", "b", 5),
+            ("t1", "0", "b", 25),
+            ("t0", "1", "b", 5),
+            ("t0", "0", "b", 25),
+        ] {
+            for _ in 0..n {
+                b.push_row([t, y, z]).unwrap();
+            }
+        }
+        b.finish()
+    }
+
+    fn check(table: &Table, v_names: &[&str]) -> BiasReport {
+        let t = table.attr("T").unwrap();
+        let v: Vec<AttrId> = v_names.iter().map(|n| table.attr(n).unwrap()).collect();
+        detect_bias(
+            table,
+            &table.all_rows(),
+            t,
+            &v,
+            0.01,
+            &MitConfig::default(),
+            7,
+        )
+    }
+
+    #[test]
+    fn detects_confounding() {
+        let rep = check(&confounded(), &["Z"]);
+        assert!(rep.biased, "p={}", rep.test.p_value);
+        assert_eq!(rep.v_support, 2);
+    }
+
+    #[test]
+    fn accepts_balanced_assignment() {
+        let rep = check(&balanced(), &["Z"]);
+        assert!(!rep.biased, "p={}", rep.test.p_value);
+    }
+
+    #[test]
+    fn empty_covariates_never_biased() {
+        let rep = check(&confounded(), &[]);
+        assert!(!rep.biased);
+        assert_eq!(rep.v_support, 0);
+    }
+
+    #[test]
+    fn joint_crosstab_combines_attrs() {
+        let t = confounded();
+        let tid = t.attr("T").unwrap();
+        let z = t.attr("Z").unwrap();
+        let y = t.attr("Y").unwrap();
+        let tab = joint_crosstab(&t, &t.all_rows(), tid, &[z, y]);
+        // Joint support of (Z, Y) is 4; T has 2 levels.
+        assert_eq!(tab.ncols(), 4);
+        assert_eq!(tab.nrows(), 2);
+        assert_eq!(tab.total(), 115);
+    }
+
+    #[test]
+    fn bias_wrt_joint_detected_even_if_each_balanced() {
+        // T balanced w.r.t. Z1 alone and Z2 alone, but not jointly:
+        // T=1 iff Z1==Z2 (within noise).
+        let mut b = TableBuilder::new(["T", "Z1", "Z2"]);
+        for (t, z1, z2, n) in [
+            ("1", "a", "a", 25u32),
+            ("1", "b", "b", 25),
+            ("0", "a", "b", 25),
+            ("0", "b", "a", 25),
+        ] {
+            for _ in 0..n {
+                b.push_row([t, z1, z2]).unwrap();
+            }
+        }
+        let t = b.finish();
+        let tid = t.attr("T").unwrap();
+        let z1 = t.attr("Z1").unwrap();
+        let z2 = t.attr("Z2").unwrap();
+        let single1 = detect_bias(
+            &t,
+            &t.all_rows(),
+            tid,
+            &[z1],
+            0.01,
+            &MitConfig::default(),
+            7,
+        );
+        let joint = detect_bias(
+            &t,
+            &t.all_rows(),
+            tid,
+            &[z1, z2],
+            0.01,
+            &MitConfig::default(),
+            7,
+        );
+        assert!(!single1.biased, "marginal Z1 is balanced");
+        assert!(joint.biased, "joint (Z1,Z2) must reveal the imbalance");
+    }
+}

@@ -1,0 +1,609 @@
+//! Effect estimation: the adjustment formula (Eq 2) for the total
+//! effect and the mediator formula (Eq 3) for the natural direct
+//! effect, both with **exact matching** (§3.3): blocks that do not
+//! contain every compared treatment level are discarded and the block
+//! weights renormalised — the SQL `HAVING count(DISTINCT T) = k` guard.
+
+use crate::error::{Error, Result};
+use hypdb_stats::independence::{mit_auto, MitConfig, TestOutcome};
+use hypdb_table::contingency::Stratified;
+use hypdb_table::hash::FxHashMap;
+use hypdb_table::{AttrId, RowSet, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Total (ATE) vs natural direct (NDE) effect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EffectKind {
+    /// Average treatment effect: all causal paths `T ⇝ Y`.
+    Total,
+    /// Natural direct effect: only the direct edge `T → Y`, mediators
+    /// held at their natural (control) values.
+    Direct,
+}
+
+/// An adjusted-effect estimate for one context.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EffectEstimate {
+    /// Which effect this estimates.
+    pub kind: EffectKind,
+    /// Compared treatment levels (dictionary codes, ascending).
+    pub levels: Vec<u32>,
+    /// Adjusted `avg(Y_o)` per `levels[i]`: `adjusted[i][o]`.
+    pub adjusted: Vec<Vec<f64>>,
+    /// `adjusted[1] − adjusted[0]` per outcome when exactly two levels
+    /// are compared (the ATE / NDE estimate).
+    pub diff: Option<Vec<f64>>,
+    /// Significance of the adjusted difference per outcome: the test of
+    /// `I(Y_o; T | Z[, M]) = 0` (§7.1).
+    pub significance: Vec<TestOutcome>,
+    /// Blocks that satisfied the overlap guard.
+    pub matched_blocks: usize,
+    /// All blocks in the context.
+    pub total_blocks: usize,
+    /// Fraction of context rows inside matched blocks.
+    pub matched_fraction: f64,
+}
+
+struct BlockAcc {
+    total: u64,
+    /// Per compared level: (count, per-outcome sum).
+    per_level: Vec<(u64, Vec<f64>)>,
+}
+
+/// The adjustment formula (Eq 2) with exact matching: groups the
+/// context rows into blocks homogeneous on `z`, discards blocks missing
+/// any of `levels`, and returns the weighted per-level averages where
+/// weights are the retained blocks' probabilities.
+///
+/// With `z = ∅` this degenerates to the plain SQL answer.
+#[allow(clippy::too_many_arguments)]
+pub fn adjusted_averages(
+    table: &Table,
+    rows: &RowSet,
+    t: AttrId,
+    levels: &[u32],
+    outcomes: &[AttrId],
+    z: &[AttrId],
+    mit_cfg: &MitConfig,
+    seed: u64,
+) -> Result<EffectEstimate> {
+    if rows.is_empty() {
+        return Err(Error::EmptySelection);
+    }
+    if levels.len() < 2 {
+        return Err(Error::DegenerateTreatment {
+            attr: table.schema().name(t).to_string(),
+            levels: levels.len(),
+        });
+    }
+    let numeric: Vec<Vec<f64>> = outcomes
+        .iter()
+        .map(|&y| table.numeric_codes(y))
+        .collect::<std::result::Result<_, _>>()?;
+    let tcol = table.column(t).codes();
+    let ycols: Vec<&[u32]> = outcomes.iter().map(|&y| table.column(y).codes()).collect();
+    let zcols: Vec<&[u32]> = z.iter().map(|&a| table.column(a).codes()).collect();
+    let level_of: FxHashMap<u32, usize> = levels
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (c, i))
+        .collect();
+
+    let mut blocks: FxHashMap<Box<[u32]>, BlockAcc> = FxHashMap::default();
+    let mut key = vec![0u32; z.len()];
+    for row in rows.iter() {
+        for (slot, col) in key.iter_mut().zip(&zcols) {
+            *slot = col[row as usize];
+        }
+        let acc = blocks
+            .entry(key.clone().into_boxed_slice())
+            .or_insert_with(|| BlockAcc {
+                total: 0,
+                per_level: vec![(0, vec![0.0; outcomes.len()]); levels.len()],
+            });
+        acc.total += 1;
+        if let Some(&li) = level_of.get(&tcol[row as usize]) {
+            let (count, sums) = &mut acc.per_level[li];
+            *count += 1;
+            for ((s, vals), col) in sums.iter_mut().zip(&numeric).zip(&ycols) {
+                *s += vals[col[row as usize] as usize];
+            }
+        }
+    }
+
+    let total_blocks = blocks.len();
+    let matched: Vec<&BlockAcc> = blocks
+        .values()
+        .filter(|b| b.per_level.iter().all(|(c, _)| *c > 0))
+        .collect();
+    let matched_blocks = matched.len();
+    let matched_total: u64 = matched.iter().map(|b| b.total).sum();
+    let mut adjusted = vec![vec![0.0; outcomes.len()]; levels.len()];
+    if matched_total > 0 {
+        for b in &matched {
+            let w = b.total as f64 / matched_total as f64;
+            for (li, (count, sums)) in b.per_level.iter().enumerate() {
+                for (o, s) in sums.iter().enumerate() {
+                    adjusted[li][o] += w * (s / *count as f64);
+                }
+            }
+        }
+    }
+
+    let diff = (levels.len() == 2).then(|| {
+        (0..outcomes.len())
+            .map(|o| adjusted[1][o] - adjusted[0][o])
+            .collect()
+    });
+
+    // Significance of the adjusted difference: I(Y; T | Z) = 0 iff the
+    // rewritten query reports no difference. Per §7.1 this is always a
+    // permutation test (the χ² shortcut is anti-conservative on the
+    // finely-stratified blocks the rewriter produces).
+    let mut rng = StdRng::seed_from_u64(seed);
+    let significance = outcomes
+        .iter()
+        .map(|&y| {
+            let strata = Stratified::build(table, rows, t, y, z);
+            mit_auto(&strata, mit_cfg.permutations, &mut rng)
+        })
+        .collect();
+
+    Ok(EffectEstimate {
+        kind: EffectKind::Total,
+        levels: levels.to_vec(),
+        adjusted,
+        diff,
+        significance,
+        matched_blocks,
+        total_blocks,
+        matched_fraction: if rows.is_empty() {
+            0.0
+        } else {
+            matched_total as f64 / rows.len() as f64
+        },
+    })
+}
+
+/// The mediator formula (Eq 3 / Pearl 2001) with exact matching over
+/// `(z, m)` blocks:
+///
+/// `value(t) = Σ_z P(z) Σ_m P(m | t_ctrl, z) · E[Y | T = t, z, m]`
+///
+/// reported for every compared level `t`, with the mediator
+/// distribution held at the **control** level `levels[0]`; the NDE is
+/// `value(levels[1]) − value(levels[0])`. We condition the inner
+/// expectation on `z` as well as `m` (the standard mediation formula);
+/// the paper's printed Eq 3 conditions on `m` only, which coincides
+/// when `Y ⊥ Z | T, M`.
+#[allow(clippy::too_many_arguments)]
+pub fn natural_direct_effect(
+    table: &Table,
+    rows: &RowSet,
+    t: AttrId,
+    levels: &[u32],
+    outcomes: &[AttrId],
+    z: &[AttrId],
+    mediators: &[AttrId],
+    mit_cfg: &MitConfig,
+    seed: u64,
+) -> Result<EffectEstimate> {
+    if rows.is_empty() {
+        return Err(Error::EmptySelection);
+    }
+    if levels.len() < 2 {
+        return Err(Error::DegenerateTreatment {
+            attr: table.schema().name(t).to_string(),
+            levels: levels.len(),
+        });
+    }
+    let numeric: Vec<Vec<f64>> = outcomes
+        .iter()
+        .map(|&y| table.numeric_codes(y))
+        .collect::<std::result::Result<_, _>>()?;
+    let tcol = table.column(t).codes();
+    let ycols: Vec<&[u32]> = outcomes.iter().map(|&y| table.column(y).codes()).collect();
+    let zcols: Vec<&[u32]> = z.iter().map(|&a| table.column(a).codes()).collect();
+    let mcols: Vec<&[u32]> = mediators.iter().map(|&a| table.column(a).codes()).collect();
+    let level_of: FxHashMap<u32, usize> = levels
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (c, i))
+        .collect();
+
+    // Blocks keyed by (z, m); stored grouped under their z-part so the
+    // conditional P(m | t_ctrl, z) can be renormalised within z.
+    struct ZmAcc {
+        per_level: Vec<(u64, Vec<f64>)>,
+    }
+    #[derive(Default)]
+    struct ZAcc {
+        total: u64,
+        ms: FxHashMap<Box<[u32]>, ZmAcc>,
+    }
+    let mut zblocks: FxHashMap<Box<[u32]>, ZAcc> = FxHashMap::default();
+    let mut zkey = vec![0u32; z.len()];
+    let mut mkey = vec![0u32; mediators.len()];
+    for row in rows.iter() {
+        for (slot, col) in zkey.iter_mut().zip(&zcols) {
+            *slot = col[row as usize];
+        }
+        for (slot, col) in mkey.iter_mut().zip(&mcols) {
+            *slot = col[row as usize];
+        }
+        let zacc = zblocks.entry(zkey.clone().into_boxed_slice()).or_default();
+        zacc.total += 1;
+        let macc = zacc
+            .ms
+            .entry(mkey.clone().into_boxed_slice())
+            .or_insert_with(|| ZmAcc {
+                per_level: vec![(0, vec![0.0; outcomes.len()]); levels.len()],
+            });
+        if let Some(&li) = level_of.get(&tcol[row as usize]) {
+            let (count, sums) = &mut macc.per_level[li];
+            *count += 1;
+            for ((s, vals), col) in sums.iter_mut().zip(&numeric).zip(&ycols) {
+                *s += vals[col[row as usize] as usize];
+            }
+        }
+    }
+
+    // Exact matching on (z, m): keep blocks with every level present.
+    let ctrl = 0usize; // mediator distribution fixed at levels[0]
+    let mut total_blocks = 0usize;
+    let mut matched_blocks = 0usize;
+    let mut matched_rows = 0u64;
+    // First pass: per z, the retained m's and the control counts.
+    struct ZRetained<'a> {
+        z_total: u64,
+        ctrl_total: u64,
+        ms: Vec<&'a ZmAcc>,
+    }
+    let mut retained: Vec<ZRetained<'_>> = Vec::new();
+    for zacc in zblocks.values() {
+        let mut keep = Vec::new();
+        let mut ctrl_total = 0u64;
+        for macc in zacc.ms.values() {
+            total_blocks += 1;
+            if macc.per_level.iter().all(|(c, _)| *c > 0) {
+                matched_blocks += 1;
+                ctrl_total += macc.per_level[ctrl].0;
+                matched_rows += macc.per_level.iter().map(|(c, _)| c).sum::<u64>();
+                keep.push(macc);
+            }
+        }
+        if !keep.is_empty() && ctrl_total > 0 {
+            retained.push(ZRetained {
+                z_total: zacc.total,
+                ctrl_total,
+                ms: keep,
+            });
+        }
+    }
+    let retained_z_total: u64 = retained.iter().map(|r| r.z_total).sum();
+
+    let mut adjusted = vec![vec![0.0; outcomes.len()]; levels.len()];
+    if retained_z_total > 0 {
+        for r in &retained {
+            let pz = r.z_total as f64 / retained_z_total as f64;
+            for macc in &r.ms {
+                let pm = macc.per_level[ctrl].0 as f64 / r.ctrl_total as f64;
+                for (li, (count, sums)) in macc.per_level.iter().enumerate() {
+                    for (o, s) in sums.iter().enumerate() {
+                        adjusted[li][o] += pz * pm * (s / *count as f64);
+                    }
+                }
+            }
+        }
+    }
+
+    let diff = (levels.len() == 2).then(|| {
+        (0..outcomes.len())
+            .map(|o| adjusted[1][o] - adjusted[0][o])
+            .collect()
+    });
+
+    // Significance: I(Y; T | Z ∪ M), by permutation test (§7.1).
+    let mut cond: Vec<AttrId> = z.to_vec();
+    cond.extend_from_slice(mediators);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let significance = outcomes
+        .iter()
+        .map(|&y| {
+            let strata = Stratified::build(table, rows, t, y, &cond);
+            mit_auto(&strata, mit_cfg.permutations, &mut rng)
+        })
+        .collect();
+
+    Ok(EffectEstimate {
+        kind: EffectKind::Direct,
+        levels: levels.to_vec(),
+        adjusted,
+        diff,
+        significance,
+        matched_blocks,
+        total_blocks,
+        matched_fraction: if rows.is_empty() {
+            0.0
+        } else {
+            matched_rows as f64 / rows.len() as f64
+        },
+    })
+}
+
+/// Renders the compared levels as strings.
+pub fn level_labels(table: &Table, t: AttrId, levels: &[u32]) -> Vec<String> {
+    levels
+        .iter()
+        .map(|&c| table.column(t).dict().value(c).to_string())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypdb_table::TableBuilder;
+
+    /// The quickstart confounding example: Z -> T, Z -> Y; true
+    /// conditional effect of T on Y is zero within each Z block by
+    /// construction, but the naive difference is large.
+    fn confounded() -> Table {
+        let mut b = TableBuilder::new(["T", "Y", "Z"]);
+        for (t, y, z, n) in [
+            // Z=a: P(Y=1) = 0.75 for both T levels; T skewed to t1.
+            ("t1", "1", "a", 30u32),
+            ("t1", "0", "a", 10),
+            ("t0", "1", "a", 6),
+            ("t0", "0", "a", 2),
+            // Z=b: P(Y=1) = 0.2 for both T levels; T skewed to t0.
+            ("t1", "1", "b", 2),
+            ("t1", "0", "b", 8),
+            ("t0", "1", "b", 10),
+            ("t0", "0", "b", 40),
+        ] {
+            for _ in 0..n {
+                b.push_row([t, y, z]).unwrap();
+            }
+        }
+        b.finish()
+    }
+
+    fn ids(t: &Table) -> (AttrId, AttrId, AttrId) {
+        (
+            t.attr("T").unwrap(),
+            t.attr("Y").unwrap(),
+            t.attr("Z").unwrap(),
+        )
+    }
+
+    #[test]
+    fn adjustment_removes_confounding() {
+        let tab = confounded();
+        let (t, y, z) = ids(&tab);
+        let rows = tab.all_rows();
+        let levels = [0u32, 1u32]; // t1 first-seen => code 0; t0 => 1
+        // Naive (unadjusted) difference is large:
+        let naive = adjusted_averages(
+            &tab,
+            &rows,
+            t,
+            &levels,
+            &[y],
+            &[],
+            &MitConfig::default(),
+            1,
+        )
+        .unwrap();
+        let naive_diff = naive.diff.clone().unwrap()[0].abs();
+        assert!(naive_diff > 0.2, "naive diff {naive_diff}");
+
+        // Adjusted difference vanishes (Y ⊥ T | Z by construction).
+        let adj = adjusted_averages(
+            &tab,
+            &rows,
+            t,
+            &levels,
+            &[y],
+            &[z],
+            &MitConfig::default(),
+            1,
+        )
+        .unwrap();
+        let adj_diff = adj.diff.clone().unwrap()[0].abs();
+        assert!(adj_diff < 1e-9, "adjusted diff {adj_diff}");
+        assert_eq!(adj.matched_blocks, 2);
+        assert!((adj.matched_fraction - 1.0).abs() < 1e-12);
+        // And the significance test agrees: not significant.
+        assert!(adj.significance[0].p_value > 0.05);
+        // While the naive association is significant.
+        assert!(naive.significance[0].p_value < 0.01);
+    }
+
+    #[test]
+    fn adjusted_values_match_hand_computation() {
+        let tab = confounded();
+        let (t, y, z) = ids(&tab);
+        let adj = adjusted_averages(
+            &tab,
+            &tab.all_rows(),
+            t,
+            &[0, 1],
+            &[y],
+            &[z],
+            &MitConfig::default(),
+            1,
+        )
+        .unwrap();
+        // P(a) = 48/108, P(b) = 60/108; E[Y|*, a] = .75, E[Y|*, b] = .2.
+        let expect = 48.0 / 108.0 * 0.75 + 60.0 / 108.0 * 0.2;
+        assert!((adj.adjusted[0][0] - expect).abs() < 1e-12);
+        assert!((adj.adjusted[1][0] - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_matching_drops_unmatched_blocks() {
+        let mut b = TableBuilder::new(["T", "Y", "Z"]);
+        for (t, y, z, n) in [
+            ("t0", "1", "a", 5u32),
+            ("t1", "0", "a", 5),
+            // Z=b only has t0: must be pruned.
+            ("t0", "1", "b", 50),
+        ] {
+            for _ in 0..n {
+                b.push_row([t, y, z]).unwrap();
+            }
+        }
+        let tab = b.finish();
+        let (t, y, z) = ids(&tab);
+        let adj = adjusted_averages(
+            &tab,
+            &tab.all_rows(),
+            t,
+            &[0, 1],
+            &[y],
+            &[z],
+            &MitConfig::default(),
+            1,
+        )
+        .unwrap();
+        assert_eq!(adj.total_blocks, 2);
+        assert_eq!(adj.matched_blocks, 1);
+        assert!((adj.matched_fraction - 10.0 / 60.0).abs() < 1e-12);
+        // Within the matched block: E[Y|t0]=1, E[Y|t1]=0.
+        assert_eq!(adj.adjusted[0][0], 1.0);
+        assert_eq!(adj.adjusted[1][0], 0.0);
+    }
+
+    #[test]
+    fn degenerate_treatment_rejected() {
+        let tab = confounded();
+        let (t, y, _) = ids(&tab);
+        let err = adjusted_averages(
+            &tab,
+            &tab.all_rows(),
+            t,
+            &[0],
+            &[y],
+            &[],
+            &MitConfig::default(),
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::DegenerateTreatment { .. }));
+    }
+
+    /// Pure mediation: T -> M -> Y, no direct edge. Total effect is
+    /// nonzero; direct effect must be ≈ 0.
+    fn mediated() -> Table {
+        let mut b = TableBuilder::new(["T", "M", "Y"]);
+        // P(M=1|T=1)=0.8, P(M=1|T=0)=0.2; Y = M deterministically.
+        for (t, m, y, n) in [
+            ("0", "0", "0", 40u32),
+            ("0", "1", "1", 10),
+            ("1", "0", "0", 10),
+            ("1", "1", "1", 40),
+        ] {
+            for _ in 0..n {
+                b.push_row([t, m, y]).unwrap();
+            }
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn nde_vanishes_under_pure_mediation() {
+        let tab = mediated();
+        let t = tab.attr("T").unwrap();
+        let m = tab.attr("M").unwrap();
+        let y = tab.attr("Y").unwrap();
+        let nde = natural_direct_effect(
+            &tab,
+            &tab.all_rows(),
+            t,
+            &[0, 1],
+            &[y],
+            &[],
+            &[m],
+            &MitConfig::default(),
+            1,
+        )
+        .unwrap();
+        let d = nde.diff.clone().unwrap()[0].abs();
+        assert!(d < 1e-9, "direct effect should vanish, got {d}");
+        // Total effect is large by contrast.
+        let ate = adjusted_averages(
+            &tab,
+            &tab.all_rows(),
+            t,
+            &[0, 1],
+            &[y],
+            &[],
+            &MitConfig::default(),
+            1,
+        )
+        .unwrap();
+        assert!(ate.diff.unwrap()[0] > 0.5);
+        // Significance of the direct effect: I(T;Y|M) = 0 here.
+        assert!(nde.significance[0].p_value > 0.05);
+    }
+
+    /// Pure direct effect: T -> Y with a spectator mediator candidate.
+    #[test]
+    fn nde_equals_ate_without_mediation() {
+        let mut b = TableBuilder::new(["T", "M", "Y"]);
+        for (t, m, y, n) in [
+            ("0", "0", "0", 20u32),
+            ("0", "1", "0", 20),
+            ("0", "0", "1", 5),
+            ("0", "1", "1", 5),
+            ("1", "0", "1", 20),
+            ("1", "1", "1", 20),
+            ("1", "0", "0", 5),
+            ("1", "1", "0", 5),
+        ] {
+            for _ in 0..n {
+                b.push_row([t, m, y]).unwrap();
+            }
+        }
+        let tab = b.finish();
+        let t = tab.attr("T").unwrap();
+        let m = tab.attr("M").unwrap();
+        let y = tab.attr("Y").unwrap();
+        let nde = natural_direct_effect(
+            &tab,
+            &tab.all_rows(),
+            t,
+            &[0, 1],
+            &[y],
+            &[],
+            &[m],
+            &MitConfig::default(),
+            1,
+        )
+        .unwrap();
+        let ate = adjusted_averages(
+            &tab,
+            &tab.all_rows(),
+            t,
+            &[0, 1],
+            &[y],
+            &[],
+            &MitConfig::default(),
+            1,
+        )
+        .unwrap();
+        let d_nde = nde.diff.unwrap()[0];
+        let d_ate = ate.diff.unwrap()[0];
+        assert!((d_nde - d_ate).abs() < 1e-9, "{d_nde} vs {d_ate}");
+        assert!(d_nde > 0.5);
+    }
+
+    #[test]
+    fn level_labels_render() {
+        let tab = confounded();
+        let (t, _, _) = ids(&tab);
+        assert_eq!(level_labels(&tab, t, &[0, 1]), vec!["t1", "t0"]);
+    }
+}

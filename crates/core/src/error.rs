@@ -1,0 +1,46 @@
+use std::fmt;
+
+/// Errors raised by the HypDB pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Table-layer failure (unknown attribute, non-numeric outcome, …).
+    Table(hypdb_table::Error),
+    /// The query's treatment attribute has fewer than two levels in the
+    /// selected sub-population.
+    DegenerateTreatment {
+        /// Treatment attribute name.
+        attr: String,
+        /// Number of levels observed.
+        levels: usize,
+    },
+    /// The selection matched no rows.
+    EmptySelection,
+    /// A caller-supplied attribute set was invalid.
+    Invalid(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Table(e) => write!(f, "{e}"),
+            Error::DegenerateTreatment { attr, levels } => write!(
+                f,
+                "treatment `{attr}` has {levels} level(s) in the selected data; \
+                 need at least 2 to compare"
+            ),
+            Error::EmptySelection => write!(f, "WHERE clause selects no rows"),
+            Error::Invalid(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<hypdb_table::Error> for Error {
+    fn from(e: hypdb_table::Error) -> Self {
+        Error::Table(e)
+    }
+}
+
+/// Result alias for HypDB core.
+pub type Result<T> = std::result::Result<T, Error>;

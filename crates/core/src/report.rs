@@ -1,0 +1,206 @@
+//! Human-readable rendering of analysis reports (the Fig 3/4 layout).
+
+use crate::pipeline::{AnalysisReport, ContextReport};
+use std::fmt;
+
+fn fmt_p(p: f64) -> String {
+    if p < 0.001 {
+        "<0.001".to_string()
+    } else {
+        format!("{p:.3}")
+    }
+}
+
+impl fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "HypDB report — effect of {} on {} (relation {})",
+            self.treatment,
+            self.outcomes.join(", "),
+            self.from
+        )?;
+        writeln!(
+            f,
+            "covariates: [{}]{}",
+            self.covariates.join(", "),
+            if self.used_fallback {
+                " (fallback: Markov boundary)"
+            } else {
+                ""
+            }
+        )?;
+        for (o, ms) in self.outcomes.iter().zip(&self.mediators) {
+            writeln!(f, "mediators for {o}: [{}]", ms.join(", "))?;
+        }
+        if !self.dropped_fd.is_empty() {
+            let pairs: Vec<String> = self
+                .dropped_fd
+                .iter()
+                .map(|(a, b)| format!("{a}≡{b}"))
+                .collect();
+            writeln!(f, "dropped (approximate FDs): {}", pairs.join(", "))?;
+        }
+        if !self.dropped_keys.is_empty() {
+            writeln!(f, "dropped (key-like): {}", self.dropped_keys.join(", "))?;
+        }
+        for ctx in &self.contexts {
+            write!(f, "{ctx}")?;
+        }
+        writeln!(
+            f,
+            "timings: detection {:.3}s, explanation {:.3}s, resolution {:.3}s",
+            self.timings.detection, self.timings.explanation, self.timings.resolution
+        )
+    }
+}
+
+impl fmt::Display for ContextReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "\n== context {} ({} rows) ==", self.label, self.n_rows)?;
+        match (&self.bias_total.biased, self.bias_total.test.p_value) {
+            (true, p) => writeln!(f, "BIASED query (balance test p = {})", fmt_p(p))?,
+            (false, p) => writeln!(f, "query appears unbiased (balance test p = {})", fmt_p(p))?,
+        }
+
+        // Answer table: one row per treatment level.
+        writeln!(
+            f,
+            "{:<14} {:>12} {:>14} {:>14}",
+            "group", "SQL answer", "rewritten(tot)", "rewritten(dir)"
+        )?;
+        for (i, level) in self.levels.iter().enumerate() {
+            let sql = self
+                .sql_answers
+                .get(i)
+                .and_then(|v| v.first())
+                .map(|v| format!("{v:.3}"))
+                .unwrap_or_else(|| "-".into());
+            let tot = self
+                .total_effect
+                .as_ref()
+                .and_then(|e| e.adjusted.get(i))
+                .and_then(|v| v.first())
+                .map(|v| format!("{v:.3}"))
+                .unwrap_or_else(|| "-".into());
+            let dir = self
+                .direct_effects
+                .first()
+                .and_then(|e| e.adjusted.get(i))
+                .and_then(|v| v.first())
+                .map(|v| format!("{v:.3}"))
+                .unwrap_or_else(|| "-".into());
+            writeln!(f, "{level:<14} {sql:>12} {tot:>14} {dir:>14}")?;
+        }
+        if let Some(d) = &self.sql_diff {
+            let tot_d = self
+                .total_effect
+                .as_ref()
+                .and_then(|e| e.diff.as_ref())
+                .and_then(|v| v.first())
+                .copied();
+            let dir_d = self
+                .direct_effects
+                .first()
+                .and_then(|e| e.diff.as_ref())
+                .and_then(|v| v.first())
+                .copied();
+            writeln!(
+                f,
+                "{:<14} {:>12} {:>14} {:>14}",
+                "diff",
+                format!("{:+.3}", d[0]),
+                tot_d.map(|v| format!("{v:+.3}")).unwrap_or_else(|| "-".into()),
+                dir_d.map(|v| format!("{v:+.3}")).unwrap_or_else(|| "-".into()),
+            )?;
+            let sql_p = fmt_p(self.sql_significance[0].p_value);
+            let tot_p = self
+                .total_effect
+                .as_ref()
+                .map(|e| fmt_p(e.significance[0].p_value))
+                .unwrap_or_else(|| "-".into());
+            let dir_p = self
+                .direct_effects
+                .first()
+                .map(|e| fmt_p(e.significance[0].p_value))
+                .unwrap_or_else(|| "-".into());
+            writeln!(
+                f,
+                "{:<14} {:>12} {:>14} {:>14}",
+                "p-value", sql_p, tot_p, dir_p
+            )?;
+        }
+
+        if !self.explanations.coarse.is_empty() {
+            writeln!(f, "coarse-grained explanations (responsibility):")?;
+            for r in self.explanations.coarse.iter().take(5) {
+                writeln!(f, "  {:<20} {:.2}", r.name, r.responsibility)?;
+            }
+        }
+        if !self.explanations.fine.is_empty() {
+            writeln!(f, "fine-grained explanations (top triples):")?;
+            for (rank, e) in self.explanations.fine.iter().enumerate() {
+                writeln!(
+                    f,
+                    "  {}. T={} Y={} Z={}  (κ_tz={:+.4}, κ_yz={:+.4})",
+                    rank + 1,
+                    e.t_value,
+                    e.y_value,
+                    e.z_value,
+                    e.kappa_tz,
+                    e.kappa_yz
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::pipeline::HypDb;
+    use crate::query::QueryBuilder;
+    use hypdb_table::TableBuilder;
+
+    #[test]
+    fn report_renders_all_sections() {
+        let mut b = TableBuilder::new(["T", "Y", "Z"]);
+        for (t, y, z, n) in [
+            ("t1", "1", "a", 30u32),
+            ("t1", "0", "a", 10),
+            ("t0", "1", "a", 5),
+            ("t0", "0", "a", 5),
+            ("t1", "1", "b", 5),
+            ("t1", "0", "b", 10),
+            ("t0", "1", "b", 10),
+            ("t0", "0", "b", 40),
+        ] {
+            for _ in 0..n {
+                b.push_row([t, y, z]).unwrap();
+            }
+        }
+        let table = b.finish();
+        let q = QueryBuilder::new("T").outcome("Y").build(&table).unwrap();
+        let report = HypDb::new(&table)
+            .with_covariates(["Z"])
+            .unwrap()
+            .analyze(&q)
+            .unwrap();
+        let text = report.to_string();
+        assert!(text.contains("HypDB report"), "{text}");
+        assert!(text.contains("covariates: [Z]"));
+        assert!(text.contains("SQL answer"));
+        assert!(text.contains("coarse-grained explanations"));
+        assert!(text.contains("fine-grained explanations"));
+        assert!(text.contains("timings:"));
+        // The biased verdict appears (this data is strongly confounded).
+        assert!(text.contains("BIASED query"), "{text}");
+    }
+
+    #[test]
+    fn p_value_formatting() {
+        assert_eq!(super::fmt_p(0.0005), "<0.001");
+        assert_eq!(super::fmt_p(0.05), "0.050");
+        assert_eq!(super::fmt_p(1.0), "1.000");
+    }
+}

@@ -1,0 +1,237 @@
+//! AdultData-like census generator (Fig 3 top, Table 1).
+//!
+//! The UCI adult dataset is not shipped; the generator reproduces the
+//! structure the paper's analysis reveals: income depends on marital
+//! status, education, capital gain, hours per week, age and occupation
+//! — but **not directly on gender**. Gender skews the mediators
+//! (married-with-spouse is recorded far more often for men in the
+//! census; men report more hours; education differs mildly), which is
+//! exactly the inconsistency the paper's fine-grained explanations
+//! surface. Headline rates calibrated to the published ones:
+//! P(income>50K) ≈ 0.30 for men, ≈ 0.11 for women.
+//!
+//! Schema (15 attributes like UCI): the planted logical dependencies
+//! are `EducationNum ⇒ Education` (bijective FD) and the key-like
+//! `Fnlwgt`.
+
+use crate::builder::{coin, pick, DatasetBuilder};
+use hypdb_table::Table;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct AdultConfig {
+    /// Rows (UCI has 48 842).
+    pub rows: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for AdultConfig {
+    fn default() -> Self {
+        AdultConfig {
+            rows: 48_842,
+            seed: 1994,
+        }
+    }
+}
+
+/// Education levels, low to high.
+pub const EDUCATION: [&str; 5] = ["HS-grad", "SomeCollege", "Bachelors", "Masters", "Doctorate"];
+/// Marital-status levels.
+pub const MARITAL: [&str; 3] = ["Single", "Married", "Divorced"];
+/// Occupation buckets.
+pub const OCCUPATION: [&str; 4] = ["Service", "Clerical", "Professional", "Managerial"];
+
+/// Generates the table.
+pub fn adult_data(cfg: &AdultConfig) -> Table {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = DatasetBuilder::new();
+
+    let ages = ["17-25", "26-35", "36-45", "46-55", "56+"];
+    let c_age = b.add_column("Age", ages);
+    let c_work = b.add_column("WorkClass", ["Private", "Gov", "SelfEmp"]);
+    let c_fnlwgt = b.add_column("Fnlwgt", std::iter::empty::<&str>());
+    let c_edu = b.add_column("Education", EDUCATION);
+    let c_edunum = b.add_column("EducationNum", ["9", "10", "13", "14", "16"]);
+    let c_marital = b.add_column("MaritalStatus", MARITAL);
+    let c_occ = b.add_column("Occupation", OCCUPATION);
+    // Gender-neutral relationship-to-householder coding (the classic
+    // Husband/Wife coding is a deterministic proxy for Gender, which
+    // would break overlap under exact matching *and* leak the protected
+    // attribute — modern census coding avoids it for the same reason).
+    let c_rel = b.add_column(
+        "Relationship",
+        ["Spouse", "NotInFamily", "OwnChild", "OtherRelative"],
+    );
+    let c_race = b.add_column("Race", ["White", "Black", "AsianPacific", "Other"]);
+    let c_sex = b.add_column("Gender", ["Male", "Female"]);
+    let c_gain = b.add_column("CapitalGain", ["0", "1"]);
+    let c_loss = b.add_column("CapitalLoss", ["0", "1"]);
+    let c_hours = b.add_column("HoursPerWeek", ["part", "full", "over"]);
+    let c_country = b.add_column("NativeCountry", ["US", "Mexico", "Other"]);
+    let c_income = b.add_column("Income", ["0", "1"]);
+
+    for row in 0..cfg.rows {
+        let sex = u32::from(rng.gen::<f64>() < 0.33); // 0=Male, 1=Female
+        let age = pick(&mut rng, &[0.15, 0.27, 0.25, 0.2, 0.13]);
+
+        // Mediators skewed by gender (the census-recording artefacts
+        // the paper's explanations reveal).
+        let marital = if sex == 0 {
+            pick(&mut rng, &[0.25, 0.62, 0.13]) // men: mostly "Married"
+        } else {
+            pick(&mut rng, &[0.54, 0.24, 0.22])
+        };
+        let edu = if sex == 0 {
+            pick(&mut rng, &[0.30, 0.27, 0.27, 0.12, 0.04])
+        } else {
+            pick(&mut rng, &[0.33, 0.33, 0.24, 0.08, 0.02])
+        };
+        let hours = if sex == 0 {
+            pick(&mut rng, &[0.10, 0.60, 0.30])
+        } else {
+            pick(&mut rng, &[0.30, 0.58, 0.12])
+        };
+        let occ = {
+            // Occupation from education (not directly from gender).
+            let w = match edu {
+                0 => [0.45, 0.35, 0.12, 0.08],
+                1 => [0.30, 0.40, 0.18, 0.12],
+                2 => [0.12, 0.25, 0.38, 0.25],
+                _ => [0.05, 0.10, 0.50, 0.35],
+            };
+            pick(&mut rng, &w)
+        };
+        let gain = coin(&mut rng, 0.08 + 0.04 * (edu as f64 / 4.0));
+        let loss = coin(&mut rng, 0.04);
+        // Relationship depends on marital status (and age), not gender.
+        let relationship = match marital {
+            1 => pick(&mut rng, &[0.88, 0.10, 0.0, 0.02]), // married -> Spouse
+            0 => {
+                if age == 0 {
+                    pick(&mut rng, &[0.0, 0.45, 0.50, 0.05])
+                } else {
+                    pick(&mut rng, &[0.0, 0.85, 0.05, 0.10])
+                }
+            }
+            _ => pick(&mut rng, &[0.0, 0.90, 0.0, 0.10]), // divorced
+        };
+        let race = pick(&mut rng, &[0.78, 0.10, 0.06, 0.06]);
+        let work = pick(&mut rng, &[0.72, 0.16, 0.12]);
+        let country = pick(&mut rng, &[0.90, 0.04, 0.06]);
+
+        // Income: NO direct gender term. The adjusted-gross-income
+        // artefact the paper uncovers: married filers report household
+        // income, so marriage *multiplies* the effect of the human-
+        // capital score rather than adding to it.
+        let score = [0.00, 0.01, 0.05, 0.12, 0.20][edu as usize]
+            + if gain == 1 { 0.22 } else { 0.0 }
+            + [0.00, 0.02, 0.08][hours as usize]
+            + [0.00, 0.01, 0.03, 0.04, 0.03][age as usize]
+            + [0.00, 0.01, 0.03, 0.05][occ as usize];
+        let p: f64 = if marital == 1 {
+            0.26 + 1.4 * score
+        } else {
+            0.01 + 0.2 * score
+        };
+        let income = coin(&mut rng, p.clamp(0.005, 0.95));
+
+        b.push(c_age, age);
+        b.push(c_work, work);
+        b.push_value(c_fnlwgt, &format!("{}", 10_000 + row));
+        b.push(c_edu, edu);
+        b.push(c_edunum, edu); // bijective FD with Education
+        b.push(c_marital, marital);
+        b.push(c_occ, occ);
+        b.push(c_rel, relationship);
+        b.push(c_race, race);
+        b.push(c_sex, sex);
+        b.push(c_gain, gain);
+        b.push(c_loss, loss);
+        b.push(c_hours, hours);
+        b.push(c_country, country);
+        b.push(c_income, income);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypdb_table::groupby::group_average;
+
+    fn rates(t: &Table) -> (f64, f64) {
+        let sex = t.attr("Gender").unwrap();
+        let inc = t.attr("Income").unwrap();
+        let g = group_average(t, &t.all_rows(), &[sex], &[inc]).unwrap();
+        let rate = |name: &str| {
+            g.iter()
+                .find(|r| t.column(sex).dict().value(r.key[0]) == name)
+                .map(|r| r.averages[0])
+                .unwrap()
+        };
+        (rate("Male"), rate("Female"))
+    }
+
+    #[test]
+    fn headline_income_gap() {
+        let t = adult_data(&AdultConfig {
+            rows: 40_000,
+            seed: 3,
+        });
+        let (male, female) = rates(&t);
+        // Paper/FairTest headline: ~30% vs ~11%.
+        assert!((male - 0.30).abs() < 0.05, "male {male}");
+        assert!((female - 0.11).abs() < 0.05, "female {female}");
+    }
+
+    #[test]
+    fn education_num_is_fd() {
+        let t = adult_data(&AdultConfig {
+            rows: 2_000,
+            seed: 3,
+        });
+        let e = t.attr("Education").unwrap();
+        let en = t.attr("EducationNum").unwrap();
+        for row in 0..t.nrows() as u32 {
+            assert_eq!(t.code(e, row), t.code(en, row));
+        }
+    }
+
+    #[test]
+    fn no_direct_gender_effect_within_blocks() {
+        // Within (MaritalStatus, Education, CapitalGain, Hours, Age,
+        // Occupation) blocks, income is assigned by the same formula
+        // for both genders; spot-check one well-populated block.
+        let t = adult_data(&AdultConfig {
+            rows: 60_000,
+            seed: 11,
+        });
+        let sex = t.attr("Gender").unwrap();
+        let inc = t.attr("Income").unwrap();
+        let pred = hypdb_table::Predicate::and([
+            hypdb_table::Predicate::eq(&t, "MaritalStatus", "Married").unwrap(),
+            hypdb_table::Predicate::eq(&t, "Education", "Bachelors").unwrap(),
+            hypdb_table::Predicate::eq(&t, "CapitalGain", "0").unwrap(),
+            hypdb_table::Predicate::eq(&t, "HoursPerWeek", "full").unwrap(),
+        ]);
+        let rows = pred.select(&t);
+        assert!(rows.len() > 1_000, "block too small: {}", rows.len());
+        let g = group_average(&t, &rows, &[sex], &[inc]).unwrap();
+        let male = g[0].averages[0];
+        let female = g[1].averages[0];
+        assert!(
+            (male - female).abs() < 0.06,
+            "within-block gap should be small: {male} vs {female}"
+        );
+    }
+
+    #[test]
+    fn fifteen_attributes() {
+        let t = adult_data(&AdultConfig { rows: 10, seed: 1 });
+        assert_eq!(t.nattrs(), 15);
+    }
+}

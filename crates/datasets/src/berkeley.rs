@@ -1,0 +1,97 @@
+//! BerkeleyData: the *real* fall-1973 graduate-admission figures from
+//! Bickel, Hammel & O'Connell (Science 187:398–404, 1975), for the six
+//! largest departments — the dataset behind the famous Simpson's
+//! paradox and the paper's Fig 4 (bottom).
+//!
+//! The aggregate counts are public; we expand them into one tuple per
+//! applicant with schema `(Gender, Department, Accepted)`.
+
+use hypdb_table::{Table, TableBuilder};
+
+/// `(department, male applicants, male admits, female applicants,
+/// female admits)` — Bickel et al., Table 1.
+pub const ADMISSIONS: [(&str, u32, u32, u32, u32); 6] = [
+    ("A", 825, 512, 108, 89),
+    ("B", 560, 353, 25, 17),
+    ("C", 325, 120, 593, 202),
+    ("D", 417, 138, 375, 131),
+    ("E", 191, 53, 393, 94),
+    ("F", 373, 22, 341, 24),
+];
+
+/// Builds the 4 526-row table.
+pub fn berkeley_data() -> Table {
+    let mut b = TableBuilder::new(["Gender", "Department", "Accepted"]);
+    for &(dept, m_app, m_adm, f_app, f_adm) in &ADMISSIONS {
+        push_group(&mut b, "Male", dept, m_adm, m_app - m_adm);
+        push_group(&mut b, "Female", dept, f_adm, f_app - f_adm);
+    }
+    b.finish()
+}
+
+fn push_group(b: &mut TableBuilder, gender: &str, dept: &str, admitted: u32, rejected: u32) {
+    for _ in 0..admitted {
+        b.push_row([gender, dept, "1"]).expect("arity fixed");
+    }
+    for _ in 0..rejected {
+        b.push_row([gender, dept, "0"]).expect("arity fixed");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypdb_table::groupby::group_average;
+    use hypdb_table::Predicate;
+
+    #[test]
+    fn totals_match_bickel() {
+        let t = berkeley_data();
+        assert_eq!(t.nrows(), 4526);
+        let gender = t.attr("Gender").unwrap();
+        let acc = t.attr("Accepted").unwrap();
+        let g = group_average(&t, &t.all_rows(), &[gender], &[acc]).unwrap();
+        let rate = |name: &str| {
+            g.iter()
+                .find(|r| t.column(gender).dict().value(r.key[0]) == name)
+                .map(|r| (r.averages[0], r.count))
+                .unwrap()
+        };
+        let (male_rate, male_n) = rate("Male");
+        let (female_rate, female_n) = rate("Female");
+        assert_eq!(male_n, 2691);
+        assert_eq!(female_n, 1835);
+        // The headline figures: ~46% vs ~30% (Fig 4's 0.46 / 0.30).
+        assert!((male_rate - 0.445).abs() < 0.01, "male {male_rate}");
+        assert!((female_rate - 0.304).abs() < 0.01, "female {female_rate}");
+    }
+
+    #[test]
+    fn department_a_reverses() {
+        // In department A women are admitted at a *higher* rate — the
+        // core of the paradox.
+        let t = berkeley_data();
+        let gender = t.attr("Gender").unwrap();
+        let acc = t.attr("Accepted").unwrap();
+        let rows = Predicate::eq(&t, "Department", "A").unwrap().select(&t);
+        let g = group_average(&t, &rows, &[gender], &[acc]).unwrap();
+        let rate = |name: &str| {
+            g.iter()
+                .find(|r| t.column(gender).dict().value(r.key[0]) == name)
+                .map(|r| r.averages[0])
+                .unwrap()
+        };
+        assert!(rate("Female") > rate("Male"));
+        assert!((rate("Female") - 89.0 / 108.0).abs() < 1e-9);
+        assert!((rate("Male") - 512.0 / 825.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_department_counts_exact() {
+        let t = berkeley_data();
+        for &(dept, m_app, _, f_app, _) in &ADMISSIONS {
+            let rows = Predicate::eq(&t, "Department", dept).unwrap().select(&t);
+            assert_eq!(rows.len() as u32, m_app + f_app, "dept {dept}");
+        }
+    }
+}

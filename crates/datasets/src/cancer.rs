@@ -1,0 +1,208 @@
+//! CancerData: Guyon's LUCAS "lung cancer simple model" — the simulated
+//! dataset of Fig 7 / Fig 4 (top), with known ground truth.
+//!
+//! The DAG (Fig 7):
+//!
+//! ```text
+//! Anxiety ─┐                       ┌─ Allergy
+//! PeerPressure ─► Smoking ─► LungCancer ─► Coughing ─► Fatigue
+//!                 ▲   Genetics ──► ┘   └──────────────► ▲
+//!                 │   Genetics ──► AttentionDisorder    │
+//!         YellowFingers◄─Smoking   AttentionDisorder ─► CarAccident ◄─ Fatigue
+//! BornEvenDay (isolated)
+//! ```
+//!
+//! CPTs are tuned so the headline Fig 4 numbers hold: accident rates of
+//! ≈0.60 (no cancer) vs ≈0.77 (cancer), with Fatigue carrying most of
+//! the mediation and AttentionDisorder the rest, and **no direct edge**
+//! `LungCancer → CarAccident`.
+
+use hypdb_graph::bayes::BayesNet;
+use hypdb_graph::dag::Dag;
+use hypdb_table::Table;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Node names in DAG order.
+pub const NODES: [&str; 12] = [
+    "Anxiety",
+    "Peer_Pressure",
+    "Genetics",
+    "Allergy",
+    "Born_an_Even_Day",
+    "Smoking",
+    "Yellow_Fingers",
+    "Lung_Cancer",
+    "Attention_Disorder",
+    "Coughing",
+    "Fatigue",
+    "Car_Accident",
+];
+
+/// The ground-truth DAG of Fig 7.
+pub fn cancer_dag() -> Dag {
+    let mut g = Dag::with_names(NODES);
+    let id = |name: &str| NODES.iter().position(|n| *n == name).expect("node");
+    let edges = [
+        ("Anxiety", "Smoking"),
+        ("Peer_Pressure", "Smoking"),
+        ("Smoking", "Yellow_Fingers"),
+        ("Smoking", "Lung_Cancer"),
+        ("Genetics", "Lung_Cancer"),
+        ("Genetics", "Attention_Disorder"),
+        ("Lung_Cancer", "Coughing"),
+        ("Allergy", "Coughing"),
+        ("Coughing", "Fatigue"),
+        ("Lung_Cancer", "Fatigue"),
+        ("Attention_Disorder", "Car_Accident"),
+        ("Fatigue", "Car_Accident"),
+    ];
+    for (u, v) in edges {
+        assert!(g.add_edge(id(u), id(v)), "edge {u}->{v}");
+    }
+    g
+}
+
+/// The parameterised network.
+pub fn cancer_net() -> BayesNet {
+    let dag = cancer_dag();
+    let id = |name: &str| NODES.iter().position(|n| *n == name).expect("node");
+    let mut net = BayesNet::uniform(dag, vec![2; 12]);
+    // Roots.
+    net.set_cpt(id("Anxiety"), vec![0.35, 0.65]); // P(anxiety=1)=0.65
+    net.set_cpt(id("Peer_Pressure"), vec![0.67, 0.33]);
+    net.set_cpt(id("Genetics"), vec![0.85, 0.15]);
+    net.set_cpt(id("Allergy"), vec![0.67, 0.33]);
+    net.set_cpt(id("Born_an_Even_Day"), vec![0.5, 0.5]);
+    // Smoking | Anxiety, Peer_Pressure (parents sorted: Anxiety, PP).
+    net.set_cpt(
+        id("Smoking"),
+        vec![
+            0.57, 0.43, // A=0, P=0
+            0.26, 0.74, // A=0, P=1
+            0.20, 0.80, // A=1, P=0
+            0.12, 0.88, // A=1, P=1
+        ],
+    );
+    // Yellow_Fingers | Smoking.
+    net.set_cpt(id("Yellow_Fingers"), vec![0.77, 0.23, 0.05, 0.95]);
+    // Lung_Cancer | Genetics, Smoking (sorted parent order:
+    // Genetics=2 < Smoking=5).
+    net.set_cpt(
+        id("Lung_Cancer"),
+        vec![
+            0.77, 0.23, // G=0, S=0
+            0.17, 0.83, // G=0, S=1
+            0.32, 0.68, // G=1, S=0
+            0.08, 0.92, // G=1, S=1
+        ],
+    );
+    // Attention_Disorder | Genetics.
+    net.set_cpt(id("Attention_Disorder"), vec![0.72, 0.28, 0.32, 0.68]);
+    // Coughing | Allergy, Lung_Cancer (Allergy=3 < Lung_Cancer=7).
+    net.set_cpt(
+        id("Coughing"),
+        vec![
+            0.87, 0.13, // Al=0, LC=0
+            0.15, 0.85, // Al=0, LC=1
+            0.35, 0.65, // Al=1, LC=0
+            0.05, 0.95, // Al=1, LC=1
+        ],
+    );
+    // Fatigue | Lung_Cancer, Coughing (LC=7 < Coughing=9).
+    net.set_cpt(
+        id("Fatigue"),
+        vec![
+            0.65, 0.35, // LC=0, C=0
+            0.40, 0.60, // LC=0, C=1
+            0.30, 0.70, // LC=1, C=0
+            0.10, 0.90, // LC=1, C=1
+        ],
+    );
+    // Car_Accident | Attention_Disorder, Fatigue (AD=8 < Fatigue=10).
+    net.set_cpt(
+        id("Car_Accident"),
+        vec![
+            0.57, 0.43, // AD=0, F=0
+            0.29, 0.71, // AD=0, F=1
+            0.30, 0.70, // AD=1, F=0
+            0.12, 0.88, // AD=1, F=1
+        ],
+    );
+    net
+}
+
+/// Samples CancerData (`rows` = 2 000 in Table 1).
+pub fn cancer_data(rows: usize, seed: u64) -> Table {
+    let net = cancer_net();
+    let mut rng = StdRng::seed_from_u64(seed);
+    net.sample_table(&mut rng, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypdb_table::groupby::group_average;
+
+    #[test]
+    fn dag_matches_fig7() {
+        let g = cancer_dag();
+        assert_eq!(g.len(), 12);
+        assert_eq!(g.num_edges(), 12);
+        let id = |n: &str| g.node(n).unwrap();
+        // Lung cancer's parents.
+        assert_eq!(
+            g.parent_set(id("Lung_Cancer")),
+            vec![id("Genetics"), id("Smoking")]
+        );
+        // No direct edge LungCancer -> CarAccident.
+        assert!(!g.has_edge(id("Lung_Cancer"), id("Car_Accident")));
+        // But an indirect path exists.
+        assert!(g.reaches(id("Lung_Cancer"), id("Car_Accident")));
+        // Born_an_Even_Day is isolated.
+        assert!(g.markov_boundary(id("Born_an_Even_Day")).is_empty());
+    }
+
+    #[test]
+    fn accident_rates_match_fig4() {
+        let t = cancer_data(20_000, 13);
+        let lc = t.attr("Lung_Cancer").unwrap();
+        let ca = t.attr("Car_Accident").unwrap();
+        let g = group_average(&t, &t.all_rows(), &[lc], &[ca]).unwrap();
+        let rate = |code: &str| {
+            g.iter()
+                .find(|r| t.column(lc).dict().value(r.key[0]) == code)
+                .map(|r| r.averages[0])
+                .unwrap()
+        };
+        // Fig 4: 0.60 vs 0.77.
+        assert!((rate("0") - 0.60).abs() < 0.05, "no-cancer {}", rate("0"));
+        assert!((rate("1") - 0.77).abs() < 0.05, "cancer {}", rate("1"));
+    }
+
+    #[test]
+    fn twelve_binary_columns() {
+        let t = cancer_data(100, 1);
+        assert_eq!(t.nattrs(), 12);
+        for a in t.schema().attr_ids() {
+            assert_eq!(t.cardinality(a), 2);
+        }
+    }
+
+    #[test]
+    fn berkson_example_of_appendix() {
+        // Ex 10.1: Anxiety ⊥ Peer_Pressure marginally; dependent given
+        // Smoking.
+        use hypdb_stats::independence::chi2_test;
+        use hypdb_table::Stratified;
+        let t = cancer_data(30_000, 21);
+        let a = t.attr("Anxiety").unwrap();
+        let p = t.attr("Peer_Pressure").unwrap();
+        let s = t.attr("Smoking").unwrap();
+        let rows = t.all_rows();
+        let marg = chi2_test(&Stratified::build(&t, &rows, a, p, &[]));
+        assert!(marg.p_value > 0.01, "marginal p = {}", marg.p_value);
+        let cond = chi2_test(&Stratified::build(&t, &rows, a, p, &[s]));
+        assert!(cond.p_value < 0.01, "conditional p = {}", cond.p_value);
+    }
+}

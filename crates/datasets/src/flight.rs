@@ -1,0 +1,315 @@
+//! FlightData-like generator (§7.1, Fig 1, Table 1).
+//!
+//! The real dataset (US DoT on-time performance) is not shipped; this
+//! generator plants the causal structure the paper documents so every
+//! HypDB code path is exercised:
+//!
+//! * **Simpson's paradox** over the Fig 1 sub-population: among the
+//!   airports {COS, MFE, MTJ, ROC}, AA has a *lower* overall delay rate
+//!   than UA, yet a *higher* rate at every single airport — because AA's
+//!   traffic concentrates at the low-delay airports,
+//! * **covariates**: Airport (dominant), Year (mild) both influence
+//!   carrier mix and delay,
+//! * **mediators**: Dest and DepTimeBin depend on the carrier and
+//!   influence delay,
+//! * **logical dependencies**: `AirportWAC ⇒ Airport` (bijective FD),
+//!   and key-like `FlightId`/`TailNum`/`FlightNum` columns,
+//! * **width**: filler attributes pad the schema to 101 columns like
+//!   the real data.
+
+use crate::builder::{coin, pick, DatasetBuilder};
+use hypdb_table::Table;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct FlightConfig {
+    /// Number of rows (Table 1 uses 43 853).
+    pub rows: usize,
+    /// Total attribute count (padded with independent filler columns;
+    /// the real dataset has 101).
+    pub total_attrs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FlightConfig {
+    fn default() -> Self {
+        FlightConfig {
+            rows: 43_853,
+            total_attrs: 101,
+            seed: 1973,
+        }
+    }
+}
+
+/// Airports: the four Fig 1 airports plus background traffic.
+pub const AIRPORTS: [&str; 6] = ["COS", "MFE", "MTJ", "ROC", "SEA", "DEN"];
+/// World-area codes, bijective with [`AIRPORTS`] (the planted FD).
+pub const WACS: [&str; 6] = ["41", "74", "82", "22", "93", "67"];
+/// Carriers.
+pub const CARRIERS: [&str; 4] = ["AA", "UA", "DL", "WN"];
+/// Destination hubs.
+pub const DESTS: [&str; 5] = ["ORD", "DFW", "SFO", "JFK", "ATL"];
+
+/// Baseline delay probability per airport (indexed as [`AIRPORTS`]):
+/// COS/MFE calm, ROC stormy — the engine of the paradox.
+const AIRPORT_DELAY: [f64; 6] = [0.12, 0.15, 0.28, 0.55, 0.25, 0.22];
+
+/// Carrier mix per airport (AA, UA, DL, WN): AA dominates the calm
+/// airports, UA dominates ROC. DL and WN get *different* airport mixes
+/// but (below) *identical* causal behaviour — DL-vs-WN comparisons are
+/// pure confounding, the class of queries whose differences vanish
+/// after rewriting (Fig 5(a)'s "insignificant" region).
+const CARRIER_MIX: [[f64; 4]; 6] = [
+    [0.70, 0.10, 0.14, 0.06], // COS
+    [0.65, 0.15, 0.14, 0.06], // MFE
+    [0.40, 0.30, 0.20, 0.10], // MTJ
+    [0.10, 0.70, 0.04, 0.16], // ROC
+    [0.25, 0.25, 0.35, 0.15], // SEA
+    [0.25, 0.25, 0.10, 0.40], // DEN
+];
+
+/// Direct per-carrier delay effect — deliberately tiny: the paper's
+/// finding (Ex 1.2) is that UA beats AA on *total* effect while the
+/// *direct* effect is insignificant; AA's within-airport disadvantage
+/// flows through its mediators (evening schedules into congested hubs).
+const CARRIER_EFFECT: [f64; 4] = [0.015, 0.00, 0.011, 0.011];
+
+/// Additive per-year effect (secondary covariate; also skews the
+/// carrier mix below). Strong enough that the CD algorithm can orient
+/// {Airport, Year} as Carrier's parents via the collider signature.
+const YEAR_EFFECT: [f64; 4] = [0.00, 0.03, 0.06, 0.09];
+
+/// Generates the table.
+pub fn flight_data(cfg: &FlightConfig) -> Table {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = DatasetBuilder::new();
+
+    let years = ["2014", "2015", "2016", "2017"];
+    let quarters = ["1", "2", "3", "4"];
+    let months: Vec<String> = (1..=12).map(|m| m.to_string()).collect();
+    let days: Vec<String> = (1..=28).map(|d| d.to_string()).collect();
+    let dows: Vec<String> = (1..=7).map(|d| d.to_string()).collect();
+    let dep_bins = ["morning", "midday", "evening", "night"];
+
+    let c_year = b.add_column("Year", years);
+    let c_quarter = b.add_column("Quarter", quarters);
+    let c_month = b.add_column("Month", months.iter());
+    let c_day = b.add_column("Day", days.iter());
+    let c_dow = b.add_column("DayOfWeek", dows.iter());
+    let c_airport = b.add_column("Airport", AIRPORTS);
+    let c_wac = b.add_column("AirportWAC", WACS);
+    let c_carrier = b.add_column("Carrier", CARRIERS);
+    let c_dest = b.add_column("Dest", DESTS);
+    let c_dep = b.add_column("DepTimeBin", dep_bins);
+    let c_arrdelay = b.add_column("ArrDelay15", ["0", "1"]);
+    let c_delayed = b.add_column("Delayed", ["0", "1"]);
+    let c_flightid = b.add_column("FlightId", std::iter::empty::<&str>());
+    let c_tailnum = b.add_column("TailNum", std::iter::empty::<&str>());
+    let c_flightnum = b.add_column("FlightNum", std::iter::empty::<&str>());
+
+    // Filler columns to reach the real dataset's width. Independent of
+    // everything — discovery must reject them.
+    let core_attrs = 15;
+    let filler_count = cfg.total_attrs.saturating_sub(core_attrs);
+    let filler_cols: Vec<usize> = (0..filler_count)
+        .map(|i| {
+            let card = 2 + (i % 5);
+            let domain: Vec<String> = (0..card).map(|v| format!("v{v}")).collect();
+            b.add_column(&format!("Filler{i:02}"), domain.iter())
+        })
+        .collect();
+
+    for row in 0..cfg.rows {
+        let year = rng.gen_range(0..4u32);
+        let quarter = rng.gen_range(0..4u32);
+        let month = quarter * 3 + rng.gen_range(0..3);
+        let day = rng.gen_range(0..28u32);
+        let dow = rng.gen_range(0..7u32);
+
+        // Airport: calm airports get plenty of traffic so the four-way
+        // sub-population is well populated.
+        let airport = pick(&mut rng, &[0.18, 0.15, 0.12, 0.20, 0.18, 0.17]);
+
+        // Carrier | Airport, Year: later years shift AA's share up
+        // markedly (Year is a genuine secondary covariate, Fig 1(d)).
+        let mut mix = CARRIER_MIX[airport as usize];
+        mix[0] += 0.06 * year as f64;
+        mix[1] = (mix[1] - 0.05 * year as f64).max(0.02);
+        let carrier = pick(&mut rng, &mix);
+
+        // Mediators: Dest | Carrier, DepTimeBin | Carrier (strongly
+        // carrier-specific hubs/schedules so the mediation is
+        // discoverable). AA routes into the congested hubs (ORD/ATL)
+        // and flies evening-heavy; UA routes into calm DFW mornings.
+        let dest = match carrier {
+            0 => pick(&mut rng, &[0.50, 0.11, 0.13, 0.13, 0.13]), // AA -> ORD hub
+            1 => pick(&mut rng, &[0.06, 0.60, 0.18, 0.08, 0.08]), // UA -> DFW
+            // DL and WN share one route profile (identical behaviour).
+            _ => pick(&mut rng, &[0.25, 0.25, 0.20, 0.15, 0.15]),
+        };
+        let dep = match carrier {
+            0 => pick(&mut rng, &[0.12, 0.18, 0.55, 0.15]), // AA: evening
+            1 => pick(&mut rng, &[0.55, 0.20, 0.15, 0.10]), // UA: morning
+            _ => pick(&mut rng, &[0.25, 0.25, 0.25, 0.25]),
+        };
+
+        // Delay: airport base + carrier effect + year effect + mediator
+        // effects (evening departures and busy hubs run later).
+        let mut p = AIRPORT_DELAY[airport as usize]
+            + CARRIER_EFFECT[carrier as usize]
+            + YEAR_EFFECT[year as usize];
+        if dep == 2 {
+            p += 0.22; // evening departures run late
+        }
+        if dest == 0 || dest == 4 {
+            p += 0.22; // congested hubs
+        }
+        let delayed = coin(&mut rng, p.clamp(0.01, 0.95));
+        // Arrival delay: strongly coupled with departure delay.
+        let arr = if delayed == 1 {
+            coin(&mut rng, 0.8)
+        } else {
+            coin(&mut rng, 0.1)
+        };
+
+        b.push(c_year, year);
+        b.push(c_quarter, quarter);
+        b.push(c_month, month);
+        b.push(c_day, day);
+        b.push(c_dow, dow);
+        b.push(c_airport, airport);
+        b.push(c_wac, airport); // the FD: WAC is a renaming of Airport
+        b.push(c_carrier, carrier);
+        b.push(c_dest, dest);
+        b.push(c_dep, dep);
+        b.push(c_arrdelay, arr);
+        b.push(c_delayed, delayed);
+        b.push_value(c_flightid, &format!("F{row:07}"));
+        b.push_value(c_tailnum, &format!("N{}", row % (cfg.rows / 3).max(1)));
+        b.push_value(c_flightnum, &format!("{}", 100 + row % (cfg.rows / 8).max(1)));
+        for (i, &col) in filler_cols.iter().enumerate() {
+            let card = 2 + (i % 5) as u32;
+            b.push(col, rng.gen_range(0..card));
+        }
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypdb_table::groupby::group_average;
+    use hypdb_table::Predicate;
+
+    fn small() -> Table {
+        flight_data(&FlightConfig {
+            rows: 30_000,
+            total_attrs: 20,
+            seed: 7,
+        })
+    }
+
+    /// Per-carrier delay averages within the Fig 1 sub-population.
+    fn fig1_rates(t: &Table) -> Vec<(String, f64, u64)> {
+        let carrier = t.attr("Carrier").unwrap();
+        let delayed = t.attr("Delayed").unwrap();
+        let pred = Predicate::and([
+            Predicate::is_in(t, "Carrier", ["AA", "UA"]).unwrap(),
+            Predicate::is_in(t, "Airport", ["COS", "MFE", "MTJ", "ROC"]).unwrap(),
+        ]);
+        let rows = pred.select(t);
+        group_average(t, &rows, &[carrier], &[delayed])
+            .unwrap()
+            .into_iter()
+            .map(|g| {
+                (
+                    t.column(carrier).dict().value(g.key[0]).to_string(),
+                    g.averages[0],
+                    g.count,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn simpson_reversal_planted() {
+        let t = small();
+        // Overall (the biased query's answer): AA < UA.
+        let overall = fig1_rates(&t);
+        let aa = overall.iter().find(|r| r.0 == "AA").unwrap().1;
+        let ua = overall.iter().find(|r| r.0 == "UA").unwrap().1;
+        assert!(
+            aa < ua - 0.02,
+            "AA should look better overall: AA={aa:.3} UA={ua:.3}"
+        );
+
+        // Per airport: AA >= UA everywhere (the reversal).
+        let carrier = t.attr("Carrier").unwrap();
+        let delayed = t.attr("Delayed").unwrap();
+        for airport in ["COS", "MFE", "MTJ", "ROC"] {
+            let pred = Predicate::and([
+                Predicate::is_in(&t, "Carrier", ["AA", "UA"]).unwrap(),
+                Predicate::eq(&t, "Airport", airport).unwrap(),
+            ]);
+            let rows = pred.select(&t);
+            let g = group_average(&t, &rows, &[carrier], &[delayed]).unwrap();
+            let find = |name: &str| {
+                g.iter()
+                    .find(|r| t.column(carrier).dict().value(r.key[0]) == name)
+                    .map(|r| r.averages[0])
+            };
+            let (paa, pua) = (find("AA").unwrap(), find("UA").unwrap());
+            assert!(
+                paa > pua - 0.02,
+                "at {airport}: AA={paa:.3} must be >= UA={pua:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn fd_and_keys_planted() {
+        let t = small();
+        // AirportWAC is bijective with Airport.
+        let airport = t.attr("Airport").unwrap();
+        let wac = t.attr("AirportWAC").unwrap();
+        for row in 0..1000u32 {
+            let a = t.code(airport, row);
+            let w = t.code(wac, row);
+            assert_eq!(a, w, "WAC codes mirror airport codes");
+        }
+        // FlightId is unique.
+        let fid = t.attr("FlightId").unwrap();
+        assert_eq!(t.cardinality(fid) as usize, t.nrows());
+    }
+
+    #[test]
+    fn schema_width_configurable() {
+        let t = flight_data(&FlightConfig {
+            rows: 100,
+            total_attrs: 101,
+            seed: 1,
+        });
+        assert_eq!(t.nattrs(), 101);
+        assert_eq!(t.nrows(), 100);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = flight_data(&FlightConfig {
+            rows: 500,
+            total_attrs: 18,
+            seed: 5,
+        });
+        let b = flight_data(&FlightConfig {
+            rows: 500,
+            total_attrs: 18,
+            seed: 5,
+        });
+        let d = a.attr("Delayed").unwrap();
+        assert_eq!(a.column(d).codes(), b.column(d).codes());
+    }
+}

@@ -1,0 +1,34 @@
+//! The paper's evaluation datasets (§7.1), real where the data is
+//! public, faithfully simulated otherwise (substitutions documented in
+//! DESIGN.md §4):
+//!
+//! * [`flight`] — FlightData-like: 101 attributes, planted Simpson's
+//!   paradox over {AA, UA} × {COS, MFE, MTJ, ROC}, an `AirportWAC ⇒
+//!   Airport` FD and key-like columns (Fig 1, Table 1),
+//! * [`berkeley`] — the *real* 1973 Berkeley admission counts (Bickel
+//!   et al., Science 1975), expanded to tuples (Fig 4 bottom),
+//! * [`adult`] — AdultData-like census generator with the documented
+//!   Gender → {MaritalStatus, Education, …} → Income structure and an
+//!   `education-num ⇒ education` FD (Fig 3 top),
+//! * [`staples`] — StaplesData-like: Income → Distance → Price with no
+//!   direct Income → Price edge (Fig 3 bottom),
+//! * [`cancer`] — the LUCAS lung-cancer network of Fig 7 (Fig 4 top),
+//! * [`random_data`] — RandomData: Erdős–Rényi ground-truth DAGs with
+//!   Dirichlet CPTs (Figs 5, 6, 8).
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adult;
+pub mod berkeley;
+pub mod builder;
+pub mod cancer;
+pub mod flight;
+pub mod random_data;
+pub mod staples;
+
+pub use adult::{adult_data, AdultConfig};
+pub use berkeley::berkeley_data;
+pub use cancer::{cancer_dag, cancer_data};
+pub use flight::{flight_data, FlightConfig};
+pub use random_data::{random_data, RandomDataConfig, RandomDataset};
+pub use staples::{staples_data, StaplesConfig};

@@ -1,0 +1,165 @@
+//! RandomData (§7.1): categorical datasets with *known* ground-truth
+//! causal DAGs, for the quality/efficiency experiments (Figs 5, 6, 8).
+//!
+//! "We first generated a set of random DAGs using the Erdős–Rényi
+//! model … with 8, 16 and 32 nodes … then drew samples from the
+//! distribution defined by these DAGs using the catnet package … with
+//! different sizes in the range 10K–50M rows, and different numbers of
+//! attribute categories in the range 2–20."
+
+use hypdb_graph::bayes::BayesNet;
+use hypdb_graph::dag::Dag;
+use hypdb_graph::random::random_dag_bounded_fanin;
+use hypdb_table::Table;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Generator parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomDataConfig {
+    /// Node count (8/16/32 in the paper).
+    pub nodes: usize,
+    /// Expected number of edges (the paper keeps average fan-ins small;
+    /// a common choice is ≈1.5–2 edges per node).
+    pub expected_edges: f64,
+    /// Maximum in-degree (keeps Markov boundaries bounded, §4).
+    pub max_parents: usize,
+    /// Category count per node: sampled uniformly from this inclusive
+    /// range (2–20 in the paper).
+    pub min_categories: usize,
+    /// Upper bound of the category range.
+    pub max_categories: usize,
+    /// Dirichlet concentration for CPT rows (small = strong effects).
+    pub alpha: f64,
+    /// Sample size.
+    pub rows: usize,
+    /// Seed (drives the DAG, the CPTs and the sample).
+    pub seed: u64,
+}
+
+impl Default for RandomDataConfig {
+    fn default() -> Self {
+        RandomDataConfig {
+            nodes: 8,
+            expected_edges: 12.0,
+            max_parents: 3,
+            min_categories: 2,
+            max_categories: 4,
+            alpha: 0.5,
+            rows: 10_000,
+            seed: 0,
+        }
+    }
+}
+
+/// A generated dataset with its ground truth.
+#[derive(Debug, Clone)]
+pub struct RandomDataset {
+    /// Ground-truth DAG (node `i` ↔ column `i`).
+    pub dag: Dag,
+    /// The generating network.
+    pub net: BayesNet,
+    /// The sampled table.
+    pub table: Table,
+}
+
+/// Generates one dataset.
+pub fn random_data(cfg: &RandomDataConfig) -> RandomDataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let dag = random_dag_bounded_fanin(&mut rng, cfg.nodes, cfg.expected_edges, cfg.max_parents);
+    let cards: Vec<f64> = (0..cfg.nodes)
+        .map(|_| rng.gen_range(cfg.min_categories..=cfg.max_categories) as f64)
+        .collect();
+    let net = BayesNet::random(&mut rng, dag.clone(), cards, cfg.alpha);
+    let table = net.sample_table(&mut rng, cfg.rows);
+    RandomDataset { dag, net, table }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_config() {
+        let cfg = RandomDataConfig {
+            nodes: 16,
+            rows: 500,
+            min_categories: 3,
+            max_categories: 6,
+            seed: 4,
+            ..RandomDataConfig::default()
+        };
+        let d = random_data(&cfg);
+        assert_eq!(d.dag.len(), 16);
+        assert_eq!(d.table.nattrs(), 16);
+        assert_eq!(d.table.nrows(), 500);
+        for a in d.table.schema().attr_ids() {
+            let card = d.table.cardinality(a) as usize;
+            assert!((3..=6).contains(&card), "card {card}");
+        }
+        for v in 0..16 {
+            assert!(d.dag.in_degree(v) <= cfg.max_parents);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = RandomDataConfig {
+            rows: 200,
+            seed: 9,
+            ..RandomDataConfig::default()
+        };
+        let a = random_data(&cfg);
+        let b = random_data(&cfg);
+        assert_eq!(a.dag, b.dag);
+        let col = hypdb_table::AttrId(0);
+        assert_eq!(a.table.column(col).codes(), b.table.column(col).codes());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let c1 = RandomDataConfig {
+            rows: 100,
+            ..RandomDataConfig::default()
+        };
+        let c2 = RandomDataConfig { seed: 1, ..c1 };
+        let (a, b) = (random_data(&c1), random_data(&c2));
+        assert!(a.dag != b.dag || {
+            let col = hypdb_table::AttrId(0);
+            a.table.column(col).codes() != b.table.column(col).codes()
+        });
+    }
+
+    #[test]
+    fn table_reflects_dag_dependencies() {
+        // Sample a denser DAG and verify a strong edge shows up as
+        // dependence in data for at least one edge.
+        use hypdb_stats::independence::chi2_test;
+        use hypdb_table::Stratified;
+        let d = random_data(&RandomDataConfig {
+            nodes: 8,
+            expected_edges: 10.0,
+            rows: 20_000,
+            alpha: 0.3,
+            seed: 77,
+            ..RandomDataConfig::default()
+        });
+        let mut dependent_edges = 0;
+        for (u, v) in d.dag.edges() {
+            let au = hypdb_table::AttrId(u as u32);
+            let av = hypdb_table::AttrId(v as u32);
+            let s = Stratified::build(&d.table, &d.table.all_rows(), au, av, &[]);
+            if chi2_test(&s).p_value < 0.01 {
+                dependent_edges += 1;
+            }
+        }
+        assert!(
+            dependent_edges as f64 >= 0.5 * d.dag.num_edges() as f64,
+            "{dependent_edges}/{} edges detectable",
+            d.dag.num_edges()
+        );
+    }
+}

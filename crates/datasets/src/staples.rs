@@ -1,0 +1,129 @@
+//! StaplesData-like generator (Fig 3 bottom, Table 1).
+//!
+//! The WSJ investigation (Valentino-Devries et al., 2012) found
+//! Staples' online prices varied with the user's distance to a
+//! competitor's store; because low-income areas are farther from
+//! competitors, the *unintended* effect was higher prices for
+//! lower-income customers. Structure: `Income → Distance → Price`,
+//! **no** direct `Income → Price` edge — so HypDB must report a
+//! significant total effect and a null direct effect with Distance as
+//! the (sole, fully-responsible) mediator.
+
+use crate::builder::{coin, pick, DatasetBuilder};
+use hypdb_table::Table;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct StaplesConfig {
+    /// Rows (Table 1 uses 988 871; tests use fewer).
+    pub rows: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for StaplesConfig {
+    fn default() -> Self {
+        StaplesConfig {
+            rows: 988_871,
+            seed: 2012,
+        }
+    }
+}
+
+/// Generates the table with schema
+/// `(Income, Distance, Price, Urban, Age, ZipCode)` — 6 attributes like
+/// Table 1, `ZipCode` key-like.
+pub fn staples_data(cfg: &StaplesConfig) -> Table {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = DatasetBuilder::new();
+    let c_income = b.add_column("Income", ["0", "1"]); // 0 = low
+    let c_dist = b.add_column("Distance", ["Near", "Far"]);
+    let c_price = b.add_column("Price", ["0", "1"]); // 1 = discounted page NOT shown (higher price)
+    let c_urban = b.add_column("Urban", ["Urban", "Suburban", "Rural"]);
+    let c_age = b.add_column("Age", ["18-30", "31-50", "51+"]);
+    let c_zip = b.add_column("ZipCode", std::iter::empty::<&str>());
+
+    for row in 0..cfg.rows {
+        let income = coin(&mut rng, 0.45); // 1 = high income
+        // Distance | Income: low income lives far from competitors.
+        let far = if income == 0 {
+            coin(&mut rng, 0.70)
+        } else {
+            coin(&mut rng, 0.25)
+        };
+        // Price | Distance only.
+        let price = if far == 1 {
+            coin(&mut rng, 0.78)
+        } else {
+            coin(&mut rng, 0.30)
+        };
+        // Demographic noise.
+        let urban = if far == 1 {
+            pick(&mut rng, &[0.15, 0.35, 0.50])
+        } else {
+            pick(&mut rng, &[0.55, 0.35, 0.10])
+        };
+        let age = pick(&mut rng, &[0.3, 0.45, 0.25]);
+
+        b.push(c_income, income);
+        b.push(c_dist, far);
+        b.push(c_price, price);
+        b.push(c_urban, urban);
+        b.push(c_age, age);
+        b.push_value(c_zip, &format!("{:05}", row % (cfg.rows / 2).max(1)));
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypdb_table::groupby::group_average;
+    use hypdb_table::Predicate;
+
+    fn small() -> Table {
+        staples_data(&StaplesConfig {
+            rows: 60_000,
+            seed: 5,
+        })
+    }
+
+    #[test]
+    fn income_associates_with_price() {
+        let t = small();
+        let income = t.attr("Income").unwrap();
+        let price = t.attr("Price").unwrap();
+        let g = group_average(&t, &t.all_rows(), &[income], &[price]).unwrap();
+        // Low income (code 0) sees higher prices.
+        assert!(
+            g[0].averages[0] > g[1].averages[0] + 0.1,
+            "low {:.3} vs high {:.3}",
+            g[0].averages[0],
+            g[1].averages[0]
+        );
+    }
+
+    #[test]
+    fn no_direct_effect_within_distance() {
+        let t = small();
+        let income = t.attr("Income").unwrap();
+        let price = t.attr("Price").unwrap();
+        for dist in ["Near", "Far"] {
+            let rows = Predicate::eq(&t, "Distance", dist).unwrap().select(&t);
+            let g = group_average(&t, &rows, &[income], &[price]).unwrap();
+            assert!(
+                (g[0].averages[0] - g[1].averages[0]).abs() < 0.02,
+                "within {dist}: {:?}",
+                g.iter().map(|r| r.averages[0]).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn six_attributes() {
+        let t = staples_data(&StaplesConfig { rows: 10, seed: 1 });
+        assert_eq!(t.nattrs(), 6);
+    }
+}

@@ -1,0 +1,291 @@
+//! Categorical Bayesian networks: CPTs + forward sampling.
+//!
+//! This is the repo's substitute for the `catnet` R package the paper
+//! uses to draw RandomData samples (§7.1): causal DAGs admit the same
+//! factorised distribution as Bayesian networks, so sampling the network
+//! forward in topological order produces data whose independence
+//! structure is exactly the DAG's d-separations (up to faithfulness
+//! violations from unlucky CPTs, which low Dirichlet concentration makes
+//! rare).
+
+use crate::dag::Dag;
+use hypdb_stats::random::{categorical, dirichlet_symmetric};
+use hypdb_table::{Column, Schema, Table};
+use rand::Rng;
+
+/// A Bayesian network over categorical variables.
+#[derive(Debug, Clone)]
+pub struct BayesNet {
+    dag: Dag,
+    cards: Vec<usize>,
+    /// `cpts[v][config * card_v + value]` = `Pr(v = value | parents =
+    /// config)`, where `config` is the mixed-radix index of the parent
+    /// values in [`Dag::parent_set`] order.
+    cpts: Vec<Vec<f64>>,
+    order: Vec<usize>,
+}
+
+impl BayesNet {
+    /// A network with uniform CPTs.
+    pub fn uniform(dag: Dag, cards: Vec<usize>) -> Self {
+        assert_eq!(dag.len(), cards.len(), "one cardinality per node");
+        assert!(cards.iter().all(|&k| k >= 1), "cardinalities must be >= 1");
+        let cpts = (0..dag.len())
+            .map(|v| {
+                let rows = parent_configs(&dag, &cards, v);
+                let k = cards[v];
+                vec![1.0 / k as f64; rows * k]
+            })
+            .collect();
+        let order = dag.topological_order();
+        BayesNet {
+            dag,
+            cards,
+            cpts,
+            order,
+        }
+    }
+
+    /// A network with CPT rows drawn i.i.d. from a symmetric
+    /// `Dirichlet(alpha)`. Small `alpha` (≈0.3–0.8) yields skewed,
+    /// strongly-informative rows; large `alpha` approaches uniform.
+    pub fn random(rng: &mut impl Rng, dag: Dag, cards: Vec<f64>, alpha: f64) -> Self {
+        let cards: Vec<usize> = cards.iter().map(|&k| k as usize).collect();
+        let mut net = BayesNet::uniform(dag, cards);
+        for v in 0..net.dag.len() {
+            let k = net.cards[v];
+            let rows = net.cpts[v].len() / k;
+            for r in 0..rows {
+                let row = dirichlet_symmetric(rng, alpha, k);
+                net.cpts[v][r * k..(r + 1) * k].copy_from_slice(&row);
+            }
+        }
+        net
+    }
+
+    /// Overrides one node's CPT. `table[config * card + value]` must be
+    /// row-stochastic; panics otherwise.
+    pub fn set_cpt(&mut self, v: usize, table: Vec<f64>) {
+        let rows = parent_configs(&self.dag, &self.cards, v);
+        let k = self.cards[v];
+        assert_eq!(table.len(), rows * k, "CPT shape mismatch for node {v}");
+        for r in 0..rows {
+            let s: f64 = table[r * k..(r + 1) * k].iter().sum();
+            assert!(
+                (s - 1.0).abs() < 1e-9,
+                "CPT row {r} of node {v} sums to {s}"
+            );
+            assert!(
+                table[r * k..(r + 1) * k].iter().all(|&p| p >= 0.0),
+                "negative probability in CPT of node {v}"
+            );
+        }
+        self.cpts[v] = table;
+    }
+
+    /// The underlying DAG.
+    pub fn dag(&self) -> &Dag {
+        &self.dag
+    }
+
+    /// Cardinalities per node.
+    pub fn cards(&self) -> &[usize] {
+        &self.cards
+    }
+
+    /// The CPT row `Pr(v | parents = parent_values)`.
+    pub fn cpt_row(&self, v: usize, parent_values: &[usize]) -> &[f64] {
+        let parents = self.dag.parent_set(v);
+        assert_eq!(parent_values.len(), parents.len());
+        let mut config = 0usize;
+        for (&p, &val) in parents.iter().zip(parent_values) {
+            debug_assert!(val < self.cards[p]);
+            config = config * self.cards[p] + val;
+        }
+        let k = self.cards[v];
+        &self.cpts[v][config * k..(config + 1) * k]
+    }
+
+    /// Samples one joint assignment into `row` (length = #nodes).
+    pub fn sample_row(&self, rng: &mut impl Rng, row: &mut [usize]) {
+        debug_assert_eq!(row.len(), self.dag.len());
+        for &v in &self.order {
+            let parents = self.dag.parent_set(v);
+            let mut config = 0usize;
+            for &p in &parents {
+                config = config * self.cards[p] + row[p];
+            }
+            let k = self.cards[v];
+            let probs = &self.cpts[v][config * k..(config + 1) * k];
+            row[v] = categorical(rng, probs);
+        }
+    }
+
+    /// Forward-samples `n` rows into a categorical [`Table`] whose
+    /// columns carry the DAG's node names and whose dictionaries are
+    /// pre-interned with the *full* domain `0..card`, so global
+    /// cardinalities are correct even when rare categories go unsampled.
+    pub fn sample_table(&self, rng: &mut impl Rng, n: usize) -> Table {
+        let nv = self.dag.len();
+        let mut schema = Schema::default();
+        let mut columns: Vec<Column> = Vec::with_capacity(nv);
+        for v in 0..nv {
+            schema.push(self.dag.name(v).to_string());
+            let mut col = Column::new();
+            for code in 0..self.cards[v] {
+                col.dict_mut().intern(&code.to_string());
+            }
+            columns.push(col);
+        }
+        let mut row = vec![0usize; nv];
+        for _ in 0..n {
+            self.sample_row(rng, &mut row);
+            for (col, &val) in columns.iter_mut().zip(&row) {
+                col.push_code(val as u32);
+            }
+        }
+        Table::from_columns(schema, columns).expect("schema/columns constructed consistently")
+    }
+
+    /// Exact marginal probability of a full joint assignment.
+    pub fn joint_probability(&self, row: &[usize]) -> f64 {
+        let mut p = 1.0;
+        for v in 0..self.dag.len() {
+            let parents = self.dag.parent_set(v);
+            let vals: Vec<usize> = parents.iter().map(|&q| row[q]).collect();
+            p *= self.cpt_row(v, &vals)[row[v]];
+        }
+        p
+    }
+}
+
+/// Number of parent configurations of node `v`.
+fn parent_configs(dag: &Dag, cards: &[usize], v: usize) -> usize {
+    dag.parents(v).map(|p| cards[p]).product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    /// Z -> T -> Y with binary nodes.
+    fn chain_net() -> BayesNet {
+        let mut dag = Dag::with_names(["Z", "T", "Y"]);
+        dag.add_edge(0, 1);
+        dag.add_edge(1, 2);
+        let mut net = BayesNet::uniform(dag, vec![2, 2, 2]);
+        net.set_cpt(0, vec![0.3, 0.7]);
+        // T | Z: strongly follows Z.
+        net.set_cpt(1, vec![0.9, 0.1, 0.1, 0.9]);
+        // Y | T: strongly follows T.
+        net.set_cpt(2, vec![0.8, 0.2, 0.2, 0.8]);
+        net
+    }
+
+    #[test]
+    fn uniform_cpts_are_uniform() {
+        let dag = Dag::new(2);
+        let net = BayesNet::uniform(dag, vec![4, 2]);
+        assert_eq!(net.cpt_row(0, &[]), &[0.25; 4]);
+    }
+
+    #[test]
+    fn cpt_indexing_by_parent_config() {
+        let net = chain_net();
+        assert_eq!(net.cpt_row(1, &[0]), &[0.9, 0.1]);
+        assert_eq!(net.cpt_row(1, &[1]), &[0.1, 0.9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sums to")]
+    fn non_stochastic_cpt_rejected() {
+        let mut net = chain_net();
+        net.set_cpt(0, vec![0.5, 0.6]);
+    }
+
+    #[test]
+    fn joint_probability_factorises() {
+        let net = chain_net();
+        // P(Z=1,T=1,Y=0) = 0.7 * 0.9 * 0.2
+        let p = net.joint_probability(&[1, 1, 0]);
+        assert!((p - 0.7 * 0.9 * 0.2).abs() < 1e-12);
+        // Joint sums to 1.
+        let mut total = 0.0;
+        for z in 0..2 {
+            for t in 0..2 {
+                for y in 0..2 {
+                    total += net.joint_probability(&[z, t, y]);
+                }
+            }
+        }
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_frequencies_match_cpts() {
+        let net = chain_net();
+        let mut r = rng();
+        let n = 40_000;
+        let t = net.sample_table(&mut r, n);
+        assert_eq!(t.nrows(), n);
+        let z = t.attr("Z").unwrap();
+        let ones = t
+            .column(z)
+            .codes()
+            .iter()
+            .filter(|&&c| t.column(z).dict().value(c) == "1")
+            .count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.7).abs() < 0.02, "P(Z=1) ≈ {frac}");
+    }
+
+    #[test]
+    fn sampled_table_has_full_domains() {
+        // Card 3 with a near-impossible category: dictionary still has 3.
+        let dag = Dag::new(1);
+        let mut net = BayesNet::uniform(dag, vec![3]);
+        net.set_cpt(0, vec![0.999999, 0.000001, 0.0]);
+        let t = net.sample_table(&mut rng(), 100);
+        assert_eq!(t.cardinality(t.attr("X0").unwrap()), 3);
+    }
+
+    #[test]
+    fn random_cpts_are_stochastic() {
+        let mut r = rng();
+        let mut dag = Dag::new(3);
+        dag.add_edge(0, 2);
+        dag.add_edge(1, 2);
+        let net = BayesNet::random(&mut r, dag, vec![3.0, 2.0, 4.0], 0.5);
+        for cfg in 0..6 {
+            let k = 4;
+            let row = &net.cpts[2][cfg * k..(cfg + 1) * k];
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dsep_reflected_in_samples() {
+        // In the chain, Z ⊥ Y | T should hold in data; Z ⊥ Y should not.
+        use hypdb_stats::independence::chi2_test;
+        use hypdb_table::Stratified;
+        let net = chain_net();
+        let mut r = rng();
+        let tab = net.sample_table(&mut r, 20_000);
+        let (z, t, y) = (
+            tab.attr("Z").unwrap(),
+            tab.attr("T").unwrap(),
+            tab.attr("Y").unwrap(),
+        );
+        let rows = tab.all_rows();
+        let marg = chi2_test(&Stratified::build(&tab, &rows, z, y, &[]));
+        assert!(marg.p_value < 0.001, "Z, Y dependent, p={}", marg.p_value);
+        let cond = chi2_test(&Stratified::build(&tab, &rows, z, y, &[t]));
+        assert!(cond.p_value > 0.01, "Z ⊥ Y | T, p={}", cond.p_value);
+    }
+}

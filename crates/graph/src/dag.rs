@@ -1,0 +1,358 @@
+//! Directed acyclic graphs over named nodes.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A DAG with `n` nodes identified by index, plus optional names.
+///
+/// Edges `u → v` read "u is a potential cause of v" (§2). Acyclicity is
+/// an invariant: [`Dag::add_edge`] refuses edges that would close a
+/// cycle.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dag {
+    names: Vec<String>,
+    parents: Vec<BTreeSet<usize>>,
+    children: Vec<BTreeSet<usize>>,
+}
+
+impl Dag {
+    /// An edgeless DAG with `n` nodes named `X0..X{n-1}`.
+    pub fn new(n: usize) -> Self {
+        Dag {
+            names: (0..n).map(|i| format!("X{i}")).collect(),
+            parents: vec![BTreeSet::new(); n],
+            children: vec![BTreeSet::new(); n],
+        }
+    }
+
+    /// A DAG with explicit node names.
+    pub fn with_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        let n = names.len();
+        Dag {
+            names,
+            parents: vec![BTreeSet::new(); n],
+            children: vec![BTreeSet::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Node name.
+    pub fn name(&self, v: usize) -> &str {
+        &self.names[v]
+    }
+
+    /// Finds a node by name.
+    pub fn node(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Adds `u → v`. Returns `false` (and leaves the graph unchanged) if
+    /// the edge would create a cycle or is a self-loop; `true` otherwise
+    /// (including when the edge already existed).
+    pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        assert!(u < self.len() && v < self.len(), "node out of range");
+        if u == v || self.reaches(v, u) {
+            return false;
+        }
+        self.children[u].insert(v);
+        self.parents[v].insert(u);
+        true
+    }
+
+    /// Removes `u → v` if present.
+    pub fn remove_edge(&mut self, u: usize, v: usize) {
+        self.children[u].remove(&v);
+        self.parents[v].remove(&u);
+    }
+
+    /// True when the edge `u → v` exists.
+    #[inline]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.children[u].contains(&v)
+    }
+
+    /// True when `u` and `v` are adjacent in either direction.
+    #[inline]
+    pub fn adjacent(&self, u: usize, v: usize) -> bool {
+        self.has_edge(u, v) || self.has_edge(v, u)
+    }
+
+    /// Parents `PA_v`.
+    pub fn parents(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
+        self.parents[v].iter().copied()
+    }
+
+    /// Children of `v`.
+    pub fn children(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
+        self.children[v].iter().copied()
+    }
+
+    /// Parent set as a sorted vec.
+    pub fn parent_set(&self, v: usize) -> Vec<usize> {
+        self.parents[v].iter().copied().collect()
+    }
+
+    /// In-degree of `v`.
+    pub fn in_degree(&self, v: usize) -> usize {
+        self.parents[v].len()
+    }
+
+    /// Total number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.children.iter().map(BTreeSet::len).sum()
+    }
+
+    /// All edges as `(u, v)` pairs, sorted.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(self.num_edges());
+        for (u, ch) in self.children.iter().enumerate() {
+            for &v in ch {
+                out.push((u, v));
+            }
+        }
+        out
+    }
+
+    /// True when `to` is reachable from `from` along directed edges.
+    pub fn reaches(&self, from: usize, to: usize) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut seen = vec![false; self.len()];
+        let mut stack = vec![from];
+        seen[from] = true;
+        while let Some(u) = stack.pop() {
+            for &c in &self.children[u] {
+                if c == to {
+                    return true;
+                }
+                if !seen[c] {
+                    seen[c] = true;
+                    stack.push(c);
+                }
+            }
+        }
+        false
+    }
+
+    /// Descendants of `v` (excluding `v`).
+    pub fn descendants(&self, v: usize) -> Vec<usize> {
+        let mut seen = vec![false; self.len()];
+        let mut stack: Vec<usize> = self.children[v].iter().copied().collect();
+        let mut out = Vec::new();
+        while let Some(u) = stack.pop() {
+            if !seen[u] {
+                seen[u] = true;
+                out.push(u);
+                stack.extend(self.children[u].iter().copied());
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Ancestors of `v` (excluding `v`).
+    pub fn ancestors(&self, v: usize) -> Vec<usize> {
+        let mut seen = vec![false; self.len()];
+        let mut stack: Vec<usize> = self.parents[v].iter().copied().collect();
+        let mut out = Vec::new();
+        while let Some(u) = stack.pop() {
+            if !seen[u] {
+                seen[u] = true;
+                out.push(u);
+                stack.extend(self.parents[u].iter().copied());
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The (graph-side) Markov boundary of `v`: parents, children, and
+    /// parents of children (spouses) — Prop 2.5 / Neapolitan Thm 2.14.
+    pub fn markov_boundary(&self, v: usize) -> Vec<usize> {
+        let mut mb = BTreeSet::new();
+        mb.extend(self.parents[v].iter().copied());
+        for &c in &self.children[v] {
+            mb.insert(c);
+            mb.extend(self.parents[c].iter().copied());
+        }
+        mb.remove(&v);
+        mb.into_iter().collect()
+    }
+
+    /// One topological order (stable: among ready nodes, lowest index
+    /// first).
+    pub fn topological_order(&self) -> Vec<usize> {
+        let n = self.len();
+        let mut indeg: Vec<usize> = (0..n).map(|v| self.parents[v].len()).collect();
+        let mut ready: BTreeSet<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut out = Vec::with_capacity(n);
+        while let Some(&v) = ready.iter().next() {
+            ready.remove(&v);
+            out.push(v);
+            for &c in &self.children[v] {
+                indeg[c] -= 1;
+                if indeg[c] == 0 {
+                    ready.insert(c);
+                }
+            }
+        }
+        debug_assert_eq!(out.len(), n, "graph invariant violated: cycle");
+        out
+    }
+
+    /// Mediator set for the direct effect of `t` on `y`: every node that
+    /// lies on a directed path `t ⇝ y` excluding the endpoints (App
+    /// 10.1). The paper's NDE computation uses `M = PA_Y − {T}`; this
+    /// path-based set is exposed for diagnostics.
+    pub fn mediators(&self, t: usize, y: usize) -> Vec<usize> {
+        let desc_t: BTreeSet<usize> = self.descendants(t).into_iter().collect();
+        let anc_y: BTreeSet<usize> = self.ancestors(y).into_iter().collect();
+        desc_t
+            .intersection(&anc_y)
+            .copied()
+            .filter(|&v| v != t && v != y)
+            .collect()
+    }
+}
+
+impl fmt::Display for Dag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DAG({} nodes, {} edges)", self.len(), self.num_edges())?;
+        for (u, v) in self.edges() {
+            writeln!(f, "  {} -> {}", self.names[u], self.names[v])?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The running example of §4 / Fig 2: W -> T <- Z, T -> C <- D,
+    /// plus Y as a child of T.
+    pub(crate) fn fig2() -> Dag {
+        let mut g = Dag::with_names(["Z", "W", "T", "C", "D", "Y"]);
+        let (z, w, t, c, d, y) = (0, 1, 2, 3, 4, 5);
+        assert!(g.add_edge(z, t));
+        assert!(g.add_edge(w, t));
+        assert!(g.add_edge(t, c));
+        assert!(g.add_edge(d, c));
+        assert!(g.add_edge(t, y));
+        g
+    }
+
+    #[test]
+    fn add_edge_rejects_cycles() {
+        let mut g = Dag::new(3);
+        assert!(g.add_edge(0, 1));
+        assert!(g.add_edge(1, 2));
+        assert!(!g.add_edge(2, 0)); // closes a cycle
+        assert!(!g.add_edge(1, 1)); // self loop
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn parents_children_queries() {
+        let g = fig2();
+        assert_eq!(g.parent_set(2), vec![0, 1]); // T <- {Z, W}
+        assert_eq!(g.children(2).collect::<Vec<_>>(), vec![3, 5]);
+        assert_eq!(g.in_degree(3), 2);
+        assert!(g.adjacent(0, 2));
+        assert!(!g.adjacent(0, 1));
+    }
+
+    #[test]
+    fn markov_boundary_includes_spouses() {
+        let g = fig2();
+        // MB(T) = parents {Z,W} + children {C,Y} + spouses {D}.
+        assert_eq!(g.markov_boundary(2), vec![0, 1, 3, 4, 5]);
+        // MB(Z) = child T + spouse W.
+        assert_eq!(g.markov_boundary(0), vec![1, 2]);
+        // MB(D) = child C + spouse T.
+        assert_eq!(g.markov_boundary(4), vec![2, 3]);
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let g = fig2();
+        let order = g.topological_order();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; g.len()];
+            for (i, &v) in order.iter().enumerate() {
+                p[v] = i;
+            }
+            p
+        };
+        for (u, v) in g.edges() {
+            assert!(pos[u] < pos[v], "{u} before {v}");
+        }
+    }
+
+    #[test]
+    fn ancestors_descendants() {
+        let g = fig2();
+        assert_eq!(g.ancestors(3), vec![0, 1, 2, 4]);
+        assert_eq!(g.descendants(0), vec![2, 3, 5]);
+        assert!(g.reaches(0, 5));
+        assert!(!g.reaches(5, 0));
+    }
+
+    #[test]
+    fn mediators_on_paths() {
+        let mut g = Dag::new(4);
+        // T -> M -> Y, T -> Y, plus off-path node 3.
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 2);
+        g.add_edge(3, 2);
+        assert_eq!(g.mediators(0, 2), vec![1]);
+        assert!(g.mediators(3, 0).is_empty());
+    }
+
+    #[test]
+    fn name_lookup() {
+        let g = fig2();
+        assert_eq!(g.node("T"), Some(2));
+        assert_eq!(g.node("nope"), None);
+        assert_eq!(g.name(4), "D");
+    }
+
+    #[test]
+    fn remove_edge_roundtrip() {
+        let mut g = Dag::new(2);
+        g.add_edge(0, 1);
+        assert!(g.has_edge(0, 1));
+        g.remove_edge(0, 1);
+        assert!(!g.has_edge(0, 1));
+        assert_eq!(g.num_edges(), 0);
+        // After removal the reverse edge becomes legal.
+        assert!(g.add_edge(1, 0));
+    }
+
+    #[test]
+    fn display_lists_edges() {
+        let g = fig2();
+        let s = g.to_string();
+        assert!(s.contains("Z -> T"));
+        assert!(s.contains("6 nodes"));
+    }
+}

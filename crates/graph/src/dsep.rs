@@ -1,0 +1,238 @@
+//! d-separation (Appendix 10.1): the graphical criterion characterising
+//! the conditional independences of a DAG-isomorphic distribution.
+//!
+//! Implemented with the linear-time "reachable" procedure (Bayes-ball /
+//! Koller & Friedman Alg 3.1) rather than path enumeration: a node is
+//! d-connected to the sources iff a ball starting at the sources can
+//! reach it under the traversal rules, where colliders pass the ball
+//! only when they (or a descendant) are observed.
+
+use crate::dag::Dag;
+
+/// Returns every node d-connected to any node of `x` given evidence `z`
+/// (excluding the evidence nodes themselves).
+pub fn reachable(g: &Dag, x: &[usize], z: &[usize]) -> Vec<usize> {
+    let n = g.len();
+    let mut in_z = vec![false; n];
+    for &v in z {
+        in_z[v] = true;
+    }
+    // Phase 1: the set of nodes that are in Z or have a descendant in Z
+    // (= ancestors of Z, inclusive). A collider passes the ball exactly
+    // when it belongs to this set.
+    let mut anc_z = vec![false; n];
+    {
+        let mut stack: Vec<usize> = z.to_vec();
+        for &v in z {
+            anc_z[v] = true;
+        }
+        while let Some(v) = stack.pop() {
+            for p in g.parents(v) {
+                if !anc_z[p] {
+                    anc_z[p] = true;
+                    stack.push(p);
+                }
+            }
+        }
+    }
+
+    // Phase 2: BFS over (node, direction) states. Direction `Up` means
+    // the ball arrived from a child (travelling towards parents);
+    // `Down` means it arrived from a parent.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Dir {
+        Up,
+        Down,
+    }
+    let mut visited_up = vec![false; n];
+    let mut visited_down = vec![false; n];
+    let mut result = vec![false; n];
+    let mut queue: Vec<(usize, Dir)> = x.iter().map(|&v| (v, Dir::Up)).collect();
+
+    while let Some((v, dir)) = queue.pop() {
+        let seen = match dir {
+            Dir::Up => &mut visited_up[v],
+            Dir::Down => &mut visited_down[v],
+        };
+        if *seen {
+            continue;
+        }
+        *seen = true;
+        if !in_z[v] {
+            result[v] = true;
+        }
+        match dir {
+            Dir::Up => {
+                if !in_z[v] {
+                    for p in g.parents(v) {
+                        queue.push((p, Dir::Up));
+                    }
+                    for c in g.children(v) {
+                        queue.push((c, Dir::Down));
+                    }
+                }
+            }
+            Dir::Down => {
+                if !in_z[v] {
+                    for c in g.children(v) {
+                        queue.push((c, Dir::Down));
+                    }
+                }
+                if anc_z[v] {
+                    // v is (an ancestor of) evidence: the collider at v
+                    // is active, pass the ball back up.
+                    for p in g.parents(v) {
+                        queue.push((p, Dir::Up));
+                    }
+                }
+            }
+        }
+    }
+    (0..n).filter(|&v| result[v]).collect()
+}
+
+/// True when `x` and `y` are d-separated by `z` in `g`
+/// (`X ⊥⊥_d Y | Z`). Source/target overlap with the evidence set is
+/// allowed; evidence nodes are never reported reachable.
+pub fn d_separated(g: &Dag, x: &[usize], y: &[usize], z: &[usize]) -> bool {
+    let reach = reachable(g, x, z);
+    !y.iter().any(|t| reach.binary_search(t).is_ok() && !x.contains(t))
+}
+
+/// Pairwise convenience wrapper: `X ⊥⊥_d Y | Z` for single nodes.
+pub fn d_separated_pair(g: &Dag, x: usize, y: usize, z: &[usize]) -> bool {
+    d_separated(g, &[x], &[y], z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Chain X -> M -> Y.
+    fn chain() -> Dag {
+        let mut g = Dag::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g
+    }
+
+    /// Fork X <- Z -> Y.
+    fn fork() -> Dag {
+        let mut g = Dag::new(3);
+        g.add_edge(2, 0);
+        g.add_edge(2, 1);
+        g
+    }
+
+    /// Collider X -> C <- Y, C -> D.
+    fn collider() -> Dag {
+        let mut g = Dag::new(4);
+        g.add_edge(0, 2);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g
+    }
+
+    #[test]
+    fn chain_blocks_on_mediator() {
+        let g = chain();
+        assert!(!d_separated_pair(&g, 0, 2, &[]));
+        assert!(d_separated_pair(&g, 0, 2, &[1]));
+    }
+
+    #[test]
+    fn fork_blocks_on_common_cause() {
+        let g = fork();
+        assert!(!d_separated_pair(&g, 0, 1, &[]));
+        assert!(d_separated_pair(&g, 0, 1, &[2]));
+    }
+
+    #[test]
+    fn collider_opens_on_conditioning() {
+        let g = collider();
+        // Marginally independent.
+        assert!(d_separated_pair(&g, 0, 1, &[]));
+        // Conditioning on the collider opens the path (Berkson).
+        assert!(!d_separated_pair(&g, 0, 1, &[2]));
+        // Conditioning on a *descendant* of the collider also opens it.
+        assert!(!d_separated_pair(&g, 0, 1, &[3]));
+    }
+
+    #[test]
+    fn lucas_anxiety_peer_pressure() {
+        // The paper's Ex 10.1: Anxiety -> Smoking <- Peer_Pressure;
+        // marginally independent, dependent given Smoking.
+        let mut g = Dag::with_names(["Anxiety", "PeerPressure", "Smoking"]);
+        g.add_edge(0, 2);
+        g.add_edge(1, 2);
+        assert!(d_separated_pair(&g, 0, 1, &[]));
+        assert!(!d_separated_pair(&g, 0, 1, &[2]));
+    }
+
+    #[test]
+    fn backdoor_blocking() {
+        // Confounded treatment: Z -> T, Z -> Y, T -> Y.
+        let mut g = Dag::new(3);
+        let (z, t, y) = (0, 1, 2);
+        g.add_edge(z, t);
+        g.add_edge(z, y);
+        g.add_edge(t, y);
+        // T and Y always dependent (direct edge).
+        assert!(!d_separated_pair(&g, t, y, &[z]));
+        // But Z blocks the back-door: (Y(t) ⊥ T | Z) corresponds to
+        // removing T -> Y; check on the surgically cut graph.
+        let mut cut = g.clone();
+        cut.remove_edge(t, y);
+        assert!(d_separated_pair(&cut, t, y, &[z]));
+        assert!(!d_separated_pair(&cut, t, y, &[]));
+    }
+
+    #[test]
+    fn set_valued_arguments() {
+        let g = collider();
+        assert!(d_separated(&g, &[0], &[1], &[]));
+        assert!(!d_separated(&g, &[0, 2], &[1], &[]));
+        // Evidence nodes are never "reachable".
+        assert!(d_separated(&g, &[0], &[2], &[2]));
+    }
+
+    #[test]
+    fn markov_boundary_shields_node() {
+        // Prop 2.5: X ⊥ everything-else | MB(X), on a small dag.
+        let mut g = Dag::new(6);
+        g.add_edge(0, 2); // 0 -> 2
+        g.add_edge(1, 2); // 1 -> 2
+        g.add_edge(2, 3); // 2 -> 3
+        g.add_edge(4, 3); // 4 -> 3 (spouse of 2)
+        g.add_edge(3, 5); // 3 -> 5
+        let x = 2;
+        let mb = g.markov_boundary(x); // {0,1,3,4}
+        let rest: Vec<usize> = (0..6).filter(|v| *v != x && !mb.contains(v)).collect();
+        assert!(d_separated(&g, &[x], &rest, &mb));
+        // And no strict subset of MB suffices (minimality).
+        for drop in &mb {
+            let sub: Vec<usize> = mb.iter().copied().filter(|v| v != drop).collect();
+            let rest_plus: Vec<usize> = (0..6).filter(|v| *v != x && !sub.contains(v)).collect();
+            assert!(
+                !d_separated(&g, &[x], &rest_plus, &sub),
+                "dropping {drop} should break the blanket"
+            );
+        }
+    }
+
+    #[test]
+    fn reachable_excludes_evidence() {
+        let g = chain();
+        let r = reachable(&g, &[0], &[1]);
+        assert_eq!(r, vec![0]);
+    }
+
+    #[test]
+    fn disconnected_nodes_always_separated() {
+        let mut g = Dag::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        assert!(d_separated_pair(&g, 0, 2, &[]));
+        assert!(d_separated_pair(&g, 1, 3, &[0, 2]));
+    }
+}

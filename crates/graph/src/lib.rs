@@ -1,0 +1,24 @@
+//! Causal-graph substrate (§2 and Appendix 10.1 of the paper).
+//!
+//! * [`dag`] — directed acyclic graphs with parent/child/Markov-boundary
+//!   queries and topological sorting,
+//! * [`dsep`] — d-separation (the reachability formulation), giving an
+//!   *exact* conditional-independence oracle for DAG-isomorphic
+//!   distributions — invaluable for testing discovery algorithms without
+//!   sampling noise,
+//! * [`random`] — Erdős–Rényi random DAGs (§7.1's RandomData DAGs),
+//! * [`bayes`] — categorical Bayesian networks with Dirichlet-random
+//!   CPTs and forward sampling; our substitute for the `catnet` R
+//!   package the paper samples RandomData with.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bayes;
+pub mod dag;
+pub mod dsep;
+pub mod random;
+
+pub use bayes::BayesNet;
+pub use dag::Dag;
+pub use dsep::d_separated;
+pub use random::random_dag;

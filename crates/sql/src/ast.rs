@@ -1,0 +1,176 @@
+//! Abstract syntax for the OLAP dialect.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A literal value. Numbers are kept in their written form: HypDB data
+/// is categorical, so `1` and `'1'` denote the same category.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Literal(pub String);
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Render as a quoted SQL string literal.
+        write!(f, "'{}'", self.0.replace('\'', "''"))
+    }
+}
+
+/// One item of a SELECT list.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SelectItem {
+    /// A bare grouping column.
+    Column(String),
+    /// `avg(col)`.
+    Avg(String),
+    /// `count(*)`.
+    CountStar,
+    /// `count(DISTINCT col)`.
+    CountDistinct(String),
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Column(c) => write!(f, "{c}"),
+            SelectItem::Avg(c) => write!(f, "avg({c})"),
+            SelectItem::CountStar => write!(f, "count(*)"),
+            SelectItem::CountDistinct(c) => write!(f, "count(DISTINCT {c})"),
+        }
+    }
+}
+
+/// Boolean expressions of the WHERE clause.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Expr {
+    /// `col = lit`.
+    Eq(String, Literal),
+    /// `col <> lit`.
+    NotEq(String, Literal),
+    /// `col IN (lits…)`.
+    In(String, Vec<Literal>),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Eq(c, l) => write!(f, "{c} = {l}"),
+            Expr::NotEq(c, l) => write!(f, "{c} <> {l}"),
+            Expr::In(c, ls) => {
+                write!(f, "{c} IN (")?;
+                for (i, l) in ls.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{l}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::And(a, b) => write!(f, "{a} AND {b}"),
+            Expr::Or(a, b) => write!(f, "({a} OR {b})"),
+            Expr::Not(e) => write!(f, "NOT ({e})"),
+        }
+    }
+}
+
+/// A parsed `SELECT … FROM … [WHERE …] [GROUP BY …]` statement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Statement {
+    /// SELECT list.
+    pub items: Vec<SelectItem>,
+    /// Source relation name.
+    pub from: String,
+    /// Optional WHERE clause.
+    pub where_clause: Option<Expr>,
+    /// GROUP BY columns (possibly empty).
+    pub group_by: Vec<String>,
+}
+
+impl Statement {
+    /// Columns aggregated with `avg`.
+    pub fn avg_columns(&self) -> Vec<&str> {
+        self.items
+            .iter()
+            .filter_map(|i| match i {
+                SelectItem::Avg(c) => Some(c.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, " FROM {}", self.from)?;
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY {}", self.group_by.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrips_structure() {
+        let stmt = Statement {
+            items: vec![
+                SelectItem::Column("Carrier".into()),
+                SelectItem::Avg("Delayed".into()),
+            ],
+            from: "FlightData".into(),
+            where_clause: Some(Expr::And(
+                Box::new(Expr::In(
+                    "Carrier".into(),
+                    vec![Literal("AA".into()), Literal("UA".into())],
+                )),
+                Box::new(Expr::Eq("Airport".into(), Literal("ROC".into()))),
+            )),
+            group_by: vec!["Carrier".into()],
+        };
+        let s = stmt.to_string();
+        assert_eq!(
+            s,
+            "SELECT Carrier, avg(Delayed) FROM FlightData WHERE Carrier IN ('AA', 'UA') \
+             AND Airport = 'ROC' GROUP BY Carrier"
+        );
+    }
+
+    #[test]
+    fn literal_escapes_quotes() {
+        assert_eq!(Literal("O'Hare".into()).to_string(), "'O''Hare'");
+    }
+
+    #[test]
+    fn avg_columns_extracted() {
+        let stmt = Statement {
+            items: vec![
+                SelectItem::Column("g".into()),
+                SelectItem::Avg("a".into()),
+                SelectItem::Avg("b".into()),
+                SelectItem::CountStar,
+            ],
+            from: "t".into(),
+            where_clause: None,
+            group_by: vec!["g".into()],
+        };
+        assert_eq!(stmt.avg_columns(), vec!["a", "b"]);
+    }
+}

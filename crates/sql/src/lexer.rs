@@ -1,0 +1,285 @@
+//! Tokeniser for the OLAP dialect.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Token {
+    /// Keyword or bare identifier (keywords are matched
+    /// case-insensitively by the parser).
+    Ident(String),
+    /// `'quoted string'` with `''` escapes resolved.
+    Str(String),
+    /// Numeric literal, kept in written form.
+    Num(String),
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `,`.
+    Comma,
+    /// `=`.
+    Eq,
+    /// `<>` or `!=`.
+    NotEq,
+    /// `*`.
+    Star,
+    /// `.` (qualified names).
+    Dot,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Num(s) => write!(f, "{s}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Eq => write!(f, "="),
+            Token::NotEq => write!(f, "<>"),
+            Token::Star => write!(f, "*"),
+            Token::Dot => write!(f, "."),
+        }
+    }
+}
+
+/// Lexer errors: the offending position and a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset in the input.
+    pub pos: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenises `input`.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '<' if bytes.get(i + 1) == Some(&b'>') => {
+                tokens.push(Token::NotEq);
+                i += 2;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token::NotEq);
+                i += 2;
+            }
+            '\'' => {
+                // String literal with '' escapes.
+                let mut s = String::new();
+                let start = i;
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(LexError {
+                                pos: start,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.')
+                {
+                    // A digit followed by '.' then non-digit is a
+                    // qualified name like `1.x` — not supported; treat
+                    // '.' as part of the number only when followed by a
+                    // digit.
+                    if bytes[i] == b'.'
+                        && !bytes
+                            .get(i + 1)
+                            .is_some_and(|b| (*b as char).is_ascii_digit())
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                tokens.push(Token::Num(input[start..i].to_string()));
+            }
+            c if c.is_alphabetic() || c == '_' || c == '"' => {
+                if c == '"' {
+                    // Double-quoted identifier.
+                    let start = i;
+                    i += 1;
+                    let mut s = String::new();
+                    loop {
+                        match bytes.get(i) {
+                            None => {
+                                return Err(LexError {
+                                    pos: start,
+                                    message: "unterminated quoted identifier".into(),
+                                })
+                            }
+                            Some(b'"') => {
+                                i += 1;
+                                break;
+                            }
+                            Some(&b) => {
+                                s.push(b as char);
+                                i += 1;
+                            }
+                        }
+                    }
+                    tokens.push(Token::Ident(s));
+                } else {
+                    let start = i;
+                    while i < bytes.len() {
+                        let c = bytes[i] as char;
+                        if c.is_alphanumeric() || c == '_' {
+                            i += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    tokens.push(Token::Ident(input[start..i].to_string()));
+                }
+            }
+            other => {
+                return Err(LexError {
+                    pos: i,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_query_tokens() {
+        let toks = tokenize("SELECT avg(Delayed) FROM FlightData").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("SELECT".into()),
+                Token::Ident("avg".into()),
+                Token::LParen,
+                Token::Ident("Delayed".into()),
+                Token::RParen,
+                Token::Ident("FROM".into()),
+                Token::Ident("FlightData".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = tokenize("'O''Hare'").unwrap();
+        assert_eq!(toks, vec![Token::Str("O'Hare".into())]);
+    }
+
+    #[test]
+    fn numbers_and_operators() {
+        let toks = tokenize("x = 1, y <> 2.5, z != 3").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("x".into()),
+                Token::Eq,
+                Token::Num("1".into()),
+                Token::Comma,
+                Token::Ident("y".into()),
+                Token::NotEq,
+                Token::Num("2.5".into()),
+                Token::Comma,
+                Token::Ident("z".into()),
+                Token::NotEq,
+                Token::Num("3".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn quoted_identifier() {
+        let toks = tokenize("\"Departure Time\"").unwrap();
+        assert_eq!(toks, vec![Token::Ident("Departure Time".into())]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("'abc").is_err());
+        assert!(tokenize("\"abc").is_err());
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        let err = tokenize("a ; b").unwrap_err();
+        assert!(err.message.contains(";"));
+        assert_eq!(err.pos, 2);
+    }
+
+    #[test]
+    fn count_star_tokens() {
+        let toks = tokenize("count(*)").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("count".into()),
+                Token::LParen,
+                Token::Star,
+                Token::RParen,
+            ]
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! Borda-count rank aggregation (Lin 2010), used by Alg 3 to merge the
+//! two fine-grained-explanation rankings (contribution to `I(T;Z)` and
+//! to `I(Y;Z)`) into one list.
+
+/// Aggregates several rankings of the same `n` items by Borda count.
+///
+/// Each ranking is a list of scores (higher = better); items are awarded
+/// `n − rank` points per ranking (ties share the average of the tied
+/// positions), and the aggregate orders items by total points,
+/// descending. Returns the item indices in aggregated order.
+pub fn borda_aggregate(rankings: &[Vec<f64>]) -> Vec<usize> {
+    let n = match rankings.first() {
+        Some(r) => r.len(),
+        None => return Vec::new(),
+    };
+    assert!(
+        rankings.iter().all(|r| r.len() == n),
+        "all rankings must rank the same items"
+    );
+    let mut points = vec![0.0f64; n];
+    for scores in rankings {
+        for (item, p) in rank_points(scores) {
+            points[item] += p;
+        }
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        points[b]
+            .partial_cmp(&points[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+/// Borda points for one ranking: item with the highest score receives
+/// `n−1` points, next `n−2`, …; tied scores share the average points of
+/// the positions they span.
+fn rank_points(scores: &[f64]) -> Vec<(usize, f64)> {
+    let n = scores.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut out = Vec::with_capacity(n);
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        // Positions i..=j share average points.
+        let avg: f64 = (i..=j).map(|p| (n - 1 - p) as f64).sum::<f64>() / (j - i + 1) as f64;
+        for &item in &idx[i..=j] {
+            out.push((item, avg));
+        }
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_ranking_is_identity_order() {
+        let order = borda_aggregate(&[vec![0.1, 0.9, 0.5]]);
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn agreement_reinforces() {
+        let order = borda_aggregate(&[vec![3.0, 2.0, 1.0], vec![30.0, 20.0, 10.0]]);
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn disagreement_averages() {
+        // Item 0 is 1st/3rd, item 2 is 3rd/1st, item 1 is 2nd/2nd.
+        // Points: item0 = 2+0 = 2, item1 = 1+1 = 2, item2 = 0+2 = 2.
+        // Full tie broken by index.
+        let order = borda_aggregate(&[vec![3.0, 2.0, 1.0], vec![1.0, 2.0, 3.0]]);
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn clear_winner_beats_split() {
+        // Item 1 is 1st in both; 0 and 2 split the rest.
+        let order = borda_aggregate(&[vec![2.0, 3.0, 1.0], vec![1.0, 3.0, 2.0]]);
+        assert_eq!(order[0], 1);
+    }
+
+    #[test]
+    fn ties_share_points() {
+        let pts = rank_points(&[1.0, 1.0, 0.0]);
+        // Items 0,1 tie for positions 0,1 => (2+1)/2 = 1.5 each.
+        let mut m = std::collections::HashMap::new();
+        for (i, p) in pts {
+            m.insert(i, p);
+        }
+        assert_eq!(m[&0], 1.5);
+        assert_eq!(m[&1], 1.5);
+        assert_eq!(m[&2], 0.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(borda_aggregate(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "all rankings must rank the same items")]
+    fn mismatched_lengths_panic() {
+        borda_aggregate(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

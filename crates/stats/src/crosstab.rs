@@ -1,0 +1,203 @@
+//! Two-way contingency tables ("cross tabs") — the tabular summaries the
+//! MIT permutation test samples from (§5).
+
+use crate::entropy::mi_from_matrix;
+use serde::{Deserialize, Serialize};
+
+/// A dense `r×c` contingency table of counts, row-major.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrossTab {
+    r: usize,
+    c: usize,
+    counts: Vec<u64>,
+}
+
+impl CrossTab {
+    /// Builds from a row-major count matrix. Panics if the vector length
+    /// is not `r*c`.
+    pub fn new(r: usize, c: usize, counts: Vec<u64>) -> Self {
+        assert_eq!(counts.len(), r * c, "count matrix must be r*c");
+        CrossTab { r, c, counts }
+    }
+
+    /// All-zero table.
+    pub fn zeros(r: usize, c: usize) -> Self {
+        CrossTab {
+            r,
+            c,
+            counts: vec![0; r * c],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.r
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.c
+    }
+
+    /// Immutable view of the counts (row-major).
+    #[inline]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Cell accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> u64 {
+        self.counts[i * self.c + j]
+    }
+
+    /// Increments a cell.
+    #[inline]
+    pub fn add(&mut self, i: usize, j: usize, delta: u64) {
+        self.counts[i * self.c + j] += delta;
+    }
+
+    /// Row sums.
+    pub fn row_sums(&self) -> Vec<u64> {
+        (0..self.r)
+            .map(|i| self.counts[i * self.c..(i + 1) * self.c].iter().sum())
+            .collect()
+    }
+
+    /// Column sums.
+    pub fn col_sums(&self) -> Vec<u64> {
+        (0..self.c)
+            .map(|j| (0..self.r).map(|i| self.counts[i * self.c + j]).sum())
+            .collect()
+    }
+
+    /// Grand total.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Plug-in mutual information (nats) between the row and column
+    /// variables.
+    pub fn mutual_information(&self) -> f64 {
+        mi_from_matrix(&self.counts, self.r, self.c)
+    }
+
+    /// G statistic: `G = 2 n Î(X;Y)` (nats-based log-likelihood ratio).
+    pub fn g_statistic(&self) -> f64 {
+        2.0 * self.total() as f64 * self.mutual_information()
+    }
+
+    /// Pearson's χ² statistic `Σ (O−E)²/E` over cells with `E > 0`.
+    #[allow(clippy::needless_range_loop)] // indexes three arrays in lockstep
+    pub fn pearson_statistic(&self) -> f64 {
+        let rows = self.row_sums();
+        let cols = self.col_sums();
+        let n = self.total() as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        let mut stat = 0.0;
+        for i in 0..self.r {
+            for j in 0..self.c {
+                let e = rows[i] as f64 * cols[j] as f64 / n;
+                if e > 0.0 {
+                    let o = self.get(i, j) as f64;
+                    stat += (o - e) * (o - e) / e;
+                }
+            }
+        }
+        stat
+    }
+
+    /// Removes all-zero rows and columns, producing a compacted table.
+    /// Patefield's sampler requires strictly positive marginals; category
+    /// codes are global dictionary codes, so sub-populations routinely
+    /// have empty rows/columns.
+    pub fn compact(&self) -> CrossTab {
+        let rows = self.row_sums();
+        let cols = self.col_sums();
+        let keep_r: Vec<usize> = (0..self.r).filter(|&i| rows[i] > 0).collect();
+        let keep_c: Vec<usize> = (0..self.c).filter(|&j| cols[j] > 0).collect();
+        if keep_r.len() == self.r && keep_c.len() == self.c {
+            return self.clone();
+        }
+        let mut counts = Vec::with_capacity(keep_r.len() * keep_c.len());
+        for &i in &keep_r {
+            for &j in &keep_c {
+                counts.push(self.get(i, j));
+            }
+        }
+        CrossTab::new(keep_r.len(), keep_c.len(), counts)
+    }
+
+    /// Degrees of freedom of the independence test on this table,
+    /// `(r'−1)(c'−1)` computed on non-empty rows/columns.
+    pub fn dof(&self) -> f64 {
+        let r = self.row_sums().iter().filter(|&&v| v > 0).count();
+        let c = self.col_sums().iter().filter(|&&v| v > 0).count();
+        (r.saturating_sub(1) * c.saturating_sub(1)) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tab() -> CrossTab {
+        CrossTab::new(2, 3, vec![10, 0, 5, 0, 20, 5])
+    }
+
+    #[test]
+    fn sums_and_total() {
+        let t = tab();
+        assert_eq!(t.row_sums(), vec![15, 25]);
+        assert_eq!(t.col_sums(), vec![10, 20, 10]);
+        assert_eq!(t.total(), 40);
+        assert_eq!(t.get(1, 1), 20);
+    }
+
+    #[test]
+    fn g_statistic_consistent_with_mi() {
+        let t = tab();
+        assert!((t.g_statistic() - 2.0 * 40.0 * t.mutual_information()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_zero_on_independent_table() {
+        let t = CrossTab::new(2, 2, vec![10, 30, 10, 30]);
+        assert!(t.pearson_statistic().abs() < 1e-9);
+        assert!(t.mutual_information().abs() < 1e-12);
+    }
+
+    #[test]
+    fn compact_drops_empty_lines() {
+        let t = CrossTab::new(3, 3, vec![1, 0, 2, 0, 0, 0, 3, 0, 4]);
+        let s = t.compact();
+        assert_eq!(s.nrows(), 2);
+        assert_eq!(s.ncols(), 2);
+        assert_eq!(s.counts(), &[1, 2, 3, 4]);
+        // MI is invariant under dropping empty categories.
+        assert!((s.mutual_information() - t.mutual_information()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compact_noop_when_full() {
+        let t = CrossTab::new(2, 2, vec![1, 2, 3, 4]);
+        assert_eq!(t.compact(), t);
+    }
+
+    #[test]
+    fn dof_counts_nonempty() {
+        let t = CrossTab::new(3, 3, vec![1, 0, 2, 0, 0, 0, 3, 0, 4]);
+        assert_eq!(t.dof(), 1.0); // 2x2 effective
+        assert_eq!(CrossTab::new(2, 3, vec![1, 1, 1, 1, 1, 1]).dof(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "count matrix must be r*c")]
+    fn bad_shape_panics() {
+        CrossTab::new(2, 2, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,648 @@
+//! Conditional-independence testing (§5, §6): the χ²/G test, the MIT
+//! Monte-Carlo permutation test over contingency tables (Alg 2), MIT
+//! with weighted group sampling, the HyMIT hybrid, and the naive
+//! row-shuffling baseline MIT replaces.
+//!
+//! All tests decide `(X ⊥⊥ Y | Z)` from a *stratified* summary of the
+//! data: one `|X|×|Y|` cross tab per group `z ∈ Π_Z(D)`. The observed
+//! statistic is the plug-in conditional mutual information
+//! `Î(X;Y|Z) = Σ_z Pr(z)·Î_z(X;Y)`; plug-in (rather than Miller–Madow)
+//! is used *inside* tests so that the observed and permuted statistics
+//! are computed by the identical formula.
+
+use crate::crosstab::CrossTab;
+use crate::entropy::entropy_plugin;
+use crate::math::chi2_sf;
+use crate::patefield::sample_table;
+use crate::random::{shuffle, weighted_indices_without_replacement};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which procedure produced a [`TestOutcome`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TestMethod {
+    /// Asymptotic G test against the χ² distribution.
+    ChiSquared,
+    /// Monte-Carlo permutation test on contingency tables (Alg 2).
+    Mit,
+    /// MIT restricted to a weighted sample of the conditioning groups.
+    MitSampled,
+    /// Naive permutation test that reshuffles the raw data column.
+    Shuffle,
+}
+
+/// Result of an independence test.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TestOutcome {
+    /// The estimated (conditional) mutual information `Î(X;Y|Z)` in nats.
+    pub statistic: f64,
+    /// p-value of the null hypothesis `I(X;Y|Z) = 0`.
+    pub p_value: f64,
+    /// 95 % binomial confidence interval around the Monte-Carlo p-value
+    /// (permutation tests only).
+    pub ci95: Option<(f64, f64)>,
+    /// Degrees of freedom (χ² test only).
+    pub df: Option<f64>,
+    /// Procedure used.
+    pub method: TestMethod,
+    /// Number of Monte-Carlo permutations (permutation tests only).
+    pub permutations: Option<usize>,
+}
+
+impl TestOutcome {
+    /// True when the null of independence is *not* rejected at level
+    /// `alpha`.
+    #[inline]
+    pub fn independent(&self, alpha: f64) -> bool {
+        self.p_value > alpha
+    }
+
+    /// True when dependence is significant at level `alpha`.
+    #[inline]
+    pub fn dependent(&self, alpha: f64) -> bool {
+        !self.independent(alpha)
+    }
+}
+
+/// Stratified cross-tabulation of `(X, Y)` within each group of `Z`.
+///
+/// The group list is the support `Π_Z(D)`; an unconditional test is the
+/// special case of a single stratum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Strata {
+    groups: Vec<CrossTab>,
+    total: u64,
+}
+
+impl Strata {
+    /// Builds from per-group cross tabs (empty groups are dropped).
+    pub fn new(groups: Vec<CrossTab>) -> Self {
+        let groups: Vec<CrossTab> = groups.into_iter().filter(|g| g.total() > 0).collect();
+        let total = groups.iter().map(CrossTab::total).sum();
+        Strata { groups, total }
+    }
+
+    /// Unconditional case: one stratum.
+    pub fn single(tab: CrossTab) -> Self {
+        Strata::new(vec![tab])
+    }
+
+    /// The per-group tables.
+    pub fn groups(&self) -> &[CrossTab] {
+        &self.groups
+    }
+
+    /// Total sample size `n`.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of conditioning groups `|Π_Z(D)|`.
+    #[inline]
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Plug-in conditional mutual information
+    /// `Î(X;Y|Z) = Σ_z Pr(z)·Î_z(X;Y)`.
+    pub fn cmi_plugin(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let n = self.total as f64;
+        self.groups
+            .iter()
+            .map(|g| g.total() as f64 / n * g.mutual_information())
+            .sum()
+    }
+
+    /// Degrees of freedom for the asymptotic test, summed over groups on
+    /// their non-empty rows/columns: `Σ_z (r'_z−1)(c'_z−1)`. This equals
+    /// the paper's `(|Π_X|−1)(|Π_Y|−1)|Π_Z|` when every group is full,
+    /// and is the correct count when sub-populations lose categories.
+    pub fn dof(&self) -> f64 {
+        self.groups.iter().map(CrossTab::dof).sum()
+    }
+
+    /// The paper's df formula `(|Π_X|−1)(|Π_Y|−1)·|Π_Z|`, with supports
+    /// measured across the whole strata. Unlike [`Strata::dof`], singleton
+    /// groups count fully — which is exactly what makes this the right
+    /// *sparseness gauge* for HyMIT's χ²-vs-MIT switch: a conditioning
+    /// set that shatters the data into singleton groups contributes no
+    /// effective dof yet badly inflates the plug-in CMI.
+    pub fn paper_dof(&self) -> f64 {
+        let mut row_seen: Vec<bool> = Vec::new();
+        let mut col_seen: Vec<bool> = Vec::new();
+        for g in &self.groups {
+            let rs = g.row_sums();
+            let cs = g.col_sums();
+            if row_seen.len() < rs.len() {
+                row_seen.resize(rs.len(), false);
+            }
+            if col_seen.len() < cs.len() {
+                col_seen.resize(cs.len(), false);
+            }
+            for (i, &v) in rs.iter().enumerate() {
+                if v > 0 {
+                    row_seen[i] = true;
+                }
+            }
+            for (j, &v) in cs.iter().enumerate() {
+                if v > 0 {
+                    col_seen[j] = true;
+                }
+            }
+        }
+        let r = row_seen.iter().filter(|&&b| b).count().max(1);
+        let c = col_seen.iter().filter(|&&b| b).count().max(1);
+        ((r - 1) * (c - 1) * self.groups.len().max(1)) as f64
+    }
+
+    /// The MIT group-sampling weights of §5:
+    /// `w_z = Pr(z)·max(H(X|Z=z), H(Y|Z=z))` — a group whose weight is
+    /// ≈0 cannot move the p-value.
+    pub fn group_weights(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return Vec::new();
+        }
+        let n = self.total as f64;
+        self.groups
+            .iter()
+            .map(|g| {
+                let pz = g.total() as f64 / n;
+                let hx = entropy_plugin(g.row_sums());
+                let hy = entropy_plugin(g.col_sums());
+                pz * hx.max(hy)
+            })
+            .collect()
+    }
+
+    /// Restricts to the given group indices.
+    pub fn subset(&self, indices: &[usize]) -> Strata {
+        let groups: Vec<CrossTab> = indices.iter().map(|&i| self.groups[i].clone()).collect();
+        // Keep the *original* n so Pr(z) weights stay comparable with the
+        // full-data statistic (dropped groups have ≈0 contribution).
+        let mut s = Strata::new(groups);
+        s.total = self.total;
+        s
+    }
+}
+
+/// Configuration for the permutation-based tests.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MitConfig {
+    /// Number of Monte-Carlo permutation samples `m`.
+    pub permutations: usize,
+    /// HyMIT switches to the χ² approximation when `df · beta ≤ n`
+    /// (§6; β = 5 "is ideal").
+    pub beta: f64,
+    /// When `Some(k)`: restrict MIT to a weighted sample of at most `k`
+    /// conditioning groups. `None` = exact MIT over all groups.
+    pub group_sample: Option<usize>,
+}
+
+impl Default for MitConfig {
+    fn default() -> Self {
+        MitConfig {
+            permutations: 100,
+            beta: 5.0,
+            group_sample: None,
+        }
+    }
+}
+
+impl MitConfig {
+    /// The paper's group-sampling rule of thumb: a sample of size
+    /// proportional to `log |Π_Z(D)|` (§7.3). The constant is not given
+    /// in the paper; `32·⌈ln g⌉` (floor 16) keeps the test powerful for
+    /// the mid-size effects of Fig 5(a) while still sub-linear in the
+    /// group count.
+    pub fn auto_group_sample(num_groups: usize) -> usize {
+        let g = num_groups.max(1) as f64;
+        (32.0 * g.ln().ceil()).max(16.0) as usize
+    }
+}
+
+fn binomial_ci(p: f64, m: usize) -> (f64, f64) {
+    let half = 1.96 * (p * (1.0 - p) / m.max(1) as f64).sqrt();
+    ((p - half).max(0.0), (p + half).min(1.0))
+}
+
+/// Asymptotic χ² (G) test of `I(X;Y|Z) = 0`: the statistic `2nÎ` is
+/// χ²-distributed with [`Strata::dof`] degrees of freedom under the null.
+pub fn chi2_test(strata: &Strata) -> TestOutcome {
+    let stat = strata.cmi_plugin();
+    let g = 2.0 * strata.total() as f64 * stat;
+    let df = strata.dof();
+    let p = if df == 0.0 { 1.0 } else { chi2_sf(g, df) };
+    TestOutcome {
+        statistic: stat,
+        p_value: p,
+        ci95: None,
+        df: Some(df),
+        method: TestMethod::ChiSquared,
+        permutations: None,
+    }
+}
+
+/// The MIT permutation test (Alg 2): for each conditioning group, draw
+/// `m` contingency tables with the observed marginals via Patefield's
+/// algorithm, aggregate the per-group MIs with weights `Pr(z)` into `m`
+/// permutation statistics, and report the fraction ≥ the observed CMI
+/// together with a 95 % binomial confidence interval.
+pub fn mit(strata: &Strata, m: usize, rng: &mut impl Rng) -> TestOutcome {
+    mit_impl(strata, m, rng, TestMethod::Mit)
+}
+
+fn mit_impl(strata: &Strata, m: usize, rng: &mut impl Rng, method: TestMethod) -> TestOutcome {
+    assert!(m > 0, "need at least one permutation");
+    let s0 = strata.cmi_plugin();
+    let n = strata.total() as f64;
+    let mut stats = vec![0.0f64; m];
+    if n > 0.0 {
+        for g in strata.groups() {
+            let compact = g.compact();
+            let rows = compact.row_sums();
+            let cols = compact.col_sums();
+            let pz = g.total() as f64 / n;
+            if rows.len() < 2 || cols.len() < 2 || pz == 0.0 {
+                continue; // degenerate group: MI identically 0
+            }
+            for s in stats.iter_mut() {
+                let t = sample_table(rng, &rows, &cols);
+                *s += pz * t.mutual_information();
+            }
+        }
+    }
+    // Strict "≥" with a small tolerance: the observed table is itself a
+    // draw from the null ensemble, so ties count towards the p-value.
+    let tol = 1e-12;
+    let hits = stats.iter().filter(|&&s| s >= s0 - tol).count();
+    let p = hits as f64 / m as f64;
+    TestOutcome {
+        statistic: s0,
+        p_value: p,
+        ci95: Some(binomial_ci(p, m)),
+        df: None,
+        method,
+        permutations: Some(m),
+    }
+}
+
+/// MIT with automatic group sampling: exact over all conditioning
+/// groups when their number is small, weighted-sampled otherwise. This
+/// is the procedure §7.1 prescribes for testing the significance of
+/// query-answer differences (1 000 permutations in the paper).
+pub fn mit_auto(strata: &Strata, m: usize, rng: &mut impl Rng) -> TestOutcome {
+    let g = strata.num_groups();
+    if g > 64 {
+        mit_sampled(strata, m, MitConfig::auto_group_sample(g), rng)
+    } else {
+        mit(strata, m, rng)
+    }
+}
+
+/// MIT restricted to a weighted sample of at most `k` conditioning
+/// groups (weights from [`Strata::group_weights`]); both the observed
+/// and permuted statistics are computed on the sampled groups so they
+/// remain comparable.
+pub fn mit_sampled(strata: &Strata, m: usize, k: usize, rng: &mut impl Rng) -> TestOutcome {
+    if k >= strata.num_groups() {
+        return mit_impl(strata, m, rng, TestMethod::MitSampled);
+    }
+    let weights = strata.group_weights();
+    let picked = weighted_indices_without_replacement(rng, &weights, k);
+    let sub = strata.subset(&picked);
+    mit_impl(&sub, m, rng, TestMethod::MitSampled)
+}
+
+/// HyMIT (§6): χ² when the sample is large relative to the degrees of
+/// freedom (`df·β ≤ n`, with df measured by the paper's formula so that
+/// singleton conditioning groups register as sparseness), MIT otherwise
+/// — with automatic group sampling when the conditioning support is
+/// large.
+pub fn hymit(strata: &Strata, cfg: &MitConfig, rng: &mut impl Rng) -> TestOutcome {
+    let df = strata.paper_dof();
+    let n = strata.total() as f64;
+    if df == 0.0 || df * cfg.beta <= n {
+        return chi2_test(strata);
+    }
+    match cfg.group_sample {
+        Some(k) => mit_sampled(strata, cfg.permutations, k, rng),
+        None => {
+            let g = strata.num_groups();
+            if g > 64 {
+                mit_sampled(strata, cfg.permutations, MitConfig::auto_group_sample(g), rng)
+            } else {
+                mit(strata, cfg.permutations, rng)
+            }
+        }
+    }
+}
+
+/// The naive permutation test MIT replaces: physically reshuffle the `X`
+/// column within each `Z` group `m` times and recompute the CMI on the
+/// raw rows. `x`/`y` are dictionary codes, `groups` assigns each row to
+/// a conditioning group. Complexity `O(m·n)` — kept as the baseline for
+/// the Fig 6(b) "orders of magnitude" comparison.
+pub fn shuffle_test(
+    x: &[u32],
+    y: &[u32],
+    groups: &[u32],
+    m: usize,
+    rng: &mut impl Rng,
+) -> TestOutcome {
+    assert_eq!(x.len(), y.len());
+    assert_eq!(x.len(), groups.len());
+    assert!(m > 0, "need at least one permutation");
+    let n = x.len();
+    let r = x.iter().copied().max().map_or(0, |v| v as usize + 1);
+    let c = y.iter().copied().max().map_or(0, |v| v as usize + 1);
+    let g = groups.iter().copied().max().map_or(0, |v| v as usize + 1);
+
+    // Partition row indices by group.
+    let mut by_group: Vec<Vec<usize>> = vec![Vec::new(); g];
+    for (row, &gr) in groups.iter().enumerate() {
+        by_group[gr as usize].push(row);
+    }
+
+    let build = |xs: &[u32]| -> Strata {
+        let mut tabs: Vec<CrossTab> = (0..g).map(|_| CrossTab::zeros(r, c)).collect();
+        for row in 0..n {
+            tabs[groups[row] as usize].add(xs[row] as usize, y[row] as usize, 1);
+        }
+        Strata::new(tabs)
+    };
+
+    let s0 = build(x).cmi_plugin();
+    let mut xs: Vec<u32> = x.to_vec();
+    let mut hits = 0usize;
+    let tol = 1e-12;
+    for _ in 0..m {
+        // Shuffle X within each group (destroys X–Y coupling, preserves
+        // all marginals).
+        for rows in &by_group {
+            // Fisher–Yates over the positions of this group.
+            let mut vals: Vec<u32> = rows.iter().map(|&i| xs[i]).collect();
+            shuffle(rng, &mut vals);
+            for (&i, v) in rows.iter().zip(vals) {
+                xs[i] = v;
+            }
+        }
+        if build(&xs).cmi_plugin() >= s0 - tol {
+            hits += 1;
+        }
+    }
+    let p = hits as f64 / m as f64;
+    TestOutcome {
+        statistic: s0,
+        p_value: p,
+        ci95: Some(binomial_ci(p, m)),
+        df: None,
+        method: TestMethod::Shuffle,
+        permutations: Some(m),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(2018)
+    }
+
+    /// Strongly dependent 2x2: diagonal mass.
+    fn dependent_tab() -> CrossTab {
+        CrossTab::new(2, 2, vec![45, 5, 5, 45])
+    }
+
+    /// Independent 2x2: product of (1/2,1/2)x(1/2,1/2).
+    fn independent_tab() -> CrossTab {
+        CrossTab::new(2, 2, vec![25, 25, 25, 25])
+    }
+
+    #[test]
+    fn chi2_detects_dependence() {
+        let s = Strata::single(dependent_tab());
+        let out = chi2_test(&s);
+        assert!(out.p_value < 0.001, "p={}", out.p_value);
+        assert!(out.dependent(0.01));
+        assert_eq!(out.method, TestMethod::ChiSquared);
+        assert_eq!(out.df, Some(1.0));
+    }
+
+    #[test]
+    fn chi2_accepts_independence() {
+        let s = Strata::single(independent_tab());
+        let out = chi2_test(&s);
+        assert!(out.p_value > 0.9, "p={}", out.p_value);
+        assert!(out.independent(0.01));
+    }
+
+    #[test]
+    fn mit_detects_dependence() {
+        let s = Strata::single(dependent_tab());
+        let out = mit(&s, 400, &mut rng());
+        assert!(out.p_value < 0.01, "p={}", out.p_value);
+        let (lo, hi) = out.ci95.unwrap();
+        assert!(lo <= out.p_value && out.p_value <= hi);
+    }
+
+    #[test]
+    fn mit_accepts_independence() {
+        let s = Strata::single(independent_tab());
+        let out = mit(&s, 400, &mut rng());
+        assert!(out.p_value > 0.5, "p={}", out.p_value);
+    }
+
+    #[test]
+    fn mit_conditional_simpson() {
+        // Within each stratum X ⊥ Y (exact product tables); pooling the
+        // strata induces a strong marginal dependence via the stratum
+        // variable (a confounder).
+        let g_a = CrossTab::new(2, 2, vec![81, 9, 9, 1]); // rows p=.9, cols p=.9
+        let g_b = CrossTab::new(2, 2, vec![1, 9, 9, 81]);
+        let cond = Strata::new(vec![g_a.clone(), g_b.clone()]);
+        let out_cond = mit(&cond, 300, &mut rng());
+        assert!(out_cond.p_value > 0.1, "conditional p={}", out_cond.p_value);
+
+        // Pooled table is dependent.
+        let mut pooled = CrossTab::zeros(2, 2);
+        for t in [&g_a, &g_b] {
+            for i in 0..2 {
+                for j in 0..2 {
+                    pooled.add(i, j, t.get(i, j));
+                }
+            }
+        }
+        let out_marg = chi2_test(&Strata::single(pooled));
+        assert!(out_marg.p_value < 0.05, "marginal p={}", out_marg.p_value);
+    }
+
+    #[test]
+    fn mit_and_chi2_agree_on_clear_cases() {
+        let mut r = rng();
+        for tab in [dependent_tab(), independent_tab()] {
+            let s = Strata::single(tab);
+            let a = chi2_test(&s).p_value < 0.01;
+            let b = mit(&s, 500, &mut r).p_value < 0.01;
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn mit_sampled_matches_mit_when_k_large() {
+        let s = Strata::new(vec![dependent_tab(), dependent_tab()]);
+        let a = mit_sampled(&s, 300, 10, &mut rng());
+        assert!(a.p_value < 0.01);
+        assert_eq!(a.method, TestMethod::MitSampled);
+    }
+
+    #[test]
+    fn mit_sampled_restricts_groups() {
+        // 40 groups; only 2 carry signal, but they carry most weight.
+        let mut groups = vec![CrossTab::new(2, 2, vec![2, 1, 1, 2]); 38];
+        groups.push(CrossTab::new(2, 2, vec![200, 20, 20, 200]));
+        groups.push(CrossTab::new(2, 2, vec![200, 20, 20, 200]));
+        let s = Strata::new(groups);
+        let out = mit_sampled(&s, 200, 6, &mut rng());
+        assert!(out.p_value < 0.05, "p={}", out.p_value);
+    }
+
+    #[test]
+    fn hymit_switches_method() {
+        // Large n, tiny df: chooses chi2.
+        let s = Strata::single(CrossTab::new(2, 2, vec![500, 480, 520, 500]));
+        let out = hymit(&s, &MitConfig::default(), &mut rng());
+        assert_eq!(out.method, TestMethod::ChiSquared);
+
+        // Tiny n relative to df: chooses a permutation method.
+        let sparse = Strata::new(vec![CrossTab::new(4, 4, {
+            let mut v = vec![0u64; 16];
+            v[0] = 2;
+            v[5] = 1;
+            v[10] = 2;
+            v[15] = 1;
+            v
+        })]);
+        let out = hymit(&sparse, &MitConfig::default(), &mut rng());
+        assert!(matches!(out.method, TestMethod::Mit | TestMethod::MitSampled));
+    }
+
+    #[test]
+    fn shuffle_test_agrees_with_mit() {
+        // Construct raw data matching a stratified table and compare.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        let mut z = Vec::new();
+        // group 0: dependent; group 1: independent-ish
+        for (g, tab) in [(0u32, dependent_tab()), (1u32, independent_tab())] {
+            for i in 0..2u32 {
+                for j in 0..2u32 {
+                    for _ in 0..tab.get(i as usize, j as usize) {
+                        x.push(i);
+                        y.push(j);
+                        z.push(g);
+                    }
+                }
+            }
+        }
+        let mut r = rng();
+        let out = shuffle_test(&x, &y, &z, 200, &mut r);
+        assert!(out.p_value < 0.01, "p={}", out.p_value);
+        assert_eq!(out.method, TestMethod::Shuffle);
+
+        // Statistic must equal the strata-based CMI exactly.
+        let s = Strata::new(vec![dependent_tab(), independent_tab()]);
+        assert!((out.statistic - s.cmi_plugin()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strata_accessors() {
+        let s = Strata::new(vec![dependent_tab(), CrossTab::zeros(2, 2)]);
+        assert_eq!(s.num_groups(), 1); // empty group dropped
+        assert_eq!(s.total(), 100);
+        assert_eq!(s.groups().len(), 1);
+        let w = s.group_weights();
+        assert_eq!(w.len(), 1);
+        assert!(w[0] > 0.0);
+    }
+
+    #[test]
+    fn auto_group_sample_floor() {
+        assert!(MitConfig::auto_group_sample(1) >= 16);
+        assert!(MitConfig::auto_group_sample(100_000) >= 16);
+        assert!(
+            MitConfig::auto_group_sample(100_000) < 1_000,
+            "log-scaled sample stays sub-linear"
+        );
+    }
+
+    #[test]
+    fn mit_auto_dispatch() {
+        // Few groups: exact MIT. Many groups: sampled.
+        let small = Strata::new(vec![dependent_tab(); 4]);
+        let out = mit_auto(&small, 100, &mut rng());
+        assert_eq!(out.method, TestMethod::Mit);
+        assert!(out.p_value < 0.01);
+        // Exact product tables in every group: the observed CMI is 0.
+        let many = Strata::new(vec![CrossTab::new(2, 2, vec![4, 4, 4, 4]); 200]);
+        let out = mit_auto(&many, 100, &mut rng());
+        assert_eq!(out.method, TestMethod::MitSampled);
+        assert!(out.p_value > 0.5, "null data, p={}", out.p_value);
+    }
+
+    #[test]
+    fn paper_dof_counts_singleton_groups() {
+        // 100 singleton groups: effective dof = 0, paper dof = 100.
+        let mut groups = Vec::new();
+        for i in 0..100u64 {
+            let mut t = CrossTab::zeros(2, 2);
+            t.add((i % 2) as usize, ((i / 2) % 2) as usize, 1);
+            groups.push(t);
+        }
+        let s = Strata::new(groups);
+        assert_eq!(s.dof(), 0.0);
+        assert_eq!(s.paper_dof(), 100.0);
+        // HyMIT must therefore refuse the χ² shortcut (df·β = 500 > 100).
+        let out = hymit(&s, &MitConfig::default(), &mut rng());
+        assert_ne!(out.method, TestMethod::ChiSquared);
+    }
+
+    #[test]
+    fn mit_is_calibrated_under_the_null() {
+        // Product tables: the p-value distribution should be roughly
+        // uniform; check the rejection rate at alpha = 0.1.
+        let mut r = rng();
+        let mut rejections = 0;
+        let trials = 200;
+        for i in 0..trials {
+            // Resample a null dataset each trial.
+            let t = crate::patefield::sample_table(&mut r, &[40, 60], &[55, 45]);
+            let s = Strata::single(t);
+            let out = mit(&s, 60, &mut StdRng::seed_from_u64(i));
+            if out.p_value <= 0.1 {
+                rejections += 1;
+            }
+        }
+        let rate = rejections as f64 / trials as f64;
+        assert!(
+            rate < 0.2,
+            "null rejection rate at alpha=0.1 is {rate} (should be ~0.1)"
+        );
+    }
+
+    #[test]
+    fn empty_strata_are_independent() {
+        let s = Strata::new(vec![]);
+        assert_eq!(s.cmi_plugin(), 0.0);
+        let out = chi2_test(&s);
+        assert_eq!(out.p_value, 1.0);
+        let out = mit(&s, 10, &mut rng());
+        assert_eq!(out.p_value, 1.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Random two-way contingency tables with fixed marginals — Patefield's
+//! algorithm (AS 159, Applied Statistics 30(1), 1981).
+//!
+//! Randomly shuffling a data column only changes the cell counts of the
+//! corresponding contingency table while leaving all marginals fixed
+//! (§5). So instead of shuffling `n` rows, the MIT test draws tables
+//! directly from the distribution induced by shuffling: the multivariate
+//! hypergeometric over tables with the observed marginals. We generate a
+//! table cell by cell; given the remaining row quota and remaining column
+//! totals, each cell is exactly hypergeometric — the same conditional
+//! decomposition AS 159 uses (it adds a clever sequential-search
+//! optimisation; our [`crate::random::hypergeometric`] uses the pmf-ratio
+//! inverse CDF, which is exact and fast at OLAP cardinalities).
+
+use crate::crosstab::CrossTab;
+use crate::random::hypergeometric;
+use rand::Rng;
+
+/// Draws one random `r×c` table with the given row and column sums,
+/// distributed as if produced by uniformly shuffling the underlying
+/// column pairing.
+///
+/// Panics if the marginals disagree in total.
+#[allow(clippy::needless_range_loop)] // row/col quotas are indexed in lockstep
+pub fn sample_table(rng: &mut impl Rng, rows: &[u64], cols: &[u64]) -> CrossTab {
+    let n_row: u64 = rows.iter().sum();
+    let n_col: u64 = cols.iter().sum();
+    assert_eq!(n_row, n_col, "marginal totals must agree");
+    let r = rows.len();
+    let c = cols.len();
+    let mut out = CrossTab::zeros(r, c);
+    if r == 0 || c == 0 || n_row == 0 {
+        return out;
+    }
+    // jwork[j]: count still to be placed in column j.
+    let mut jwork: Vec<u64> = cols.to_vec();
+    // Total still to be placed (over rows i..).
+    let mut remaining = n_row;
+    for i in 0..r.saturating_sub(1) {
+        // ia: quota left for this row; ic: units left in columns j.. of
+        // rows i.. (i.e., all unplaced units).
+        let mut ia = rows[i];
+        let mut ic = remaining;
+        for j in 0..c - 1 {
+            if ia == 0 {
+                break;
+            }
+            let id = jwork[j]; // remaining demand of column j
+            // Hypergeometric draw: among `ic` unplaced units of which
+            // `id` belong to column j, how many of row i's `ia` land in
+            // column j?
+            let x = hypergeometric(rng, id, ic - id, ia);
+            if x > 0 {
+                out.add(i, j, x);
+                jwork[j] -= x;
+                ia -= x;
+            }
+            ic -= id;
+        }
+        // Row remainder goes to the last column.
+        if ia > 0 {
+            out.add(i, c - 1, ia);
+            jwork[c - 1] -= ia;
+        }
+        remaining -= rows[i];
+    }
+    // Last row: whatever each column still demands.
+    for (j, &w) in jwork.iter().enumerate() {
+        if w > 0 {
+            out.add(r - 1, j, w);
+        }
+    }
+    out
+}
+
+/// Draws `m` tables with the marginals of `observed` (empty rows/columns
+/// are compacted away first, as required for positive marginals).
+pub fn sample_tables(rng: &mut impl Rng, observed: &CrossTab, m: usize) -> Vec<CrossTab> {
+    let compacted = observed.compact();
+    let rows = compacted.row_sums();
+    let cols = compacted.col_sums();
+    (0..m).map(|_| sample_table(rng, &rows, &cols)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xAB5_159)
+    }
+
+    #[test]
+    fn marginals_preserved() {
+        let mut r = rng();
+        let rows = [7u64, 13, 5];
+        let cols = [10u64, 9, 4, 2];
+        for _ in 0..200 {
+            let t = sample_table(&mut r, &rows, &cols);
+            assert_eq!(t.row_sums(), rows.to_vec());
+            assert_eq!(t.col_sums(), cols.to_vec());
+        }
+    }
+
+    #[test]
+    fn degenerate_single_row() {
+        let mut r = rng();
+        let t = sample_table(&mut r, &[9], &[4, 5]);
+        assert_eq!(t.counts(), &[4, 5]);
+    }
+
+    #[test]
+    fn degenerate_single_col() {
+        let mut r = rng();
+        let t = sample_table(&mut r, &[4, 5], &[9]);
+        assert_eq!(t.counts(), &[4, 5]);
+    }
+
+    #[test]
+    fn empty_table() {
+        let mut r = rng();
+        let t = sample_table(&mut r, &[0, 0], &[0]);
+        assert_eq!(t.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "marginal totals must agree")]
+    fn mismatched_totals_panic() {
+        let mut r = rng();
+        sample_table(&mut r, &[3], &[2]);
+    }
+
+    #[test]
+    fn cell_mean_matches_expectation() {
+        // Under the fixed-marginal null, E[n_ij] = r_i * c_j / n.
+        let mut r = rng();
+        let rows = [30u64, 70];
+        let cols = [40u64, 60];
+        let trials = 4_000;
+        let mut sum00 = 0.0;
+        for _ in 0..trials {
+            sum00 += sample_table(&mut r, &rows, &cols).get(0, 0) as f64;
+        }
+        let mean = sum00 / trials as f64;
+        let expect = 30.0 * 40.0 / 100.0;
+        assert!((mean - expect).abs() < 0.15, "mean {mean} vs {expect}");
+    }
+
+    #[test]
+    fn two_by_two_matches_fisher_distribution() {
+        // For a 2x2 with rows (2,2), cols (2,2), n=4 the permutation
+        // distribution of n00 is hypergeometric: P(0)=1/6, P(1)=4/6,
+        // P(2)=1/6.
+        let mut r = rng();
+        let mut hist = [0usize; 3];
+        let trials = 30_000;
+        for _ in 0..trials {
+            let t = sample_table(&mut r, &[2, 2], &[2, 2]);
+            hist[t.get(0, 0) as usize] += 1;
+        }
+        let p0 = hist[0] as f64 / trials as f64;
+        let p1 = hist[1] as f64 / trials as f64;
+        let p2 = hist[2] as f64 / trials as f64;
+        assert!((p0 - 1.0 / 6.0).abs() < 0.02, "p0={p0}");
+        assert!((p1 - 4.0 / 6.0).abs() < 0.02, "p1={p1}");
+        assert!((p2 - 1.0 / 6.0).abs() < 0.02, "p2={p2}");
+    }
+
+    #[test]
+    fn sample_tables_compacts_empty_marginals() {
+        let mut r = rng();
+        let observed = CrossTab::new(3, 2, vec![5, 3, 0, 0, 2, 6]);
+        let ts = sample_tables(&mut r, &observed, 10);
+        assert_eq!(ts.len(), 10);
+        for t in ts {
+            assert_eq!(t.nrows(), 2); // middle row compacted away
+            assert_eq!(t.total(), 16);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Dictionary-encoded categorical columns.
+
+use crate::error::{Error, Result};
+use crate::hash::FxHashMap;
+
+/// An order-of-first-appearance dictionary mapping category strings to
+/// dense `u32` codes.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    values: Vec<String>,
+    index: FxHashMap<String, u32>,
+}
+
+impl Dictionary {
+    /// Empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a value, returning its (possibly fresh) code.
+    pub fn intern(&mut self, value: &str) -> u32 {
+        if let Some(&code) = self.index.get(value) {
+            return code;
+        }
+        let code = self.values.len() as u32;
+        self.values.push(value.to_string());
+        self.index.insert(value.to_string(), code);
+        code
+    }
+
+    /// Looks a value up without inserting.
+    pub fn code(&self, value: &str) -> Option<u32> {
+        self.index.get(value).copied()
+    }
+
+    /// The string for a code.
+    pub fn value(&self, code: u32) -> &str {
+        &self.values[code as usize]
+    }
+
+    /// Number of distinct values (the attribute's observed cardinality).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no value has been interned.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// All values in code order.
+    pub fn values(&self) -> &[String] {
+        &self.values
+    }
+}
+
+/// A dictionary-encoded column: one `u32` code per row.
+#[derive(Debug, Clone, Default)]
+pub struct Column {
+    codes: Vec<u32>,
+    dict: Dictionary,
+}
+
+impl Column {
+    /// Empty column.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a column directly from codes and a dictionary. The caller
+    /// guarantees every code is `< dict.len()`.
+    pub fn from_parts(codes: Vec<u32>, dict: Dictionary) -> Self {
+        debug_assert!(codes.iter().all(|&c| (c as usize) < dict.len().max(1)));
+        Column { codes, dict }
+    }
+
+    /// Appends a raw string value.
+    pub fn push(&mut self, value: &str) {
+        let code = self.dict.intern(value);
+        self.codes.push(code);
+    }
+
+    /// Appends an already-interned code (must be valid for this dict).
+    pub fn push_code(&mut self, code: u32) {
+        debug_assert!((code as usize) < self.dict.len());
+        self.codes.push(code);
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True when the column has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The code at `row`.
+    #[inline]
+    pub fn code_at(&self, row: usize) -> u32 {
+        self.codes[row]
+    }
+
+    /// The string value at `row`.
+    pub fn value_at(&self, row: usize) -> &str {
+        self.dict.value(self.codes[row])
+    }
+
+    /// The raw code slice.
+    #[inline]
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// The dictionary.
+    #[inline]
+    pub fn dict(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// Mutable access to the dictionary (for generators that pre-intern
+    /// a domain before pushing codes).
+    pub fn dict_mut(&mut self) -> &mut Dictionary {
+        &mut self.dict
+    }
+
+    /// Observed cardinality (dictionary size).
+    #[inline]
+    pub fn cardinality(&self) -> u32 {
+        self.dict.len() as u32
+    }
+
+    /// Per-code numeric interpretation: parses every dictionary entry as
+    /// an `f64`. Fails on the first non-numeric entry.
+    pub fn numeric_codes(&self, attr_name: &str) -> Result<Vec<f64>> {
+        self.dict
+            .values()
+            .iter()
+            .map(|v| {
+                v.trim().parse::<f64>().map_err(|_| Error::NonNumericValue {
+                    attr: attr_name.to_string(),
+                    value: v.clone(),
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_stable() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.intern("a"), 0);
+        assert_eq!(d.intern("b"), 1);
+        assert_eq!(d.intern("a"), 0);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.value(1), "b");
+        assert_eq!(d.code("b"), Some(1));
+        assert_eq!(d.code("zzz"), None);
+    }
+
+    #[test]
+    fn column_roundtrip() {
+        let mut c = Column::new();
+        for v in ["x", "y", "x", "z"] {
+            c.push(v);
+        }
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.cardinality(), 3);
+        assert_eq!(c.value_at(2), "x");
+        assert_eq!(c.codes(), &[0, 1, 0, 2]);
+    }
+
+    #[test]
+    fn numeric_codes_parse() {
+        let mut c = Column::new();
+        c.push("1");
+        c.push("0");
+        c.push(" 2.5 ");
+        assert_eq!(c.numeric_codes("v").unwrap(), vec![1.0, 0.0, 2.5]);
+    }
+
+    #[test]
+    fn numeric_codes_reject_text() {
+        let mut c = Column::new();
+        c.push("1");
+        c.push("oops");
+        let err = c.numeric_codes("v").unwrap_err();
+        assert!(matches!(err, Error::NonNumericValue { .. }));
+    }
+}

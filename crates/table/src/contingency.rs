@@ -1,0 +1,441 @@
+//! k-way contingency tables (§5) — the tabular summaries every HypDB
+//! statistic is computed from — and stratified 2-way cross tabs for the
+//! independence tests.
+//!
+//! Storage is dense (a mixed-radix array) when the domain product is
+//! small, sparse (hash map) otherwise; both expose the same iteration
+//! interface.
+
+use crate::hash::FxHashMap;
+use crate::rows::RowSet;
+use crate::schema::AttrId;
+use crate::table::Table;
+use hypdb_stats::crosstab::CrossTab;
+use hypdb_stats::entropy::{entropy_miller_madow, entropy_plugin};
+use hypdb_stats::independence::Strata;
+use hypdb_stats::EntropyEstimator;
+
+/// Cells above this domain-product switch to sparse storage.
+const DENSE_LIMIT: u128 = 1 << 20;
+
+#[derive(Debug, Clone)]
+enum Cells {
+    Dense(Vec<u64>),
+    Sparse(FxHashMap<Box<[u32]>, u64>),
+}
+
+/// A k-way table of counts over an ordered attribute list.
+#[derive(Debug, Clone)]
+pub struct ContingencyTable {
+    attrs: Vec<AttrId>,
+    dims: Vec<u32>,
+    total: u64,
+    cells: Cells,
+}
+
+impl ContingencyTable {
+    /// Counts the selected rows of `table` grouped by `attrs`.
+    ///
+    /// Dimensions come from the *global* dictionary cardinalities so that
+    /// codes are comparable across sub-populations.
+    pub fn from_table(table: &Table, rows: &RowSet, attrs: &[AttrId]) -> Self {
+        let dims: Vec<u32> = attrs.iter().map(|&a| table.cardinality(a).max(1)).collect();
+        let product: u128 = dims.iter().map(|&d| d as u128).product();
+        let columns: Vec<&[u32]> = attrs.iter().map(|&a| table.column(a).codes()).collect();
+
+        let mut total = 0u64;
+        let cells = if product <= DENSE_LIMIT {
+            let mut dense = vec![0u64; product as usize];
+            for row in rows.iter() {
+                let mut idx = 0usize;
+                for (col, &d) in columns.iter().zip(&dims) {
+                    idx = idx * d as usize + col[row as usize] as usize;
+                }
+                dense[idx] += 1;
+                total += 1;
+            }
+            Cells::Dense(dense)
+        } else {
+            let mut sparse: FxHashMap<Box<[u32]>, u64> = FxHashMap::default();
+            let mut key = vec![0u32; attrs.len()];
+            for row in rows.iter() {
+                for (slot, col) in key.iter_mut().zip(&columns) {
+                    *slot = col[row as usize];
+                }
+                *sparse.entry(key.clone().into_boxed_slice()).or_insert(0) += 1;
+                total += 1;
+            }
+            Cells::Sparse(sparse)
+        };
+        ContingencyTable {
+            attrs: attrs.to_vec(),
+            dims,
+            total,
+            cells,
+        }
+    }
+
+    /// Builds directly from explicit cells (used by cube marginals).
+    fn from_cells(attrs: Vec<AttrId>, dims: Vec<u32>, cells: Cells) -> Self {
+        let total = match &cells {
+            Cells::Dense(v) => v.iter().sum(),
+            Cells::Sparse(m) => m.values().sum(),
+        };
+        ContingencyTable {
+            attrs,
+            dims,
+            total,
+            cells,
+        }
+    }
+
+    /// The attribute list, in storage order.
+    pub fn attrs(&self) -> &[AttrId] {
+        &self.attrs
+    }
+
+    /// Dimension (domain cardinality) per attribute.
+    pub fn dims(&self) -> &[u32] {
+        &self.dims
+    }
+
+    /// Total count (number of contributing rows).
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of non-zero cells (the observed support `m`).
+    pub fn support(&self) -> u64 {
+        match &self.cells {
+            Cells::Dense(v) => v.iter().filter(|&&c| c > 0).count() as u64,
+            Cells::Sparse(m) => m.values().filter(|&&c| c > 0).count() as u64,
+        }
+    }
+
+    /// The count of one cell.
+    pub fn get(&self, key: &[u32]) -> u64 {
+        debug_assert_eq!(key.len(), self.attrs.len());
+        match &self.cells {
+            Cells::Dense(v) => {
+                let mut idx = 0usize;
+                for (&k, &d) in key.iter().zip(&self.dims) {
+                    if k >= d {
+                        return 0;
+                    }
+                    idx = idx * d as usize + k as usize;
+                }
+                v[idx]
+            }
+            Cells::Sparse(m) => m.get(key).copied().unwrap_or(0),
+        }
+    }
+
+    /// Visits every non-zero cell as `(key, count)`.
+    pub fn for_each<F: FnMut(&[u32], u64)>(&self, mut f: F) {
+        match &self.cells {
+            Cells::Dense(v) => {
+                let mut key = vec![0u32; self.dims.len()];
+                for (flat, &count) in v.iter().enumerate() {
+                    if count > 0 {
+                        // Decode the mixed-radix index.
+                        let mut rem = flat;
+                        for pos in (0..self.dims.len()).rev() {
+                            let d = self.dims[pos] as usize;
+                            key[pos] = (rem % d) as u32;
+                            rem /= d;
+                        }
+                        f(&key, count);
+                    }
+                }
+            }
+            Cells::Sparse(m) => {
+                for (key, &count) in m {
+                    if count > 0 {
+                        f(key, count);
+                    }
+                }
+            }
+        }
+    }
+
+    /// All non-zero cells, materialised.
+    pub fn cells(&self) -> Vec<(Box<[u32]>, u64)> {
+        let mut out = Vec::new();
+        self.for_each(|k, c| out.push((k.to_vec().into_boxed_slice(), c)));
+        out
+    }
+
+    /// Marginalises onto the attribute *positions* `keep` (indices into
+    /// [`Self::attrs`], in the order they should appear in the result).
+    pub fn marginal(&self, keep: &[usize]) -> ContingencyTable {
+        let attrs: Vec<AttrId> = keep.iter().map(|&p| self.attrs[p]).collect();
+        let dims: Vec<u32> = keep.iter().map(|&p| self.dims[p]).collect();
+        let product: u128 = dims.iter().map(|&d| d as u128).product();
+        let cells = if product <= DENSE_LIMIT {
+            let mut dense = vec![0u64; product as usize];
+            self.for_each(|key, count| {
+                let mut idx = 0usize;
+                for (&p, &d) in keep.iter().zip(&dims) {
+                    idx = idx * d as usize + key[p] as usize;
+                }
+                dense[idx] += count;
+            });
+            Cells::Dense(dense)
+        } else {
+            let mut sparse: FxHashMap<Box<[u32]>, u64> = FxHashMap::default();
+            self.for_each(|key, count| {
+                let small: Box<[u32]> = keep.iter().map(|&p| key[p]).collect();
+                *sparse.entry(small).or_insert(0) += count;
+            });
+            Cells::Sparse(sparse)
+        };
+        ContingencyTable::from_cells(attrs, dims, cells)
+    }
+
+    /// Entropy (nats) of the joint distribution of this table's
+    /// attributes, under the chosen estimator.
+    pub fn entropy(&self, estimator: EntropyEstimator) -> f64 {
+        let mut counts = Vec::with_capacity(self.support() as usize);
+        self.for_each(|_, c| counts.push(c));
+        match estimator {
+            EntropyEstimator::PlugIn => entropy_plugin(counts),
+            EntropyEstimator::MillerMadow => entropy_miller_madow(counts),
+        }
+    }
+
+    /// Converts a 2-attribute table to a dense [`CrossTab`].
+    /// Panics unless the table has exactly two attributes.
+    pub fn to_crosstab(&self) -> CrossTab {
+        assert_eq!(self.attrs.len(), 2, "to_crosstab needs a 2-way table");
+        let (r, c) = (self.dims[0] as usize, self.dims[1] as usize);
+        let mut counts = vec![0u64; r * c];
+        self.for_each(|key, count| {
+            counts[key[0] as usize * c + key[1] as usize] += count;
+        });
+        CrossTab::new(r, c, counts)
+    }
+}
+
+/// A stratified cross-tabulation builder: `(X, Y)` cross tabs within each
+/// group of `Z`, the input shape of every independence test.
+#[derive(Debug, Clone)]
+pub struct Stratified;
+
+impl Stratified {
+    /// Builds the [`Strata`] of `(x, y)` conditioned on `z` over the
+    /// selected rows.
+    pub fn build(table: &Table, rows: &RowSet, x: AttrId, y: AttrId, z: &[AttrId]) -> Strata {
+        let r = table.cardinality(x).max(1) as usize;
+        let c = table.cardinality(y).max(1) as usize;
+        let xcol = table.column(x).codes();
+        let ycol = table.column(y).codes();
+        if z.is_empty() {
+            let mut tab = CrossTab::zeros(r, c);
+            for row in rows.iter() {
+                tab.add(xcol[row as usize] as usize, ycol[row as usize] as usize, 1);
+            }
+            return Strata::single(tab);
+        }
+        let zcols: Vec<&[u32]> = z.iter().map(|&a| table.column(a).codes()).collect();
+        let mut groups: FxHashMap<Box<[u32]>, CrossTab> = FxHashMap::default();
+        let mut key = vec![0u32; z.len()];
+        for row in rows.iter() {
+            for (slot, col) in key.iter_mut().zip(&zcols) {
+                *slot = col[row as usize];
+            }
+            let tab = groups
+                .entry(key.clone().into_boxed_slice())
+                .or_insert_with(|| CrossTab::zeros(r, c));
+            tab.add(xcol[row as usize] as usize, ycol[row as usize] as usize, 1);
+        }
+        Strata::new(groups.into_values().collect())
+    }
+
+    /// Like [`Stratified::build`] but also returning the group keys in
+    /// the same order as the strata (needed by explanation ranking).
+    pub fn build_keyed(
+        table: &Table,
+        rows: &RowSet,
+        x: AttrId,
+        y: AttrId,
+        z: &[AttrId],
+    ) -> (Vec<Box<[u32]>>, Strata) {
+        let r = table.cardinality(x).max(1) as usize;
+        let c = table.cardinality(y).max(1) as usize;
+        let xcol = table.column(x).codes();
+        let ycol = table.column(y).codes();
+        let zcols: Vec<&[u32]> = z.iter().map(|&a| table.column(a).codes()).collect();
+        let mut order: Vec<Box<[u32]>> = Vec::new();
+        let mut index: FxHashMap<Box<[u32]>, usize> = FxHashMap::default();
+        let mut tabs: Vec<CrossTab> = Vec::new();
+        let mut key = vec![0u32; z.len()];
+        for row in rows.iter() {
+            for (slot, col) in key.iter_mut().zip(&zcols) {
+                *slot = col[row as usize];
+            }
+            let slot = match index.get(key.as_slice()) {
+                Some(&i) => i,
+                None => {
+                    let boxed: Box<[u32]> = key.clone().into_boxed_slice();
+                    order.push(boxed.clone());
+                    index.insert(boxed, tabs.len());
+                    tabs.push(CrossTab::zeros(r, c));
+                    tabs.len() - 1
+                }
+            };
+            tabs[slot].add(xcol[row as usize] as usize, ycol[row as usize] as usize, 1);
+        }
+        (order, Strata::new(tabs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+
+    fn sample() -> Table {
+        let mut b = TableBuilder::new(["t", "y", "z"]);
+        for (t, y, z, n) in [
+            ("a", "0", "p", 3u32),
+            ("a", "1", "p", 1),
+            ("b", "0", "p", 2),
+            ("b", "1", "q", 4),
+            ("a", "1", "q", 2),
+        ] {
+            for _ in 0..n {
+                b.push_row([t, y, z]).unwrap();
+            }
+        }
+        b.finish()
+    }
+
+    fn attrs(t: &Table, names: &[&str]) -> Vec<AttrId> {
+        names.iter().map(|n| t.attr(n).unwrap()).collect()
+    }
+
+    #[test]
+    fn counts_match_data() {
+        let t = sample();
+        let a = attrs(&t, &["t", "y"]);
+        let ct = ContingencyTable::from_table(&t, &t.all_rows(), &a);
+        assert_eq!(ct.total(), 12);
+        assert_eq!(ct.get(&[0, 0]), 3); // (a, 0)
+        assert_eq!(ct.get(&[0, 1]), 3); // (a, 1)
+        assert_eq!(ct.get(&[1, 0]), 2);
+        assert_eq!(ct.get(&[1, 1]), 4);
+        assert_eq!(ct.support(), 4);
+    }
+
+    #[test]
+    fn marginal_sums_out() {
+        let t = sample();
+        let a = attrs(&t, &["t", "y", "z"]);
+        let ct = ContingencyTable::from_table(&t, &t.all_rows(), &a);
+        let m = ct.marginal(&[0]); // just "t"
+        assert_eq!(m.total(), 12);
+        assert_eq!(m.get(&[0]), 6);
+        assert_eq!(m.get(&[1]), 6);
+        // Reordered marginal (y, t).
+        let yt = ct.marginal(&[1, 0]);
+        assert_eq!(yt.attrs(), &[a[1], a[0]]);
+        assert_eq!(yt.get(&[1, 1]), 4);
+    }
+
+    #[test]
+    fn entropy_matches_direct_computation() {
+        let t = sample();
+        let a = attrs(&t, &["t"]);
+        let ct = ContingencyTable::from_table(&t, &t.all_rows(), &a);
+        let h = ct.entropy(EntropyEstimator::PlugIn);
+        assert!((h - 2.0f64.ln()).abs() < 1e-12); // 6/6 split
+    }
+
+    #[test]
+    fn crosstab_conversion() {
+        let t = sample();
+        let a = attrs(&t, &["t", "y"]);
+        let ct = ContingencyTable::from_table(&t, &t.all_rows(), &a);
+        let xt = ct.to_crosstab();
+        assert_eq!(xt.get(0, 0), 3);
+        assert_eq!(xt.get(1, 1), 4);
+        assert_eq!(xt.total(), 12);
+    }
+
+    #[test]
+    fn selection_restricts_counts() {
+        let t = sample();
+        let a = attrs(&t, &["t"]);
+        let p = crate::Predicate::eq(&t, "z", "q").unwrap();
+        let rows = p.select(&t);
+        let ct = ContingencyTable::from_table(&t, &rows, &a);
+        assert_eq!(ct.total(), 6);
+        assert_eq!(ct.get(&[0]), 2); // a
+        assert_eq!(ct.get(&[1]), 4); // b
+    }
+
+    #[test]
+    fn stratified_matches_contingency() {
+        let t = sample();
+        let x = t.attr("t").unwrap();
+        let y = t.attr("y").unwrap();
+        let z = t.attr("z").unwrap();
+        let s = Stratified::build(&t, &t.all_rows(), x, y, &[z]);
+        assert_eq!(s.num_groups(), 2);
+        assert_eq!(s.total(), 12);
+        // CMI from strata must equal CMI from entropies (plug-in).
+        let h = |ids: &[AttrId]| {
+            ContingencyTable::from_table(&t, &t.all_rows(), ids).entropy(EntropyEstimator::PlugIn)
+        };
+        let cmi_ent = h(&[x, z]) + h(&[y, z]) - h(&[x, y, z]) - h(&[z]);
+        assert!((s.cmi_plugin() - cmi_ent).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stratified_empty_conditioning() {
+        let t = sample();
+        let x = t.attr("t").unwrap();
+        let y = t.attr("y").unwrap();
+        let s = Stratified::build(&t, &t.all_rows(), x, y, &[]);
+        assert_eq!(s.num_groups(), 1);
+        assert_eq!(s.total(), 12);
+    }
+
+    #[test]
+    fn keyed_strata_align() {
+        let t = sample();
+        let x = t.attr("t").unwrap();
+        let y = t.attr("y").unwrap();
+        let z = t.attr("z").unwrap();
+        let (keys, s) = Stratified::build_keyed(&t, &t.all_rows(), x, y, &[z]);
+        assert_eq!(keys.len(), s.num_groups());
+        // First-seen group is "p" (code 0).
+        assert_eq!(&*keys[0], &[0u32][..]);
+        assert_eq!(s.groups()[0].total(), 6);
+    }
+
+    #[test]
+    fn dense_and_sparse_agree() {
+        // Force sparse by a huge fake dimension product: build a table
+        // with many attributes instead (7 attrs x 8 codes = 2^21 cells).
+        let names: Vec<String> = (0..7).map(|i| format!("a{i}")).collect();
+        let mut b = TableBuilder::new(names);
+        for i in 0..64u32 {
+            let vals: Vec<String> = (0..7).map(|j| ((i >> j) % 8).to_string()).collect();
+            b.push_row(vals.iter().map(String::as_str)).unwrap();
+        }
+        let t = b.finish();
+        let ids: Vec<AttrId> = t.schema().attr_ids().collect();
+        let full = ContingencyTable::from_table(&t, &t.all_rows(), &ids);
+        assert_eq!(full.total(), 64);
+        // Marginal over two attrs must agree with direct counting.
+        let m = full.marginal(&[0, 1]);
+        let direct = ContingencyTable::from_table(&t, &t.all_rows(), &ids[0..2]);
+        let mut cells_a = m.cells();
+        let mut cells_b = direct.cells();
+        cells_a.sort();
+        cells_b.sort();
+        assert_eq!(cells_a, cells_b);
+    }
+}

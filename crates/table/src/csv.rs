@@ -1,0 +1,215 @@
+//! Minimal CSV reader/writer for categorical tables.
+//!
+//! Supports the RFC-4180 subset needed for dataset interchange: comma
+//! separation, `"`-quoted fields with doubled-quote escapes, and CRLF or
+//! LF line endings. The first record is the header (attribute names).
+
+use crate::error::{Error, Result};
+use crate::table::{Table, TableBuilder};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Parses one CSV record from `line` into `fields` (cleared first).
+/// Returns `false` when the record continues on the next line (an open
+/// quote), in which case the caller appends the next line and retries.
+fn parse_record(line: &str, fields: &mut Vec<String>) -> Result<bool> {
+    fields.clear();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    loop {
+        match chars.next() {
+            None => {
+                if in_quotes {
+                    return Ok(false); // record continues past the newline
+                }
+                fields.push(std::mem::take(&mut cur));
+                return Ok(true);
+            }
+            Some('"') if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            Some('"') if cur.is_empty() && !in_quotes => in_quotes = true,
+            Some(',') if !in_quotes => fields.push(std::mem::take(&mut cur)),
+            Some(c) => cur.push(c),
+        }
+    }
+}
+
+/// Reads a table from CSV text.
+pub fn read_csv<R: Read>(reader: R) -> Result<Table> {
+    let mut lines = BufReader::new(reader).lines();
+    let header_line = match lines.next() {
+        Some(l) => l?,
+        None => return Err(Error::Csv("empty input".into())),
+    };
+    let mut fields = Vec::new();
+    if !parse_record(header_line.trim_end_matches('\r'), &mut fields)? {
+        return Err(Error::Csv("unterminated quote in header".into()));
+    }
+    let mut builder = TableBuilder::new(fields.iter().map(String::as_str));
+    let arity = fields.len();
+
+    let mut pending = String::new();
+    for line in lines {
+        let line = line?;
+        let line = line.trim_end_matches('\r');
+        let candidate = if pending.is_empty() {
+            line.to_string()
+        } else {
+            format!("{pending}\n{line}")
+        };
+        if candidate.is_empty() {
+            continue;
+        }
+        if parse_record(&candidate, &mut fields)? {
+            pending.clear();
+            if fields.len() != arity {
+                return Err(Error::Csv(format!(
+                    "record has {} fields, header has {arity}",
+                    fields.len()
+                )));
+            }
+            builder.push_row(fields.iter().map(String::as_str))?;
+        } else {
+            pending = candidate;
+        }
+    }
+    if !pending.is_empty() {
+        return Err(Error::Csv("unterminated quoted field at EOF".into()));
+    }
+    Ok(builder.finish())
+}
+
+/// Reads a table from a CSV file.
+pub fn read_csv_path<P: AsRef<Path>>(path: P) -> Result<Table> {
+    read_csv(std::fs::File::open(path)?)
+}
+
+fn needs_quoting(s: &str) -> bool {
+    s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r')
+}
+
+fn write_field<W: Write>(w: &mut W, s: &str) -> std::io::Result<()> {
+    if needs_quoting(s) {
+        write!(w, "\"{}\"", s.replace('"', "\"\""))
+    } else {
+        w.write_all(s.as_bytes())
+    }
+}
+
+/// Writes a table as CSV.
+pub fn write_csv<W: Write>(table: &Table, writer: &mut W) -> Result<()> {
+    let schema = table.schema();
+    for (i, id) in schema.attr_ids().enumerate() {
+        if i > 0 {
+            writer.write_all(b",")?;
+        }
+        write_field(writer, schema.name(id))?;
+    }
+    writer.write_all(b"\n")?;
+    for row in 0..table.nrows() as u32 {
+        for (i, id) in schema.attr_ids().enumerate() {
+            if i > 0 {
+                writer.write_all(b",")?;
+            }
+            write_field(writer, table.value(id, row))?;
+        }
+        writer.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Writes a table to a CSV file.
+pub fn write_csv_path<P: AsRef<Path>>(table: &Table, path: P) -> Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_csv(table, &mut f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let input = "a,b\n1,x\n2,y\n";
+        let t = read_csv(input.as_bytes()).unwrap();
+        assert_eq!(t.nrows(), 2);
+        assert_eq!(t.nattrs(), 2);
+        let mut out = Vec::new();
+        write_csv(&t, &mut out).unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), input);
+    }
+
+    #[test]
+    fn quoted_fields_and_escapes() {
+        let input = "name,quote\nalice,\"hello, world\"\nbob,\"she said \"\"hi\"\"\"\n";
+        let t = read_csv(input.as_bytes()).unwrap();
+        let q = t.attr("quote").unwrap();
+        assert_eq!(t.value(q, 0), "hello, world");
+        assert_eq!(t.value(q, 1), "she said \"hi\"");
+        // Roundtrip preserves content.
+        let mut out = Vec::new();
+        write_csv(&t, &mut out).unwrap();
+        let t2 = read_csv(&out[..]).unwrap();
+        assert_eq!(t2.value(q, 0), "hello, world");
+        assert_eq!(t2.value(q, 1), "she said \"hi\"");
+    }
+
+    #[test]
+    fn embedded_newline_in_quotes() {
+        let input = "a,b\n\"line1\nline2\",x\n";
+        let t = read_csv(input.as_bytes()).unwrap();
+        assert_eq!(t.value(t.attr("a").unwrap(), 0), "line1\nline2");
+        assert_eq!(t.nrows(), 1);
+    }
+
+    #[test]
+    fn crlf_endings() {
+        let input = "a,b\r\n1,2\r\n";
+        let t = read_csv(input.as_bytes()).unwrap();
+        assert_eq!(t.nrows(), 1);
+        assert_eq!(t.value(t.attr("b").unwrap(), 0), "2");
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let input = "a\n1\n\n2\n";
+        let t = read_csv(input.as_bytes()).unwrap();
+        assert_eq!(t.nrows(), 2);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let input = "a,b\n1\n";
+        assert!(read_csv(input.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(read_csv("".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        let input = "a\n\"open\n";
+        assert!(read_csv(input.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("hypdb_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        let t = read_csv("a,b\n1,x\n".as_bytes()).unwrap();
+        write_csv_path(&t, &path).unwrap();
+        let t2 = read_csv_path(&path).unwrap();
+        assert_eq!(t2.nrows(), 1);
+        std::fs::remove_file(path).ok();
+    }
+}

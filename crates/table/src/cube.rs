@@ -1,0 +1,217 @@
+//! Materialised OLAP data cubes (§6, Fig 6(d), Fig 8(b)).
+//!
+//! A data cube over attributes `A₁…A_k` precomputes `count(*) GROUP BY S`
+//! for every subset `S`. Since every such aggregate is a marginal of the
+//! full joint contingency table, we materialise the joint once and derive
+//! marginals on demand, caching them per subset — the same asymptotic
+//! benefit as a cube (each subsequent entropy/count query touches the
+//! (much smaller) cube instead of the raw rows) without the 2^k
+//! up-front blow-up. The paper's 12-attribute cube restriction is kept
+//! as a configurable width limit.
+
+use crate::contingency::ContingencyTable;
+use crate::error::{Error, Result};
+use crate::hash::FxHashMap;
+use crate::rows::RowSet;
+use crate::schema::AttrId;
+use crate::table::Table;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Maximum cube width mirroring the PostgreSQL limitation discussed in
+/// §7.5 ("the cube operator in PostgreSQL is restricted to 12
+/// attributes").
+pub const DEFAULT_MAX_CUBE_ATTRS: usize = 12;
+
+/// A materialised cube over a fixed attribute subset of a table.
+#[derive(Debug)]
+pub struct DataCube {
+    attrs: Vec<AttrId>,
+    position: FxHashMap<AttrId, usize>,
+    base: ContingencyTable,
+    cache: Mutex<FxHashMap<u64, Arc<ContingencyTable>>>,
+    hits: Mutex<CubeStats>,
+}
+
+/// Hit/derive counters, useful for the Fig 6(d) ablation.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CubeStats {
+    /// Marginals served from cache.
+    pub cache_hits: u64,
+    /// Marginals derived from the base joint.
+    pub derivations: u64,
+}
+
+impl DataCube {
+    /// Materialises the cube over `attrs` for the selected rows.
+    ///
+    /// Errors if more than `max_attrs` attributes are requested
+    /// (pass [`DEFAULT_MAX_CUBE_ATTRS`] for the paper's limit).
+    pub fn build(
+        table: &Table,
+        rows: &RowSet,
+        attrs: &[AttrId],
+        max_attrs: usize,
+    ) -> Result<Self> {
+        if attrs.len() > max_attrs.min(63) {
+            return Err(Error::CubeMiss(format!(
+                "cube width {} exceeds limit {}",
+                attrs.len(),
+                max_attrs.min(63)
+            )));
+        }
+        let mut position = FxHashMap::default();
+        for (i, &a) in attrs.iter().enumerate() {
+            position.insert(a, i);
+        }
+        let base = ContingencyTable::from_table(table, rows, attrs);
+        Ok(DataCube {
+            attrs: attrs.to_vec(),
+            position,
+            base,
+            cache: Mutex::new(FxHashMap::default()),
+            hits: Mutex::new(CubeStats::default()),
+        })
+    }
+
+    /// The cube's attribute set.
+    pub fn attrs(&self) -> &[AttrId] {
+        &self.attrs
+    }
+
+    /// Number of non-zero cells in the materialised joint.
+    pub fn base_support(&self) -> u64 {
+        self.base.support()
+    }
+
+    /// Total row count the cube summarises.
+    pub fn total(&self) -> u64 {
+        self.base.total()
+    }
+
+    /// True when the cube covers all of `attrs`.
+    pub fn covers(&self, attrs: &[AttrId]) -> bool {
+        attrs.iter().all(|a| self.position.contains_key(a))
+    }
+
+    /// `count(*) GROUP BY subset`, served from the cube.
+    ///
+    /// The subset must be covered by the cube; attribute order in the
+    /// result follows the requested order.
+    pub fn counts_for(&self, subset: &[AttrId]) -> Result<Arc<ContingencyTable>> {
+        let mut positions = Vec::with_capacity(subset.len());
+        let mut mask = 0u64;
+        for &a in subset {
+            let &p = self
+                .position
+                .get(&a)
+                .ok_or_else(|| Error::CubeMiss(format!("attribute {a} not in cube")))?;
+            positions.push(p);
+            mask |= 1 << p;
+        }
+        // Cache key: subset mask + order fingerprint. Different orders of
+        // the same subset are cheap permutations but would poison a
+        // mask-only cache; include the order in the key.
+        let mut key = mask;
+        for &p in &positions {
+            key = key.wrapping_mul(67).wrapping_add(p as u64 + 1);
+        }
+        if let Some(hit) = self.cache.lock().get(&key).cloned() {
+            self.hits.lock().cache_hits += 1;
+            return Ok(hit);
+        }
+        let marginal = Arc::new(self.base.marginal(&positions));
+        self.cache.lock().insert(key, marginal.clone());
+        self.hits.lock().derivations += 1;
+        Ok(marginal)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CubeStats {
+        *self.hits.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+
+    fn sample() -> Table {
+        let mut b = TableBuilder::new(["a", "b", "c"]);
+        for (a, v, c, n) in [
+            ("0", "x", "p", 4u32),
+            ("0", "y", "q", 2),
+            ("1", "x", "q", 3),
+            ("1", "y", "p", 1),
+        ] {
+            for _ in 0..n {
+                b.push_row([a, v, c]).unwrap();
+            }
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn cube_counts_match_direct() {
+        let t = sample();
+        let ids: Vec<AttrId> = t.schema().attr_ids().collect();
+        let cube = DataCube::build(&t, &t.all_rows(), &ids, DEFAULT_MAX_CUBE_ATTRS).unwrap();
+        assert_eq!(cube.total(), 10);
+
+        let ab = cube.counts_for(&ids[0..2]).unwrap();
+        let direct = ContingencyTable::from_table(&t, &t.all_rows(), &ids[0..2]);
+        let mut x = ab.cells();
+        let mut y = direct.cells();
+        x.sort();
+        y.sort();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn cache_hits_are_counted() {
+        let t = sample();
+        let ids: Vec<AttrId> = t.schema().attr_ids().collect();
+        let cube = DataCube::build(&t, &t.all_rows(), &ids, DEFAULT_MAX_CUBE_ATTRS).unwrap();
+        cube.counts_for(&[ids[0]]).unwrap();
+        cube.counts_for(&[ids[0]]).unwrap();
+        cube.counts_for(&[ids[1]]).unwrap();
+        let s = cube.stats();
+        assert_eq!(s.derivations, 2);
+        assert_eq!(s.cache_hits, 1);
+    }
+
+    #[test]
+    fn attribute_order_respected() {
+        let t = sample();
+        let ids: Vec<AttrId> = t.schema().attr_ids().collect();
+        let cube = DataCube::build(&t, &t.all_rows(), &ids, DEFAULT_MAX_CUBE_ATTRS).unwrap();
+        let ab = cube.counts_for(&[ids[0], ids[1]]).unwrap();
+        let ba = cube.counts_for(&[ids[1], ids[0]]).unwrap();
+        assert_eq!(ab.attrs(), &[ids[0], ids[1]]);
+        assert_eq!(ba.attrs(), &[ids[1], ids[0]]);
+        assert_eq!(ab.get(&[0, 1]), ba.get(&[1, 0]));
+    }
+
+    #[test]
+    fn width_limit_enforced() {
+        let names: Vec<String> = (0..14).map(|i| format!("a{i}")).collect();
+        let mut b = TableBuilder::new(names);
+        let row: Vec<String> = (0..14).map(|i| i.to_string()).collect();
+        b.push_row(row.iter().map(String::as_str)).unwrap();
+        let t = b.finish();
+        let ids: Vec<AttrId> = t.schema().attr_ids().collect();
+        assert!(DataCube::build(&t, &t.all_rows(), &ids, DEFAULT_MAX_CUBE_ATTRS).is_err());
+        assert!(DataCube::build(&t, &t.all_rows(), &ids[..12], DEFAULT_MAX_CUBE_ATTRS).is_ok());
+    }
+
+    #[test]
+    fn miss_on_uncovered_attribute() {
+        let t = sample();
+        let ids: Vec<AttrId> = t.schema().attr_ids().collect();
+        let cube = DataCube::build(&t, &t.all_rows(), &ids[0..2], 12).unwrap();
+        assert!(cube.covers(&ids[0..2]));
+        assert!(!cube.covers(&ids));
+        assert!(cube.counts_for(&[ids[2]]).is_err());
+    }
+}

@@ -1,0 +1,44 @@
+//! Columnar storage for categorical (dictionary-encoded) relations, plus
+//! the counting machinery HypDB is built on: group-by counting,
+//! contingency tables, stratified cross-tabulations and OLAP data cubes.
+//!
+//! The paper (§2) fixes a relational schema with discrete attribute
+//! domains; every statistic HypDB computes (entropies, mutual
+//! information, the MIT permutation test, the adjustment formula) is a
+//! function of `count(*) GROUP BY` aggregates over some attribute subset.
+//! This crate is that substrate.
+//!
+//! Layout:
+//! * [`schema`] / [`column`] / [`table`] — dictionary-encoded columnar
+//!   tables with builders and CSV I/O,
+//! * [`predicate`] — WHERE-clause predicates and row selection,
+//! * [`contingency`] — k-way contingency tables (dense or sparse) and
+//!   stratified 2-way cross tabs,
+//! * [`groupby`] — group-by average aggregation (the query engine for
+//!   `SELECT avg(Y) .. GROUP BY ..`),
+//! * [`cube`] — materialised data cubes with marginal caching (§6),
+//! * [`csv`] — minimal CSV reader/writer for categorical data.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod column;
+pub mod contingency;
+pub mod csv;
+pub mod cube;
+mod error;
+pub mod groupby;
+pub mod hash;
+pub mod predicate;
+pub mod rows;
+pub mod schema;
+pub mod table;
+
+pub use column::{Column, Dictionary};
+pub use contingency::{ContingencyTable, Stratified};
+pub use cube::DataCube;
+pub use error::{Error, Result};
+pub use groupby::{group_average, group_counts, GroupRow};
+pub use predicate::Predicate;
+pub use rows::RowSet;
+pub use schema::{AttrId, AttrMeta, Schema};
+pub use table::{Table, TableBuilder};

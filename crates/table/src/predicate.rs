@@ -1,0 +1,223 @@
+//! WHERE-clause predicates over categorical tables.
+//!
+//! The paper's queries (Listing 1) filter with conjunctions of
+//! `attr = 'v'` and `attr IN (...)`; we additionally support disjunction
+//! and negation so arbitrary contexts `Γ_i = C ∧ (X = x_i)` compose.
+
+use crate::rows::RowSet;
+use crate::schema::AttrId;
+use crate::table::Table;
+use crate::Result;
+
+/// A boolean predicate over rows, with attribute values resolved to
+/// dictionary codes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate {
+    /// Matches every row.
+    True,
+    /// Matches no row (e.g. equality with a value absent from the data).
+    False,
+    /// `attr = code`.
+    Eq(AttrId, u32),
+    /// `attr IN (codes)`.
+    In(AttrId, Vec<u32>),
+    /// Conjunction.
+    And(Vec<Predicate>),
+    /// Disjunction.
+    Or(Vec<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `attr = value`, resolving names and values against `table`.
+    /// A value that never occurs yields [`Predicate::False`].
+    pub fn eq(table: &Table, attr: &str, value: &str) -> Result<Predicate> {
+        let a = table.attr(attr)?;
+        Ok(match table.column(a).dict().code(value) {
+            Some(code) => Predicate::Eq(a, code),
+            None => Predicate::False,
+        })
+    }
+
+    /// `attr IN (values)`; unknown values are dropped from the list.
+    pub fn is_in<'a, I>(table: &Table, attr: &str, values: I) -> Result<Predicate>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let a = table.attr(attr)?;
+        let mut codes: Vec<u32> = values
+            .into_iter()
+            .filter_map(|v| table.column(a).dict().code(v))
+            .collect();
+        codes.sort_unstable();
+        codes.dedup();
+        Ok(if codes.is_empty() {
+            Predicate::False
+        } else {
+            Predicate::In(a, codes)
+        })
+    }
+
+    /// Conjunction of predicates (flattens nested `And`s).
+    pub fn and(preds: impl IntoIterator<Item = Predicate>) -> Predicate {
+        let mut out = Vec::new();
+        for p in preds {
+            match p {
+                Predicate::True => {}
+                Predicate::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Predicate::True,
+            1 => out.pop().expect("len checked"),
+            _ => Predicate::And(out),
+        }
+    }
+
+    /// Whether row `row` of `table` satisfies the predicate.
+    pub fn matches(&self, table: &Table, row: u32) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::False => false,
+            Predicate::Eq(a, code) => table.code(*a, row) == *code,
+            Predicate::In(a, codes) => codes.binary_search(&table.code(*a, row)).is_ok(),
+            Predicate::And(ps) => ps.iter().all(|p| p.matches(table, row)),
+            Predicate::Or(ps) => ps.iter().any(|p| p.matches(table, row)),
+            Predicate::Not(p) => !p.matches(table, row),
+        }
+    }
+
+    /// Evaluates the predicate over the whole table.
+    pub fn select(&self, table: &Table) -> RowSet {
+        match self {
+            Predicate::True => table.all_rows(),
+            Predicate::False => RowSet::Ids(Vec::new()),
+            _ => {
+                let n = table.nrows() as u32;
+                let mut ids = Vec::new();
+                for row in 0..n {
+                    if self.matches(table, row) {
+                        ids.push(row);
+                    }
+                }
+                RowSet::Ids(ids)
+            }
+        }
+    }
+
+    /// Evaluates the predicate within an existing selection.
+    pub fn select_within(&self, table: &Table, rows: &RowSet) -> RowSet {
+        match self {
+            Predicate::True => rows.clone(),
+            Predicate::False => RowSet::Ids(Vec::new()),
+            _ => {
+                let mut ids = Vec::new();
+                for row in rows.iter() {
+                    if self.matches(table, row) {
+                        ids.push(row);
+                    }
+                }
+                RowSet::Ids(ids)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+
+    fn sample() -> Table {
+        let mut b = TableBuilder::new(["carrier", "airport"]);
+        for (c, a) in [
+            ("AA", "COS"),
+            ("UA", "ROC"),
+            ("AA", "ROC"),
+            ("DL", "COS"),
+            ("UA", "MFE"),
+        ] {
+            b.push_row([c, a]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn eq_selects_matching_rows() {
+        let t = sample();
+        let p = Predicate::eq(&t, "carrier", "AA").unwrap();
+        assert_eq!(p.select(&t), RowSet::Ids(vec![0, 2]));
+    }
+
+    #[test]
+    fn eq_unknown_value_is_false() {
+        let t = sample();
+        let p = Predicate::eq(&t, "carrier", "ZZ").unwrap();
+        assert_eq!(p, Predicate::False);
+        assert!(p.select(&t).is_empty());
+    }
+
+    #[test]
+    fn in_filters_and_dedups() {
+        let t = sample();
+        let p = Predicate::is_in(&t, "carrier", ["AA", "UA", "AA", "ZZ"]).unwrap();
+        assert_eq!(p.select(&t), RowSet::Ids(vec![0, 1, 2, 4]));
+    }
+
+    #[test]
+    fn in_all_unknown_is_false() {
+        let t = sample();
+        let p = Predicate::is_in(&t, "carrier", ["Q1", "Q2"]).unwrap();
+        assert_eq!(p, Predicate::False);
+    }
+
+    #[test]
+    fn and_combines() {
+        let t = sample();
+        let p = Predicate::and([
+            Predicate::is_in(&t, "carrier", ["AA", "UA"]).unwrap(),
+            Predicate::eq(&t, "airport", "ROC").unwrap(),
+        ]);
+        assert_eq!(p.select(&t), RowSet::Ids(vec![1, 2]));
+    }
+
+    #[test]
+    fn and_simplifies() {
+        assert_eq!(Predicate::and([]), Predicate::True);
+        assert_eq!(
+            Predicate::and([Predicate::True, Predicate::True]),
+            Predicate::True
+        );
+        let inner = Predicate::And(vec![Predicate::False]);
+        assert_eq!(Predicate::and([inner]), Predicate::False);
+    }
+
+    #[test]
+    fn or_and_not() {
+        let t = sample();
+        let p = Predicate::Or(vec![
+            Predicate::eq(&t, "carrier", "DL").unwrap(),
+            Predicate::eq(&t, "airport", "MFE").unwrap(),
+        ]);
+        assert_eq!(p.select(&t), RowSet::Ids(vec![3, 4]));
+        let np = Predicate::Not(Box::new(p));
+        assert_eq!(np.select(&t), RowSet::Ids(vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn select_within_respects_subset() {
+        let t = sample();
+        let base = RowSet::Ids(vec![1, 2, 3]);
+        let p = Predicate::is_in(&t, "carrier", ["AA", "UA"]).unwrap();
+        assert_eq!(p.select_within(&t, &base), RowSet::Ids(vec![1, 2]));
+        assert_eq!(Predicate::True.select_within(&t, &base), base);
+    }
+
+    #[test]
+    fn unknown_attribute_errors() {
+        let t = sample();
+        assert!(Predicate::eq(&t, "nope", "AA").is_err());
+    }
+}

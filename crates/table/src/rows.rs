@@ -1,0 +1,190 @@
+//! Row selections: the result of evaluating a WHERE predicate.
+
+/// A set of selected row indices.
+///
+/// `All` avoids materialising `0..n` for whole-table scans; `Ids` holds
+/// an ascending list of row indices for sub-populations (the *contexts*
+/// of §2 select sub-populations through the WHERE condition).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RowSet {
+    /// Every row of a table with the given row count.
+    All(u32),
+    /// An explicit ascending list of row ids.
+    Ids(Vec<u32>),
+}
+
+impl RowSet {
+    /// Number of selected rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            RowSet::All(n) => *n as usize,
+            RowSet::Ids(ids) => ids.len(),
+        }
+    }
+
+    /// True when the selection is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates the selected row indices in ascending order.
+    pub fn iter(&self) -> RowIter<'_> {
+        match self {
+            RowSet::All(n) => RowIter::Range(0..*n),
+            RowSet::Ids(ids) => RowIter::Slice(ids.iter()),
+        }
+    }
+
+    /// Intersects with another selection over the same table.
+    pub fn intersect(&self, other: &RowSet) -> RowSet {
+        match (self, other) {
+            (RowSet::All(_), _) => other.clone(),
+            (_, RowSet::All(_)) => self.clone(),
+            (RowSet::Ids(a), RowSet::Ids(b)) => {
+                let mut out = Vec::with_capacity(a.len().min(b.len()));
+                let (mut i, mut j) = (0, 0);
+                while i < a.len() && j < b.len() {
+                    match a[i].cmp(&b[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            out.push(a[i]);
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                RowSet::Ids(out)
+            }
+        }
+    }
+
+    /// Unions with another selection over the same table.
+    pub fn union(&self, other: &RowSet) -> RowSet {
+        match (self, other) {
+            (RowSet::All(n), _) | (_, RowSet::All(n)) => RowSet::All(*n),
+            (RowSet::Ids(a), RowSet::Ids(b)) => {
+                let mut out = Vec::with_capacity(a.len() + b.len());
+                let (mut i, mut j) = (0, 0);
+                while i < a.len() && j < b.len() {
+                    match a[i].cmp(&b[j]) {
+                        std::cmp::Ordering::Less => {
+                            out.push(a[i]);
+                            i += 1;
+                        }
+                        std::cmp::Ordering::Greater => {
+                            out.push(b[j]);
+                            j += 1;
+                        }
+                        std::cmp::Ordering::Equal => {
+                            out.push(a[i]);
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                out.extend_from_slice(&a[i..]);
+                out.extend_from_slice(&b[j..]);
+                RowSet::Ids(out)
+            }
+        }
+    }
+
+    /// Complements the selection relative to a table of `n` rows.
+    pub fn complement(&self, n: u32) -> RowSet {
+        match self {
+            RowSet::All(_) => RowSet::Ids(Vec::new()),
+            RowSet::Ids(ids) => {
+                let mut out = Vec::with_capacity(n as usize - ids.len());
+                let mut next = ids.iter().copied().peekable();
+                for row in 0..n {
+                    if next.peek() == Some(&row) {
+                        next.next();
+                    } else {
+                        out.push(row);
+                    }
+                }
+                RowSet::Ids(out)
+            }
+        }
+    }
+}
+
+/// Iterator over selected rows.
+pub enum RowIter<'a> {
+    /// Contiguous range (whole table).
+    Range(std::ops::Range<u32>),
+    /// Explicit id list.
+    Slice(std::slice::Iter<'a, u32>),
+}
+
+impl Iterator for RowIter<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        match self {
+            RowIter::Range(r) => r.next(),
+            RowIter::Slice(s) => s.next().copied(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            RowIter::Range(r) => r.size_hint(),
+            RowIter::Slice(s) => s.size_hint(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a RowSet {
+    type Item = u32;
+    type IntoIter = RowIter<'a>;
+
+    fn into_iter(self) -> RowIter<'a> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> RowSet {
+        RowSet::Ids(v.to_vec())
+    }
+
+    #[test]
+    fn all_iterates_range() {
+        let r = RowSet::All(3);
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn intersect_merges_sorted() {
+        let a = ids(&[0, 2, 4, 6]);
+        let b = ids(&[2, 3, 4]);
+        assert_eq!(a.intersect(&b), ids(&[2, 4]));
+        assert_eq!(RowSet::All(10).intersect(&b), b);
+        assert_eq!(b.intersect(&RowSet::All(10)), b);
+    }
+
+    #[test]
+    fn union_merges_sorted() {
+        let a = ids(&[0, 2]);
+        let b = ids(&[1, 2, 5]);
+        assert_eq!(a.union(&b), ids(&[0, 1, 2, 5]));
+        assert_eq!(a.union(&RowSet::All(9)), RowSet::All(9));
+    }
+
+    #[test]
+    fn complement_inverts() {
+        let a = ids(&[1, 3]);
+        assert_eq!(a.complement(5), ids(&[0, 2, 4]));
+        assert_eq!(RowSet::All(4).complement(4), ids(&[]));
+        assert_eq!(ids(&[]).complement(2), ids(&[0, 1]));
+    }
+}

@@ -1,0 +1,43 @@
+//! Quickstart: detect, explain, and remove bias in a tiny confounded
+//! dataset.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hypdb::prelude::*;
+
+fn main() {
+    // A small observational dataset with a confounder Z that influences
+    // both the treatment T and the outcome Y. Within each Z group the
+    // outcome rate is identical for both treatments — any difference a
+    // group-by query reports is pure confounding.
+    let mut b = TableBuilder::new(["T", "Y", "Z"]);
+    for (t, y, z, copies) in [
+        ("t1", "1", "a", 30u32),
+        ("t1", "0", "a", 10),
+        ("t0", "1", "a", 6),
+        ("t0", "0", "a", 2),
+        ("t1", "1", "b", 2),
+        ("t1", "0", "b", 8),
+        ("t0", "1", "b", 10),
+        ("t0", "0", "b", 40),
+    ] {
+        for _ in 0..copies {
+            b.push_row([t, y, z]).expect("row arity");
+        }
+    }
+    let table = b.finish();
+
+    // The analyst's naive query.
+    let sql = "SELECT T, avg(Y) FROM D GROUP BY T";
+    println!("analyst's query:\n  {sql}\n");
+    let query = Query::from_sql(sql, &table).expect("valid query");
+
+    // Run the full HypDB pipeline: covariate discovery, bias detection,
+    // explanation, and rewriting.
+    let report = HypDb::new(&table).analyze(&query).expect("analysis");
+    println!("{report}");
+
+    println!("rewritten query (total effect):\n{}", report.rewritten.total_sql);
+}

@@ -1,0 +1,220 @@
+//! Cross-crate integration tests: the full HypDB pipeline on every
+//! evaluation dataset, checked against the paper's qualitative claims
+//! (and, for CancerData, against the known ground-truth DAG).
+
+use hypdb::prelude::*;
+use hypdb::datasets as ds;
+
+fn headline(report: &AnalysisReport) -> (&hypdb::core::ContextReport, f64, f64) {
+    let ctx = &report.contexts[0];
+    let naive = ctx.sql_diff.as_ref().expect("two levels")[0];
+    let total = ctx
+        .total_effect
+        .as_ref()
+        .expect("effect")
+        .diff
+        .as_ref()
+        .expect("two levels")[0];
+    (ctx, naive, total)
+}
+
+#[test]
+fn flight_simpson_paradox_detected_and_removed() {
+    let table = ds::flight_data(&ds::FlightConfig {
+        rows: 43_853,
+        total_attrs: 101,
+        ..ds::FlightConfig::default()
+    });
+    let q = Query::from_sql(
+        "SELECT Carrier, avg(Delayed) FROM FlightData \
+         WHERE Carrier IN ('AA','UA') AND Airport IN ('COS','MFE','MTJ','ROC') \
+         GROUP BY Carrier",
+        &table,
+    )
+    .expect("query");
+    let report = HypDb::new(&table).analyze(&q).expect("analysis");
+
+    // Discovery: Airport must be among the covariates; the FD and key
+    // columns must have been dropped.
+    assert!(report.covariates.contains(&"Airport".to_string()), "{:?}", report.covariates);
+    assert!(report
+        .dropped_fd
+        .iter()
+        .any(|(a, b)| a == "AirportWAC" && b == "Airport"));
+    assert!(report.dropped_keys.contains(&"FlightId".to_string()));
+
+    let (ctx, naive, total) = headline(&report);
+    // Bias detected.
+    assert!(ctx.bias_total.biased);
+    // Simpson: the naive and adjusted differences have opposite signs,
+    // both significant.
+    assert!(
+        naive.signum() != total.signum(),
+        "expected trend reversal: naive {naive}, total {total}"
+    );
+    assert!(ctx.sql_significance[0].p_value < 0.01);
+    assert!(ctx.total_effect.as_ref().unwrap().significance[0].p_value < 0.01);
+    // Airport is the top explanation; the top triple is (UA, ROC, 1) —
+    // the Fig 1(d) narrative.
+    assert_eq!(ctx.explanations.coarse[0].name, "Airport");
+    let top = &ctx.explanations.fine[0];
+    assert_eq!(
+        (top.t_value.as_str(), top.y_value.as_str(), top.z_value.as_str()),
+        ("UA", "1", "ROC")
+    );
+}
+
+#[test]
+fn berkeley_reversal_on_real_counts() {
+    let table = ds::berkeley_data();
+    let q = Query::from_sql(
+        "SELECT Gender, avg(Accepted) FROM BerkeleyData GROUP BY Gender",
+        &table,
+    )
+    .expect("query");
+    let report = HypDb::new(&table)
+        .with_covariates(["Department"])
+        .expect("attr")
+        .analyze(&q)
+        .expect("analysis");
+    let (ctx, naive, total) = headline(&report);
+    assert!(ctx.bias_total.biased);
+    // Naive: men ahead by ~14 points (exact, data is deterministic).
+    assert!((naive.abs() - 0.1416).abs() < 0.01, "naive {naive}");
+    // Adjusted: the gap reverses (women slightly ahead).
+    assert!(naive.signum() != total.signum());
+    assert!(total.abs() < 0.08, "adjusted gap is small: {total}");
+    // Department explains everything.
+    assert!(ctx.explanations.coarse[0].responsibility > 0.99);
+}
+
+#[test]
+fn adult_income_gap_explained_by_mediators() {
+    let table = ds::adult_data(&ds::AdultConfig {
+        rows: 48_842,
+        seed: 1994,
+    });
+    let q = Query::from_sql(
+        "SELECT Gender, avg(Income) FROM AdultData GROUP BY Gender",
+        &table,
+    )
+    .expect("query");
+    let report = HypDb::new(&table).analyze(&q).expect("analysis");
+    // The FD and the key column are dropped.
+    assert!(report
+        .dropped_fd
+        .iter()
+        .any(|(a, _)| a == "EducationNum" || a == "Education"));
+    assert!(report.dropped_keys.contains(&"Fnlwgt".to_string()));
+
+    let (ctx, naive, total) = headline(&report);
+    assert!(ctx.bias_total.biased);
+    // Headline rates ≈ 30% vs 11% (naive gap ≈ 0.17…0.19).
+    assert!(naive.abs() > 0.12, "naive {naive}");
+    // After adjustment the gap collapses (paper: 0.25 vs 0.23).
+    assert!(total.abs() < 0.05, "adjusted {total}");
+    // MaritalStatus carries the most responsibility (paper: 0.58).
+    assert_eq!(ctx.explanations.coarse[0].name, "MaritalStatus");
+    assert!(ctx.explanations.coarse[0].responsibility > 0.3);
+}
+
+#[test]
+fn staples_no_direct_income_effect() {
+    let table = ds::staples_data(&ds::StaplesConfig {
+        rows: 120_000,
+        seed: 2012,
+    });
+    let q = Query::from_sql(
+        "SELECT Income, avg(Price) FROM StaplesData GROUP BY Income",
+        &table,
+    )
+    .expect("query");
+    let report = HypDb::new(&table).analyze(&q).expect("analysis");
+    let ctx = &report.contexts[0];
+    // The naive association is large and significant.
+    assert!(ctx.sql_diff.as_ref().unwrap()[0].abs() > 0.15);
+    assert!(ctx.sql_significance[0].p_value < 0.01);
+    // Distance explains all of it; no direct effect remains.
+    assert_eq!(ctx.explanations.coarse[0].name, "Distance");
+    let direct = ctx.direct_effects.first().expect("direct effect");
+    assert!(direct.diff.as_ref().unwrap()[0].abs() < 0.02);
+    assert!(direct.significance[0].p_value > 0.01);
+}
+
+#[test]
+fn cancer_direct_effect_null_against_ground_truth() {
+    let table = ds::cancer_data(2_000, 2018);
+    let q = Query::from_sql(
+        "SELECT Lung_Cancer, avg(Car_Accident) FROM CancerData GROUP BY Lung_Cancer",
+        &table,
+    )
+    .expect("query");
+    let report = HypDb::new(&table).analyze(&q).expect("analysis");
+    let (ctx, naive, total) = headline(&report);
+    // Fig 4: ~0.60 vs ~0.77 naive; total stays significant, direct is
+    // null (no direct edge in the Fig 7 DAG).
+    assert!(naive > 0.08, "naive {naive}");
+    assert!(total > 0.05, "total {total}");
+    assert!(ctx.total_effect.as_ref().unwrap().significance[0].p_value < 0.05);
+    let direct = ctx.direct_effects.first().expect("direct effect");
+    assert!(
+        direct.diff.as_ref().unwrap()[0].abs() < 0.05,
+        "direct {:?}",
+        direct.diff
+    );
+    assert!(direct.significance[0].p_value > 0.01);
+    // Discovered covariates ⊆ true parents of Lung_Cancer ∪ their
+    // ancestors' boundary; in practice CD finds the exact parents.
+    let dag = ds::cancer_dag();
+    let truth: Vec<&str> = dag
+        .parent_set(dag.node("Lung_Cancer").unwrap())
+        .into_iter()
+        .map(|v| dag.name(v))
+        .collect();
+    for c in &report.covariates {
+        assert!(
+            truth.contains(&c.as_str()),
+            "covariate {c} not a true parent ({truth:?})"
+        );
+    }
+}
+
+#[test]
+fn sql_round_trip_matches_builder_pipeline() {
+    // The SQL front end and the query builder must drive identical
+    // analyses.
+    let table = ds::cancer_data(1_500, 4);
+    let q1 = Query::from_sql(
+        "SELECT Lung_Cancer, avg(Car_Accident) FROM CancerData GROUP BY Lung_Cancer",
+        &table,
+    )
+    .expect("query");
+    let q2 = QueryBuilder::new("Lung_Cancer")
+        .outcome("Car_Accident")
+        .from_name("CancerData")
+        .build(&table)
+        .expect("query");
+    let r1 = HypDb::new(&table).analyze(&q1).expect("analysis");
+    let r2 = HypDb::new(&table).analyze(&q2).expect("analysis");
+    assert_eq!(r1.covariates, r2.covariates);
+    assert_eq!(r1.contexts[0].sql_answers, r2.contexts[0].sql_answers);
+}
+
+#[test]
+fn rewritten_sql_parses_and_mentions_adjustment() {
+    let table = ds::berkeley_data();
+    let q = Query::from_sql(
+        "SELECT Gender, avg(Accepted) FROM BerkeleyData GROUP BY Gender",
+        &table,
+    )
+    .expect("query");
+    let report = HypDb::new(&table)
+        .with_covariates(["Department"])
+        .expect("attr")
+        .analyze(&q)
+        .expect("analysis");
+    let sql = &report.rewritten.total_sql;
+    assert!(sql.contains("WITH Blocks AS"));
+    assert!(sql.contains("HAVING count(DISTINCT Gender) = 2"));
+    assert!(sql.contains("Department"));
+}
