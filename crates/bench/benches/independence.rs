@@ -56,9 +56,7 @@ fn bench_tests(c: &mut Criterion) {
             let c2 = t.column(z[0]).codes();
             let c3 = t.column(z[1]).codes();
             let card2 = t.cardinality(z[0]);
-            (0..t.nrows())
-                .map(|i| c2[i] + card2 * c3[i])
-                .collect()
+            (0..t.nrows()).map(|i| c2[i] + card2 * c3[i]).collect()
         };
         group.bench_with_input(BenchmarkId::new("shuffle_m100", rows), &rows, |b, _| {
             let mut rng = StdRng::seed_from_u64(1);

@@ -9,8 +9,18 @@
 use hypdb_bench::{end_to_end, fig5a, opts, quality, table1, tests_perf, Scale};
 
 const ALL: &[&str] = &[
-    "table1", "end_to_end", "fig5a", "fig5b", "fig5c", "fig5d", "fig6a", "fig6b", "fig6c",
-    "fig6d", "fig8a", "fig8b",
+    "table1",
+    "end_to_end",
+    "fig5a",
+    "fig5b",
+    "fig5c",
+    "fig5d",
+    "fig6a",
+    "fig6b",
+    "fig6c",
+    "fig6d",
+    "fig8a",
+    "fig8b",
 ];
 
 fn run_one(name: &str, scale: Scale) {

@@ -67,7 +67,9 @@ pub fn run(scale: Scale) {
         );
     }
 
-    crate::report::section("Fig 4 (top) — CancerData: lung cancer and car accidents (ground truth known)");
+    crate::report::section(
+        "Fig 4 (top) — CancerData: lung cancer and car accidents (ground truth known)",
+    );
     {
         let table = ds::cancer_data(2_000, 17);
         let q = Query::from_sql(

@@ -54,7 +54,12 @@ pub struct Fig5aSummary {
 }
 
 /// Runs the sweep, returning per-query outcomes and the summary.
-pub fn sweep(table: &Table, queries: usize, alpha: f64, seed: u64) -> (Vec<QueryOutcome>, Fig5aSummary) {
+pub fn sweep(
+    table: &Table,
+    queries: usize,
+    alpha: f64,
+    seed: u64,
+) -> (Vec<QueryOutcome>, Fig5aSummary) {
     let mut rng = StdRng::seed_from_u64(seed);
     let carrier = table.attr("Carrier").expect("attr");
     let delayed = table.attr("Delayed").expect("attr");
@@ -188,7 +193,12 @@ pub fn run(scale: Scale) {
     for o in outcomes.iter().take(8) {
         println!(
             "  {}-{} @ {:?}: {:+.3} (p={:.3}) -> {:+.3} (p={:.3})",
-            o.carriers.0, o.carriers.1, o.airports, o.naive_diff, o.naive_p, o.adjusted_diff,
+            o.carriers.0,
+            o.carriers.1,
+            o.airports,
+            o.naive_diff,
+            o.naive_p,
+            o.adjusted_diff,
             o.adjusted_p
         );
     }

@@ -72,10 +72,7 @@ fn ci_config(kind: IndependenceTestKind) -> CiConfig {
 
 /// Runs one method on one dataset; returns per-node predicted parents
 /// and the number of independence tests performed (0 for score-based).
-pub fn predict_parents(
-    method: Method,
-    d: &RandomDataset,
-) -> (Vec<(usize, Vec<usize>)>, u64) {
+pub fn predict_parents(method: Method, d: &RandomDataset) -> (Vec<(usize, Vec<usize>)>, u64) {
     let table = &d.table;
     let n = table.nattrs();
     match method {
@@ -169,7 +166,9 @@ pub fn run_fig5b(scale: Scale) {
 
 /// Fig 5(c): restricted to nodes with ≥ 2 parents.
 pub fn run_fig5c(scale: Scale) {
-    crate::report::section("Fig 5(c) — parent-recovery F1 vs sample size (nodes with >= 2 parents)");
+    crate::report::section(
+        "Fig 5(c) — parent-recovery F1 vs sample size (nodes with >= 2 parents)",
+    );
     run_quality_sweep(scale, 2);
     println!(
         "\n(paper, for shape: the CD gap widens on multi-parent nodes — \
@@ -178,7 +177,10 @@ pub fn run_fig5c(scale: Scale) {
 }
 
 fn run_quality_sweep(scale: Scale, min_parents: usize) {
-    let sizes: Vec<usize> = scale.pick(vec![10_000, 30_000, 100_000], vec![10_000, 30_000, 100_000, 300_000, 1_000_000]);
+    let sizes: Vec<usize> = scale.pick(
+        vec![10_000, 30_000, 100_000],
+        vec![10_000, 30_000, 100_000, 300_000, 1_000_000],
+    );
     let seeds: Vec<u64> = scale.pick(vec![11, 22, 33, 44], vec![11, 22, 33, 44, 55, 66, 77]);
     let mut headers = vec!["rows".to_string()];
     headers.extend(Method::all().iter().map(|m| m.label().to_string()));
@@ -241,15 +243,12 @@ pub fn run_fig5d(scale: Scale) {
 /// whole DAG with FGS.
 pub fn run_fig6a(scale: Scale) {
     crate::report::section("Fig 6(a) — independence tests: one CD target vs the whole DAG (FGS)");
-    let sizes: Vec<usize> =
-        scale.pick(vec![10_000, 30_000, 100_000], vec![10_000, 30_000, 50_000, 100_000, 500_000]);
+    let sizes: Vec<usize> = scale.pick(
+        vec![10_000, 30_000, 100_000],
+        vec![10_000, 30_000, 50_000, 100_000, 500_000],
+    );
     let seeds: Vec<u64> = scale.pick(vec![11, 22], vec![11, 22, 33, 44]);
-    let mut t = MdTable::new([
-        "rows",
-        "CD single target",
-        "FGS total",
-        "FGS per node",
-    ]);
+    let mut t = MdTable::new(["rows", "CD single target", "FGS total", "FGS per node"]);
     for &rows in &sizes {
         let base = RandomDataConfig {
             nodes: 8,

@@ -4,11 +4,11 @@
 
 use crate::report::{f3, MdTable};
 use crate::{timed, Scale};
+use hypdb_datasets::random_data::{random_data, RandomDataConfig, RandomDataset};
 use hypdb_graph::dsep::d_separated_pair;
 use hypdb_stats::independence::{
     chi2_test, hymit, mit, mit_sampled, shuffle_test, MitConfig, Strata,
 };
-use hypdb_datasets::random_data::{random_data, RandomDataConfig, RandomDataset};
 use hypdb_table::contingency::Stratified;
 use hypdb_table::AttrId;
 use rand::rngs::StdRng;
@@ -72,7 +72,12 @@ fn make_cases(d: &RandomDataset, per_dataset: usize, seed: u64) -> Vec<Case> {
             }
         }
         let independent = d_separated_pair(&d.dag, x, y, &z);
-        cases.push(Case { x, y, z, independent });
+        cases.push(Case {
+            x,
+            y,
+            z,
+            independent,
+        });
     }
     // Balance the classes a little: keep at most 2/3 of one class.
     cases
@@ -143,7 +148,10 @@ fn run_proc(
 /// Fig 6(b): average wall time per independence test vs sample size.
 pub fn run_fig6b(scale: Scale) {
     crate::report::section("Fig 6(b) — runtime per independence test (seconds)");
-    let sizes: Vec<usize> = scale.pick(vec![10_000, 20_000, 40_000], vec![10_000, 20_000, 30_000, 40_000, 50_000]);
+    let sizes: Vec<usize> = scale.pick(
+        vec![10_000, 20_000, 40_000],
+        vec![10_000, 20_000, 30_000, 40_000, 50_000],
+    );
     let m = 100;
     let procs = [
         TestProc::Mit,
@@ -190,7 +198,10 @@ pub fn run_fig6b(scale: Scale) {
 /// tests on sparse samples.
 pub fn run_fig8a(scale: Scale) {
     crate::report::section("Fig 8(a) — independence-test accuracy (F1 of dependence detection)");
-    let sizes: Vec<usize> = scale.pick(vec![2_000, 8_000, 30_000], vec![2_000, 5_000, 10_000, 30_000, 50_000]);
+    let sizes: Vec<usize> = scale.pick(
+        vec![2_000, 8_000, 30_000],
+        vec![2_000, 5_000, 10_000, 30_000, 50_000],
+    );
     let alpha = 0.01;
     let m = 100;
     let procs = [

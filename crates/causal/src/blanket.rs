@@ -81,11 +81,7 @@ fn shrink<O: CiOracle + ?Sized>(oracle: &O, target: Var, boundary: &mut Vec<Var>
         let mut i = 0;
         while i < boundary.len() {
             let x = boundary[i];
-            let rest: Vec<Var> = boundary
-                .iter()
-                .copied()
-                .filter(|&v| v != x)
-                .collect();
+            let rest: Vec<Var> = boundary.iter().copied().filter(|&v| v != x).collect();
             if oracle.reliable(target, x, &rest) && oracle.independent(target, x, &rest) {
                 boundary.remove(i);
                 changed = true;

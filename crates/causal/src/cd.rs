@@ -119,9 +119,7 @@ impl<'o, O: CiOracle + ?Sized> CovariateDiscovery<'o, O> {
                     {
                         continue;
                     }
-                    if self.oracle.independent(z, w, &s)
-                        && self.oracle.dependent(z, w, &s_t)
-                    {
+                    if self.oracle.independent(z, w, &s) && self.oracle.dependent(z, w, &s_t) {
                         candidates.insert(z);
                         candidates.insert(w);
                         break 'search;

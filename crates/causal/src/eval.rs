@@ -109,8 +109,7 @@ mod tests {
     #[test]
     fn perfect_recovery_scores_one() {
         let g = diamond();
-        let preds: Vec<(usize, Vec<usize>)> =
-            (0..4).map(|v| (v, g.parent_set(v))).collect();
+        let preds: Vec<(usize, Vec<usize>)> = (0..4).map(|v| (v, g.parent_set(v))).collect();
         let s = parent_f1(&g, &preds, None);
         assert_eq!(s.f1(), 1.0);
         assert_eq!(s.tp, 4);

@@ -240,16 +240,15 @@ fn meek_rules(pdag: &mut Pdag) {
                     continue;
                 }
                 // R1: c -> a, a - b, c and b non-adjacent  =>  a -> b.
-                let r1 = (0..n)
-                    .any(|c| c != b && pdag.directed(c, a) && !pdag.adjacent(c, b));
+                let r1 = (0..n).any(|c| c != b && pdag.directed(c, a) && !pdag.adjacent(c, b));
                 if r1 {
                     pdag.orient(a, b);
                     changed = true;
                     continue;
                 }
                 // R2: a -> c -> b and a - b  =>  a -> b.
-                let r2 = (0..n)
-                    .any(|c| c != a && c != b && pdag.directed(a, c) && pdag.directed(c, b));
+                let r2 =
+                    (0..n).any(|c| c != a && c != b && pdag.directed(a, c) && pdag.directed(c, b));
                 if r2 {
                     pdag.orient(a, b);
                     changed = true;

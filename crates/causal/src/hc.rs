@@ -7,11 +7,11 @@
 //! are cached, so each step costs one or two family re-scores per
 //! candidate operation.
 
+use hypdb_graph::dag::Dag;
 use hypdb_stats::math::ln_gamma;
 use hypdb_table::contingency::ContingencyTable;
 use hypdb_table::hash::FxHashMap;
 use hypdb_table::{AttrId, RowSet, Table};
-use hypdb_graph::dag::Dag;
 use serde::{Deserialize, Serialize};
 
 /// Network scoring function.
@@ -233,10 +233,7 @@ mod tests {
         let mut net = BayesNet::uniform(dag, vec![2, 2, 2]);
         net.set_cpt(0, vec![0.5, 0.5]);
         net.set_cpt(1, vec![0.5, 0.5]);
-        net.set_cpt(
-            2,
-            vec![0.95, 0.05, 0.55, 0.45, 0.30, 0.70, 0.05, 0.95],
-        );
+        net.set_cpt(2, vec![0.95, 0.05, 0.55, 0.45, 0.30, 0.70, 0.05, 0.95]);
         let mut rng = StdRng::seed_from_u64(5);
         net.sample_table(&mut rng, n)
     }

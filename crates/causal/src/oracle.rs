@@ -15,15 +15,13 @@
 use hypdb_graph::dag::Dag;
 use hypdb_graph::dsep::d_separated_pair;
 use hypdb_stats::crosstab::CrossTab;
-use hypdb_stats::independence::{
-    mit, mit_sampled, MitConfig, Strata, TestMethod, TestOutcome,
-};
+use hypdb_stats::independence::{mit, mit_sampled, MitConfig, Strata, TestMethod, TestOutcome};
 use hypdb_stats::math::chi2_sf;
 use hypdb_stats::EntropyEstimator;
 use hypdb_table::contingency::ContingencyTable;
 use hypdb_table::hash::FxHashMap;
+use hypdb_table::sync::Mutex;
 use hypdb_table::{AttrId, RowSet, Table};
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -219,7 +217,11 @@ impl<'a> DataOracle<'a> {
         let mut sorted: Vec<Var> = vars.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
-        debug_assert_eq!(sorted.len(), vars.len(), "duplicate variables in counts_for");
+        debug_assert_eq!(
+            sorted.len(),
+            vars.len(),
+            "duplicate variables in counts_for"
+        );
         let base = self.sorted_counts(&sorted);
         if sorted == vars {
             return base;
@@ -676,7 +678,10 @@ mod tests {
                 ..CiConfig::default()
             },
         );
-        assert!(!chi.reliable(0, 1, &[2]), "shattered: acceptance unreliable");
+        assert!(
+            !chi.reliable(0, 1, &[2]),
+            "shattered: acceptance unreliable"
+        );
         assert!(
             !chi.reliable_dependence(0, 1, &[2]),
             "sparse χ² rejection is anti-conservative"

@@ -84,6 +84,7 @@ pub fn drop_logical_dependencies(
             }
         }
         sizes.reverse(); // ascending
+
         // One shared shuffled order => nested samples.
         let mut order = row_ids.clone();
         for i in (1..order.len()).rev() {
@@ -110,8 +111,8 @@ pub fn drop_logical_dependencies(
             }
             // Key-like: entropy grows by more than the threshold at
             // every doubling (monotone scaling with sample size).
-            let key_like = !growths.is_empty()
-                && growths.iter().all(|&g| g > cfg.key_growth_threshold);
+            let key_like =
+                !growths.is_empty() && growths.iter().all(|&g| g > cfg.key_growth_threshold);
             if key_like {
                 dropped_keys.push(a);
             } else {
@@ -232,8 +233,7 @@ mod tests {
         let t = sample(256);
         let carrier = t.attr("carrier").unwrap();
         let rows = t.all_rows();
-        let rep =
-            drop_logical_dependencies(&t, &rows, &[carrier], &PreprocessConfig::default());
+        let rep = drop_logical_dependencies(&t, &rows, &[carrier], &PreprocessConfig::default());
         assert_eq!(rep.kept, vec![carrier]);
     }
 }

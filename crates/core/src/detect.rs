@@ -44,9 +44,7 @@ pub fn joint_crosstab(table: &Table, rows: &RowSet, t: AttrId, v: &[AttrId]) -> 
             *slot = col[row as usize];
         }
         let next = index.len();
-        let j = *index
-            .entry(key.clone().into_boxed_slice())
-            .or_insert(next);
+        let j = *index.entry(key.clone().into_boxed_slice()).or_insert(next);
         cells.push((tcol[row as usize] as usize, j));
     }
     let c = index.len().max(1);

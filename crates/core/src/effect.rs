@@ -85,11 +85,7 @@ pub fn adjusted_averages(
     let tcol = table.column(t).codes();
     let ycols: Vec<&[u32]> = outcomes.iter().map(|&y| table.column(y).codes()).collect();
     let zcols: Vec<&[u32]> = z.iter().map(|&a| table.column(a).codes()).collect();
-    let level_of: FxHashMap<u32, usize> = levels
-        .iter()
-        .enumerate()
-        .map(|(i, &c)| (c, i))
-        .collect();
+    let level_of: FxHashMap<u32, usize> = levels.iter().enumerate().map(|(i, &c)| (c, i)).collect();
 
     let mut blocks: FxHashMap<Box<[u32]>, BlockAcc> = FxHashMap::default();
     let mut key = vec![0u32; z.len()];
@@ -207,11 +203,7 @@ pub fn natural_direct_effect(
     let ycols: Vec<&[u32]> = outcomes.iter().map(|&y| table.column(y).codes()).collect();
     let zcols: Vec<&[u32]> = z.iter().map(|&a| table.column(a).codes()).collect();
     let mcols: Vec<&[u32]> = mediators.iter().map(|&a| table.column(a).codes()).collect();
-    let level_of: FxHashMap<u32, usize> = levels
-        .iter()
-        .enumerate()
-        .map(|(i, &c)| (c, i))
-        .collect();
+    let level_of: FxHashMap<u32, usize> = levels.iter().enumerate().map(|(i, &c)| (c, i)).collect();
 
     // Blocks keyed by (z, m); stored grouped under their z-part so the
     // conditional P(m | t_ctrl, z) can be renormalised within z.
@@ -384,18 +376,10 @@ mod tests {
         let (t, y, z) = ids(&tab);
         let rows = tab.all_rows();
         let levels = [0u32, 1u32]; // t1 first-seen => code 0; t0 => 1
+
         // Naive (unadjusted) difference is large:
-        let naive = adjusted_averages(
-            &tab,
-            &rows,
-            t,
-            &levels,
-            &[y],
-            &[],
-            &MitConfig::default(),
-            1,
-        )
-        .unwrap();
+        let naive = adjusted_averages(&tab, &rows, t, &levels, &[y], &[], &MitConfig::default(), 1)
+            .unwrap();
         let naive_diff = naive.diff.clone().unwrap()[0].abs();
         assert!(naive_diff > 0.2, "naive diff {naive_diff}");
 

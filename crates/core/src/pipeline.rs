@@ -414,7 +414,15 @@ impl<'a> HypDb<'a> {
             .map(|ms| {
                 let mut v = discovery.covariates.clone();
                 v.extend(ms);
-                detect_bias(table, &ctx.rows, t, &v, self.cfg.ci.alpha, &mit_cfg, seed ^ 0xD1)
+                detect_bias(
+                    table,
+                    &ctx.rows,
+                    t,
+                    &v,
+                    self.cfg.ci.alpha,
+                    &mit_cfg,
+                    seed ^ 0xD1,
+                )
             })
             .collect();
         timings.detection += td.elapsed().as_secs_f64();
@@ -520,7 +528,12 @@ mod tests {
         let report = HypDb::new(&table).analyze(&q).unwrap();
 
         // Discovery must find Z as the covariate.
-        assert_eq!(report.covariates, vec!["Z"], "fallback={}", report.used_fallback);
+        assert_eq!(
+            report.covariates,
+            vec!["Z"],
+            "fallback={}",
+            report.used_fallback
+        );
         assert_eq!(report.contexts.len(), 1);
         let ctx = &report.contexts[0];
 

@@ -67,8 +67,8 @@ impl Query {
     /// Builds from SQL text, treating the **first** group-by column as
     /// the treatment (the paper's Listing 1 convention).
     pub fn from_sql(sql: &str, table: &Table) -> Result<Query> {
-        let stmt = hypdb_sql::parse_query(sql)
-            .map_err(|e| Error::Invalid(format!("parse error: {e}")))?;
+        let stmt =
+            hypdb_sql::parse_query(sql).map_err(|e| Error::Invalid(format!("parse error: {e}")))?;
         let treatment = stmt
             .group_by
             .first()
@@ -171,7 +171,11 @@ impl QueryBuilder {
                 preds.push(Predicate::eq(table, attr, &values[0])?);
                 where_parts.push(format!("{attr} = '{}'", values[0]));
             } else {
-                preds.push(Predicate::is_in(table, attr, values.iter().map(String::as_str))?);
+                preds.push(Predicate::is_in(
+                    table,
+                    attr,
+                    values.iter().map(String::as_str),
+                )?);
                 where_parts.push(format!(
                     "{attr} IN ({})",
                     values
@@ -245,8 +249,7 @@ mod tests {
     fn treatment_must_be_grouped() {
         let t = table();
         let stmt =
-            hypdb_sql::parse_query("SELECT Carrier, avg(Delayed) FROM F GROUP BY Carrier")
-                .unwrap();
+            hypdb_sql::parse_query("SELECT Carrier, avg(Delayed) FROM F GROUP BY Carrier").unwrap();
         assert!(Query::from_statement(&stmt, &t, "Airport").is_err());
     }
 

@@ -110,8 +110,12 @@ impl fmt::Display for ContextReport {
                 "{:<14} {:>12} {:>14} {:>14}",
                 "diff",
                 format!("{:+.3}", d[0]),
-                tot_d.map(|v| format!("{v:+.3}")).unwrap_or_else(|| "-".into()),
-                dir_d.map(|v| format!("{v:+.3}")).unwrap_or_else(|| "-".into()),
+                tot_d
+                    .map(|v| format!("{v:+.3}"))
+                    .unwrap_or_else(|| "-".into()),
+                dir_d
+                    .map(|v| format!("{v:+.3}"))
+                    .unwrap_or_else(|| "-".into()),
             )?;
             let sql_p = fmt_p(self.sql_significance[0].p_value);
             let tot_p = self

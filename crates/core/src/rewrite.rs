@@ -20,7 +20,11 @@ pub struct RewriteResult {
 }
 
 /// Builds the [`RewriteSpec`] for a query and an adjustment set.
-pub fn rewrite_spec(table: &Table, query: &Query, adjustment: &[hypdb_table::AttrId]) -> RewriteSpec {
+pub fn rewrite_spec(
+    table: &Table,
+    query: &Query,
+    adjustment: &[hypdb_table::AttrId],
+) -> RewriteSpec {
     let name = |a: &hypdb_table::AttrId| table.schema().name(*a).to_string();
     RewriteSpec {
         from: query.from.clone(),
@@ -46,7 +50,9 @@ pub fn render_rewrites(
     } else {
         let mut adj: Vec<hypdb_table::AttrId> = covariates.to_vec();
         adj.extend_from_slice(mediators);
-        Some(hypdb_sql::render_rewritten(&rewrite_spec(table, query, &adj)))
+        Some(hypdb_sql::render_rewritten(&rewrite_spec(
+            table, query, &adj,
+        )))
     };
     RewriteResult {
         total_sql,

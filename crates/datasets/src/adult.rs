@@ -39,7 +39,13 @@ impl Default for AdultConfig {
 }
 
 /// Education levels, low to high.
-pub const EDUCATION: [&str; 5] = ["HS-grad", "SomeCollege", "Bachelors", "Masters", "Doctorate"];
+pub const EDUCATION: [&str; 5] = [
+    "HS-grad",
+    "SomeCollege",
+    "Bachelors",
+    "Masters",
+    "Doctorate",
+];
 /// Marital-status levels.
 pub const MARITAL: [&str; 3] = ["Single", "Married", "Divorced"];
 /// Occupation buckets.

@@ -126,7 +126,7 @@ pub fn flight_data(cfg: &FlightConfig) -> Table {
     for row in 0..cfg.rows {
         let year = rng.gen_range(0..4u32);
         let quarter = rng.gen_range(0..4u32);
-        let month = quarter * 3 + rng.gen_range(0..3);
+        let month = quarter * 3 + rng.gen_range(0..3u32);
         let day = rng.gen_range(0..28u32);
         let dow = rng.gen_range(0..7u32);
 
@@ -190,7 +190,10 @@ pub fn flight_data(cfg: &FlightConfig) -> Table {
         b.push(c_delayed, delayed);
         b.push_value(c_flightid, &format!("F{row:07}"));
         b.push_value(c_tailnum, &format!("N{}", row % (cfg.rows / 3).max(1)));
-        b.push_value(c_flightnum, &format!("{}", 100 + row % (cfg.rows / 8).max(1)));
+        b.push_value(
+            c_flightnum,
+            &format!("{}", 100 + row % (cfg.rows / 8).max(1)),
+        );
         for (i, &col) in filler_cols.iter().enumerate() {
             let card = 2 + (i % 5) as u32;
             b.push(col, rng.gen_range(0..card));

@@ -127,10 +127,12 @@ mod tests {
         };
         let c2 = RandomDataConfig { seed: 1, ..c1 };
         let (a, b) = (random_data(&c1), random_data(&c2));
-        assert!(a.dag != b.dag || {
-            let col = hypdb_table::AttrId(0);
-            a.table.column(col).codes() != b.table.column(col).codes()
-        });
+        assert!(
+            a.dag != b.dag || {
+                let col = hypdb_table::AttrId(0);
+                a.table.column(col).codes() != b.table.column(col).codes()
+            }
+        );
     }
 
     #[test]

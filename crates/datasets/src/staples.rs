@@ -47,6 +47,7 @@ pub fn staples_data(cfg: &StaplesConfig) -> Table {
 
     for row in 0..cfg.rows {
         let income = coin(&mut rng, 0.45); // 1 = high income
+
         // Distance | Income: low income lives far from competitors.
         let far = if income == 0 {
             coin(&mut rng, 0.70)

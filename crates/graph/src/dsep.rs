@@ -96,7 +96,8 @@ pub fn reachable(g: &Dag, x: &[usize], z: &[usize]) -> Vec<usize> {
 /// allowed; evidence nodes are never reported reachable.
 pub fn d_separated(g: &Dag, x: &[usize], y: &[usize], z: &[usize]) -> bool {
     let reach = reachable(g, x, z);
-    !y.iter().any(|t| reach.binary_search(t).is_ok() && !x.contains(t))
+    !y.iter()
+        .any(|t| reach.binary_search(t).is_ok() && !x.contains(t))
 }
 
 /// Pairwise convenience wrapper: `X ⊥⊥_d Y | Z` for single nodes.

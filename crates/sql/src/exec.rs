@@ -61,20 +61,10 @@ impl fmt::Display for ResultSet {
 pub fn compile_expr(table: &Table, expr: &Expr) -> Result<Predicate, ExecError> {
     Ok(match expr {
         Expr::Eq(col, lit) => Predicate::eq(table, col, &lit.0)?,
-        Expr::NotEq(col, lit) => {
-            Predicate::Not(Box::new(Predicate::eq(table, col, &lit.0)?))
-        }
-        Expr::In(col, lits) => {
-            Predicate::is_in(table, col, lits.iter().map(|l| l.0.as_str()))?
-        }
-        Expr::And(a, b) => Predicate::and([
-            compile_expr(table, a)?,
-            compile_expr(table, b)?,
-        ]),
-        Expr::Or(a, b) => Predicate::Or(vec![
-            compile_expr(table, a)?,
-            compile_expr(table, b)?,
-        ]),
+        Expr::NotEq(col, lit) => Predicate::Not(Box::new(Predicate::eq(table, col, &lit.0)?)),
+        Expr::In(col, lits) => Predicate::is_in(table, col, lits.iter().map(|l| l.0.as_str()))?,
+        Expr::And(a, b) => Predicate::and([compile_expr(table, a)?, compile_expr(table, b)?]),
+        Expr::Or(a, b) => Predicate::Or(vec![compile_expr(table, a)?, compile_expr(table, b)?]),
         Expr::Not(e) => Predicate::Not(Box::new(compile_expr(table, e)?)),
     })
 }
@@ -123,7 +113,10 @@ pub fn execute(stmt: &Statement, table: &Table) -> Result<ResultSet, ExecError> 
     } else {
         use hypdb_table::hash::FxHashMap;
         let mut per_group: FxHashMap<Box<[u32]>, Vec<BTreeSet<u32>>> = FxHashMap::default();
-        let gcols: Vec<&[u32]> = group_attrs.iter().map(|&a| table.column(a).codes()).collect();
+        let gcols: Vec<&[u32]> = group_attrs
+            .iter()
+            .map(|&a| table.column(a).codes())
+            .collect();
         let dcols: Vec<&[u32]> = distinct_attrs
             .iter()
             .map(|&a| table.column(a).codes())
@@ -160,7 +153,11 @@ pub fn execute(stmt: &Statement, table: &Table) -> Result<ResultSet, ExecError> 
         for item in &stmt.items {
             match item {
                 SelectItem::Column(c) => {
-                    let pos = stmt.group_by.iter().position(|g| g == c).expect("validated");
+                    let pos = stmt
+                        .group_by
+                        .iter()
+                        .position(|g| g == c)
+                        .expect("validated");
                     let attr = group_attrs[pos];
                     row.push(table.column(attr).dict().value(g.key[pos]).to_string());
                 }
@@ -226,10 +223,8 @@ mod tests {
 
     #[test]
     fn where_in_filters() {
-        let rs = run(
-            "SELECT Carrier, avg(Delayed) FROM F \
-             WHERE Carrier IN ('AA','UA') AND Airport = 'ROC' GROUP BY Carrier",
-        );
+        let rs = run("SELECT Carrier, avg(Delayed) FROM F \
+             WHERE Carrier IN ('AA','UA') AND Airport = 'ROC' GROUP BY Carrier");
         assert_eq!(rs.rows.len(), 2);
         assert_eq!(rs.rows[0][1], "0.8"); // AA at ROC: 4/5
         assert_eq!(rs.rows[1][1], "0.6"); // UA at ROC: 6/10
@@ -253,10 +248,7 @@ mod tests {
     fn ungrouped_column_rejected() {
         let t = flights();
         let stmt = parse_query("SELECT Carrier FROM F").unwrap();
-        assert!(matches!(
-            execute(&stmt, &t),
-            Err(ExecError::NotGrouped(_))
-        ));
+        assert!(matches!(execute(&stmt, &t), Err(ExecError::NotGrouped(_))));
     }
 
     #[test]
@@ -274,10 +266,8 @@ mod tests {
 
     #[test]
     fn not_and_or() {
-        let rs = run(
-            "SELECT Carrier, count(*) FROM F \
-             WHERE NOT (Carrier = 'AA' OR Carrier = 'UA') GROUP BY Carrier",
-        );
+        let rs = run("SELECT Carrier, count(*) FROM F \
+             WHERE NOT (Carrier = 'AA' OR Carrier = 'UA') GROUP BY Carrier");
         assert_eq!(rs.rows, vec![vec!["DL".to_string(), "5".to_string()]]);
     }
 

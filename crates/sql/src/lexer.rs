@@ -135,9 +135,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
             }
             c if c.is_ascii_digit() => {
                 let start = i;
-                while i < bytes.len()
-                    && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.')
-                {
+                while i < bytes.len() && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.') {
                     // A digit followed by '.' then non-digit is a
                     // qualified name like `1.x` — not supported; treat
                     // '.' as part of the number only when followed by a

@@ -90,11 +90,10 @@ impl Parser {
     }
 
     fn try_keyword(&mut self, kw: &str) -> bool {
-        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
-            && {
-                self.pos += 1;
-                true
-            }
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw)) && {
+            self.pos += 1;
+            true
+        }
     }
 
     fn expect(&mut self, t: &Token, what: &str) -> Result<(), ParseError> {

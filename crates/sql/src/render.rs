@@ -116,7 +116,12 @@ mod tests {
             treatment: "Carrier".into(),
             outcomes: vec!["Delayed".into()],
             grouping: vec![],
-            adjustment: vec!["Airport".into(), "Year".into(), "Day".into(), "Month".into()],
+            adjustment: vec![
+                "Airport".into(),
+                "Year".into(),
+                "Day".into(),
+                "Month".into(),
+            ],
             where_sql: Some(
                 "Carrier IN ('AA', 'UA') AND Airport IN ('COS', 'MFE', 'MTJ', 'ROC')".into(),
             ),

@@ -199,8 +199,12 @@ mod tests {
         let (r, c) = (2, 3);
         let mi = mi_from_matrix(&counts, r, c);
         let h_xy = entropy_plugin(counts.iter().copied());
-        let rows: Vec<u64> = (0..r).map(|i| counts[i * c..(i + 1) * c].iter().sum()).collect();
-        let cols: Vec<u64> = (0..c).map(|j| (0..r).map(|i| counts[i * c + j]).sum()).collect();
+        let rows: Vec<u64> = (0..r)
+            .map(|i| counts[i * c..(i + 1) * c].iter().sum())
+            .collect();
+        let cols: Vec<u64> = (0..c)
+            .map(|j| (0..r).map(|i| counts[i * c + j]).sum())
+            .collect();
         let h_x = entropy_plugin(rows);
         let h_y = entropy_plugin(cols);
         close(mi, h_x + h_y - h_xy, 1e-12);

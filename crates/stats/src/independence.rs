@@ -333,7 +333,12 @@ pub fn hymit(strata: &Strata, cfg: &MitConfig, rng: &mut impl Rng) -> TestOutcom
         None => {
             let g = strata.num_groups();
             if g > 64 {
-                mit_sampled(strata, cfg.permutations, MitConfig::auto_group_sample(g), rng)
+                mit_sampled(
+                    strata,
+                    cfg.permutations,
+                    MitConfig::auto_group_sample(g),
+                    rng,
+                )
             } else {
                 mit(strata, cfg.permutations, rng)
             }
@@ -530,7 +535,10 @@ mod tests {
             v
         })]);
         let out = hymit(&sparse, &MitConfig::default(), &mut rng());
-        assert!(matches!(out.method, TestMethod::Mit | TestMethod::MitSampled));
+        assert!(matches!(
+            out.method,
+            TestMethod::Mit | TestMethod::MitSampled
+        ));
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub fn sample_table(rng: &mut impl Rng, rows: &[u64], cols: &[u64]) -> CrossTab 
                 break;
             }
             let id = jwork[j]; // remaining demand of column j
+
             // Hypergeometric draw: among `ic` unplaced units of which
             // `id` belong to column j, how many of row i's `ia` land in
             // column j?

@@ -97,8 +97,7 @@ pub fn hypergeometric(rng: &mut impl Rng, ngood: u64, nbad: u64, ndraw: u64) -> 
 
     // P(x+1)/P(x) = (ngood−x)(ndraw−x) / ((x+1)(nbad−ndraw+x+1)).
     let ratio_up = |x: u64| -> f64 {
-        ((ngood - x) as f64 * (ndraw - x) as f64)
-            / ((x + 1) as f64 * (nbad + x + 1 - ndraw) as f64)
+        ((ngood - x) as f64 * (ndraw - x) as f64) / ((x + 1) as f64 * (nbad + x + 1 - ndraw) as f64)
     };
     const TAIL_EPS: f64 = 1e-16;
 

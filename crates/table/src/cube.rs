@@ -14,8 +14,8 @@ use crate::error::{Error, Result};
 use crate::hash::FxHashMap;
 use crate::rows::RowSet;
 use crate::schema::AttrId;
+use crate::sync::Mutex;
 use crate::table::Table;
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// Maximum cube width mirroring the PostgreSQL limitation discussed in
@@ -47,12 +47,7 @@ impl DataCube {
     ///
     /// Errors if more than `max_attrs` attributes are requested
     /// (pass [`DEFAULT_MAX_CUBE_ATTRS`] for the paper's limit).
-    pub fn build(
-        table: &Table,
-        rows: &RowSet,
-        attrs: &[AttrId],
-        max_attrs: usize,
-    ) -> Result<Self> {
+    pub fn build(table: &Table, rows: &RowSet, attrs: &[AttrId], max_attrs: usize) -> Result<Self> {
         if attrs.len() > max_attrs.min(63) {
             return Err(Error::CubeMiss(format!(
                 "cube width {} exceeds limit {}",

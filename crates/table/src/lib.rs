@@ -31,6 +31,7 @@ pub mod hash;
 pub mod predicate;
 pub mod rows;
 pub mod schema;
+pub mod sync;
 pub mod table;
 
 pub use column::{Column, Dictionary};

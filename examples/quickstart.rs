@@ -39,5 +39,8 @@ fn main() {
     let report = HypDb::new(&table).analyze(&query).expect("analysis");
     println!("{report}");
 
-    println!("rewritten query (total effect):\n{}", report.rewritten.total_sql);
+    println!(
+        "rewritten query (total effect):\n{}",
+        report.rewritten.total_sql
+    );
 }

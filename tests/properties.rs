@@ -1,7 +1,12 @@
-//! Property-based tests (proptest) on the core invariants:
+//! Randomized property tests on the core invariants:
 //! information-theoretic identities, Patefield marginal preservation,
 //! the adjustment formula's degenerate cases, d-separation axioms, and
 //! SQL round-trips.
+//!
+//! Written against the in-repo `rand` stub rather than proptest (the
+//! offline build has no registry access): each property is checked on a
+//! few hundred seeded pseudo-random cases, so failures reproduce
+//! deterministically.
 
 use hypdb::core::effect::adjusted_averages;
 use hypdb::graph::dag::Dag;
@@ -12,34 +17,46 @@ use hypdb::stats::independence::{chi2_test, MitConfig, Strata};
 use hypdb::stats::math::{chi2_sf, gamma_p, gamma_q, ln_gamma};
 use hypdb::stats::patefield::sample_table;
 use hypdb::table::{Predicate, TableBuilder};
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    /// Plug-in entropy is within [0, ln(#categories)] and invariant to
-    /// zero-count categories; Miller–Madow dominates plug-in.
-    #[test]
-    fn entropy_bounds(counts in proptest::collection::vec(0u64..500, 1..20)) {
+const CASES: usize = 200;
+
+fn counts_vec(rng: &mut StdRng, len: usize, max: u64) -> Vec<u64> {
+    (0..len).map(|_| rng.gen_range(0..max)).collect()
+}
+
+/// Plug-in entropy is within [0, ln(#categories)] and invariant to
+/// zero-count categories; Miller–Madow dominates plug-in.
+#[test]
+fn entropy_bounds() {
+    let mut rng = StdRng::seed_from_u64(101);
+    for _ in 0..CASES {
+        let len = rng.gen_range(1..20usize);
+        let counts = counts_vec(&mut rng, len, 500);
         let support = counts.iter().filter(|&&c| c > 0).count();
         let h = entropy_plugin(counts.iter().copied());
-        prop_assert!(h >= 0.0);
-        prop_assert!(h <= (support.max(1) as f64).ln() + 1e-9);
+        assert!(h >= 0.0);
+        assert!(h <= (support.max(1) as f64).ln() + 1e-9);
         let hmm = entropy_miller_madow(counts.iter().copied());
-        prop_assert!(hmm + 1e-12 >= h);
+        assert!(hmm + 1e-12 >= h);
         // Zero-count invariance.
         let mut padded = counts.clone();
         padded.push(0);
-        prop_assert!((entropy_plugin(padded.iter().copied()) - h).abs() < 1e-12);
+        assert!((entropy_plugin(padded.iter().copied()) - h).abs() < 1e-12);
     }
+}
 
-    /// Mutual information is non-negative, symmetric, and bounded by
-    /// min(H(X), H(Y)).
-    #[test]
-    fn mi_properties(cells in proptest::collection::vec(0u64..200, 6)) {
+/// Mutual information is non-negative, symmetric, and bounded by
+/// min(H(X), H(Y)).
+#[test]
+fn mi_properties() {
+    let mut rng = StdRng::seed_from_u64(102);
+    for _ in 0..CASES {
+        let cells = counts_vec(&mut rng, 6, 200);
         let (r, c) = (2usize, 3usize);
         let mi = mi_from_matrix(&cells, r, c);
-        prop_assert!(mi >= 0.0);
+        assert!(mi >= 0.0);
         // Symmetry: transpose.
         let mut tr = vec![0u64; 6];
         for i in 0..r {
@@ -48,88 +65,110 @@ proptest! {
             }
         }
         let mi_t = mi_from_matrix(&tr, c, r);
-        prop_assert!((mi - mi_t).abs() < 1e-10);
+        assert!((mi - mi_t).abs() < 1e-10);
         // Bound by marginal entropies.
-        let rows: Vec<u64> = (0..r).map(|i| cells[i*c..(i+1)*c].iter().sum()).collect();
-        let cols: Vec<u64> = (0..c).map(|j| (0..r).map(|i| cells[i*c+j]).sum()).collect();
+        let rows: Vec<u64> = (0..r)
+            .map(|i| cells[i * c..(i + 1) * c].iter().sum())
+            .collect();
+        let cols: Vec<u64> = (0..c)
+            .map(|j| (0..r).map(|i| cells[i * c + j]).sum())
+            .collect();
         let hx = entropy_plugin(rows);
         let hy = entropy_plugin(cols);
-        prop_assert!(mi <= hx.min(hy) + 1e-9);
+        assert!(mi <= hx.min(hy) + 1e-9);
     }
+}
 
-    /// Patefield tables preserve the marginals of any observed table.
-    #[test]
-    fn patefield_preserves_marginals(
-        cells in proptest::collection::vec(0u64..60, 12),
-        seed in 0u64..1000,
-    ) {
+/// Patefield tables preserve the marginals of any observed table.
+#[test]
+fn patefield_preserves_marginals() {
+    let mut rng = StdRng::seed_from_u64(103);
+    for seed in 0..CASES as u64 {
+        let cells = counts_vec(&mut rng, 12, 60);
         let tab = CrossTab::new(3, 4, cells);
         if tab.total() == 0 {
-            return Ok(());
+            continue;
         }
         let compact = tab.compact();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let sampled = sample_table(&mut rng, &compact.row_sums(), &compact.col_sums());
-        prop_assert_eq!(sampled.row_sums(), compact.row_sums());
-        prop_assert_eq!(sampled.col_sums(), compact.col_sums());
-        prop_assert_eq!(sampled.total(), compact.total());
+        let mut sampler = StdRng::seed_from_u64(seed);
+        let sampled = sample_table(&mut sampler, &compact.row_sums(), &compact.col_sums());
+        assert_eq!(sampled.row_sums(), compact.row_sums());
+        assert_eq!(sampled.col_sums(), compact.col_sums());
+        assert_eq!(sampled.total(), compact.total());
     }
+}
 
-    /// Gamma-family identities: P + Q = 1, ln Γ satisfies the recurrence
-    /// Γ(x+1) = x·Γ(x), and the χ² survival function is monotone.
-    #[test]
-    fn gamma_identities(a in 0.1f64..30.0, x in 0.0f64..60.0) {
-        prop_assert!((gamma_p(a, x) + gamma_q(a, x) - 1.0).abs() < 1e-9);
+/// Gamma-family identities: P + Q = 1, ln Γ satisfies the recurrence
+/// Γ(x+1) = x·Γ(x), and the χ² survival function is monotone.
+#[test]
+fn gamma_identities() {
+    let mut rng = StdRng::seed_from_u64(104);
+    for _ in 0..CASES {
+        let a = rng.gen_range(0.1f64..30.0);
+        let x = rng.gen_range(0.0f64..60.0);
+        assert!((gamma_p(a, x) + gamma_q(a, x) - 1.0).abs() < 1e-9);
         let lhs = ln_gamma(a + 1.0);
         let rhs = a.ln() + ln_gamma(a);
-        prop_assert!((lhs - rhs).abs() < 1e-8, "recurrence at {a}");
+        assert!((lhs - rhs).abs() < 1e-8, "recurrence at {a}");
         // Monotonicity of the survival function in x.
         let df = a.max(0.5);
-        prop_assert!(chi2_sf(x, df) + 1e-12 >= chi2_sf(x + 1.0, df));
+        assert!(chi2_sf(x, df) + 1e-12 >= chi2_sf(x + 1.0, df));
     }
+}
 
-    /// The χ² test is invariant to swapping X and Y.
-    #[test]
-    fn chi2_symmetric(cells in proptest::collection::vec(1u64..100, 4)) {
+/// The χ² test is invariant to swapping X and Y.
+#[test]
+fn chi2_symmetric() {
+    let mut rng = StdRng::seed_from_u64(105);
+    for _ in 0..CASES {
+        let cells: Vec<u64> = (0..4).map(|_| rng.gen_range(1..100u64)).collect();
         let tab = CrossTab::new(2, 2, cells.clone());
         let swapped = CrossTab::new(2, 2, vec![cells[0], cells[2], cells[1], cells[3]]);
         let a = chi2_test(&Strata::single(tab));
         let b = chi2_test(&Strata::single(swapped));
-        prop_assert!((a.p_value - b.p_value).abs() < 1e-9);
+        assert!((a.p_value - b.p_value).abs() < 1e-9);
     }
+}
 
-    /// d-separation axioms on random DAGs: symmetry, and conditioning
-    /// on a node's full non-descendant separator (its parents) blocks
-    /// every non-descendant.
-    #[test]
-    fn dsep_symmetry(edges in proptest::collection::vec((0usize..7, 0usize..7), 0..15),
-                     x in 0usize..7, y in 0usize..7, z in 0usize..7) {
-        let mut g = Dag::new(7);
-        for (u, v) in edges {
-            if u != v {
-                g.add_edge(u, v);
-            }
+fn random_dag(rng: &mut StdRng, nodes: usize, max_edges: usize) -> Dag {
+    let mut g = Dag::new(nodes);
+    for _ in 0..rng.gen_range(0..max_edges) {
+        let u = rng.gen_range(0..nodes);
+        let v = rng.gen_range(0..nodes);
+        if u != v {
+            g.add_edge(u, v);
         }
+    }
+    g
+}
+
+/// d-separation is symmetric in its first two arguments.
+#[test]
+fn dsep_symmetry() {
+    let mut rng = StdRng::seed_from_u64(106);
+    for _ in 0..CASES {
+        let g = random_dag(&mut rng, 7, 15);
+        let x = rng.gen_range(0..7usize);
+        let y = rng.gen_range(0..7usize);
+        let z = rng.gen_range(0..7usize);
         if x == y {
-            return Ok(());
+            continue;
         }
         let cond: Vec<usize> = if z != x && z != y { vec![z] } else { vec![] };
-        prop_assert_eq!(
+        assert_eq!(
             d_separated_pair(&g, x, y, &cond),
             d_separated_pair(&g, y, x, &cond)
         );
     }
+}
 
-    /// Local Markov property: a node is d-separated from every
-    /// non-descendant non-parent given its parents.
-    #[test]
-    fn dsep_local_markov(edges in proptest::collection::vec((0usize..6, 0usize..6), 0..12)) {
-        let mut g = Dag::new(6);
-        for (u, v) in edges {
-            if u != v {
-                g.add_edge(u, v);
-            }
-        }
+/// Local Markov property: a node is d-separated from every
+/// non-descendant non-parent given its parents.
+#[test]
+fn dsep_local_markov() {
+    let mut rng = StdRng::seed_from_u64(107);
+    for _ in 0..CASES {
+        let g = random_dag(&mut rng, 6, 12);
         for v in 0..6 {
             let parents = g.parent_set(v);
             let descendants = g.descendants(v);
@@ -137,57 +176,84 @@ proptest! {
                 if w == v || parents.contains(&w) || descendants.contains(&w) {
                     continue;
                 }
-                prop_assert!(
+                assert!(
                     d_separated_pair(&g, v, w, &parents),
                     "node {v} not separated from non-descendant {w} by parents {parents:?}"
                 );
             }
         }
     }
+}
 
-    /// The adjustment formula with Z = ∅ equals the plain group-by
-    /// average, and adjusted averages always lie in the outcome's range.
-    #[test]
-    fn adjustment_degenerate_case(rows in proptest::collection::vec((0u32..2, 0u32..2, 0u32..3), 40..200)) {
+/// The adjustment formula with Z = ∅ equals the plain group-by
+/// average, and adjusted averages always lie in the outcome's range.
+#[test]
+fn adjustment_degenerate_case() {
+    let mut rng = StdRng::seed_from_u64(108);
+    for _ in 0..40 {
+        let n = rng.gen_range(40..200usize);
+        let rows: Vec<(u32, u32, u32)> = (0..n)
+            .map(|_| {
+                (
+                    rng.gen_range(0..2u32),
+                    rng.gen_range(0..2u32),
+                    rng.gen_range(0..3u32),
+                )
+            })
+            .collect();
         // Need both treatment levels present.
         if !(rows.iter().any(|r| r.0 == 0) && rows.iter().any(|r| r.0 == 1)) {
-            return Ok(());
+            continue;
         }
         let mut b = TableBuilder::new(["T", "Y", "Z"]);
         for (t, y, z) in &rows {
-            b.push_row([t.to_string().as_str(), y.to_string().as_str(), z.to_string().as_str()])
-                .expect("arity");
+            b.push_row([
+                t.to_string().as_str(),
+                y.to_string().as_str(),
+                z.to_string().as_str(),
+            ])
+            .expect("arity");
         }
         let table = b.finish();
         let t = table.attr("T").expect("attr");
         let y = table.attr("Y").expect("attr");
         let z = table.attr("Z").expect("attr");
         let all = table.all_rows();
-        let cfg = MitConfig { permutations: 20, ..MitConfig::default() };
-        let naive = adjusted_averages(&table, &all, t, &[0, 1], &[y], &[], &cfg, 1)
-            .expect("estimate");
+        let cfg = MitConfig {
+            permutations: 20,
+            ..MitConfig::default()
+        };
+        let naive =
+            adjusted_averages(&table, &all, t, &[0, 1], &[y], &[], &cfg, 1).expect("estimate");
         // Against direct group averages.
         let g = hypdb::table::groupby::group_average(&table, &all, &[t], &[y]).expect("avg");
         for (i, row) in g.iter().enumerate() {
-            prop_assert!((naive.adjusted[i][0] - row.averages[0]).abs() < 1e-12);
+            assert!((naive.adjusted[i][0] - row.averages[0]).abs() < 1e-12);
         }
         // Adjusted estimates stay within [0, 1] for a 0/1 outcome.
-        let adj = adjusted_averages(&table, &all, t, &[0, 1], &[y], &[z], &cfg, 1)
-            .expect("estimate");
+        let adj =
+            adjusted_averages(&table, &all, t, &[0, 1], &[y], &[z], &cfg, 1).expect("estimate");
         for level in &adj.adjusted {
-            prop_assert!(level[0] >= -1e-12 && level[0] <= 1.0 + 1e-12);
+            assert!(level[0] >= -1e-12 && level[0] <= 1.0 + 1e-12);
         }
-        prop_assert!(adj.matched_blocks <= adj.total_blocks);
-        prop_assert!(adj.matched_fraction >= 0.0 && adj.matched_fraction <= 1.0 + 1e-12);
+        assert!(adj.matched_blocks <= adj.total_blocks);
+        assert!(adj.matched_fraction >= 0.0 && adj.matched_fraction <= 1.0 + 1e-12);
     }
+}
 
-    /// Predicate algebra: select(p AND q) == select(p) ∩ select(q) and
-    /// select(NOT p) is the complement.
-    #[test]
-    fn predicate_algebra(vals in proptest::collection::vec((0u32..3, 0u32..3), 10..80)) {
+/// Predicate algebra: select(p AND q) == select(p) ∩ select(q) and
+/// select(NOT p) is the complement.
+#[test]
+fn predicate_algebra() {
+    let mut rng = StdRng::seed_from_u64(109);
+    for _ in 0..CASES {
+        let n = rng.gen_range(10..80usize);
         let mut b = TableBuilder::new(["a", "b"]);
-        for (x, y) in &vals {
-            b.push_row([x.to_string().as_str(), y.to_string().as_str()]).expect("arity");
+        for _ in 0..n {
+            let x = rng.gen_range(0..3u32);
+            let y = rng.gen_range(0..3u32);
+            b.push_row([x.to_string().as_str(), y.to_string().as_str()])
+                .expect("arity");
         }
         let t = b.finish();
         let a = t.attr("a").expect("attr");
@@ -196,15 +262,21 @@ proptest! {
         let q = Predicate::Eq(bb, 1);
         let and = Predicate::and([p.clone(), q.clone()]).select(&t);
         let isect = p.select(&t).intersect(&q.select(&t));
-        prop_assert_eq!(and, isect);
+        assert_eq!(and, isect);
         let not_p = Predicate::Not(Box::new(p.clone())).select(&t);
         let comp = p.select(&t).complement(t.nrows() as u32);
-        prop_assert_eq!(not_p, comp);
+        assert_eq!(not_p, comp);
     }
+}
 
-    /// SQL statements survive a render → parse round trip.
-    #[test]
-    fn sql_roundtrip(carrier in "[A-Z]{2}", airport in "[A-Z]{3}") {
+/// SQL statements survive a render → parse round trip.
+#[test]
+fn sql_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(110);
+    let letters: Vec<char> = ('A'..='Z').collect();
+    for _ in 0..CASES {
+        let carrier: String = (0..2).map(|_| letters[rng.gen_range(0..26usize)]).collect();
+        let airport: String = (0..3).map(|_| letters[rng.gen_range(0..26usize)]).collect();
         let sql = format!(
             "SELECT Carrier, avg(Delayed) FROM F WHERE Carrier = '{carrier}' \
              AND Airport IN ('{airport}', 'XXX') GROUP BY Carrier"
@@ -212,6 +284,6 @@ proptest! {
         let stmt = hypdb::sql::parse_query(&sql).expect("parse");
         let rendered = stmt.to_string();
         let reparsed = hypdb::sql::parse_query(&rendered).expect("reparse");
-        prop_assert_eq!(stmt, reparsed);
+        assert_eq!(stmt, reparsed);
     }
 }
