@@ -6,7 +6,7 @@
 //! HYPDB_SCALE=full cargo run --release -p hypdb-bench --bin experiments
 //! ```
 
-use hypdb_bench::{end_to_end, fig5a, opts, quality, table1, tests_perf, Scale};
+use hypdb_bench::{end_to_end, fig5a, opts, quality, scaling, table1, tests_perf, Scale};
 
 const ALL: &[&str] = &[
     "table1",
@@ -21,6 +21,7 @@ const ALL: &[&str] = &[
     "fig6d",
     "fig8a",
     "fig8b",
+    "scaling",
 ];
 
 fn run_one(name: &str, scale: Scale) {
@@ -37,6 +38,7 @@ fn run_one(name: &str, scale: Scale) {
         "fig6d" => opts::run_fig6d(scale),
         "fig8a" => tests_perf::run_fig8a(scale),
         "fig8b" => opts::run_fig8b(scale),
+        "scaling" => scaling::run(scale),
         other => {
             eprintln!("unknown experiment `{other}`; available: {ALL:?}");
             std::process::exit(2);

@@ -21,6 +21,7 @@ pub mod fig5a;
 pub mod opts;
 pub mod quality;
 pub mod report;
+pub mod scaling;
 pub mod table1;
 pub mod tests_perf;
 

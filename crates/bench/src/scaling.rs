@@ -1,0 +1,204 @@
+//! PR-2 scaling experiment: wall-clock of the end-to-end pipeline and
+//! its hot kernels at 1 worker versus the default worker count.
+//!
+//! Prints a markdown table and writes a machine-readable
+//! `BENCH_pr2.json` next to the working directory so later PRs can
+//! track the perf trajectory. Thread counts are switched at runtime
+//! ([`hypdb_exec::set_global_threads`]); the determinism layer
+//! guarantees the *outputs* of every run are identical — only the
+//! wall clock may differ.
+
+use crate::report::MdTable;
+use crate::{timed, Scale};
+use hypdb_core::{HypDb, Query, Timings};
+use hypdb_datasets as ds;
+use hypdb_stats::independence::{mit, Strata};
+use hypdb_stats::patefield::sample_table;
+use hypdb_table::contingency::ContingencyTable;
+use hypdb_table::AttrId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+/// One timed run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunRecord {
+    /// Experiment name (`flight_pipeline`, `mit_kernel`, …).
+    pub experiment: String,
+    /// Worker count the run used.
+    pub threads: usize,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Per-phase pipeline timings (pipeline experiments only).
+    pub phases: Option<Timings>,
+}
+
+/// Speedup of an experiment at a thread count, relative to 1 thread.
+#[derive(Debug, Clone, Serialize)]
+pub struct SpeedupRecord {
+    /// Experiment name.
+    pub experiment: String,
+    /// Worker count.
+    pub threads: usize,
+    /// `seconds(1 thread) / seconds(threads)`.
+    pub speedup_vs_1_thread: f64,
+}
+
+/// The whole machine-readable report (`BENCH_pr2.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchReport {
+    /// PR number this trajectory point belongs to.
+    pub pr: u32,
+    /// `std::thread::available_parallelism` on the runner.
+    pub available_parallelism: usize,
+    /// Worker counts measured.
+    pub thread_counts: Vec<usize>,
+    /// All timed runs.
+    pub runs: Vec<RunRecord>,
+    /// Speedups relative to the 1-thread runs.
+    pub speedups: Vec<SpeedupRecord>,
+}
+
+fn thread_counts() -> Vec<usize> {
+    let default = hypdb_exec::global_threads();
+    if default > 1 {
+        vec![1, default]
+    } else {
+        // Single-core runner: still exercise the threaded code path so
+        // the record shows it was measured (speedup ≈ 1 is expected).
+        vec![1, 2]
+    }
+}
+
+fn with_threads<T>(threads: usize, f: impl FnOnce() -> T) -> (T, f64) {
+    hypdb_exec::set_global_threads(threads);
+    let out = timed(f);
+    hypdb_exec::set_global_threads(0);
+    out
+}
+
+/// Runs the scaling sweep, prints the table, writes `BENCH_pr2.json`.
+pub fn run(scale: Scale) {
+    crate::report::section("PR-2 scaling — end-to-end pipeline & kernels vs worker count");
+    let counts = thread_counts();
+    let mut runs: Vec<RunRecord> = Vec::new();
+
+    // --- End-to-end pipelines (the Table 1 workloads). ---
+    let flight = ds::flight_data(&ds::FlightConfig {
+        rows: scale.pick(20_000, 43_853),
+        ..ds::FlightConfig::default()
+    });
+    let flight_q = Query::from_sql(
+        "SELECT Carrier, avg(Delayed) FROM FlightData \
+         WHERE Carrier IN ('AA','UA') AND Airport IN ('COS','MFE','MTJ','ROC') \
+         GROUP BY Carrier",
+        &flight,
+    )
+    .expect("query");
+    let adult = ds::adult_data(&ds::AdultConfig {
+        rows: scale.pick(16_000, 48_842),
+        seed: 1994,
+    });
+    let adult_q = Query::from_sql(
+        "SELECT Gender, avg(Income) FROM AdultData GROUP BY Gender",
+        &adult,
+    )
+    .expect("query");
+    for (name, table, query) in [
+        ("flight_pipeline", &flight, &flight_q),
+        ("adult_pipeline", &adult, &adult_q),
+    ] {
+        for &t in &counts {
+            let (report, secs) =
+                with_threads(t, || HypDb::new(table).analyze(query).expect("analysis"));
+            runs.push(RunRecord {
+                experiment: name.to_string(),
+                threads: t,
+                seconds: secs,
+                phases: Some(report.timings),
+            });
+        }
+    }
+
+    // --- MIT permutation kernel (the §5 hot loop). ---
+    let strata = {
+        let mut rng = StdRng::seed_from_u64(0x5CA1E);
+        let groups: Vec<_> = (0..64)
+            .map(|_| sample_table(&mut rng, &[60, 80, 60], &[70, 60, 70]))
+            .collect();
+        Strata::new(groups)
+    };
+    let m = scale.pick(4_000, 20_000);
+    for &t in &counts {
+        let (_, secs) = with_threads(t, || mit(&strata, m, &mut StdRng::seed_from_u64(1)));
+        runs.push(RunRecord {
+            experiment: "mit_kernel".to_string(),
+            threads: t,
+            seconds: secs,
+            phases: None,
+        });
+    }
+
+    // --- Contingency-table build (the group-by counting kernel). ---
+    let big = ds::adult_data(&ds::AdultConfig {
+        rows: scale.pick(200_000, 1_000_000),
+        seed: 7,
+    });
+    let attrs: Vec<AttrId> = big.schema().attr_ids().take(4).collect();
+    for &t in &counts {
+        let (ct, secs) = with_threads(t, || {
+            ContingencyTable::from_table(&big, &big.all_rows(), &attrs)
+        });
+        assert_eq!(ct.total() as usize, big.all_rows().len());
+        runs.push(RunRecord {
+            experiment: "contingency_build".to_string(),
+            threads: t,
+            seconds: secs,
+            phases: None,
+        });
+    }
+
+    // --- Speedups + rendering. ---
+    let mut speedups = Vec::new();
+    let mut table = MdTable::new(["experiment", "threads", "seconds", "speedup vs 1 thread"]);
+    for run in &runs {
+        let base = runs
+            .iter()
+            .find(|r| r.experiment == run.experiment && r.threads == 1)
+            .map(|r| r.seconds)
+            .unwrap_or(run.seconds);
+        let speedup = if run.seconds > 0.0 {
+            base / run.seconds
+        } else {
+            1.0
+        };
+        if run.threads != 1 {
+            speedups.push(SpeedupRecord {
+                experiment: run.experiment.clone(),
+                threads: run.threads,
+                speedup_vs_1_thread: speedup,
+            });
+        }
+        table.row([
+            run.experiment.clone(),
+            run.threads.to_string(),
+            format!("{:.3}", run.seconds),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let report = BenchReport {
+        pr: 2,
+        available_parallelism: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        thread_counts: counts,
+        runs,
+        speedups,
+    };
+    let json = serde_json::to_string(&report).expect("serialize");
+    let path = "BENCH_pr2.json";
+    std::fs::write(path, &json).expect("write BENCH_pr2.json");
+    println!("\n(wrote {path}; on a single-core runner speedups are expected to be ~1.0)");
+}

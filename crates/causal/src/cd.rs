@@ -13,8 +13,10 @@
 use crate::blanket::{grow_shrink, iamb};
 use crate::oracle::{CiOracle, Var};
 use crate::subsets::subsets_ascending;
+use hypdb_exec::ThreadPool;
+use hypdb_table::sync::Mutex;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Which Markov-boundary learner CD uses internally.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -62,95 +64,126 @@ pub struct CdOutcome {
 }
 
 /// The CD algorithm bound to an oracle.
-pub struct CovariateDiscovery<'o, O: CiOracle + ?Sized> {
+///
+/// Both phases fan out over the global worker pool
+/// ([`hypdb_exec::global_threads`]): Phase I searches every
+/// `Z ∈ MB(T)` independently, Phase II checks every candidate
+/// independently. Because each search's verdict is a pure function of
+/// the oracle (oracles seed their permutation tests per statement), the
+/// discovered sets are identical at any thread count.
+pub struct CovariateDiscovery<'o, O: CiOracle + Sync + ?Sized> {
     oracle: &'o O,
     cfg: CdConfig,
     /// Markov boundaries are consulted repeatedly (phase I touches
     /// `MB(Z)` for every `Z ∈ MB(T)`); memoise them per instance.
-    blankets: std::cell::RefCell<std::collections::BTreeMap<Var, Vec<Var>>>,
+    blankets: Mutex<BTreeMap<Var, Vec<Var>>>,
 }
 
-impl<'o, O: CiOracle + ?Sized> CovariateDiscovery<'o, O> {
+impl<'o, O: CiOracle + Sync + ?Sized> CovariateDiscovery<'o, O> {
     /// Binds the algorithm to an oracle.
     pub fn new(oracle: &'o O, cfg: CdConfig) -> Self {
         CovariateDiscovery {
             oracle,
             cfg,
-            blankets: std::cell::RefCell::new(std::collections::BTreeMap::new()),
+            blankets: Mutex::new(BTreeMap::new()),
         }
     }
 
     fn blanket(&self, v: Var) -> Vec<Var> {
-        if let Some(b) = self.blankets.borrow().get(&v) {
+        if let Some(b) = self.blankets.lock().get(&v) {
             return b.clone();
         }
         let b = match self.cfg.blanket {
             BlanketAlgorithm::GrowShrink => grow_shrink(self.oracle, v),
             BlanketAlgorithm::Iamb => iamb(self.oracle, v),
         };
-        self.blankets.borrow_mut().insert(v, b.clone());
+        self.blankets.lock().insert(v, b.clone());
         b
+    }
+
+    /// Phase-I search for one `z`: the first `(w, S)` witnessing the
+    /// collider signature `(Z ⊥⊥ W | S) ∧ (Z ̸⊥⊥ W | S ∪ {T})`, if any.
+    /// Subsets are enumerated ascending, so "first" is well defined and
+    /// scheduling-independent.
+    fn collider_witness(&self, t: Var, z: Var, mb_t: &[Var]) -> Option<(Var, Var)> {
+        let mb_z = self.blanket(z);
+        let pool: Vec<Var> = mb_z.iter().copied().filter(|&v| v != t).collect();
+        for s in subsets_ascending(&pool, self.cfg.max_sepset) {
+            for &w in mb_t {
+                if w == z || s.contains(&w) {
+                    continue;
+                }
+                let mut s_t = s.clone();
+                s_t.push(t);
+                // The independence half needs power (an acceptance
+                // from an underpowered test means nothing); the
+                // dependence half needs calibration only.
+                if !self.oracle.reliable(z, w, &s) || !self.oracle.reliable_dependence(z, w, &s_t) {
+                    continue;
+                }
+                if self.oracle.independent(z, w, &s) && self.oracle.dependent(z, w, &s_t) {
+                    return Some((z, w));
+                }
+            }
+        }
+        None
+    }
+
+    /// Phase-II check: can candidate `c` be separated from `t` by some
+    /// subset of `MB(T) − {c}`? Separation needs a *reliable* acceptance
+    /// of independence.
+    fn separable(&self, t: Var, c: Var, mb_t: &[Var]) -> bool {
+        let others: Vec<Var> = mb_t.iter().copied().filter(|&v| v != c).collect();
+        for s in subsets_ascending(&others, self.cfg.max_sepset) {
+            if self.oracle.reliable(t, c, &s) && self.oracle.independent(t, c, &s) {
+                return true;
+            }
+        }
+        false
     }
 
     /// Runs Alg 1 for treatment `t`.
     pub fn discover(&self, t: Var) -> CdOutcome {
+        let pool = ThreadPool::current();
         let mb_t = self.blanket(t);
+
+        // Phase I: search every Z ∈ MB(T) for the collider signature.
+        // Each search is independent (no skip of already-found
+        // candidates — that sequential shortcut would make the result
+        // depend on the visit order); MB(Z) lookups warm the shared
+        // memo as a side effect. The union of witnesses over a BTreeSet
+        // is order-insensitive.
+        let witnesses = pool.parallel_map(&mb_t, |_, &z| self.collider_witness(t, z, &mb_t));
         let mut candidates: BTreeSet<Var> = BTreeSet::new();
-
-        // Phase I.
-        for &z in &mb_t {
-            if candidates.contains(&z) {
-                continue;
-            }
-            let mb_z = self.blanket(z);
-            let pool: Vec<Var> = mb_z.iter().copied().filter(|&v| v != t).collect();
-            'search: for s in subsets_ascending(&pool, self.cfg.max_sepset) {
-                for &w in &mb_t {
-                    if w == z || s.contains(&w) {
-                        continue;
-                    }
-                    let mut s_t = s.clone();
-                    s_t.push(t);
-                    // The independence half needs power (an acceptance
-                    // from an underpowered test means nothing); the
-                    // dependence half needs calibration only.
-                    if !self.oracle.reliable(z, w, &s)
-                        || !self.oracle.reliable_dependence(z, w, &s_t)
-                    {
-                        continue;
-                    }
-                    if self.oracle.independent(z, w, &s) && self.oracle.dependent(z, w, &s_t) {
-                        candidates.insert(z);
-                        candidates.insert(w);
-                        break 'search;
-                    }
-                }
-            }
+        for (z, w) in witnesses.into_iter().flatten() {
+            candidates.insert(z);
+            candidates.insert(w);
         }
 
-        // Phase II: discard candidates separable from T. A separation
-        // claim needs a *reliable* acceptance of independence.
-        let mut parents = Vec::new();
-        'cands: for &c in &candidates {
-            let others: Vec<Var> = mb_t.iter().copied().filter(|&v| v != c).collect();
-            for s in subsets_ascending(&others, self.cfg.max_sepset) {
-                if self.oracle.reliable(t, c, &s) && self.oracle.independent(t, c, &s) {
-                    continue 'cands;
-                }
-            }
-            parents.push(c);
-        }
+        // Phase II: discard candidates separable from T — non-neighbours
+        // of T cannot be parents. One independent check per candidate.
+        let candidates: Vec<Var> = candidates.into_iter().collect();
+        let keep = pool.parallel_map(&candidates, |_, &c| !self.separable(t, c, &mb_t));
+        let parents: Vec<Var> = candidates
+            .iter()
+            .zip(&keep)
+            .filter_map(|(&c, &k)| k.then_some(c))
+            .collect();
 
         CdOutcome {
             parents,
             markov_boundary: mb_t,
-            candidates: candidates.into_iter().collect(),
+            candidates,
         }
     }
 }
 
 /// Convenience wrapper: runs CD with a config in one call.
-pub fn discover_parents<O: CiOracle + ?Sized>(oracle: &O, t: Var, cfg: CdConfig) -> CdOutcome {
+pub fn discover_parents<O: CiOracle + Sync + ?Sized>(
+    oracle: &O,
+    t: Var,
+    cfg: CdConfig,
+) -> CdOutcome {
     CovariateDiscovery::new(oracle, cfg).discover(t)
 }
 

@@ -12,19 +12,23 @@
 //! * [`GraphOracle`] — exact d-separation on a known DAG; the
 //!   noise-free oracle used to validate discovery algorithms.
 
+use hypdb_exec::{seed, ShardedMap};
 use hypdb_graph::dag::Dag;
 use hypdb_graph::dsep::d_separated_pair;
 use hypdb_stats::crosstab::CrossTab;
-use hypdb_stats::independence::{mit, mit_sampled, MitConfig, Strata, TestMethod, TestOutcome};
+use hypdb_stats::independence::{
+    mit_early, mit_sampled_early, MitConfig, Strata, TestMethod, TestOutcome,
+};
 use hypdb_stats::math::chi2_sf;
 use hypdb_stats::EntropyEstimator;
 use hypdb_table::contingency::ContingencyTable;
-use hypdb_table::hash::FxHashMap;
+use hypdb_table::hash::{FxBuildHasher, FxHashMap};
 use hypdb_table::sync::Mutex;
 use hypdb_table::{AttrId, RowSet, Table};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Variable index within an oracle (0-based, oracle-local).
@@ -78,6 +82,45 @@ impl Default for CiConfig {
             materialize: true,
             seed: 0x48_7970_4442, // "HypDB"
         }
+    }
+}
+
+/// Lock-free work counters ([`OracleStats`] is the snapshot form).
+/// Relaxed ordering suffices: the counts are statistics, not
+/// synchronisation, and each event is a single atomic increment.
+#[derive(Debug, Default)]
+struct AtomicStats {
+    tests: AtomicU64,
+    table_scans: AtomicU64,
+    count_cache_hits: AtomicU64,
+    marginalizations: AtomicU64,
+    entropy_hits: AtomicU64,
+    entropy_misses: AtomicU64,
+}
+
+impl AtomicStats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> OracleStats {
+        OracleStats {
+            tests: self.tests.load(Ordering::Relaxed),
+            table_scans: self.table_scans.load(Ordering::Relaxed),
+            count_cache_hits: self.count_cache_hits.load(Ordering::Relaxed),
+            marginalizations: self.marginalizations.load(Ordering::Relaxed),
+            entropy_hits: self.entropy_hits.load(Ordering::Relaxed),
+            entropy_misses: self.entropy_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.tests.store(0, Ordering::Relaxed);
+        self.table_scans.store(0, Ordering::Relaxed);
+        self.count_cache_hits.store(0, Ordering::Relaxed);
+        self.marginalizations.store(0, Ordering::Relaxed);
+        self.entropy_hits.store(0, Ordering::Relaxed);
+        self.entropy_misses.store(0, Ordering::Relaxed);
     }
 }
 
@@ -152,15 +195,23 @@ pub trait CiOracle {
 }
 
 /// Data-backed oracle over a table selection.
+///
+/// The oracle is `Sync` and safe to drive from many worker threads at
+/// once (CD's phases fan independence tests out over the global pool):
+/// the contingency/entropy caches are sharded maps whose entries are
+/// pure functions of the underlying data, the work counters are
+/// atomics, and every test's RNG is seeded *per statement* — a
+/// deterministic mix of the configured seed with `(x, y, sorted z)` —
+/// so each outcome is a pure function of (data, config, statement), no
+/// matter which thread runs it or in what order.
 pub struct DataOracle<'a> {
     table: &'a Table,
     rows: RowSet,
     vars: Vec<AttrId>,
     cfg: CiConfig,
-    counts: Mutex<FxHashMap<Vec<Var>, Arc<ContingencyTable>>>,
-    entropies: Mutex<FxHashMap<Vec<Var>, f64>>,
-    counters: Mutex<OracleStats>,
-    rng: Mutex<StdRng>,
+    counts: ShardedMap<Vec<Var>, Arc<ContingencyTable>, FxBuildHasher>,
+    entropies: ShardedMap<Vec<Var>, f64, FxBuildHasher>,
+    counters: AtomicStats,
 }
 
 impl<'a> DataOracle<'a> {
@@ -172,10 +223,9 @@ impl<'a> DataOracle<'a> {
             rows,
             vars,
             cfg,
-            counts: Mutex::new(FxHashMap::default()),
-            entropies: Mutex::new(FxHashMap::default()),
-            counters: Mutex::new(OracleStats::default()),
-            rng: Mutex::new(StdRng::seed_from_u64(cfg.seed)),
+            counts: ShardedMap::default(),
+            entropies: ShardedMap::default(),
+            counters: AtomicStats::default(),
         }
     }
 
@@ -236,35 +286,46 @@ impl<'a> DataOracle<'a> {
 
     fn sorted_counts(&self, sorted: &[Var]) -> Arc<ContingencyTable> {
         if self.cfg.materialize {
-            if let Some(hit) = self.counts.lock().get(sorted).cloned() {
-                self.counters.lock().count_cache_hits += 1;
+            if let Some(hit) = self.counts.get(sorted) {
+                AtomicStats::bump(&self.counters.count_cache_hits);
                 return hit;
             }
             // Find the smallest cached superset to marginalise from.
-            let superset: Option<(Vec<Var>, Arc<ContingencyTable>)> = {
-                let cache = self.counts.lock();
-                cache
-                    .iter()
-                    .filter(|(key, _)| is_subset(sorted, key))
-                    .min_by_key(|(key, _)| key.len())
-                    .map(|(k, v)| (k.clone(), v.clone()))
-            };
+            // Minimising over the *total* order (len, key) keeps the
+            // choice independent of the shard/bucket visit order; two
+            // workers racing here compute identical tables either way.
+            let superset = self.counts.fold(
+                None::<(Vec<Var>, Arc<ContingencyTable>)>,
+                |best, key, ct| {
+                    if !is_subset(sorted, key) {
+                        return best;
+                    }
+                    match &best {
+                        Some((bk, _))
+                            if (bk.len(), bk.as_slice()) <= (key.len(), key.as_slice()) =>
+                        {
+                            best
+                        }
+                        _ => Some((key.clone(), ct.clone())),
+                    }
+                },
+            );
             let ct = if let Some((key, sup)) = superset {
-                self.counters.lock().marginalizations += 1;
+                AtomicStats::bump(&self.counters.marginalizations);
                 let positions: Vec<usize> = sorted
                     .iter()
                     .map(|v| key.binary_search(v).expect("subset"))
                     .collect();
                 Arc::new(sup.marginal(&positions))
             } else {
-                self.counters.lock().table_scans += 1;
+                AtomicStats::bump(&self.counters.table_scans);
                 let attrs: Vec<AttrId> = sorted.iter().map(|&v| self.vars[v]).collect();
                 Arc::new(ContingencyTable::from_table(self.table, &self.rows, &attrs))
             };
-            self.counts.lock().insert(sorted.to_vec(), ct.clone());
+            self.counts.insert(sorted.to_vec(), ct.clone());
             ct
         } else {
-            self.counters.lock().table_scans += 1;
+            AtomicStats::bump(&self.counters.table_scans);
             let attrs: Vec<AttrId> = sorted.iter().map(|&v| self.vars[v]).collect();
             Arc::new(ContingencyTable::from_table(self.table, &self.rows, &attrs))
         }
@@ -280,17 +341,28 @@ impl<'a> DataOracle<'a> {
         sorted.sort_unstable();
         sorted.dedup();
         if self.cfg.cache_entropies {
-            if let Some(&h) = self.entropies.lock().get(&sorted) {
-                self.counters.lock().entropy_hits += 1;
+            if let Some(h) = self.entropies.get(sorted.as_slice()) {
+                AtomicStats::bump(&self.counters.entropy_hits);
                 return h;
             }
         }
-        self.counters.lock().entropy_misses += 1;
+        AtomicStats::bump(&self.counters.entropy_misses);
         let h = self.sorted_counts(&sorted).entropy(self.cfg.estimator);
         if self.cfg.cache_entropies {
-            self.entropies.lock().insert(sorted, h);
+            self.entropies.insert(sorted, h);
         }
         h
+    }
+
+    /// The statement-local RNG seed: a deterministic mix of the
+    /// configured seed with `(x, y, sorted z)`. Every permutation test
+    /// for a given statement therefore draws the same stream no matter
+    /// which worker thread issues it, in which order — the keystone of
+    /// the parallel-discovery determinism guarantee.
+    fn statement_seed(&self, x: Var, y: Var, z: &[Var]) -> u64 {
+        let mut zs: Vec<u64> = z.iter().map(|&v| v as u64).collect();
+        zs.sort_unstable();
+        seed::mix_all(self.cfg.seed, [x as u64, y as u64].into_iter().chain(zs))
     }
 
     /// Estimated CMI `Î(X;Y|Z)` with the configured estimator, via the
@@ -345,7 +417,14 @@ impl<'a> DataOracle<'a> {
                 .or_insert_with(|| CrossTab::zeros(r, c));
             tab.add(key[0] as usize, key[1] as usize, count);
         });
-        Strata::new(groups.into_values().collect())
+        // Canonical group order (sorted by conditioning key): the map's
+        // iteration order depends on how `ct` was built (scan vs cached
+        // marginalisation — timing-dependent under parallel discovery),
+        // and the group order drives both the CMI's floating-point sum
+        // and MIT's per-group RNG consumption.
+        let mut keyed: Vec<(Box<[u32]>, CrossTab)> = groups.into_iter().collect();
+        keyed.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        Strata::new(keyed.into_iter().map(|(_, tab)| tab).collect())
     }
 
     fn chi2_outcome(&self, x: Var, y: Var, z: &[Var]) -> TestOutcome {
@@ -389,21 +468,26 @@ impl CiOracle for DataOracle<'_> {
 
     fn test(&self, x: Var, y: Var, z: &[Var]) -> TestOutcome {
         assert!(x != y && !z.contains(&x) && !z.contains(&y));
-        self.counters.lock().tests += 1;
+        AtomicStats::bump(&self.counters.tests);
+        let mut rng = StdRng::seed_from_u64(self.statement_seed(x, y, z));
+        let early = self.cfg.mit.early_stop;
         match self.cfg.kind {
             IndependenceTestKind::ChiSquared => self.chi2_outcome(x, y, z),
             IndependenceTestKind::Mit => {
                 let strata = self.strata(x, y, z);
-                let mut rng = self.rng.lock();
-                let mut out = mit(&strata, self.cfg.mit.permutations, &mut *rng);
+                let mut out = mit_early(&strata, self.cfg.mit.permutations, early, &mut rng);
                 out.statistic = self.cmi(x, y, z);
                 out
             }
             IndependenceTestKind::MitSampled { max_groups } => {
                 let strata = self.strata(x, y, z);
-                let mut rng = self.rng.lock();
-                let mut out =
-                    mit_sampled(&strata, self.cfg.mit.permutations, max_groups, &mut *rng);
+                let mut out = mit_sampled_early(
+                    &strata,
+                    self.cfg.mit.permutations,
+                    max_groups,
+                    early,
+                    &mut rng,
+                );
                 out.statistic = self.cmi(x, y, z);
                 out
             }
@@ -415,16 +499,16 @@ impl CiOracle for DataOracle<'_> {
                 } else {
                     let strata = self.strata(x, y, z);
                     let g = strata.num_groups();
-                    let mut rng = self.rng.lock();
                     let mut out = if g > 64 {
-                        mit_sampled(
+                        mit_sampled_early(
                             &strata,
                             self.cfg.mit.permutations,
                             MitConfig::auto_group_sample(g),
-                            &mut *rng,
+                            early,
+                            &mut rng,
                         )
                     } else {
-                        mit(&strata, self.cfg.mit.permutations, &mut *rng)
+                        mit_early(&strata, self.cfg.mit.permutations, early, &mut rng)
                     };
                     out.statistic = self.cmi(x, y, z);
                     out
@@ -467,11 +551,11 @@ impl CiOracle for DataOracle<'_> {
     }
 
     fn stats(&self) -> OracleStats {
-        *self.counters.lock()
+        self.counters.snapshot()
     }
 
     fn reset_stats(&self) {
-        *self.counters.lock() = OracleStats::default();
+        self.counters.reset();
     }
 }
 
@@ -712,6 +796,75 @@ mod tests {
         // `c` has a single value: df = 0 -> no test is informative.
         assert!(!o.reliable(0, 1, &[]));
         assert!(!o.reliable_dependence(0, 1, &[]));
+    }
+
+    #[test]
+    fn statement_seeding_makes_tests_pure() {
+        // The same statement must give the same outcome on repeat and
+        // under concurrent access from pool workers — the property that
+        // lets CD fan tests out without changing any verdict.
+        let t = fork_table();
+        let o = oracle(&t, IndependenceTestKind::Mit);
+        let base = o.test(0, 1, &[2]);
+        assert_eq!(o.test(0, 1, &[2]), base, "repeat call");
+        let outs = hypdb_exec::ThreadPool::new(4).map_indices(8, |_| o.test(0, 1, &[2]));
+        for out in outs {
+            assert_eq!(out, base, "concurrent call");
+        }
+        // The z-set seed is order-insensitive (z is a set).
+        let t2 = fork_table();
+        let o2 = DataOracle::over_all_attrs(
+            &t2,
+            t2.all_rows(),
+            CiConfig {
+                kind: IndependenceTestKind::Mit,
+                ..CiConfig::default()
+            },
+        );
+        assert_eq!(o2.test(0, 1, &[2]), base, "fresh oracle, same data");
+    }
+
+    #[test]
+    fn oracle_honours_early_stop() {
+        // A key-like column shatters the selection so HyMit takes the
+        // permutation path; with early_stop set, a clear verdict must
+        // settle before the full budget (and identically on repeat).
+        use hypdb_table::TableBuilder;
+        let mut b = TableBuilder::new(["x", "y", "k"]);
+        for i in 0..400u32 {
+            let x = (i % 2).to_string();
+            let y = (i % 2).to_string(); // x == y: maximal dependence
+            let k = (i % 199).to_string();
+            b.push_row([x.as_str(), y.as_str(), k.as_str()]).unwrap();
+        }
+        let t = b.finish();
+        let budget = 2_048;
+        let mk = |early| {
+            let cfg = CiConfig {
+                kind: IndependenceTestKind::HyMit,
+                mit: MitConfig {
+                    permutations: budget,
+                    early_stop: early,
+                    ..MitConfig::default()
+                },
+                ..CiConfig::default()
+            };
+            DataOracle::over_all_attrs(&t, t.all_rows(), cfg)
+        };
+        let stopped = mk(Some(0.01)).test(0, 1, &[2]);
+        assert_ne!(stopped.method, TestMethod::ChiSquared);
+        let done = stopped.permutations.expect("permutation test");
+        assert!(done < budget, "early_stop must cut the budget ({done})");
+        let full = mk(None).test(0, 1, &[2]);
+        assert_eq!(full.permutations, Some(budget));
+        // Same verdict either way.
+        assert_eq!(
+            stopped.dependent(0.01),
+            full.dependent(0.01),
+            "stopped p={} full p={}",
+            stopped.p_value,
+            full.p_value
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //!    keeps growing with the sample size is a key fragment, not a
 //!    category.
 
+use hypdb_exec::ThreadPool;
 use hypdb_stats::entropy::entropy_plugin;
 use hypdb_table::contingency::ContingencyTable;
 use hypdb_table::{AttrId, RowSet, Table};
@@ -59,6 +60,12 @@ pub struct PreprocessReport {
 }
 
 /// Runs both filters over `attrs` of `table` restricted to `rows`.
+///
+/// The per-attribute work of both filters — the entropy-scaling scan of
+/// the key heuristic and the marginal entropies the FD test compares —
+/// fans out over the global worker pool; each attribute's verdict is
+/// independent of the others, so the report is identical at any thread
+/// count.
 pub fn drop_logical_dependencies(
     table: &Table,
     rows: &RowSet,
@@ -66,6 +73,7 @@ pub fn drop_logical_dependencies(
     cfg: &PreprocessConfig,
 ) -> PreprocessReport {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let pool = ThreadPool::current();
 
     // --- Key-like attributes (entropy-vs-sample-size scaling). ---
     let row_ids: Vec<u32> = rows.iter().collect();
@@ -85,13 +93,14 @@ pub fn drop_logical_dependencies(
         }
         sizes.reverse(); // ascending
 
-        // One shared shuffled order => nested samples.
+        // One shared shuffled order => nested samples (drawn once, up
+        // front, so the parallel per-attribute scans share it read-only).
         let mut order = row_ids.clone();
         for i in (1..order.len()).rev() {
             let j = rng.gen_range(0..=i);
             order.swap(i, j);
         }
-        for &a in attrs {
+        let key_like_flags = pool.parallel_map(attrs, |_, &a| {
             let codes = table.column(a).codes();
             let card = table.cardinality(a).max(1) as usize;
             let mut prev_h: Option<f64> = None;
@@ -111,8 +120,9 @@ pub fn drop_logical_dependencies(
             }
             // Key-like: entropy grows by more than the threshold at
             // every doubling (monotone scaling with sample size).
-            let key_like =
-                !growths.is_empty() && growths.iter().all(|&g| g > cfg.key_growth_threshold);
+            !growths.is_empty() && growths.iter().all(|&g| g > cfg.key_growth_threshold)
+        });
+        for (&a, key_like) in attrs.iter().zip(key_like_flags) {
             if key_like {
                 dropped_keys.push(a);
             } else {
@@ -124,12 +134,17 @@ pub fn drop_logical_dependencies(
     }
 
     // --- Approximate-FD equivalences among survivors. ---
+    // Marginal entropies in parallel up front; the pairwise scan below
+    // is inherently sequential (each verdict depends on what is already
+    // kept) but only touches the joint table on candidate pairs.
+    let marginal_entropies = pool.parallel_map(&survivors, |_, &a| {
+        ContingencyTable::from_table(table, rows, &[a])
+            .entropy(hypdb_stats::EntropyEstimator::PlugIn)
+    });
     let mut dropped_fd = Vec::new();
     let mut kept: Vec<AttrId> = Vec::new();
     let mut entropies: Vec<f64> = Vec::new();
-    for &a in &survivors {
-        let h_a = ContingencyTable::from_table(table, rows, &[a])
-            .entropy(hypdb_stats::EntropyEstimator::PlugIn);
+    for (&a, &h_a) in survivors.iter().zip(&marginal_entropies) {
         let mut representative: Option<AttrId> = None;
         for (i, &b) in kept.iter().enumerate() {
             // Quick reject: equivalence needs similar entropies.

@@ -11,6 +11,7 @@ use hypdb_causal::cd::discover_parents;
 use hypdb_causal::oracle::{CiConfig, CiOracle, DataOracle};
 use hypdb_causal::preprocess::{drop_logical_dependencies, PreprocessConfig};
 use hypdb_causal::CdConfig;
+use hypdb_exec::ThreadPool;
 use hypdb_stats::independence::{hymit, TestOutcome};
 use hypdb_table::contingency::Stratified;
 use hypdb_table::groupby::group_counts;
@@ -34,6 +35,13 @@ pub struct HypDbConfig {
     pub top_k: usize,
     /// Whether to estimate direct effects (requires learning `PA_Y`).
     pub compute_direct: bool,
+    /// Worker threads for this pipeline's own fan-out (per-context
+    /// analysis, per-outcome mediator discovery). `None` follows the
+    /// global setting (`HYPDB_THREADS` / `available_parallelism`; see
+    /// [`hypdb_exec::global_threads`]), which the layers below (CD
+    /// phases, MIT permutation chunks, contingency scans) always use.
+    /// Thread counts never change results — only wall-clock time.
+    pub threads: Option<usize>,
 }
 
 impl Default for HypDbConfig {
@@ -44,6 +52,7 @@ impl Default for HypDbConfig {
             preprocess: Some(PreprocessConfig::default()),
             top_k: 2,
             compute_direct: true,
+            threads: None,
         }
     }
 }
@@ -189,6 +198,14 @@ impl<'a> HypDb<'a> {
         self.table
     }
 
+    /// The worker pool for this pipeline's own fan-out.
+    fn pool(&self) -> ThreadPool {
+        self.cfg
+            .threads
+            .map(ThreadPool::new)
+            .unwrap_or_else(ThreadPool::current)
+    }
+
     /// Discovers covariates and mediators for a query (§4): logical
     /// dependencies are dropped, then CD learns `PA_T` (and `PA_{Y_j}`
     /// for direct effects) on the WHERE-selected sub-population.
@@ -257,46 +274,44 @@ impl<'a> HypDb<'a> {
         } else if let Some(m) = &self.mediators {
             vec![m.clone(); query.outcomes.len()]
         } else {
-            query
-                .outcomes
-                .iter()
-                .enumerate()
-                .map(|(j, _)| {
-                    // Outcome j is oracle variable 1 + j.
-                    let out = discover_parents(&oracle, 1 + j, self.cfg.cd);
-                    let admissible = |a: &AttrId| {
-                        *a != query.treatment
-                            && !covariates.contains(a)
-                            && !query.outcomes.contains(a)
-                            && !query.grouping.contains(a)
-                    };
-                    let parents: Vec<AttrId> = out
-                        .parents
-                        .iter()
-                        .map(|&v| vars[v])
-                        .filter(admissible)
-                        .collect();
-                    if !parents.is_empty() {
-                        return parents;
-                    }
-                    // Fallback mirroring §4's Z-fallback: when Y's
-                    // parents cannot be oriented, take MB(Y) filtered to
-                    // attributes that are (marginally) dependent on the
-                    // treatment — a mediator must be a descendant of T.
-                    // Like the paper's own Ex 1.1 output (which lists
-                    // ArrDelay as "mediating"), this can admit
-                    // descendants of Y; the NDE then conditions on them
-                    // conservatively.
-                    out.markov_boundary
-                        .iter()
-                        .filter(|&&v| {
-                            v != 0 && oracle.reliable(0, v, &[]) && oracle.dependent(0, v, &[])
-                        })
-                        .map(|&v| vars[v])
-                        .filter(admissible)
-                        .collect()
-                })
-                .collect()
+            // One independent CD run per outcome — fanned out over the
+            // pool (the shared oracle's caches and per-statement seeds
+            // keep every run deterministic).
+            self.pool().parallel_map(&query.outcomes, |j, _| {
+                // Outcome j is oracle variable 1 + j.
+                let out = discover_parents(&oracle, 1 + j, self.cfg.cd);
+                let admissible = |a: &AttrId| {
+                    *a != query.treatment
+                        && !covariates.contains(a)
+                        && !query.outcomes.contains(a)
+                        && !query.grouping.contains(a)
+                };
+                let parents: Vec<AttrId> = out
+                    .parents
+                    .iter()
+                    .map(|&v| vars[v])
+                    .filter(admissible)
+                    .collect();
+                if !parents.is_empty() {
+                    return parents;
+                }
+                // Fallback mirroring §4's Z-fallback: when Y's
+                // parents cannot be oriented, take MB(Y) filtered to
+                // attributes that are (marginally) dependent on the
+                // treatment — a mediator must be a descendant of T.
+                // Like the paper's own Ex 1.1 output (which lists
+                // ArrDelay as "mediating"), this can admit
+                // descendants of Y; the NDE then conditions on them
+                // conservatively.
+                out.markov_boundary
+                    .iter()
+                    .filter(|&&v| {
+                        v != 0 && oracle.reliable(0, v, &[]) && oracle.dependent(0, v, &[])
+                    })
+                    .map(|&v| vars[v])
+                    .filter(admissible)
+                    .collect()
+            })
         };
 
         Ok(Discovery {
@@ -316,13 +331,32 @@ impl<'a> HypDb<'a> {
         let mut timings = Timings::default();
         let name = |a: &AttrId| self.table.schema().name(*a).to_string();
 
+        // One independent analysis per context (the row-blocks of a
+        // Fig 3/4 report), fanned out over the pool. Every context
+        // derives its RNG seeds from the configuration alone, so the
+        // reports are identical at any thread count; phase timings are
+        // summed across contexts (CPU time, not wall clock, once the
+        // contexts overlap).
         let ctxs = contexts(self.table, query);
+        let results = self
+            .pool()
+            .parallel_map(&ctxs, |_, ctx| self.analyze_context(query, &discovery, ctx));
         let mut context_reports = Vec::with_capacity(ctxs.len());
-        for ctx in &ctxs {
-            context_reports.push(self.analyze_context(query, &discovery, ctx, &mut timings)?);
+        for result in results {
+            let (report, t) = result?;
+            timings.detection += t.detection;
+            timings.explanation += t.explanation;
+            timings.resolution += t.resolution;
+            context_reports.push(report);
         }
-        timings.detection += t0.elapsed().as_secs_f64()
+        // Attribute the un-phased remainder (discovery, bookkeeping) to
+        // detection. Under parallel contexts the summed phase times can
+        // exceed the wall clock; never subtract in that case.
+        let unattributed = t0.elapsed().as_secs_f64()
             - (timings.detection + timings.explanation + timings.resolution);
+        if unattributed > 0.0 {
+            timings.detection += unattributed;
+        }
 
         // Union of all mediator sets for the direct rewrite text.
         let mut med_union: Vec<AttrId> = Vec::new();
@@ -363,8 +397,8 @@ impl<'a> HypDb<'a> {
         query: &Query,
         discovery: &Discovery,
         ctx: &Context,
-        timings: &mut Timings,
-    ) -> Result<ContextReport> {
+    ) -> Result<(ContextReport, Timings)> {
+        let mut timings = Timings::default();
         let table = self.table;
         let t = query.treatment;
         let seed = self.cfg.ci.seed;
@@ -484,19 +518,22 @@ impl<'a> HypDb<'a> {
         };
         timings.resolution += tr.elapsed().as_secs_f64();
 
-        Ok(ContextReport {
-            label: ctx.label(table),
-            n_rows: ctx.rows.len(),
-            levels: level_names,
-            sql_answers,
-            sql_diff,
-            sql_significance,
-            bias_total,
-            bias_direct,
-            total_effect,
-            direct_effects,
-            explanations,
-        })
+        Ok((
+            ContextReport {
+                label: ctx.label(table),
+                n_rows: ctx.rows.len(),
+                levels: level_names,
+                sql_answers,
+                sql_diff,
+                sql_significance,
+                bias_total,
+                bias_direct,
+                total_effect,
+                direct_effects,
+                explanations,
+            },
+            timings,
+        ))
     }
 }
 

@@ -15,7 +15,9 @@ use crate::entropy::entropy_plugin;
 use crate::math::chi2_sf;
 use crate::patefield::sample_table;
 use crate::random::{shuffle, weighted_indices_without_replacement};
-use rand::Rng;
+use hypdb_exec::{seed, ThreadPool};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// Which procedure produced a [`TestOutcome`].
@@ -200,6 +202,15 @@ pub struct MitConfig {
     /// When `Some(k)`: restrict MIT to a weighted sample of at most `k`
     /// conditioning groups. `None` = exact MIT over all groups.
     pub group_sample: Option<usize>,
+    /// When `Some(alpha)`: permutation tests launched through
+    /// [`hymit`] may stop before all `m` permutations once the 95 %
+    /// binomial CI around the running p-value excludes `alpha` — the
+    /// accept/reject verdict can no longer change with more sampling.
+    /// Termination is checked only at fixed batch boundaries (a pure
+    /// function of `m`), so the decision — like every other output — is
+    /// identical at any thread count. `None` (default) always runs the
+    /// full `m`.
+    pub early_stop: Option<f64>,
 }
 
 impl Default for MitConfig {
@@ -208,6 +219,7 @@ impl Default for MitConfig {
             permutations: 100,
             beta: 5.0,
             group_sample: None,
+            early_stop: None,
         }
     }
 }
@@ -229,6 +241,20 @@ fn binomial_ci(p: f64, m: usize) -> (f64, f64) {
     ((p - half).max(0.0), (p + half).min(1.0))
 }
 
+/// Wilson score interval — used for the early-termination decision,
+/// where the Wald interval of [`binomial_ci`] would be useless: at
+/// `p̂ ∈ {0, 1}` Wald collapses to zero width and would declare any
+/// first batch "settled", while Wilson keeps an honest margin
+/// (upper bound ≈ z²/n at zero observed hits).
+fn wilson_ci(p: f64, m: usize) -> (f64, f64) {
+    let n = m.max(1) as f64;
+    let z2 = 1.96f64 * 1.96;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = 1.96 * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
 /// Asymptotic χ² (G) test of `I(X;Y|Z) = 0`: the statistic `2nÎ` is
 /// χ²-distributed with [`Strata::dof`] degrees of freedom under the null.
 pub fn chi2_test(strata: &Strata) -> TestOutcome {
@@ -246,47 +272,140 @@ pub fn chi2_test(strata: &Strata) -> TestOutcome {
     }
 }
 
+/// Number of permutations evaluated per work chunk. The chunk layout
+/// (and hence every per-chunk RNG seed) is a pure function of `m`, so
+/// the permutation ensemble is identical at any thread count.
+const PERM_CHUNK: usize = 64;
+
+/// Chunks per early-termination decision batch. Decisions fall on
+/// multiples of `PERM_CHUNK · EARLY_STOP_BATCH` completed permutations
+/// — fixed points independent of the parallelism level.
+const EARLY_STOP_BATCH: usize = 4;
+
 /// The MIT permutation test (Alg 2): for each conditioning group, draw
 /// `m` contingency tables with the observed marginals via Patefield's
 /// algorithm, aggregate the per-group MIs with weights `Pr(z)` into `m`
 /// permutation statistics, and report the fraction ≥ the observed CMI
 /// together with a 95 % binomial confidence interval.
+///
+/// The `m` permutations are evaluated in fixed-size chunks on the
+/// global worker pool ([`hypdb_exec::global_threads`]); each chunk owns
+/// an RNG seeded from one master draw off `rng` plus the chunk index,
+/// so the outcome is bit-identical at any thread count.
 pub fn mit(strata: &Strata, m: usize, rng: &mut impl Rng) -> TestOutcome {
-    mit_impl(strata, m, rng, TestMethod::Mit)
+    mit_impl(strata, m, None, rng, TestMethod::Mit)
 }
 
-fn mit_impl(strata: &Strata, m: usize, rng: &mut impl Rng, method: TestMethod) -> TestOutcome {
+/// [`mit`] with the optional deterministic early-termination rule of
+/// [`MitConfig::early_stop`] (callers that hold a config — the data
+/// oracle, HyMIT — route through this so the knob is honoured).
+pub fn mit_early(
+    strata: &Strata,
+    m: usize,
+    early_stop: Option<f64>,
+    rng: &mut impl Rng,
+) -> TestOutcome {
+    mit_impl(strata, m, early_stop, rng, TestMethod::Mit)
+}
+
+/// [`mit_sampled`] with the optional deterministic early-termination
+/// rule of [`MitConfig::early_stop`].
+pub fn mit_sampled_early(
+    strata: &Strata,
+    m: usize,
+    k: usize,
+    early_stop: Option<f64>,
+    rng: &mut impl Rng,
+) -> TestOutcome {
+    mit_sampled_impl(strata, m, k, early_stop, rng)
+}
+
+fn mit_impl(
+    strata: &Strata,
+    m: usize,
+    early_stop: Option<f64>,
+    rng: &mut impl Rng,
+    method: TestMethod,
+) -> TestOutcome {
     assert!(m > 0, "need at least one permutation");
     let s0 = strata.cmi_plugin();
     let n = strata.total() as f64;
-    let mut stats = vec![0.0f64; m];
-    if n > 0.0 {
-        for g in strata.groups() {
+    // One master draw, regardless of scheduling: chunk i's generator is
+    // seeded with `mix(master, i)`.
+    let master = rng.next_u64();
+    // Marginals of the non-degenerate groups (a degenerate group's MI is
+    // identically 0 under any permutation).
+    let groups: Vec<(Vec<u64>, Vec<u64>, f64)> = strata
+        .groups()
+        .iter()
+        .filter_map(|g| {
+            if n == 0.0 {
+                return None;
+            }
             let compact = g.compact();
             let rows = compact.row_sums();
             let cols = compact.col_sums();
             let pz = g.total() as f64 / n;
-            if rows.len() < 2 || cols.len() < 2 || pz == 0.0 {
-                continue; // degenerate group: MI identically 0
-            }
-            for s in stats.iter_mut() {
-                let t = sample_table(rng, &rows, &cols);
-                *s += pz * t.mutual_information();
-            }
-        }
-    }
+            (rows.len() >= 2 && cols.len() >= 2 && pz > 0.0).then_some((rows, cols, pz))
+        })
+        .collect();
     // Strict "≥" with a small tolerance: the observed table is itself a
     // draw from the null ensemble, so ties count towards the p-value.
     let tol = 1e-12;
-    let hits = stats.iter().filter(|&&s| s >= s0 - tol).count();
-    let p = hits as f64 / m as f64;
+    let run_chunk = |range: std::ops::Range<usize>| -> usize {
+        let chunk_idx = (range.start / PERM_CHUNK) as u64;
+        let mut rng = StdRng::seed_from_u64(seed::mix(master, chunk_idx));
+        let mut stats = vec![0.0f64; range.len()];
+        for (rows, cols, pz) in &groups {
+            for s in stats.iter_mut() {
+                let t = sample_table(&mut rng, rows, cols);
+                *s += pz * t.mutual_information();
+            }
+        }
+        stats.iter().filter(|&&s| s >= s0 - tol).count()
+    };
+
+    let pool = ThreadPool::current();
+    let (hits, done) = match early_stop {
+        None => {
+            let partials = pool.map_chunks(m, PERM_CHUNK, run_chunk);
+            (partials.iter().sum::<usize>(), m)
+        }
+        Some(alpha) => {
+            let chunks = m.div_ceil(PERM_CHUNK);
+            let mut hits = 0usize;
+            let mut done = 0usize;
+            let mut next = 0usize;
+            while next < chunks {
+                let batch_end = (next + EARLY_STOP_BATCH).min(chunks);
+                let partials = pool.map_indices(batch_end - next, |i| {
+                    let lo = (next + i) * PERM_CHUNK;
+                    run_chunk(lo..(lo + PERM_CHUNK).min(m))
+                });
+                hits += partials.iter().sum::<usize>();
+                done = (batch_end * PERM_CHUNK).min(m);
+                next = batch_end;
+                if done < m {
+                    // Stop once the verdict is settled: alpha outside
+                    // the Wilson 95 % CI of the running p-value.
+                    let p = hits as f64 / done as f64;
+                    let (lo95, hi95) = wilson_ci(p, done);
+                    if lo95 > alpha || hi95 < alpha {
+                        break;
+                    }
+                }
+            }
+            (hits, done)
+        }
+    };
+    let p = hits as f64 / done as f64;
     TestOutcome {
         statistic: s0,
         p_value: p,
-        ci95: Some(binomial_ci(p, m)),
+        ci95: Some(binomial_ci(p, done)),
         df: None,
         method,
-        permutations: Some(m),
+        permutations: Some(done),
     }
 }
 
@@ -308,13 +427,23 @@ pub fn mit_auto(strata: &Strata, m: usize, rng: &mut impl Rng) -> TestOutcome {
 /// and permuted statistics are computed on the sampled groups so they
 /// remain comparable.
 pub fn mit_sampled(strata: &Strata, m: usize, k: usize, rng: &mut impl Rng) -> TestOutcome {
+    mit_sampled_impl(strata, m, k, None, rng)
+}
+
+fn mit_sampled_impl(
+    strata: &Strata,
+    m: usize,
+    k: usize,
+    early_stop: Option<f64>,
+    rng: &mut impl Rng,
+) -> TestOutcome {
     if k >= strata.num_groups() {
-        return mit_impl(strata, m, rng, TestMethod::MitSampled);
+        return mit_impl(strata, m, early_stop, rng, TestMethod::MitSampled);
     }
     let weights = strata.group_weights();
     let picked = weighted_indices_without_replacement(rng, &weights, k);
     let sub = strata.subset(&picked);
-    mit_impl(&sub, m, rng, TestMethod::MitSampled)
+    mit_impl(&sub, m, early_stop, rng, TestMethod::MitSampled)
 }
 
 /// HyMIT (§6): χ² when the sample is large relative to the degrees of
@@ -329,18 +458,25 @@ pub fn hymit(strata: &Strata, cfg: &MitConfig, rng: &mut impl Rng) -> TestOutcom
         return chi2_test(strata);
     }
     match cfg.group_sample {
-        Some(k) => mit_sampled(strata, cfg.permutations, k, rng),
+        Some(k) => mit_sampled_impl(strata, cfg.permutations, k, cfg.early_stop, rng),
         None => {
             let g = strata.num_groups();
             if g > 64 {
-                mit_sampled(
+                mit_sampled_impl(
                     strata,
                     cfg.permutations,
                     MitConfig::auto_group_sample(g),
+                    cfg.early_stop,
                     rng,
                 )
             } else {
-                mit(strata, cfg.permutations, rng)
+                mit_impl(
+                    strata,
+                    cfg.permutations,
+                    cfg.early_stop,
+                    rng,
+                    TestMethod::Mit,
+                )
             }
         }
     }
@@ -642,6 +778,99 @@ mod tests {
             rate < 0.2,
             "null rejection rate at alpha=0.1 is {rate} (should be ~0.1)"
         );
+    }
+
+    #[test]
+    fn mit_outcome_is_thread_count_invariant() {
+        // The tentpole invariant: same seed, any worker count ->
+        // byte-identical statistic, p-value, and CI bounds. Exercises
+        // multiple chunks (m > PERM_CHUNK) and several groups.
+        let s = Strata::new(vec![
+            dependent_tab(),
+            independent_tab(),
+            CrossTab::new(2, 2, vec![30, 20, 25, 25]),
+        ]);
+        let run = |threads: usize| {
+            hypdb_exec::set_global_threads(threads);
+            let out = mit(&s, 333, &mut rng());
+            hypdb_exec::set_global_threads(0);
+            out
+        };
+        let base = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), base, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn early_stop_settles_clear_verdicts_deterministically() {
+        // Shattered data forces hymit onto the MIT path; the observed
+        // CMI of 0 makes every permutation a hit, so the running
+        // p-value pins to 1 and the CI excludes alpha at the first
+        // decision point. The stop must fire at the same permutation
+        // count for every thread count.
+        let mut groups = Vec::new();
+        for i in 0..100u64 {
+            let mut t = CrossTab::zeros(2, 2);
+            t.add((i % 2) as usize, ((i / 2) % 2) as usize, 1);
+            groups.push(t);
+        }
+        let s = Strata::new(groups);
+        let cfg = MitConfig {
+            permutations: 2_000,
+            early_stop: Some(0.01),
+            ..MitConfig::default()
+        };
+        let run = |threads: usize| {
+            hypdb_exec::set_global_threads(threads);
+            let out = hymit(&s, &cfg, &mut rng());
+            hypdb_exec::set_global_threads(0);
+            out
+        };
+        let base = run(1);
+        assert_ne!(base.method, TestMethod::ChiSquared);
+        let done = base.permutations.expect("permutation test");
+        assert!(done < 2_000, "clear verdict must stop early ({done})");
+        assert_eq!(base.p_value, 1.0);
+        for threads in [2, 5] {
+            assert_eq!(run(threads), base, "threads={threads}");
+        }
+        // Without early_stop the same strata runs the full budget.
+        let full = hymit(
+            &s,
+            &MitConfig {
+                permutations: 2_000,
+                ..MitConfig::default()
+            },
+            &mut rng(),
+        );
+        assert_eq!(full.permutations, Some(2_000));
+    }
+
+    #[test]
+    fn wilson_bounds_stay_honest_at_the_extremes() {
+        // Wald collapses to zero width at p̂ = 0/1; Wilson must not.
+        let (_, hi_256) = wilson_ci(0.0, 256);
+        assert!(hi_256 > 0.01, "0/256 is not yet evidence for p < 0.01");
+        let (_, hi_512) = wilson_ci(0.0, 512);
+        assert!(hi_512 < 0.01, "0/512 is");
+        let (lo, _) = wilson_ci(1.0, 256);
+        assert!(lo > 0.9 && lo < 1.0);
+    }
+
+    #[test]
+    fn early_stop_zero_hits_waits_past_first_batch() {
+        // Strong dependence: the observed CMI beats essentially every
+        // permutation, so hits stay at 0. The Wald interval would call
+        // that settled after the very first batch (256 perms); the
+        // Wilson rule must keep sampling until its upper bound clears
+        // alpha = 0.01 (which takes ≥ 385 permutations at zero hits).
+        let s = Strata::single(dependent_tab());
+        let out = mit_early(&s, 2_000, Some(0.01), &mut rng());
+        let done = out.permutations.expect("permutation test");
+        assert!(done > 256, "stopped too eagerly at {done}");
+        assert!(done < 2_000, "clear dependence should still stop early");
+        assert_eq!(out.p_value, 0.0);
     }
 
     #[test]

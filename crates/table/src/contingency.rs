@@ -10,6 +10,7 @@ use crate::hash::FxHashMap;
 use crate::rows::RowSet;
 use crate::schema::AttrId;
 use crate::table::Table;
+use hypdb_exec::ThreadPool;
 use hypdb_stats::crosstab::CrossTab;
 use hypdb_stats::entropy::{entropy_miller_madow, entropy_plugin};
 use hypdb_stats::independence::Strata;
@@ -17,6 +18,18 @@ use hypdb_stats::EntropyEstimator;
 
 /// Cells above this domain-product switch to sparse storage.
 const DENSE_LIMIT: u128 = 1 << 20;
+
+/// Selections below this size are always counted in one pass. Above it
+/// the scan is split into fixed chunks counted into per-worker partial
+/// tables and merged in chunk order — for sparse storage that *same*
+/// chunked path also runs at one thread, so the cell iteration order
+/// (which downstream floating-point sums observe) is a function of the
+/// data alone, never of the thread count.
+const PARALLEL_ROWS: usize = 1 << 15;
+
+/// Rows per chunk of a parallel sparse count (fixed: the chunk layout
+/// must not depend on the worker count).
+const SPARSE_ROW_CHUNK: usize = 1 << 14;
 
 #[derive(Debug, Clone)]
 enum Cells {
@@ -42,30 +55,75 @@ impl ContingencyTable {
         let dims: Vec<u32> = attrs.iter().map(|&a| table.cardinality(a).max(1)).collect();
         let product: u128 = dims.iter().map(|&d| d as u128).product();
         let columns: Vec<&[u32]> = attrs.iter().map(|&a| table.column(a).codes()).collect();
+        let n = rows.len();
+        let pool = ThreadPool::current();
 
-        let mut total = 0u64;
         let cells = if product <= DENSE_LIMIT {
-            let mut dense = vec![0u64; product as usize];
-            for row in rows.iter() {
-                let mut idx = 0usize;
-                for (col, &d) in columns.iter().zip(&dims) {
-                    idx = idx * d as usize + col[row as usize] as usize;
+            let count = |range: std::ops::Range<usize>| -> Vec<u64> {
+                let mut dense = vec![0u64; product as usize];
+                for row in rows.slice(range) {
+                    let mut idx = 0usize;
+                    for (col, &d) in columns.iter().zip(&dims) {
+                        idx = idx * d as usize + col[row as usize] as usize;
+                    }
+                    dense[idx] += 1;
                 }
-                dense[idx] += 1;
-                total += 1;
+                dense
+            };
+            if n >= PARALLEL_ROWS && pool.threads() > 1 {
+                // One partial array per worker; `u64` sums are exact and
+                // commutative, so any chunk layout gives the same table
+                // — chunk count may follow the thread count here.
+                let chunk = n.div_ceil(pool.threads());
+                let partials = pool.map_chunks(n, chunk, count);
+                let mut dense = vec![0u64; product as usize];
+                for partial in partials {
+                    for (acc, v) in dense.iter_mut().zip(partial) {
+                        *acc += v;
+                    }
+                }
+                Cells::Dense(dense)
+            } else {
+                Cells::Dense(count(0..n))
             }
-            Cells::Dense(dense)
         } else {
-            let mut sparse: FxHashMap<Box<[u32]>, u64> = FxHashMap::default();
-            let mut key = vec![0u32; attrs.len()];
-            for row in rows.iter() {
-                for (slot, col) in key.iter_mut().zip(&columns) {
-                    *slot = col[row as usize];
+            let count = |range: std::ops::Range<usize>| -> FxHashMap<Box<[u32]>, u64> {
+                let mut sparse: FxHashMap<Box<[u32]>, u64> = FxHashMap::default();
+                let mut key = vec![0u32; attrs.len()];
+                for row in rows.slice(range) {
+                    for (slot, col) in key.iter_mut().zip(&columns) {
+                        *slot = col[row as usize];
+                    }
+                    // Look up first: cloning the key into a fresh box on
+                    // every row is wasted allocation once the cell exists.
+                    match sparse.get_mut(key.as_slice()) {
+                        Some(c) => *c += 1,
+                        None => {
+                            sparse.insert(key.clone().into_boxed_slice(), 1);
+                        }
+                    }
                 }
-                *sparse.entry(key.clone().into_boxed_slice()).or_insert(0) += 1;
-                total += 1;
+                sparse
+            };
+            if n >= PARALLEL_ROWS {
+                // Fixed chunk layout + in-order merge: the merged map's
+                // contents *and* iteration order depend only on the data
+                // (this path also runs, inline, at one thread).
+                let mut partials = pool.map_chunks(n, SPARSE_ROW_CHUNK, count).into_iter();
+                let mut sparse = partials.next().unwrap_or_default();
+                for partial in partials {
+                    for (key, c) in partial {
+                        *sparse.entry(key).or_insert(0) += c;
+                    }
+                }
+                Cells::Sparse(sparse)
+            } else {
+                Cells::Sparse(count(0..n))
             }
-            Cells::Sparse(sparse)
+        };
+        let total = match &cells {
+            Cells::Dense(v) => v.iter().sum(),
+            Cells::Sparse(m) => m.values().sum(),
         };
         ContingencyTable {
             attrs: attrs.to_vec(),
@@ -195,9 +253,16 @@ impl ContingencyTable {
 
     /// Entropy (nats) of the joint distribution of this table's
     /// attributes, under the chosen estimator.
+    ///
+    /// The counts are put in canonical (sorted) order before the
+    /// floating-point sum: a sparse table's iteration order depends on
+    /// how it was built (fresh scan vs marginalised from a cached
+    /// superset — a timing-dependent choice under parallel discovery),
+    /// and entropy must be a pure function of the count multiset.
     pub fn entropy(&self, estimator: EntropyEstimator) -> f64 {
         let mut counts = Vec::with_capacity(self.support() as usize);
         self.for_each(|_, c| counts.push(c));
+        counts.sort_unstable();
         match estimator {
             EntropyEstimator::PlugIn => entropy_plugin(counts),
             EntropyEstimator::MillerMadow => entropy_miller_madow(counts),
@@ -413,6 +478,39 @@ mod tests {
         // First-seen group is "p" (code 0).
         assert_eq!(&*keys[0], &[0u32][..]);
         assert_eq!(s.groups()[0].total(), 6);
+    }
+
+    #[test]
+    fn parallel_count_is_thread_count_invariant() {
+        // Above PARALLEL_ROWS the chunked path engages; dense and sparse
+        // attribute sets must both produce byte-identical tables (cells
+        // *and* iteration order) at every thread count.
+        let names = ["a", "b", "c", "d"];
+        let mut b = TableBuilder::new(names);
+        for i in 0..40_000usize {
+            let vals: Vec<String> = (0..4)
+                .map(|j| ((i * 7 + j * 13) % 40).to_string())
+                .collect();
+            b.push_row(vals.iter().map(String::as_str)).unwrap();
+        }
+        let t = b.finish();
+        let ids: Vec<AttrId> = t.schema().attr_ids().collect();
+        // 2 attrs: 40*40 cells -> dense. 4 attrs: 40^4 > 2^20 -> sparse.
+        for attrs in [&ids[0..2], &ids[0..4]] {
+            let count = |threads: usize| {
+                hypdb_exec::set_global_threads(threads);
+                let ct = ContingencyTable::from_table(&t, &t.all_rows(), attrs);
+                hypdb_exec::set_global_threads(0);
+                ct
+            };
+            let base = count(1);
+            assert_eq!(base.total(), 40_000);
+            for threads in [2, 4, 7] {
+                let ct = count(threads);
+                assert_eq!(ct.total(), base.total());
+                assert_eq!(ct.cells(), base.cells(), "threads={threads}");
+            }
+        }
     }
 
     #[test]

@@ -37,6 +37,16 @@ impl RowSet {
         }
     }
 
+    /// Iterates positions `range` of the selection (the sub-sequence of
+    /// [`RowSet::iter`] between those positions) — the chunk view used
+    /// by parallel scans. `range` must lie within `0..len()`.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> RowIter<'_> {
+        match self {
+            RowSet::All(_) => RowIter::Range(range.start as u32..range.end as u32),
+            RowSet::Ids(ids) => RowIter::Slice(ids[range].iter()),
+        }
+    }
+
     /// Intersects with another selection over the same table.
     pub fn intersect(&self, other: &RowSet) -> RowSet {
         match (self, other) {
@@ -161,6 +171,16 @@ mod tests {
         let r = RowSet::All(3);
         assert_eq!(r.iter().collect::<Vec<_>>(), vec![0, 1, 2]);
         assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn slice_is_iter_subrange() {
+        for rows in [RowSet::All(10), ids(&[2, 3, 5, 7, 11, 13, 17, 19, 23, 29])] {
+            let all: Vec<u32> = rows.iter().collect();
+            assert_eq!(rows.slice(0..10).collect::<Vec<_>>(), all);
+            assert_eq!(rows.slice(3..7).collect::<Vec<_>>(), all[3..7].to_vec());
+            assert_eq!(rows.slice(4..4).count(), 0);
+        }
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //!
 //! This umbrella crate re-exports the whole workspace:
 //!
+//! * [`exec`] — the deterministic parallel execution layer: scoped
+//!   worker pool, per-chunk seed derivation, sharded caches,
 //! * [`table`] — columnar categorical storage, contingency tables, cubes,
 //! * [`stats`] — entropy estimators, χ²/G tests, the MIT permutation test,
 //! * [`graph`] — causal DAGs, d-separation, Bayesian-network sampling,
@@ -59,6 +61,7 @@
 pub use hypdb_causal as causal;
 pub use hypdb_core as core;
 pub use hypdb_datasets as datasets;
+pub use hypdb_exec as exec;
 pub use hypdb_graph as graph;
 pub use hypdb_sql as sql;
 pub use hypdb_stats as stats;

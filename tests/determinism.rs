@@ -1,0 +1,127 @@
+//! The determinism invariant of the parallel execution layer: for any
+//! fixed seed, every pipeline and test output is **byte-identical** for
+//! any worker count (`HYPDB_THREADS ∈ {1, 2, default}`, or any other
+//! value). The thread count decides who computes each deterministic
+//! chunk — never what is computed.
+//!
+//! These tests flip the global worker count at runtime
+//! ([`hypdb::exec::set_global_threads`]) and compare full outputs with
+//! `==`. They are safe to run concurrently with each other precisely
+//! *because* of the invariant they check: a mid-run change of the
+//! thread count must not change any result.
+
+use hypdb::datasets as ds;
+use hypdb::exec;
+use hypdb::prelude::*;
+use hypdb::stats::independence::{mit, MitConfig, Strata};
+use hypdb::stats::patefield::sample_table;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn with_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    exec::set_global_threads(threads);
+    let out = f();
+    exec::set_global_threads(0);
+    out
+}
+
+#[test]
+fn mit_outcomes_identical_at_1_2_and_8_threads() {
+    // Many conditioning groups and several permutation chunks.
+    let mut rng = StdRng::seed_from_u64(0xD15C);
+    let groups: Vec<_> = (0..40)
+        .map(|_| sample_table(&mut rng, &[25, 35, 15], &[30, 30, 15]))
+        .collect();
+    let strata = Strata::new(groups);
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            mit(&strata, 500, &mut StdRng::seed_from_u64(2018))
+        })
+    };
+    let base = run(1);
+    for threads in [2, 8] {
+        let out = run(threads);
+        assert_eq!(out, base, "threads={threads}");
+        // Spell the byte-identity out for the three headline fields.
+        assert_eq!(out.statistic.to_bits(), base.statistic.to_bits());
+        assert_eq!(out.p_value.to_bits(), base.p_value.to_bits());
+        assert_eq!(out.ci95, base.ci95);
+    }
+}
+
+#[test]
+fn hymit_early_stop_identical_across_thread_counts() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let groups: Vec<_> = (0..30)
+        .map(|_| sample_table(&mut rng, &[3, 2, 2], &[3, 2, 2]))
+        .collect();
+    let strata = Strata::new(groups);
+    let cfg = MitConfig {
+        permutations: 1_600,
+        early_stop: Some(0.01),
+        ..MitConfig::default()
+    };
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            hypdb::stats::independence::hymit(&strata, &cfg, &mut StdRng::seed_from_u64(3))
+        })
+    };
+    let base = run(1);
+    for threads in [2, 4] {
+        assert_eq!(run(threads), base, "threads={threads}");
+    }
+}
+
+#[test]
+fn cancer_pipeline_report_identical_across_thread_counts() {
+    // Same data and seed as the ground-truth end-to-end test: the full
+    // report (discovery, detection, effects, explanations) must agree
+    // bit-for-bit at every worker count.
+    let table = ds::cancer_data(2_000, 1);
+    let q = Query::from_sql(
+        "SELECT Lung_Cancer, avg(Car_Accident) FROM CancerData GROUP BY Lung_Cancer",
+        &table,
+    )
+    .expect("query");
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            HypDb::new(&table).analyze(&q).expect("analysis")
+        })
+    };
+    let base = run(1);
+    for threads in [2, 4] {
+        let report = run(threads);
+        assert_eq!(report.covariates, base.covariates, "threads={threads}");
+        assert_eq!(report.mediators, base.mediators, "threads={threads}");
+        assert_eq!(report.used_fallback, base.used_fallback);
+        // Timings legitimately vary; every analytical field is in the
+        // per-context reports, which must match exactly.
+        assert_eq!(report.contexts, base.contexts, "threads={threads}");
+    }
+}
+
+#[test]
+fn adult_discovery_identical_across_thread_counts() {
+    let table = ds::adult_data(&ds::AdultConfig {
+        rows: 8_000,
+        seed: 1994,
+    });
+    let q = Query::from_sql(
+        "SELECT Gender, avg(Income) FROM AdultData GROUP BY Gender",
+        &table,
+    )
+    .expect("query");
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            HypDb::new(&table).discover(&q).expect("discovery")
+        })
+    };
+    let base = run(1);
+    assert!(
+        !base.covariates.is_empty() || !base.mediators.iter().all(Vec::is_empty),
+        "discovery should find structure on adult data"
+    );
+    for threads in [2, 4] {
+        assert_eq!(run(threads), base, "threads={threads}");
+    }
+}
