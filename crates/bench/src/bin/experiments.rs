@@ -6,7 +6,9 @@
 //! HYPDB_SCALE=full cargo run --release -p hypdb-bench --bin experiments
 //! ```
 
-use hypdb_bench::{end_to_end, fig5a, opts, quality, scaling, table1, tests_perf, Scale};
+use hypdb_bench::{
+    end_to_end, fig5a, opts, quality, scaling, shard_scaling, table1, tests_perf, Scale,
+};
 
 const ALL: &[&str] = &[
     "table1",
@@ -22,6 +24,7 @@ const ALL: &[&str] = &[
     "fig8a",
     "fig8b",
     "scaling",
+    "shard_scaling",
 ];
 
 fn run_one(name: &str, scale: Scale) {
@@ -39,6 +42,7 @@ fn run_one(name: &str, scale: Scale) {
         "fig8a" => tests_perf::run_fig8a(scale),
         "fig8b" => opts::run_fig8b(scale),
         "scaling" => scaling::run(scale),
+        "shard_scaling" => shard_scaling::run(scale),
         other => {
             eprintln!("unknown experiment `{other}`; available: {ALL:?}");
             std::process::exit(2);

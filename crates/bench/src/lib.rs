@@ -22,6 +22,7 @@ pub mod opts;
 pub mod quality;
 pub mod report;
 pub mod scaling;
+pub mod shard_scaling;
 pub mod table1;
 pub mod tests_perf;
 
@@ -57,4 +58,15 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let t0 = std::time::Instant::now();
     let out = f();
     (out, t0.elapsed().as_secs_f64())
+}
+
+/// Times a closure with the global worker count pinned to `threads`,
+/// then restores the environment-driven default. Shared by the scaling
+/// experiments; the determinism layer guarantees the pinned count
+/// changes only the wall clock, never the result.
+pub fn timed_at_threads<T>(threads: usize, f: impl FnOnce() -> T) -> (T, f64) {
+    hypdb_exec::set_global_threads(threads);
+    let out = timed(f);
+    hypdb_exec::set_global_threads(0);
+    out
 }

@@ -9,7 +9,7 @@
 //! wall clock may differ.
 
 use crate::report::MdTable;
-use crate::{timed, Scale};
+use crate::Scale;
 use hypdb_core::{HypDb, Query, Timings};
 use hypdb_datasets as ds;
 use hypdb_stats::independence::{mit, Strata};
@@ -70,13 +70,6 @@ fn thread_counts() -> Vec<usize> {
     }
 }
 
-fn with_threads<T>(threads: usize, f: impl FnOnce() -> T) -> (T, f64) {
-    hypdb_exec::set_global_threads(threads);
-    let out = timed(f);
-    hypdb_exec::set_global_threads(0);
-    out
-}
-
 /// Runs the scaling sweep, prints the table, writes `BENCH_pr2.json`.
 pub fn run(scale: Scale) {
     crate::report::section("PR-2 scaling — end-to-end pipeline & kernels vs worker count");
@@ -110,7 +103,7 @@ pub fn run(scale: Scale) {
     ] {
         for &t in &counts {
             let (report, secs) =
-                with_threads(t, || HypDb::new(table).analyze(query).expect("analysis"));
+                crate::timed_at_threads(t, || HypDb::new(table).analyze(query).expect("analysis"));
             runs.push(RunRecord {
                 experiment: name.to_string(),
                 threads: t,
@@ -130,7 +123,8 @@ pub fn run(scale: Scale) {
     };
     let m = scale.pick(4_000, 20_000);
     for &t in &counts {
-        let (_, secs) = with_threads(t, || mit(&strata, m, &mut StdRng::seed_from_u64(1)));
+        let (_, secs) =
+            crate::timed_at_threads(t, || mit(&strata, m, &mut StdRng::seed_from_u64(1)));
         runs.push(RunRecord {
             experiment: "mit_kernel".to_string(),
             threads: t,
@@ -146,7 +140,7 @@ pub fn run(scale: Scale) {
     });
     let attrs: Vec<AttrId> = big.schema().attr_ids().take(4).collect();
     for &t in &counts {
-        let (ct, secs) = with_threads(t, || {
+        let (ct, secs) = crate::timed_at_threads(t, || {
             ContingencyTable::from_table(&big, &big.all_rows(), &attrs)
         });
         assert_eq!(ct.total() as usize, big.all_rows().len());

@@ -1,0 +1,187 @@
+//! PR-3 shard-scaling experiment: the storage-layer kernels and the
+//! end-to-end pipeline on monolithic vs sharded storage, at 1 worker
+//! and the default worker count.
+//!
+//! Prints a markdown table and writes `BENCH_pr3.json` so the perf
+//! trajectory (started by `BENCH_pr2.json`) continues. The equivalence
+//! layer guarantees every measured run produces byte-identical output;
+//! only the wall clock may differ. Shard size 0 denotes the monolithic
+//! baseline.
+
+use crate::report::MdTable;
+use crate::Scale;
+use hypdb_core::{HypDb, Query};
+use hypdb_datasets as ds;
+use hypdb_store::{contingency, group_count, scan_filter, ShardedTable};
+use hypdb_table::{AttrId, Predicate, Scan, Table};
+use serde::Serialize;
+
+/// One timed run of one kernel on one storage layout.
+#[derive(Debug, Clone, Serialize)]
+pub struct ShardRunRecord {
+    /// Experiment name (`contingency_build`, `scan_filter`, …).
+    pub experiment: String,
+    /// Rows per shard (0 = monolithic baseline).
+    pub shard_rows: usize,
+    /// Worker count the run used.
+    pub threads: usize,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// The whole machine-readable report (`BENCH_pr3.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct ShardBenchReport {
+    /// PR number this trajectory point belongs to.
+    pub pr: u32,
+    /// `std::thread::available_parallelism` on the runner.
+    pub available_parallelism: usize,
+    /// Worker counts measured.
+    pub thread_counts: Vec<usize>,
+    /// Shard sizes measured (0 = monolithic).
+    pub shard_sizes: Vec<usize>,
+    /// All timed runs.
+    pub runs: Vec<ShardRunRecord>,
+}
+
+fn thread_counts() -> Vec<usize> {
+    let default = hypdb_exec::global_threads();
+    if default > 1 {
+        vec![1, default]
+    } else {
+        vec![1, 2]
+    }
+}
+
+/// Runs every kernel on one storage layout, appending records.
+fn run_kernels<S: Scan>(
+    shard_rows: usize,
+    table: &S,
+    query: &Query,
+    pred: &Predicate,
+    attrs: &[AttrId],
+    counts: &[usize],
+    runs: &mut Vec<ShardRunRecord>,
+) {
+    let n = table.nrows();
+    for &t in counts {
+        let (rows, secs) = crate::timed_at_threads(t, || scan_filter(table, pred));
+        assert!(rows.len() <= n);
+        runs.push(ShardRunRecord {
+            experiment: "scan_filter".to_string(),
+            shard_rows,
+            threads: t,
+            seconds: secs,
+        });
+
+        let (ct, secs) =
+            crate::timed_at_threads(t, || contingency(table, &table.all_rows(), attrs));
+        assert_eq!(ct.total() as usize, n);
+        runs.push(ShardRunRecord {
+            experiment: "contingency_build".to_string(),
+            shard_rows,
+            threads: t,
+            seconds: secs,
+        });
+
+        let (groups, secs) =
+            crate::timed_at_threads(t, || group_count(table, &table.all_rows(), &attrs[..2]));
+        assert!(!groups.is_empty());
+        runs.push(ShardRunRecord {
+            experiment: "group_count".to_string(),
+            shard_rows,
+            threads: t,
+            seconds: secs,
+        });
+
+        let (report, secs) =
+            crate::timed_at_threads(t, || HypDb::new(table).analyze(query).expect("analysis"));
+        assert!(!report.contexts.is_empty());
+        runs.push(ShardRunRecord {
+            experiment: "adult_pipeline".to_string(),
+            shard_rows,
+            threads: t,
+            seconds: secs,
+        });
+    }
+}
+
+/// Runs the shard-scaling sweep, prints the table, writes
+/// `BENCH_pr3.json`.
+pub fn run(scale: Scale) {
+    crate::report::section("PR-3 shard scaling — kernels & pipeline, monolithic vs sharded");
+    let counts = thread_counts();
+    let shard_sizes: Vec<usize> = vec![0, 4096, 65_536];
+    let mut runs: Vec<ShardRunRecord> = Vec::new();
+
+    let mono: Table = ds::adult_data(&ds::AdultConfig {
+        rows: scale.pick(60_000, 500_000),
+        seed: 7,
+    });
+    let attrs: Vec<AttrId> = mono.schema().attr_ids().take(4).collect();
+    let pred = Predicate::eq(&mono, "Gender", "Female").expect("attr");
+    let query = Query::from_sql(
+        "SELECT Gender, avg(Income) FROM AdultData GROUP BY Gender",
+        &mono,
+    )
+    .expect("query");
+
+    for &shard_rows in &shard_sizes {
+        if shard_rows == 0 {
+            run_kernels(0, &mono, &query, &pred, &attrs, &counts, &mut runs);
+        } else {
+            let sharded = ShardedTable::from_table(&mono, shard_rows);
+            run_kernels(
+                shard_rows, &sharded, &query, &pred, &attrs, &counts, &mut runs,
+            );
+        }
+    }
+
+    let mut table = MdTable::new([
+        "experiment",
+        "shard_rows",
+        "threads",
+        "seconds",
+        "vs monolithic",
+    ]);
+    for run in &runs {
+        let base = runs
+            .iter()
+            .find(|r| {
+                r.experiment == run.experiment && r.shard_rows == 0 && r.threads == run.threads
+            })
+            .map(|r| r.seconds)
+            .unwrap_or(run.seconds);
+        let rel = if run.seconds > 0.0 {
+            base / run.seconds
+        } else {
+            1.0
+        };
+        table.row([
+            run.experiment.clone(),
+            if run.shard_rows == 0 {
+                "mono".to_string()
+            } else {
+                run.shard_rows.to_string()
+            },
+            run.threads.to_string(),
+            format!("{:.3}", run.seconds),
+            format!("{rel:.2}x"),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let report = ShardBenchReport {
+        pr: 3,
+        available_parallelism: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        thread_counts: counts,
+        shard_sizes,
+        runs,
+    };
+    let json = serde_json::to_string(&report).expect("serialize");
+    let path = "BENCH_pr3.json";
+    std::fs::write(path, &json).expect("write BENCH_pr3.json");
+    println!("\n(wrote {path}; sharded runs must match the monolithic baseline bit-for-bit — only wall clock may differ)");
+}

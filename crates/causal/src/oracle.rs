@@ -24,7 +24,7 @@ use hypdb_stats::EntropyEstimator;
 use hypdb_table::contingency::ContingencyTable;
 use hypdb_table::hash::{FxBuildHasher, FxHashMap};
 use hypdb_table::sync::Mutex;
-use hypdb_table::{AttrId, RowSet, Table};
+use hypdb_table::{AttrId, RowSet, Scan, Table};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -194,7 +194,10 @@ pub trait CiOracle {
     fn reset_stats(&self);
 }
 
-/// Data-backed oracle over a table selection.
+/// Data-backed oracle over a selection of any [`Scan`] storage
+/// (defaults to the monolithic [`Table`]; `hypdb-store`'s
+/// `ShardedTable` plugs in identically — contingency scans fan out per
+/// shard and the counts are byte-identical either way).
 ///
 /// The oracle is `Sync` and safe to drive from many worker threads at
 /// once (CD's phases fan independence tests out over the global pool):
@@ -204,8 +207,8 @@ pub trait CiOracle {
 /// deterministic mix of the configured seed with `(x, y, sorted z)` —
 /// so each outcome is a pure function of (data, config, statement), no
 /// matter which thread runs it or in what order.
-pub struct DataOracle<'a> {
-    table: &'a Table,
+pub struct DataOracle<'a, S: Scan + ?Sized = Table> {
+    table: &'a S,
     rows: RowSet,
     vars: Vec<AttrId>,
     cfg: CiConfig,
@@ -214,10 +217,10 @@ pub struct DataOracle<'a> {
     counters: AtomicStats,
 }
 
-impl<'a> DataOracle<'a> {
+impl<'a, S: Scan + ?Sized> DataOracle<'a, S> {
     /// Builds an oracle over `vars` (oracle variable `i` ↔ `vars[i]`)
     /// restricted to `rows`.
-    pub fn new(table: &'a Table, rows: RowSet, vars: Vec<AttrId>, cfg: CiConfig) -> Self {
+    pub fn new(table: &'a S, rows: RowSet, vars: Vec<AttrId>, cfg: CiConfig) -> Self {
         DataOracle {
             table,
             rows,
@@ -230,7 +233,7 @@ impl<'a> DataOracle<'a> {
     }
 
     /// Oracle over every attribute of the table.
-    pub fn over_all_attrs(table: &'a Table, rows: RowSet, cfg: CiConfig) -> Self {
+    pub fn over_all_attrs(table: &'a S, rows: RowSet, cfg: CiConfig) -> Self {
         let vars: Vec<AttrId> = table.schema().attr_ids().collect();
         DataOracle::new(table, rows, vars, cfg)
     }
@@ -461,7 +464,7 @@ fn is_subset(small: &[Var], big: &[Var]) -> bool {
     true
 }
 
-impl CiOracle for DataOracle<'_> {
+impl<S: Scan + ?Sized> CiOracle for DataOracle<'_, S> {
     fn num_vars(&self) -> usize {
         self.vars.len()
     }

@@ -17,7 +17,7 @@
 use hypdb_exec::ThreadPool;
 use hypdb_stats::entropy::entropy_plugin;
 use hypdb_table::contingency::ContingencyTable;
-use hypdb_table::{AttrId, RowSet, Table};
+use hypdb_table::{AttrId, RowSet, Scan};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -66,8 +66,8 @@ pub struct PreprocessReport {
 /// fans out over the global worker pool; each attribute's verdict is
 /// independent of the others, so the report is identical at any thread
 /// count.
-pub fn drop_logical_dependencies(
-    table: &Table,
+pub fn drop_logical_dependencies<S: Scan + ?Sized>(
+    table: &S,
     rows: &RowSet,
     attrs: &[AttrId],
     cfg: &PreprocessConfig,
@@ -101,7 +101,7 @@ pub fn drop_logical_dependencies(
             order.swap(i, j);
         }
         let key_like_flags = pool.parallel_map(attrs, |_, &a| {
-            let codes = table.column(a).codes();
+            let codes = table.col(a);
             let card = table.cardinality(a).max(1) as usize;
             let mut prev_h: Option<f64> = None;
             let mut growths = Vec::new();
@@ -109,7 +109,7 @@ pub fn drop_logical_dependencies(
             let mut consumed = 0usize;
             for &size in &sizes {
                 while consumed < size {
-                    counts[codes[order[consumed] as usize] as usize] += 1;
+                    counts[codes.at(order[consumed]) as usize] += 1;
                     consumed += 1;
                 }
                 let h = entropy_plugin(counts.iter().copied());
@@ -179,7 +179,7 @@ pub fn drop_logical_dependencies(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hypdb_table::TableBuilder;
+    use hypdb_table::{Table, TableBuilder};
 
     /// carrier/airport categorical data + `wac` (bijective with
     /// airport) + `id` (unique per row).

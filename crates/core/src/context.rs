@@ -3,7 +3,7 @@
 
 use crate::query::Query;
 use hypdb_table::groupby::group_counts;
-use hypdb_table::{AttrId, Predicate, RowSet, Table};
+use hypdb_table::{AttrId, Predicate, RowSet, Scan};
 
 /// One context of a query: a sub-population selected by the WHERE
 /// clause plus one grouping-value combination.
@@ -18,7 +18,7 @@ pub struct Context {
 
 impl Context {
     /// Human-readable label, e.g. `Quarter=1, Year=2017`.
-    pub fn label(&self, table: &Table) -> String {
+    pub fn label<S: Scan + ?Sized>(&self, table: &S) -> String {
         if self.values.is_empty() {
             return "(all)".to_string();
         }
@@ -30,9 +30,10 @@ impl Context {
     }
 }
 
-/// Enumerates the contexts of `query` over `table`, sorted by grouping
-/// key. Empty contexts are not produced (only observed combinations).
-pub fn contexts(table: &Table, query: &Query) -> Vec<Context> {
+/// Enumerates the contexts of `query` over any [`Scan`] storage, sorted
+/// by grouping key. Empty contexts are not produced (only observed
+/// combinations). The WHERE selection runs shard-parallel.
+pub fn contexts<S: Scan + ?Sized>(table: &S, query: &Query) -> Vec<Context> {
     let base = query.predicate.select(table);
     if query.grouping.is_empty() {
         return vec![Context {
@@ -55,7 +56,7 @@ pub fn contexts(table: &Table, query: &Query) -> Vec<Context> {
                 .grouping
                 .iter()
                 .zip(g.key.iter())
-                .map(|(&a, &code)| (a, table.column(a).dict().value(code).to_string()))
+                .map(|(&a, &code)| (a, table.dict(a).value(code).to_string()))
                 .collect();
             Context { values, rows }
         })
@@ -66,7 +67,7 @@ pub fn contexts(table: &Table, query: &Query) -> Vec<Context> {
 mod tests {
     use super::*;
     use crate::query::QueryBuilder;
-    use hypdb_table::TableBuilder;
+    use hypdb_table::{Table, TableBuilder};
 
     fn table() -> Table {
         let mut b = TableBuilder::new(["T", "Y", "X"]);

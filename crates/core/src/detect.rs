@@ -9,7 +9,7 @@
 use hypdb_stats::crosstab::CrossTab;
 use hypdb_stats::independence::{chi2_test, hymit, MitConfig, Strata, TestOutcome};
 use hypdb_table::hash::FxHashMap;
-use hypdb_table::{AttrId, RowSet, Table};
+use hypdb_table::{AttrId, ColRef, RowSet, Scan};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -31,21 +31,26 @@ pub struct BiasReport {
 /// Builds the `T × joint(V)` cross tab over the context rows. The joint
 /// domain of `V` is compacted to its observed combinations (first-seen
 /// order), which keeps the table linear in the data.
-pub fn joint_crosstab(table: &Table, rows: &RowSet, t: AttrId, v: &[AttrId]) -> CrossTab {
+pub fn joint_crosstab<S: Scan + ?Sized>(
+    table: &S,
+    rows: &RowSet,
+    t: AttrId,
+    v: &[AttrId],
+) -> CrossTab {
     let r = table.cardinality(t).max(1) as usize;
-    let tcol = table.column(t).codes();
-    let vcols: Vec<&[u32]> = v.iter().map(|&a| table.column(a).codes()).collect();
+    let tcol = table.col(t);
+    let vcols: Vec<ColRef<'_>> = v.iter().map(|&a| table.col(a)).collect();
     // First pass: index observed V-combinations.
     let mut index: FxHashMap<Box<[u32]>, usize> = FxHashMap::default();
     let mut cells: Vec<(usize, usize)> = Vec::with_capacity(rows.len());
     let mut key = vec![0u32; v.len()];
     for row in rows.iter() {
         for (slot, col) in key.iter_mut().zip(&vcols) {
-            *slot = col[row as usize];
+            *slot = col.at(row);
         }
         let next = index.len();
         let j = *index.entry(key.clone().into_boxed_slice()).or_insert(next);
-        cells.push((tcol[row as usize] as usize, j));
+        cells.push((tcol.at(row) as usize, j));
     }
     let c = index.len().max(1);
     let mut tab = CrossTab::zeros(r, c);
@@ -59,8 +64,8 @@ pub fn joint_crosstab(table: &Table, rows: &RowSet, t: AttrId, v: &[AttrId]) -> 
 /// (`Γ` = the context selection). Uses HyMIT: χ² when the sample is
 /// large relative to the joint support, the MIT permutation test
 /// otherwise.
-pub fn detect_bias(
-    table: &Table,
+pub fn detect_bias<S: Scan + ?Sized>(
+    table: &S,
     rows: &RowSet,
     t: AttrId,
     v: &[AttrId],
@@ -95,7 +100,7 @@ pub fn detect_bias(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hypdb_table::TableBuilder;
+    use hypdb_table::{Table, TableBuilder};
 
     /// Confounded data: Z skews both T and Y.
     fn confounded() -> Table {

@@ -8,7 +8,7 @@ use crate::error::{Error, Result};
 use hypdb_stats::independence::{mit_auto, MitConfig, TestOutcome};
 use hypdb_table::contingency::Stratified;
 use hypdb_table::hash::FxHashMap;
-use hypdb_table::{AttrId, RowSet, Table};
+use hypdb_table::{AttrId, ColRef, RowSet, Scan};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -59,8 +59,8 @@ struct BlockAcc {
 ///
 /// With `z = ∅` this degenerates to the plain SQL answer.
 #[allow(clippy::too_many_arguments)]
-pub fn adjusted_averages(
-    table: &Table,
+pub fn adjusted_averages<S: Scan + ?Sized>(
+    table: &S,
     rows: &RowSet,
     t: AttrId,
     levels: &[u32],
@@ -82,16 +82,16 @@ pub fn adjusted_averages(
         .iter()
         .map(|&y| table.numeric_codes(y))
         .collect::<std::result::Result<_, _>>()?;
-    let tcol = table.column(t).codes();
-    let ycols: Vec<&[u32]> = outcomes.iter().map(|&y| table.column(y).codes()).collect();
-    let zcols: Vec<&[u32]> = z.iter().map(|&a| table.column(a).codes()).collect();
+    let tcol = table.col(t);
+    let ycols: Vec<ColRef<'_>> = outcomes.iter().map(|&y| table.col(y)).collect();
+    let zcols: Vec<ColRef<'_>> = z.iter().map(|&a| table.col(a)).collect();
     let level_of: FxHashMap<u32, usize> = levels.iter().enumerate().map(|(i, &c)| (c, i)).collect();
 
     let mut blocks: FxHashMap<Box<[u32]>, BlockAcc> = FxHashMap::default();
     let mut key = vec![0u32; z.len()];
     for row in rows.iter() {
         for (slot, col) in key.iter_mut().zip(&zcols) {
-            *slot = col[row as usize];
+            *slot = col.at(row);
         }
         let acc = blocks
             .entry(key.clone().into_boxed_slice())
@@ -100,11 +100,11 @@ pub fn adjusted_averages(
                 per_level: vec![(0, vec![0.0; outcomes.len()]); levels.len()],
             });
         acc.total += 1;
-        if let Some(&li) = level_of.get(&tcol[row as usize]) {
+        if let Some(&li) = level_of.get(&tcol.at(row)) {
             let (count, sums) = &mut acc.per_level[li];
             *count += 1;
             for ((s, vals), col) in sums.iter_mut().zip(&numeric).zip(&ycols) {
-                *s += vals[col[row as usize] as usize];
+                *s += vals[col.at(row) as usize];
             }
         }
     }
@@ -175,8 +175,8 @@ pub fn adjusted_averages(
 /// the paper's printed Eq 3 conditions on `m` only, which coincides
 /// when `Y ⊥ Z | T, M`.
 #[allow(clippy::too_many_arguments)]
-pub fn natural_direct_effect(
-    table: &Table,
+pub fn natural_direct_effect<S: Scan + ?Sized>(
+    table: &S,
     rows: &RowSet,
     t: AttrId,
     levels: &[u32],
@@ -199,10 +199,10 @@ pub fn natural_direct_effect(
         .iter()
         .map(|&y| table.numeric_codes(y))
         .collect::<std::result::Result<_, _>>()?;
-    let tcol = table.column(t).codes();
-    let ycols: Vec<&[u32]> = outcomes.iter().map(|&y| table.column(y).codes()).collect();
-    let zcols: Vec<&[u32]> = z.iter().map(|&a| table.column(a).codes()).collect();
-    let mcols: Vec<&[u32]> = mediators.iter().map(|&a| table.column(a).codes()).collect();
+    let tcol = table.col(t);
+    let ycols: Vec<ColRef<'_>> = outcomes.iter().map(|&y| table.col(y)).collect();
+    let zcols: Vec<ColRef<'_>> = z.iter().map(|&a| table.col(a)).collect();
+    let mcols: Vec<ColRef<'_>> = mediators.iter().map(|&a| table.col(a)).collect();
     let level_of: FxHashMap<u32, usize> = levels.iter().enumerate().map(|(i, &c)| (c, i)).collect();
 
     // Blocks keyed by (z, m); stored grouped under their z-part so the
@@ -220,10 +220,10 @@ pub fn natural_direct_effect(
     let mut mkey = vec![0u32; mediators.len()];
     for row in rows.iter() {
         for (slot, col) in zkey.iter_mut().zip(&zcols) {
-            *slot = col[row as usize];
+            *slot = col.at(row);
         }
         for (slot, col) in mkey.iter_mut().zip(&mcols) {
-            *slot = col[row as usize];
+            *slot = col.at(row);
         }
         let zacc = zblocks.entry(zkey.clone().into_boxed_slice()).or_default();
         zacc.total += 1;
@@ -233,11 +233,11 @@ pub fn natural_direct_effect(
             .or_insert_with(|| ZmAcc {
                 per_level: vec![(0, vec![0.0; outcomes.len()]); levels.len()],
             });
-        if let Some(&li) = level_of.get(&tcol[row as usize]) {
+        if let Some(&li) = level_of.get(&tcol.at(row)) {
             let (count, sums) = &mut macc.per_level[li];
             *count += 1;
             for ((s, vals), col) in sums.iter_mut().zip(&numeric).zip(&ycols) {
-                *s += vals[col[row as usize] as usize];
+                *s += vals[col.at(row) as usize];
             }
         }
     }
@@ -326,17 +326,17 @@ pub fn natural_direct_effect(
 }
 
 /// Renders the compared levels as strings.
-pub fn level_labels(table: &Table, t: AttrId, levels: &[u32]) -> Vec<String> {
+pub fn level_labels<S: Scan + ?Sized>(table: &S, t: AttrId, levels: &[u32]) -> Vec<String> {
     levels
         .iter()
-        .map(|&c| table.column(t).dict().value(c).to_string())
+        .map(|&c| table.dict(t).value(c).to_string())
         .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hypdb_table::TableBuilder;
+    use hypdb_table::{Table, TableBuilder};
 
     /// The quickstart confounding example: Z -> T, Z -> Y; true
     /// conditional effect of T on Y is zero within each Z block by

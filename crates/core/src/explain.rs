@@ -14,7 +14,7 @@
 use hypdb_stats::borda::borda_aggregate;
 use hypdb_stats::EntropyEstimator;
 use hypdb_table::contingency::ContingencyTable;
-use hypdb_table::{AttrId, RowSet, Table};
+use hypdb_table::{AttrId, RowSet, Scan};
 use serde::{Deserialize, Serialize};
 
 /// One coarse-grained explanation row.
@@ -56,8 +56,8 @@ pub struct Explanations {
 }
 
 /// Computes the coarse-grained ranking over `v` in the context `rows`.
-pub fn coarse_explanations(
-    table: &Table,
+pub fn coarse_explanations<S: Scan + ?Sized>(
+    table: &S,
     rows: &RowSet,
     t: AttrId,
     v: &[AttrId],
@@ -112,8 +112,8 @@ fn pair_contributions(ct: &ContingencyTable) -> hypdb_table::hash::FxHashMap<(u3
 /// Runs FGE (Alg 3) for covariate `z`: ranks the observed triples
 /// `(t, y, z)` by their contributions to `I(T;Z)` and `I(Y;Z)` and
 /// Borda-aggregates the two rankings. Returns the top-`k`.
-pub fn fine_explanations(
-    table: &Table,
+pub fn fine_explanations<S: Scan + ?Sized>(
+    table: &S,
     rows: &RowSet,
     t: AttrId,
     y: AttrId,
@@ -143,9 +143,9 @@ pub fn fine_explanations(
         .map(|i| {
             let (tc, yc, zc) = keys[i];
             FineExplanation {
-                t_value: table.column(t).dict().value(tc).to_string(),
-                y_value: table.column(y).dict().value(yc).to_string(),
-                z_value: table.column(z).dict().value(zc).to_string(),
+                t_value: table.dict(t).value(tc).to_string(),
+                y_value: table.dict(y).value(yc).to_string(),
+                z_value: table.dict(z).value(zc).to_string(),
                 kappa_tz: kappa_t[i],
                 kappa_yz: kappa_y[i],
             }
@@ -156,7 +156,7 @@ pub fn fine_explanations(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hypdb_table::TableBuilder;
+    use hypdb_table::{Table, TableBuilder};
 
     /// Two covariates: Z strongly confounds T, W is pure noise.
     fn data() -> Table {

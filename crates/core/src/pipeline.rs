@@ -15,7 +15,7 @@ use hypdb_exec::ThreadPool;
 use hypdb_stats::independence::{hymit, TestOutcome};
 use hypdb_table::contingency::Stratified;
 use hypdb_table::groupby::group_counts;
-use hypdb_table::{AttrId, Table};
+use hypdb_table::{AttrId, Scan, Table};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -139,17 +139,22 @@ pub struct Discovery {
     pub dropped_keys: Vec<AttrId>,
 }
 
-/// The HypDB system bound to a table.
-pub struct HypDb<'a> {
-    table: &'a Table,
+/// The HypDB system bound to a table — any [`Scan`] storage: the
+/// monolithic [`Table`] (the default) or `hypdb-store`'s sharded
+/// `ShardedTable`. The whole pipeline (WHERE selection, discovery,
+/// detection, explanation, effect estimation) runs on the shared
+/// shard-aware kernels, so reports are byte-identical across storage
+/// layouts.
+pub struct HypDb<'a, S: Scan + ?Sized = Table> {
+    table: &'a S,
     cfg: HypDbConfig,
     covariates: Option<Vec<AttrId>>,
     mediators: Option<Vec<AttrId>>,
 }
 
-impl<'a> HypDb<'a> {
+impl<'a, S: Scan + ?Sized> HypDb<'a, S> {
     /// Binds HypDB to a table with default configuration.
-    pub fn new(table: &'a Table) -> Self {
+    pub fn new(table: &'a S) -> Self {
         HypDb {
             table,
             cfg: HypDbConfig::default(),
@@ -165,10 +170,10 @@ impl<'a> HypDb<'a> {
     }
 
     /// Supplies known covariates, skipping automatic discovery.
-    pub fn with_covariates<I, S>(mut self, names: I) -> Result<Self>
+    pub fn with_covariates<I, N>(mut self, names: I) -> Result<Self>
     where
-        I: IntoIterator<Item = S>,
-        S: AsRef<str>,
+        I: IntoIterator<Item = N>,
+        N: AsRef<str>,
     {
         let ids = names
             .into_iter()
@@ -180,10 +185,10 @@ impl<'a> HypDb<'a> {
 
     /// Supplies known mediators (applied to every outcome), skipping
     /// automatic discovery.
-    pub fn with_mediators<I, S>(mut self, names: I) -> Result<Self>
+    pub fn with_mediators<I, N>(mut self, names: I) -> Result<Self>
     where
-        I: IntoIterator<Item = S>,
-        S: AsRef<str>,
+        I: IntoIterator<Item = N>,
+        N: AsRef<str>,
     {
         let ids = names
             .into_iter()
@@ -194,7 +199,7 @@ impl<'a> HypDb<'a> {
     }
 
     /// The bound table.
-    pub fn table(&self) -> &Table {
+    pub fn table(&self) -> &S {
         self.table
     }
 
@@ -409,7 +414,7 @@ impl<'a> HypDb<'a> {
         let levels: Vec<u32> = level_rows.iter().map(|g| g.key[0]).collect();
         let level_names: Vec<String> = levels
             .iter()
-            .map(|&c| table.column(t).dict().value(c).to_string())
+            .map(|&c| table.dict(t).value(c).to_string())
             .collect();
 
         // --- The original query's answers. ---

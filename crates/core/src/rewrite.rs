@@ -5,7 +5,7 @@
 use crate::effect::EffectEstimate;
 use crate::query::Query;
 use hypdb_sql::RewriteSpec;
-use hypdb_table::Table;
+use hypdb_table::Scan;
 use serde::{Deserialize, Serialize};
 
 /// The rewrite outputs for one query (SQL text plus evaluated effects
@@ -20,8 +20,8 @@ pub struct RewriteResult {
 }
 
 /// Builds the [`RewriteSpec`] for a query and an adjustment set.
-pub fn rewrite_spec(
-    table: &Table,
+pub fn rewrite_spec<S: Scan + ?Sized>(
+    table: &S,
     query: &Query,
     adjustment: &[hypdb_table::AttrId],
 ) -> RewriteSpec {
@@ -38,8 +38,8 @@ pub fn rewrite_spec(
 }
 
 /// Renders both rewritten queries.
-pub fn render_rewrites(
-    table: &Table,
+pub fn render_rewrites<S: Scan + ?Sized>(
+    table: &S,
     query: &Query,
     covariates: &[hypdb_table::AttrId],
     mediators: &[hypdb_table::AttrId],
@@ -70,7 +70,7 @@ pub fn headline_diff(est: &EffectEstimate) -> Option<f64> {
 mod tests {
     use super::*;
     use crate::query::QueryBuilder;
-    use hypdb_table::TableBuilder;
+    use hypdb_table::{Table, TableBuilder};
 
     fn table() -> Table {
         let mut b = TableBuilder::new(["Carrier", "Airport", "Delayed", "Dest"]);

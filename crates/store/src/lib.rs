@@ -1,0 +1,62 @@
+//! Sharded columnar storage for HypDB.
+//!
+//! The paper's detection/explanation pipeline (§4–§6) is dominated by
+//! repeated scans of the base table: WHERE selection per context,
+//! group-by for covariate strata, cube materialisation, and contingency
+//! counting for every independence statement. This crate promotes the
+//! chunked-partial-counts trick of `ContingencyTable::from_table` into
+//! a first-class storage layout:
+//!
+//! * [`ShardedTable`] — a partitioned columnar relation whose shards
+//!   are **fixed-size row ranges** with per-shard code columns in a
+//!   **merged global dictionary**, so attribute codes are identical to
+//!   the monolithic `hypdb_table::Table` encoding and every kernel
+//!   produces byte-identical results on either layout,
+//! * [`ShardedTableBuilder`] — row-at-a-time construction with
+//!   per-shard local dictionaries merged (in shard order) into the
+//!   global dictionary when a shard seals; at most one unsealed shard
+//!   is buffered at a time,
+//! * [`ingest`] — streaming CSV ingest ([`read_csv_shards`]) that reads
+//!   record by record through `hypdb_table::csv::CsvRecords` and never
+//!   materialises the file,
+//! * [`ops`] — the parallel scan primitives ([`scan_filter`],
+//!   [`group_count`], [`contingency`], [`build_cube`]): thin, documented
+//!   fronts over the shared `Scan`-generic kernels in `hypdb-table`,
+//!   which fan out per shard / fixed chunk on the `hypdb-exec` pool and
+//!   merge partials deterministically.
+//!
+//! **Determinism contract.** For any shard size and worker count, every
+//! operation over a `ShardedTable` — and the whole analyze pipeline on
+//! top — is byte-identical to the monolithic path. Codes agree because
+//! dictionaries merge in first-appearance order; scans agree because
+//! chunk layouts are pure functions of the selection and partials merge
+//! in ascending row order; RNG streams agree because seeds derive from
+//! configuration, never from storage. `tests/sharding.rs` pins this on
+//! the cancer and adult pipelines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ingest;
+pub mod ops;
+pub mod sharded;
+
+pub use ingest::{read_csv_shards, read_csv_shards_path};
+pub use ops::{build_cube, contingency, group_count, scan_filter};
+pub use sharded::{ShardedTable, ShardedTableBuilder};
+
+/// Default rows per shard when none is specified: large enough that
+/// per-shard dictionary merges amortise, small enough that a shard is a
+/// cache-friendly unit of parallel work.
+pub const DEFAULT_SHARD_ROWS: usize = 1 << 16;
+
+/// Reads the `HYPDB_SHARD_ROWS` environment variable: `None` when
+/// unset, unparsable, or `0` (all meaning "monolithic storage");
+/// `Some(rows)` otherwise. The CI matrix drives the equivalence suite
+/// and the examples through both settings.
+pub fn env_shard_rows() -> Option<usize> {
+    std::env::var("HYPDB_SHARD_ROWS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}

@@ -1,0 +1,364 @@
+//! The partitioned columnar relation and its builder.
+
+use hypdb_table::column::{Column, Dictionary};
+use hypdb_table::scan::Scan;
+use hypdb_table::{AttrId, Error, Result, RowSet, Schema, Table};
+
+/// One shard: a fixed-size row range stored as one global-code column
+/// per attribute.
+#[derive(Debug, Clone, Default)]
+pub struct Shard {
+    /// Per-attribute codes (global dictionary space), all equal length.
+    columns: Vec<Vec<u32>>,
+}
+
+impl Shard {
+    /// Number of rows in the shard.
+    pub fn nrows(&self) -> usize {
+        self.columns.first().map_or(0, Vec::len)
+    }
+
+    /// The global-code slice of one attribute.
+    pub fn codes(&self, attr: AttrId) -> &[u32] {
+        &self.columns[attr.index()]
+    }
+}
+
+/// A partitioned, dictionary-encoded, column-oriented relation.
+///
+/// Shards are fixed-size row ranges (`shard_rows` each, last one
+/// short); codes live in the **merged global dictionary**, which is
+/// byte-identical to the dictionary a monolithic [`Table`] would build
+/// from the same row stream (first-appearance order, merged shard by
+/// shard). Every `hypdb-table` kernel therefore produces identical
+/// output on either representation, while scans fan out shard by shard
+/// on the worker pool and ingest streams without materialising the
+/// whole input.
+#[derive(Debug, Clone, Default)]
+pub struct ShardedTable {
+    schema: Schema,
+    dicts: Vec<Dictionary>,
+    shards: Vec<Shard>,
+    shard_rows: usize,
+    nrows: usize,
+}
+
+impl ShardedTable {
+    /// Re-partitions a monolithic table into `shard_rows`-sized shards.
+    /// Dictionaries are shared (cloned), so codes are identical by
+    /// construction.
+    pub fn from_table(table: &Table, shard_rows: usize) -> ShardedTable {
+        let shard_rows = shard_rows.max(1);
+        let n = table.nrows();
+        let nattrs = table.nattrs();
+        let mut shards = Vec::with_capacity(n.div_ceil(shard_rows));
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + shard_rows).min(n);
+            let columns = (0..nattrs as u32)
+                .map(|a| table.column(AttrId(a)).codes()[start..end].to_vec())
+                .collect();
+            shards.push(Shard { columns });
+            start = end;
+        }
+        ShardedTable {
+            schema: table.schema().clone(),
+            dicts: (0..nattrs as u32)
+                .map(|a| table.column(AttrId(a)).dict().clone())
+                .collect(),
+            shards,
+            shard_rows,
+            nrows: n,
+        }
+    }
+
+    /// Materialises the equivalent monolithic table (concatenated
+    /// codes, shared dictionaries) — the inverse of
+    /// [`ShardedTable::from_table`].
+    pub fn to_table(&self) -> Table {
+        let columns: Vec<Column> = (0..self.schema.len())
+            .map(|i| {
+                let mut codes = Vec::with_capacity(self.nrows);
+                for shard in &self.shards {
+                    codes.extend_from_slice(&shard.columns[i]);
+                }
+                Column::from_parts(codes, self.dicts[i].clone())
+            })
+            .collect();
+        Table::from_columns(self.schema.clone(), columns).expect("shards kept columns aligned")
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Total number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of attributes.
+    pub fn nattrs(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// Rows per shard (every shard except the last).
+    pub fn shard_rows(&self) -> usize {
+        self.shard_rows
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard.
+    pub fn shard(&self, i: usize) -> &Shard {
+        &self.shards[i]
+    }
+
+    /// Resolves an attribute name.
+    pub fn attr(&self, name: &str) -> Result<AttrId> {
+        self.schema.attr(name)
+    }
+
+    /// The merged global dictionary of an attribute.
+    pub fn dict(&self, attr: AttrId) -> &Dictionary {
+        &self.dicts[attr.index()]
+    }
+
+    /// Observed cardinality of an attribute.
+    pub fn cardinality(&self, attr: AttrId) -> u32 {
+        self.dicts[attr.index()].len() as u32
+    }
+
+    /// The string value of `attr` at global row `row`.
+    pub fn value(&self, attr: AttrId, row: u32) -> &str {
+        self.dicts[attr.index()].value(Scan::code(self, attr, row))
+    }
+
+    /// All rows as a [`RowSet`].
+    pub fn all_rows(&self) -> RowSet {
+        RowSet::All(self.nrows as u32)
+    }
+}
+
+impl Scan for ShardedTable {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    fn dict(&self, attr: AttrId) -> &Dictionary {
+        &self.dicts[attr.index()]
+    }
+
+    fn shard_rows(&self) -> usize {
+        self.shard_rows.max(1)
+    }
+
+    fn shard_codes(&self, shard: usize, attr: AttrId) -> &[u32] {
+        &self.shards[shard].columns[attr.index()]
+    }
+}
+
+/// Row-at-a-time builder for [`ShardedTable`].
+///
+/// Rows are interned into **per-shard local dictionaries**; when a
+/// shard reaches `shard_rows` rows it is *sealed*: each local
+/// dictionary is merged into the global one (local-code order, i.e.
+/// first-appearance order within the shard) and the shard's codes are
+/// remapped to global space. Because shards seal in order, the merged
+/// global dictionary assigns codes in first-appearance order over the
+/// whole row stream — exactly what a monolithic [`TableBuilder`]
+/// (`hypdb_table::TableBuilder`) would assign. Only one unsealed shard
+/// is ever buffered, so ingest memory beyond the sealed shards is
+/// `O(shard_rows)`.
+#[derive(Debug, Clone)]
+pub struct ShardedTableBuilder {
+    schema: Schema,
+    shard_rows: usize,
+    dicts: Vec<Dictionary>,
+    sealed: Vec<Shard>,
+    /// The unsealed shard: local dictionaries + local codes.
+    current: Vec<Column>,
+    nrows: usize,
+}
+
+impl ShardedTableBuilder {
+    /// New builder over the given attribute names, sealing a shard
+    /// every `shard_rows` rows (clamped to ≥ 1).
+    pub fn new<I, S>(names: I, shard_rows: usize) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let schema = Schema::new(names);
+        let nattrs = schema.len();
+        ShardedTableBuilder {
+            schema,
+            shard_rows: shard_rows.max(1),
+            dicts: vec![Dictionary::new(); nattrs],
+            sealed: Vec::new(),
+            current: (0..nattrs).map(|_| Column::new()).collect(),
+            nrows: 0,
+        }
+    }
+
+    /// Appends one row of string values. The row is validated for arity
+    /// before anything is interned, so a failed push leaves the builder
+    /// untouched.
+    pub fn push_row<'a, I>(&mut self, values: I) -> Result<()>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let vals: Vec<&str> = values.into_iter().collect();
+        if vals.len() != self.current.len() {
+            return Err(Error::ArityMismatch {
+                expected: self.current.len(),
+                got: vals.len(),
+            });
+        }
+        for (col, v) in self.current.iter_mut().zip(vals) {
+            col.push(v);
+        }
+        self.nrows += 1;
+        if self.current.first().map_or(0, Column::len) >= self.shard_rows {
+            self.seal();
+        }
+        Ok(())
+    }
+
+    /// Number of rows pushed so far.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// The schema being built.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Seals the current shard: merges its local dictionaries into the
+    /// global ones (in local-code order) and remaps its codes.
+    fn seal(&mut self) {
+        let mut columns = Vec::with_capacity(self.current.len());
+        for (col, global) in self.current.iter_mut().zip(&mut self.dicts) {
+            let local = std::mem::take(col);
+            // Local code -> global code, interning new values in local
+            // first-appearance order (which, shard after shard, is the
+            // stream's first-appearance order).
+            let remap: Vec<u32> = local
+                .dict()
+                .values()
+                .iter()
+                .map(|v| global.intern(v))
+                .collect();
+            columns.push(local.codes().iter().map(|&c| remap[c as usize]).collect());
+        }
+        self.sealed.push(Shard { columns });
+    }
+
+    /// Finishes the table, sealing any trailing partial shard.
+    pub fn finish(mut self) -> ShardedTable {
+        if self.current.first().map_or(0, Column::len) > 0 {
+            self.seal();
+        }
+        ShardedTable {
+            schema: self.schema,
+            dicts: self.dicts,
+            shards: self.sealed,
+            shard_rows: self.shard_rows,
+            nrows: self.nrows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypdb_table::TableBuilder;
+
+    fn rows() -> Vec<[String; 2]> {
+        (0..23u32)
+            .map(|i| [format!("v{}", i % 7), format!("w{}", i % 3)])
+            .collect()
+    }
+
+    fn monolithic() -> Table {
+        let mut b = TableBuilder::new(["a", "b"]);
+        for r in rows() {
+            b.push_row(r.iter().map(String::as_str)).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn builder_codes_match_monolithic_encoding() {
+        let mono = monolithic();
+        for shard_rows in [1usize, 4, 5, 23, 100] {
+            let mut b = ShardedTableBuilder::new(["a", "b"], shard_rows);
+            for r in rows() {
+                b.push_row(r.iter().map(String::as_str)).unwrap();
+            }
+            let sharded = b.finish();
+            assert_eq!(sharded.nrows(), 23);
+            for a in [AttrId(0), AttrId(1)] {
+                assert_eq!(
+                    sharded.dict(a).values(),
+                    mono.column(a).dict().values(),
+                    "shard_rows={shard_rows}"
+                );
+                for row in 0..23u32 {
+                    assert_eq!(Scan::code(&sharded, a, row), mono.code(a, row));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_table_roundtrips() {
+        let mono = monolithic();
+        let sharded = ShardedTable::from_table(&mono, 6);
+        assert_eq!(sharded.n_shards(), 4);
+        assert_eq!(sharded.shard(3).nrows(), 5);
+        let back = sharded.to_table();
+        assert_eq!(back.nrows(), mono.nrows());
+        for a in [AttrId(0), AttrId(1)] {
+            assert_eq!(back.column(a).codes(), mono.column(a).codes());
+        }
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut b = ShardedTableBuilder::new(["a", "b"], 4);
+        assert!(b.push_row(["1"]).is_err());
+        b.push_row(["1", "2"]).unwrap();
+        assert_eq!(b.nrows(), 1);
+    }
+
+    #[test]
+    fn empty_builder_finishes_empty() {
+        let t = ShardedTableBuilder::new(["a"], 8).finish();
+        assert_eq!(t.nrows(), 0);
+        assert_eq!(t.n_shards(), 0);
+        assert_eq!(Scan::n_shards(&t), 0);
+    }
+
+    #[test]
+    fn values_resolve_across_shards() {
+        let mut b = ShardedTableBuilder::new(["a", "b"], 3);
+        for r in rows() {
+            b.push_row(r.iter().map(String::as_str)).unwrap();
+        }
+        let t = b.finish();
+        let a = t.attr("a").unwrap();
+        for (i, r) in rows().iter().enumerate() {
+            assert_eq!(t.value(a, i as u32), r[0]);
+        }
+    }
+}

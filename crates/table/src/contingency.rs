@@ -8,8 +8,8 @@
 
 use crate::hash::FxHashMap;
 use crate::rows::RowSet;
+use crate::scan::{for_each_segment, ColRef, Scan};
 use crate::schema::AttrId;
-use crate::table::Table;
 use hypdb_exec::ThreadPool;
 use hypdb_stats::crosstab::CrossTab;
 use hypdb_stats::entropy::{entropy_miller_madow, entropy_plugin};
@@ -47,26 +47,49 @@ pub struct ContingencyTable {
 }
 
 impl ContingencyTable {
-    /// Counts the selected rows of `table` grouped by `attrs`.
+    /// Counts the selected rows of any [`Scan`] storage grouped by
+    /// `attrs` — one kernel behind the monolithic and the sharded path.
     ///
     /// Dimensions come from the *global* dictionary cardinalities so that
-    /// codes are comparable across sub-populations.
-    pub fn from_table(table: &Table, rows: &RowSet, attrs: &[AttrId]) -> Self {
+    /// codes are comparable across sub-populations (and across shards).
+    /// Whole-table scans walk per-shard slice runs; explicit selections
+    /// resolve rows through [`ColRef`]. Either way the chunk layout and
+    /// merge order are pure functions of `(rows, attrs)` — never of the
+    /// shard size or the thread count — so the resulting table is
+    /// byte-identical for every storage layout.
+    pub fn from_table<S: Scan + ?Sized>(table: &S, rows: &RowSet, attrs: &[AttrId]) -> Self {
         let dims: Vec<u32> = attrs.iter().map(|&a| table.cardinality(a).max(1)).collect();
         let product: u128 = dims.iter().map(|&d| d as u128).product();
-        let columns: Vec<&[u32]> = attrs.iter().map(|&a| table.column(a).codes()).collect();
         let n = rows.len();
         let pool = ThreadPool::current();
 
         let cells = if product <= DENSE_LIMIT {
             let count = |range: std::ops::Range<usize>| -> Vec<u64> {
                 let mut dense = vec![0u64; product as usize];
-                for row in rows.slice(range) {
-                    let mut idx = 0usize;
-                    for (col, &d) in columns.iter().zip(&dims) {
-                        idx = idx * d as usize + col[row as usize] as usize;
+                match rows {
+                    // Whole-table scan: maximal per-shard runs, direct
+                    // slice indexing (for a monolithic table this is the
+                    // one contiguous run).
+                    RowSet::All(_) => for_each_segment(table, attrs, range, |slices, local| {
+                        for r in local {
+                            let mut idx = 0usize;
+                            for (col, &d) in slices.iter().zip(&dims) {
+                                idx = idx * d as usize + col[r] as usize;
+                            }
+                            dense[idx] += 1;
+                        }
+                    }),
+                    RowSet::Ids(_) => {
+                        let columns: Vec<ColRef<'_>> =
+                            attrs.iter().map(|&a| table.col(a)).collect();
+                        for row in rows.slice(range) {
+                            let mut idx = 0usize;
+                            for (col, &d) in columns.iter().zip(&dims) {
+                                idx = idx * d as usize + col.at(row) as usize;
+                            }
+                            dense[idx] += 1;
+                        }
                     }
-                    dense[idx] += 1;
                 }
                 dense
             };
@@ -89,17 +112,33 @@ impl ContingencyTable {
         } else {
             let count = |range: std::ops::Range<usize>| -> FxHashMap<Box<[u32]>, u64> {
                 let mut sparse: FxHashMap<Box<[u32]>, u64> = FxHashMap::default();
+                // One scratch key per chunk, reused across every row and
+                // shard segment; a fresh box is allocated only when a
+                // cell is first seen.
                 let mut key = vec![0u32; attrs.len()];
-                for row in rows.slice(range) {
-                    for (slot, col) in key.iter_mut().zip(&columns) {
-                        *slot = col[row as usize];
+                let mut tally = |key: &[u32]| match sparse.get_mut(key) {
+                    Some(c) => *c += 1,
+                    None => {
+                        sparse.insert(key.to_vec().into_boxed_slice(), 1);
                     }
-                    // Look up first: cloning the key into a fresh box on
-                    // every row is wasted allocation once the cell exists.
-                    match sparse.get_mut(key.as_slice()) {
-                        Some(c) => *c += 1,
-                        None => {
-                            sparse.insert(key.clone().into_boxed_slice(), 1);
+                };
+                match rows {
+                    RowSet::All(_) => for_each_segment(table, attrs, range, |slices, local| {
+                        for r in local {
+                            for (slot, col) in key.iter_mut().zip(slices) {
+                                *slot = col[r];
+                            }
+                            tally(&key);
+                        }
+                    }),
+                    RowSet::Ids(_) => {
+                        let columns: Vec<ColRef<'_>> =
+                            attrs.iter().map(|&a| table.col(a)).collect();
+                        for row in rows.slice(range) {
+                            for (slot, col) in key.iter_mut().zip(&columns) {
+                                *slot = col.at(row);
+                            }
+                            tally(&key);
                         }
                     }
                 }
@@ -289,38 +328,44 @@ pub struct Stratified;
 
 impl Stratified {
     /// Builds the [`Strata`] of `(x, y)` conditioned on `z` over the
-    /// selected rows.
-    pub fn build(table: &Table, rows: &RowSet, x: AttrId, y: AttrId, z: &[AttrId]) -> Strata {
+    /// selected rows of any [`Scan`] storage.
+    pub fn build<S: Scan + ?Sized>(
+        table: &S,
+        rows: &RowSet,
+        x: AttrId,
+        y: AttrId,
+        z: &[AttrId],
+    ) -> Strata {
         let r = table.cardinality(x).max(1) as usize;
         let c = table.cardinality(y).max(1) as usize;
-        let xcol = table.column(x).codes();
-        let ycol = table.column(y).codes();
+        let xcol = table.col(x);
+        let ycol = table.col(y);
         if z.is_empty() {
             let mut tab = CrossTab::zeros(r, c);
             for row in rows.iter() {
-                tab.add(xcol[row as usize] as usize, ycol[row as usize] as usize, 1);
+                tab.add(xcol.at(row) as usize, ycol.at(row) as usize, 1);
             }
             return Strata::single(tab);
         }
-        let zcols: Vec<&[u32]> = z.iter().map(|&a| table.column(a).codes()).collect();
+        let zcols: Vec<ColRef<'_>> = z.iter().map(|&a| table.col(a)).collect();
         let mut groups: FxHashMap<Box<[u32]>, CrossTab> = FxHashMap::default();
         let mut key = vec![0u32; z.len()];
         for row in rows.iter() {
             for (slot, col) in key.iter_mut().zip(&zcols) {
-                *slot = col[row as usize];
+                *slot = col.at(row);
             }
             let tab = groups
                 .entry(key.clone().into_boxed_slice())
                 .or_insert_with(|| CrossTab::zeros(r, c));
-            tab.add(xcol[row as usize] as usize, ycol[row as usize] as usize, 1);
+            tab.add(xcol.at(row) as usize, ycol.at(row) as usize, 1);
         }
         Strata::new(groups.into_values().collect())
     }
 
     /// Like [`Stratified::build`] but also returning the group keys in
     /// the same order as the strata (needed by explanation ranking).
-    pub fn build_keyed(
-        table: &Table,
+    pub fn build_keyed<S: Scan + ?Sized>(
+        table: &S,
         rows: &RowSet,
         x: AttrId,
         y: AttrId,
@@ -328,16 +373,16 @@ impl Stratified {
     ) -> (Vec<Box<[u32]>>, Strata) {
         let r = table.cardinality(x).max(1) as usize;
         let c = table.cardinality(y).max(1) as usize;
-        let xcol = table.column(x).codes();
-        let ycol = table.column(y).codes();
-        let zcols: Vec<&[u32]> = z.iter().map(|&a| table.column(a).codes()).collect();
+        let xcol = table.col(x);
+        let ycol = table.col(y);
+        let zcols: Vec<ColRef<'_>> = z.iter().map(|&a| table.col(a)).collect();
         let mut order: Vec<Box<[u32]>> = Vec::new();
         let mut index: FxHashMap<Box<[u32]>, usize> = FxHashMap::default();
         let mut tabs: Vec<CrossTab> = Vec::new();
         let mut key = vec![0u32; z.len()];
         for row in rows.iter() {
             for (slot, col) in key.iter_mut().zip(&zcols) {
-                *slot = col[row as usize];
+                *slot = col.at(row);
             }
             let slot = match index.get(key.as_slice()) {
                 Some(&i) => i,
@@ -349,7 +394,7 @@ impl Stratified {
                     tabs.len() - 1
                 }
             };
-            tabs[slot].add(xcol[row as usize] as usize, ycol[row as usize] as usize, 1);
+            tabs[slot].add(xcol.at(row) as usize, ycol.at(row) as usize, 1);
         }
         (order, Strata::new(tabs))
     }
@@ -358,7 +403,7 @@ impl Stratified {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::table::TableBuilder;
+    use crate::table::{Table, TableBuilder};
 
     fn sample() -> Table {
         let mut b = TableBuilder::new(["t", "y", "z"]);

@@ -3,6 +3,12 @@
 //! Supports the RFC-4180 subset needed for dataset interchange: comma
 //! separation, `"`-quoted fields with doubled-quote escapes, and CRLF or
 //! LF line endings. The first record is the header (attribute names).
+//!
+//! Parsing is streaming: [`CsvRecords`] reads one record at a time from
+//! any [`BufRead`] into a reused field buffer, never materialising the
+//! input. [`read_csv`] builds a monolithic [`Table`] on top of it; the
+//! sharded ingest path (`hypdb-store`'s `read_csv_shards`) drives the
+//! same record reader into a shard builder.
 
 use crate::error::{Error, Result};
 use crate::table::{Table, TableBuilder};
@@ -41,49 +47,105 @@ fn parse_record(line: &str, fields: &mut Vec<String>) -> Result<bool> {
     }
 }
 
-/// Reads a table from CSV text.
-pub fn read_csv<R: Read>(reader: R) -> Result<Table> {
-    let mut lines = BufReader::new(reader).lines();
-    let header_line = match lines.next() {
-        Some(l) => l?,
-        None => return Err(Error::Csv("empty input".into())),
-    };
-    let mut fields = Vec::new();
-    if !parse_record(header_line.trim_end_matches('\r'), &mut fields)? {
-        return Err(Error::Csv("unterminated quote in header".into()));
-    }
-    let mut builder = TableBuilder::new(fields.iter().map(String::as_str));
-    let arity = fields.len();
+/// Streaming record reader: yields one CSV record at a time from any
+/// [`BufRead`], reusing a single line buffer between records (the input
+/// is never materialised as a whole).
+///
+/// This is the one record parser behind both ingest paths —
+/// [`read_csv`] (monolithic tables) and the sharded streaming ingest in
+/// `hypdb-store`.
+pub struct CsvRecords<R: BufRead> {
+    reader: R,
+    /// Reused per-line read buffer.
+    line: String,
+    /// Accumulates a quoted record that spans lines.
+    pending: String,
+}
 
-    let mut pending = String::new();
-    for line in lines {
-        let line = line?;
-        let line = line.trim_end_matches('\r');
-        let candidate = if pending.is_empty() {
-            line.to_string()
-        } else {
-            format!("{pending}\n{line}")
-        };
-        if candidate.is_empty() {
-            continue;
+impl<R: BufRead> CsvRecords<R> {
+    /// Wraps a buffered reader.
+    pub fn new(reader: R) -> Self {
+        CsvRecords {
+            reader,
+            line: String::new(),
+            pending: String::new(),
         }
-        if parse_record(&candidate, &mut fields)? {
-            pending.clear();
-            if fields.len() != arity {
-                return Err(Error::Csv(format!(
-                    "record has {} fields, header has {arity}",
-                    fields.len()
-                )));
+    }
+
+    /// Reads the next record into `fields` (cleared first). Returns
+    /// `Ok(false)` at end of input; blank lines are skipped. Errors on
+    /// a quoted field left open at EOF.
+    pub fn next_record(&mut self, fields: &mut Vec<String>) -> Result<bool> {
+        loop {
+            self.line.clear();
+            if self.reader.read_line(&mut self.line)? == 0 {
+                if !self.pending.is_empty() {
+                    return Err(Error::Csv("unterminated quoted field at EOF".into()));
+                }
+                return Ok(false);
             }
-            builder.push_row(fields.iter().map(String::as_str))?;
-        } else {
-            pending = candidate;
+            let line = self.line.trim_end_matches(['\n', '\r']);
+            if self.pending.is_empty() {
+                if line.is_empty() {
+                    continue; // blank line between records
+                }
+                if parse_record(line, fields)? {
+                    return Ok(true);
+                }
+                self.pending.push_str(line);
+                self.pending.push('\n');
+            } else {
+                self.pending.push_str(line);
+                if parse_record(&self.pending, fields)? {
+                    self.pending.clear();
+                    return Ok(true);
+                }
+                self.pending.push('\n');
+            }
         }
     }
-    if !pending.is_empty() {
-        return Err(Error::Csv("unterminated quoted field at EOF".into()));
+}
+
+/// The single streaming-ingest driver: reads the header, builds a row
+/// sink with `init`, then pushes every data record into it, enforcing
+/// the header arity. Both [`read_csv`] (monolithic) and `hypdb-store`'s
+/// `read_csv_shards` (sharded) sit on this one loop, so ingest
+/// semantics — blank-line policy, arity errors, quoted-record
+/// handling — can never diverge between the two paths.
+pub fn ingest_csv<R, T, Init, Push>(reader: R, init: Init, mut push: Push) -> Result<T>
+where
+    R: Read,
+    Init: FnOnce(&[String]) -> T,
+    Push: FnMut(&mut T, &[String]) -> Result<()>,
+{
+    let mut records = CsvRecords::new(BufReader::new(reader));
+    let mut fields = Vec::new();
+    if !records.next_record(&mut fields)? {
+        return Err(Error::Csv("empty input".into()));
     }
-    Ok(builder.finish())
+    let arity = fields.len();
+    let mut sink = init(&fields);
+    while records.next_record(&mut fields)? {
+        if fields.len() != arity {
+            return Err(Error::Csv(format!(
+                "record has {} fields, header has {arity}",
+                fields.len()
+            )));
+        }
+        push(&mut sink, &fields)?;
+    }
+    Ok(sink)
+}
+
+/// Reads a table from CSV text, streaming record by record (the input
+/// is never held in memory as a whole; only the growing table is).
+pub fn read_csv<R: Read>(reader: R) -> Result<Table> {
+    ingest_csv(
+        reader,
+        |header| TableBuilder::new(header.iter().map(String::as_str)),
+        |builder, fields| builder.push_row(fields.iter().map(String::as_str)),
+    )
+    .map(TableBuilder::finish)
 }
 
 /// Reads a table from a CSV file.

@@ -13,9 +13,9 @@ use crate::contingency::ContingencyTable;
 use crate::error::{Error, Result};
 use crate::hash::FxHashMap;
 use crate::rows::RowSet;
+use crate::scan::Scan;
 use crate::schema::AttrId;
 use crate::sync::Mutex;
-use crate::table::Table;
 use std::sync::Arc;
 
 /// Maximum cube width mirroring the PostgreSQL limitation discussed in
@@ -43,11 +43,18 @@ pub struct CubeStats {
 }
 
 impl DataCube {
-    /// Materialises the cube over `attrs` for the selected rows.
+    /// Materialises the cube over `attrs` for the selected rows of any
+    /// [`Scan`] storage (the joint scan fans out per shard/chunk on the
+    /// worker pool).
     ///
     /// Errors if more than `max_attrs` attributes are requested
     /// (pass [`DEFAULT_MAX_CUBE_ATTRS`] for the paper's limit).
-    pub fn build(table: &Table, rows: &RowSet, attrs: &[AttrId], max_attrs: usize) -> Result<Self> {
+    pub fn build<S: Scan + ?Sized>(
+        table: &S,
+        rows: &RowSet,
+        attrs: &[AttrId],
+        max_attrs: usize,
+    ) -> Result<Self> {
         if attrs.len() > max_attrs.min(63) {
             return Err(Error::CubeMiss(format!(
                 "cube width {} exceeds limit {}",
@@ -130,7 +137,7 @@ impl DataCube {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::table::TableBuilder;
+    use crate::table::{Table, TableBuilder};
 
     fn sample() -> Table {
         let mut b = TableBuilder::new(["a", "b", "c"]);

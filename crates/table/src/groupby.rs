@@ -5,8 +5,8 @@
 use crate::contingency::ContingencyTable;
 use crate::hash::FxHashMap;
 use crate::rows::RowSet;
+use crate::scan::{ColRef, Scan};
 use crate::schema::AttrId;
-use crate::table::Table;
 use crate::Result;
 
 /// One output row of a group-by aggregation.
@@ -20,9 +20,9 @@ pub struct GroupRow {
     pub averages: Vec<f64>,
 }
 
-/// `count(*) GROUP BY attrs` over the selected rows, output sorted by
-/// key for determinism.
-pub fn group_counts(table: &Table, rows: &RowSet, attrs: &[AttrId]) -> Vec<GroupRow> {
+/// `count(*) GROUP BY attrs` over the selected rows of any [`Scan`]
+/// storage, output sorted by key for determinism.
+pub fn group_counts<S: Scan + ?Sized>(table: &S, rows: &RowSet, attrs: &[AttrId]) -> Vec<GroupRow> {
     let ct = ContingencyTable::from_table(table, rows, attrs);
     let mut out: Vec<GroupRow> = ct
         .cells()
@@ -41,8 +41,8 @@ pub fn group_counts(table: &Table, rows: &RowSet, attrs: &[AttrId]) -> Vec<Group
 ///
 /// Outcome attributes must have numeric dictionary values (e.g. a 0/1
 /// `Delayed` column). Output sorted by key.
-pub fn group_average(
-    table: &Table,
+pub fn group_average<S: Scan + ?Sized>(
+    table: &S,
     rows: &RowSet,
     group_attrs: &[AttrId],
     outcomes: &[AttrId],
@@ -52,11 +52,8 @@ pub fn group_average(
         .iter()
         .map(|&y| table.numeric_codes(y))
         .collect::<Result<_>>()?;
-    let out_cols: Vec<&[u32]> = outcomes.iter().map(|&y| table.column(y).codes()).collect();
-    let grp_cols: Vec<&[u32]> = group_attrs
-        .iter()
-        .map(|&a| table.column(a).codes())
-        .collect();
+    let out_cols: Vec<ColRef<'_>> = outcomes.iter().map(|&y| table.col(y)).collect();
+    let grp_cols: Vec<ColRef<'_>> = group_attrs.iter().map(|&a| table.col(a)).collect();
 
     struct Acc {
         count: u64,
@@ -66,7 +63,7 @@ pub fn group_average(
     let mut key = vec![0u32; group_attrs.len()];
     for row in rows.iter() {
         for (slot, col) in key.iter_mut().zip(&grp_cols) {
-            *slot = col[row as usize];
+            *slot = col.at(row);
         }
         let acc = groups
             .entry(key.clone().into_boxed_slice())
@@ -76,7 +73,7 @@ pub fn group_average(
             });
         acc.count += 1;
         for (s, (vals, col)) in acc.sums.iter_mut().zip(numeric.iter().zip(&out_cols)) {
-            *s += vals[col[row as usize] as usize];
+            *s += vals[col.at(row) as usize];
         }
     }
     let mut out: Vec<GroupRow> = groups
@@ -92,11 +89,11 @@ pub fn group_average(
 }
 
 /// Renders a group key as human-readable values.
-pub fn render_key(table: &Table, attrs: &[AttrId], key: &[u32]) -> Vec<String> {
+pub fn render_key<S: Scan + ?Sized>(table: &S, attrs: &[AttrId], key: &[u32]) -> Vec<String> {
     attrs
         .iter()
         .zip(key)
-        .map(|(&a, &code)| table.column(a).dict().value(code).to_string())
+        .map(|(&a, &code)| table.dict(a).value(code).to_string())
         .collect()
 }
 
@@ -104,7 +101,7 @@ pub fn render_key(table: &Table, attrs: &[AttrId], key: &[u32]) -> Vec<String> {
 mod tests {
     use super::*;
     use crate::predicate::Predicate;
-    use crate::table::TableBuilder;
+    use crate::table::{Table, TableBuilder};
 
     fn flights() -> Table {
         let mut b = TableBuilder::new(["carrier", "airport", "delayed"]);

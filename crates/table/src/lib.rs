@@ -11,6 +11,10 @@
 //! Layout:
 //! * [`schema`] / [`column`] / [`table`] — dictionary-encoded columnar
 //!   tables with builders and CSV I/O,
+//! * [`scan`] — the [`Scan`] storage trait every counting kernel is
+//!   written against: a relation as fixed-size shards of global-code
+//!   slices (a monolithic [`Table`] is the single-shard case;
+//!   `hypdb-store`'s `ShardedTable` the partitioned one),
 //! * [`predicate`] — WHERE-clause predicates and row selection,
 //! * [`contingency`] — k-way contingency tables (dense or sparse) and
 //!   stratified 2-way cross tabs,
@@ -30,6 +34,7 @@ pub mod groupby;
 pub mod hash;
 pub mod predicate;
 pub mod rows;
+pub mod scan;
 pub mod schema;
 pub mod sync;
 pub mod table;
@@ -41,5 +46,6 @@ pub use error::{Error, Result};
 pub use groupby::{group_average, group_counts, GroupRow};
 pub use predicate::Predicate;
 pub use rows::RowSet;
+pub use scan::{ColRef, Scan};
 pub use schema::{AttrId, AttrMeta, Schema};
 pub use table::{Table, TableBuilder};

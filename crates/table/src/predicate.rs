@@ -5,9 +5,10 @@
 //! and negation so arbitrary contexts `Γ_i = C ∧ (X = x_i)` compose.
 
 use crate::rows::RowSet;
+use crate::scan::Scan;
 use crate::schema::AttrId;
-use crate::table::Table;
 use crate::Result;
+use hypdb_exec::ThreadPool;
 
 /// A boolean predicate over rows, with attribute values resolved to
 /// dictionary codes.
@@ -30,25 +31,26 @@ pub enum Predicate {
 }
 
 impl Predicate {
-    /// `attr = value`, resolving names and values against `table`.
-    /// A value that never occurs yields [`Predicate::False`].
-    pub fn eq(table: &Table, attr: &str, value: &str) -> Result<Predicate> {
+    /// `attr = value`, resolving names and values against any [`Scan`]
+    /// storage. A value that never occurs yields [`Predicate::False`].
+    pub fn eq<S: Scan + ?Sized>(table: &S, attr: &str, value: &str) -> Result<Predicate> {
         let a = table.attr(attr)?;
-        Ok(match table.column(a).dict().code(value) {
+        Ok(match table.dict(a).code(value) {
             Some(code) => Predicate::Eq(a, code),
             None => Predicate::False,
         })
     }
 
     /// `attr IN (values)`; unknown values are dropped from the list.
-    pub fn is_in<'a, I>(table: &Table, attr: &str, values: I) -> Result<Predicate>
+    pub fn is_in<'a, S, I>(table: &S, attr: &str, values: I) -> Result<Predicate>
     where
+        S: Scan + ?Sized,
         I: IntoIterator<Item = &'a str>,
     {
         let a = table.attr(attr)?;
         let mut codes: Vec<u32> = values
             .into_iter()
-            .filter_map(|v| table.column(a).dict().code(v))
+            .filter_map(|v| table.dict(a).code(v))
             .collect();
         codes.sort_unstable();
         codes.dedup();
@@ -76,8 +78,8 @@ impl Predicate {
         }
     }
 
-    /// Whether row `row` of `table` satisfies the predicate.
-    pub fn matches(&self, table: &Table, row: u32) -> bool {
+    /// Whether global row `row` of `table` satisfies the predicate.
+    pub fn matches<S: Scan + ?Sized>(&self, table: &S, row: u32) -> bool {
         match self {
             Predicate::True => true,
             Predicate::False => false,
@@ -89,18 +91,79 @@ impl Predicate {
         }
     }
 
-    /// Evaluates the predicate over the whole table.
-    pub fn select(&self, table: &Table) -> RowSet {
+    /// Collects the attributes the predicate references (with
+    /// duplicates).
+    fn collect_attrs(&self, out: &mut Vec<AttrId>) {
+        match self {
+            Predicate::True | Predicate::False => {}
+            Predicate::Eq(a, _) | Predicate::In(a, _) => out.push(*a),
+            Predicate::And(ps) | Predicate::Or(ps) => {
+                for p in ps {
+                    p.collect_attrs(out);
+                }
+            }
+            Predicate::Not(p) => p.collect_attrs(out),
+        }
+    }
+
+    /// Evaluates the predicate against the code slices of the
+    /// referenced attributes at local row `r`; `pos[a.index()]` maps an
+    /// attribute to its slot in `slices`.
+    fn matches_slices(&self, pos: &[usize], slices: &[&[u32]], r: usize) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::False => false,
+            Predicate::Eq(a, code) => slices[pos[a.index()]][r] == *code,
+            Predicate::In(a, codes) => codes.binary_search(&slices[pos[a.index()]][r]).is_ok(),
+            Predicate::And(ps) => ps.iter().all(|p| p.matches_slices(pos, slices, r)),
+            Predicate::Or(ps) => ps.iter().any(|p| p.matches_slices(pos, slices, r)),
+            Predicate::Not(p) => !p.matches_slices(pos, slices, r),
+        }
+    }
+
+    /// Evaluates the predicate over the whole relation: the `scan_filter`
+    /// primitive. Each shard is filtered independently (fanned out over
+    /// the worker pool) into a partial id list; the partials are
+    /// concatenated in shard order, so the result is the ascending id
+    /// list regardless of shard size or thread count. Per-shard setup
+    /// gathers only the attributes the predicate references, not the
+    /// whole schema.
+    pub fn select<S: Scan + ?Sized>(&self, table: &S) -> RowSet {
         match self {
             Predicate::True => table.all_rows(),
             Predicate::False => RowSet::Ids(Vec::new()),
             _ => {
-                let n = table.nrows() as u32;
-                let mut ids = Vec::new();
-                for row in 0..n {
-                    if self.matches(table, row) {
-                        ids.push(row);
+                let mut used: Vec<AttrId> = Vec::new();
+                self.collect_attrs(&mut used);
+                used.sort_unstable();
+                used.dedup();
+                // Attribute -> slot in the per-shard slice list (built
+                // once per select, not per shard).
+                let mut pos = vec![usize::MAX; table.nattrs()];
+                for (i, a) in used.iter().enumerate() {
+                    pos[a.index()] = i;
+                }
+                let n = table.nrows();
+                let shard_rows = table.shard_rows().max(1);
+                let parts = ThreadPool::current().map_indices(table.n_shards(), |s| {
+                    let slices: Vec<&[u32]> =
+                        used.iter().map(|&a| table.shard_codes(s, a)).collect();
+                    let start = s * shard_rows;
+                    // Shard length from the geometry, so attr-less
+                    // predicates (e.g. an empty conjunction) still
+                    // visit every row.
+                    let len = shard_rows.min(n - start);
+                    let mut ids = Vec::new();
+                    for r in 0..len {
+                        if self.matches_slices(&pos, &slices, r) {
+                            ids.push((start + r) as u32);
+                        }
                     }
+                    ids
+                });
+                let mut ids = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+                for part in parts {
+                    ids.extend(part);
                 }
                 RowSet::Ids(ids)
             }
@@ -108,7 +171,7 @@ impl Predicate {
     }
 
     /// Evaluates the predicate within an existing selection.
-    pub fn select_within(&self, table: &Table, rows: &RowSet) -> RowSet {
+    pub fn select_within<S: Scan + ?Sized>(&self, table: &S, rows: &RowSet) -> RowSet {
         match self {
             Predicate::True => rows.clone(),
             Predicate::False => RowSet::Ids(Vec::new()),
@@ -128,7 +191,7 @@ impl Predicate {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::table::TableBuilder;
+    use crate::table::{Table, TableBuilder};
 
     fn sample() -> Table {
         let mut b = TableBuilder::new(["carrier", "airport"]);
@@ -204,6 +267,21 @@ mod tests {
         assert_eq!(p.select(&t), RowSet::Ids(vec![3, 4]));
         let np = Predicate::Not(Box::new(p));
         assert_eq!(np.select(&t), RowSet::Ids(vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn select_handles_attrless_predicates() {
+        // Raw empty conjunctions/disjunctions (not simplified by
+        // `Predicate::and`) reach the generic scan path, which must
+        // still visit every row despite referencing no attribute.
+        let t = sample();
+        let all: Vec<u32> = (0..5).collect();
+        assert_eq!(Predicate::And(vec![]).select(&t), RowSet::Ids(all.clone()));
+        assert!(Predicate::Or(vec![]).select(&t).is_empty());
+        assert_eq!(
+            Predicate::Not(Box::new(Predicate::False)).select(&t),
+            RowSet::Ids(all)
+        );
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //! * [`exec`] — the deterministic parallel execution layer: scoped
 //!   worker pool, per-chunk seed derivation, sharded caches,
 //! * [`table`] — columnar categorical storage, contingency tables, cubes,
+//!   and the [`Scan`](table::Scan) storage trait all kernels run on,
+//! * [`store`] — the sharded columnar store: partitioned tables with
+//!   per-shard parallel scan and streaming CSV ingest, byte-identical
+//!   to the monolithic encoding,
 //! * [`stats`] — entropy estimators, χ²/G tests, the MIT permutation test,
 //! * [`graph`] — causal DAGs, d-separation, Bayesian-network sampling,
 //! * [`causal`] — Markov-boundary discovery, the CD covariate-discovery
@@ -65,6 +69,7 @@ pub use hypdb_exec as exec;
 pub use hypdb_graph as graph;
 pub use hypdb_sql as sql;
 pub use hypdb_stats as stats;
+pub use hypdb_store as store;
 pub use hypdb_table as table;
 
 /// Convenient glob-import surface for applications.
@@ -78,5 +83,6 @@ pub mod prelude {
     pub use hypdb_datasets as datasets;
     pub use hypdb_sql::{parse_query, Statement};
     pub use hypdb_stats::TestOutcome;
-    pub use hypdb_table::{AttrId, Predicate, Table, TableBuilder};
+    pub use hypdb_store::{read_csv_shards, ShardedTable, ShardedTableBuilder};
+    pub use hypdb_table::{AttrId, Predicate, Scan, Table, TableBuilder};
 }

@@ -16,7 +16,10 @@ use hypdb::stats::entropy::{entropy_miller_madow, entropy_plugin, mi_from_matrix
 use hypdb::stats::independence::{chi2_test, MitConfig, Strata};
 use hypdb::stats::math::{chi2_sf, gamma_p, gamma_q, ln_gamma};
 use hypdb::stats::patefield::sample_table;
-use hypdb::table::{Predicate, TableBuilder};
+use hypdb::store::ShardedTable;
+use hypdb::table::contingency::{ContingencyTable, Stratified};
+use hypdb::table::groupby::{group_average, group_counts};
+use hypdb::table::{AttrId, Predicate, RowSet, TableBuilder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -266,6 +269,144 @@ fn predicate_algebra() {
         let not_p = Predicate::Not(Box::new(p.clone())).select(&t);
         let comp = p.select(&t).complement(t.nrows() as u32);
         assert_eq!(not_p, comp);
+    }
+}
+
+/// `RowSet::slice` agrees with the materialised iterator on every
+/// chunk layout — including chunks that straddle shard-sized
+/// boundaries, single-element chunks, and empty tails. This is the
+/// contract the parallel counting kernels (fixed-chunk partials merged
+/// in order) rely on.
+#[test]
+fn rowset_slice_chunk_boundaries() {
+    let mut rng = StdRng::seed_from_u64(111);
+    for _ in 0..CASES {
+        let n = rng.gen_range(0..200usize);
+        let rows = if rng.gen_range(0..2) == 0 {
+            RowSet::All(n as u32)
+        } else {
+            let mut ids: Vec<u32> = (0..n as u32)
+                .filter(|_| rng.gen_range(0..3u32) > 0)
+                .collect();
+            ids.dedup();
+            RowSet::Ids(ids)
+        };
+        let all: Vec<u32> = rows.iter().collect();
+        let len = rows.len();
+        assert_eq!(all.len(), len);
+        // Fixed-size chunks, including a chunk size that never divides
+        // evenly and the degenerate 1-row chunk.
+        for chunk in [1usize, 7, 64, len.max(1)] {
+            let mut glued: Vec<u32> = Vec::with_capacity(len);
+            let mut lo = 0usize;
+            while lo < len {
+                let hi = (lo + chunk).min(len);
+                glued.extend(rows.slice(lo..hi));
+                lo = hi;
+            }
+            assert_eq!(glued, all, "chunk={chunk}");
+        }
+        // Empty slices at every boundary position.
+        for pos in [0, len / 2, len] {
+            assert_eq!(rows.slice(pos..pos).count(), 0);
+        }
+    }
+}
+
+/// Empty selections and the full-table fast path produce the same
+/// contingency/group-by answers on every storage layout.
+#[test]
+fn selection_edge_cases_on_shards() {
+    let mut b = TableBuilder::new(["t", "z"]);
+    for i in 0..100u32 {
+        b.push_row([
+            ((i * 7) % 5).to_string().as_str(),
+            (i % 3).to_string().as_str(),
+        ])
+        .unwrap();
+    }
+    let mono = b.finish();
+    let attrs: Vec<AttrId> = mono.schema().attr_ids().collect();
+    for shard_rows in [1usize, 13, 100, 4096] {
+        let sharded = ShardedTable::from_table(&mono, shard_rows);
+        // Empty selection: no groups, zero-total table.
+        let empty = RowSet::Ids(vec![]);
+        assert!(group_counts(&sharded, &empty, &attrs).is_empty());
+        assert_eq!(
+            ContingencyTable::from_table(&sharded, &empty, &attrs).total(),
+            0
+        );
+        // Predicate fast paths.
+        assert_eq!(Predicate::True.select(&sharded), RowSet::All(100));
+        assert!(Predicate::False.select(&sharded).is_empty());
+        // Full-table fast path (RowSet::All) equals the materialised
+        // id list.
+        let all_ids = RowSet::Ids((0..100).collect());
+        assert_eq!(
+            ContingencyTable::from_table(&sharded, &sharded.all_rows(), &attrs).cells(),
+            ContingencyTable::from_table(&sharded, &all_ids, &attrs).cells()
+        );
+    }
+}
+
+/// Randomized equivalence: every query primitive — predicate
+/// selection, contingency counting, group-by counting/averaging, and
+/// stratified cross tabs — gives identical answers on a monolithic
+/// table and on any sharding of it.
+#[test]
+fn sharded_matches_monolithic_property() {
+    let mut rng = StdRng::seed_from_u64(112);
+    for case in 0..40 {
+        let n = rng.gen_range(1..400usize);
+        let mut b = TableBuilder::new(["t", "y", "z"]);
+        for _ in 0..n {
+            let t = rng.gen_range(0..4u32);
+            let y = rng.gen_range(0..2u32);
+            let z = rng.gen_range(0..5u32);
+            b.push_row([
+                t.to_string().as_str(),
+                y.to_string().as_str(),
+                z.to_string().as_str(),
+            ])
+            .expect("arity");
+        }
+        let mono = b.finish();
+        let (t, y, z) = (
+            mono.attr("t").expect("attr"),
+            mono.attr("y").expect("attr"),
+            mono.attr("z").expect("attr"),
+        );
+        let attrs = [t, y, z];
+        let shard_rows = rng.gen_range(1..n + 2);
+        let sharded = ShardedTable::from_table(&mono, shard_rows);
+        assert_eq!(sharded.n_shards(), n.div_ceil(shard_rows), "case {case}");
+
+        // Predicate selection (per-shard parallel) matches.
+        let pred = Predicate::Eq(t, rng.gen_range(0..4u32));
+        let rows_mono = pred.select(&mono);
+        let rows_shrd = pred.select(&sharded);
+        assert_eq!(rows_mono, rows_shrd, "case {case} shard_rows={shard_rows}");
+
+        // Counting kernels match on the selection and on the full table.
+        for rows in [&rows_mono, &mono.all_rows()] {
+            assert_eq!(
+                ContingencyTable::from_table(&mono, rows, &attrs).cells(),
+                ContingencyTable::from_table(&sharded, rows, &attrs).cells(),
+                "case {case}"
+            );
+            assert_eq!(
+                group_counts(&mono, rows, &attrs[..2]),
+                group_counts(&sharded, rows, &attrs[..2]),
+                "case {case}"
+            );
+            let avg_mono = group_average(&mono, rows, &[t], &[y]).expect("avg");
+            let avg_shrd = group_average(&sharded, rows, &[t], &[y]).expect("avg");
+            assert_eq!(avg_mono, avg_shrd, "case {case}");
+            let strata_mono = Stratified::build(&mono, rows, t, y, &[z]);
+            let strata_shrd = Stratified::build(&sharded, rows, t, y, &[z]);
+            assert_eq!(strata_mono.num_groups(), strata_shrd.num_groups());
+            assert_eq!(strata_mono.total(), strata_shrd.total());
+        }
     }
 }
 
