@@ -7,7 +7,8 @@
 //! ```
 
 use hypdb_bench::{
-    end_to_end, fig5a, opts, quality, scaling, shard_scaling, table1, tests_perf, Scale,
+    end_to_end, fig5a, opts, quality, scaling, serve_throughput, shard_scaling, table1, tests_perf,
+    Scale,
 };
 
 const ALL: &[&str] = &[
@@ -25,6 +26,7 @@ const ALL: &[&str] = &[
     "fig8b",
     "scaling",
     "shard_scaling",
+    "serve_throughput",
 ];
 
 fn run_one(name: &str, scale: Scale) {
@@ -43,6 +45,7 @@ fn run_one(name: &str, scale: Scale) {
         "fig8b" => opts::run_fig8b(scale),
         "scaling" => scaling::run(scale),
         "shard_scaling" => shard_scaling::run(scale),
+        "serve_throughput" => serve_throughput::run(scale),
         other => {
             eprintln!("unknown experiment `{other}`; available: {ALL:?}");
             std::process::exit(2);

@@ -22,6 +22,7 @@ pub mod opts;
 pub mod quality;
 pub mod report;
 pub mod scaling;
+pub mod serve_throughput;
 pub mod shard_scaling;
 pub mod table1;
 pub mod tests_perf;

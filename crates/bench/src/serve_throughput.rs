@@ -1,0 +1,150 @@
+//! PR-4 serve-throughput experiment: loopback clients hammering
+//! `POST /analyze` with a mix of cached and uncached requests at
+//! several worker counts.
+//!
+//! Prints a markdown table and writes `BENCH_pr4.json`, continuing the
+//! perf trajectory (`BENCH_pr2.json` scaling, `BENCH_pr3.json` shard
+//! scaling). Every response is checked for status 200, and the
+//! determinism layer guarantees identical requests produce identical
+//! bytes at every worker count — this experiment only measures how
+//! fast they arrive.
+
+use crate::report::MdTable;
+use crate::Scale;
+use hypdb_core::AnalyzeRequest;
+use hypdb_datasets as ds;
+use hypdb_serve::{client, Registry, ServeConfig, Server};
+use serde::Serialize;
+
+const SQL: &str = "SELECT Lung_Cancer, avg(Car_Accident) FROM CancerData GROUP BY Lung_Cancer";
+
+/// One timed run at one worker count.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeRunRecord {
+    /// Server worker threads.
+    pub workers: usize,
+    /// Concurrent loopback clients.
+    pub clients: usize,
+    /// Requests issued (all clients, priming excluded).
+    pub requests: usize,
+    /// Wall-clock seconds for the whole hammering phase.
+    pub seconds: f64,
+    /// Requests per second.
+    pub rps: f64,
+    /// Cache hits observed by the server.
+    pub cache_hits: u64,
+    /// Reports computed (cache misses).
+    pub cache_misses: u64,
+}
+
+/// The machine-readable report (`BENCH_pr4.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeBenchReport {
+    /// PR number this trajectory point belongs to.
+    pub pr: u32,
+    /// `std::thread::available_parallelism` on the runner.
+    pub available_parallelism: usize,
+    /// Dataset rows served.
+    pub rows: usize,
+    /// All timed runs.
+    pub runs: Vec<ServeRunRecord>,
+}
+
+/// Runs the sweep, prints the table, writes `BENCH_pr4.json`.
+pub fn run(scale: Scale) {
+    crate::report::section("PR-4 serve throughput — loopback /analyze, cached/uncached mix");
+    let rows = scale.pick(800, 5_000);
+    let per_client = scale.pick(12, 50);
+    let table = ds::cancer_data(rows, 1);
+    let mut runs: Vec<ServeRunRecord> = Vec::new();
+
+    for workers in [1usize, 2, 4] {
+        let mut registry = Registry::new();
+        registry.insert("cancer", &table);
+        let cfg = ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers,
+            queue_capacity: 512,
+            ..ServeConfig::default()
+        };
+        let handle = Server::start(cfg, registry).expect("server starts");
+        let addr = handle.addr();
+
+        // The shared (cacheable) request, primed once so the hammering
+        // phase's hit/miss split is deterministic up to the per-client
+        // uncached first requests.
+        let shared = AnalyzeRequest::new("cancer", SQL).canonical_json();
+        let prime = client::post_json(addr, "/analyze", &shared).expect("prime");
+        assert_eq!(prime.status, 200, "{}", prime.body);
+
+        let clients = (workers * 2).max(2);
+        let (_, seconds) = crate::timed(|| {
+            std::thread::scope(|scope| {
+                for c in 0..clients {
+                    let shared = &shared;
+                    scope.spawn(move || {
+                        for i in 0..per_client {
+                            // First request per client is unique (a cache
+                            // miss that runs the full pipeline); the rest
+                            // ride the report cache.
+                            let body = if i == 0 {
+                                let mut req = AnalyzeRequest::new("cancer", SQL);
+                                req.seed = Some(1_000 + c as u64);
+                                req.canonical_json()
+                            } else {
+                                shared.clone()
+                            };
+                            let resp = client::post_json(addr, "/analyze", &body).expect("request");
+                            assert_eq!(resp.status, 200, "{}", resp.body);
+                        }
+                    });
+                }
+            });
+        });
+
+        let metrics = handle.metrics();
+        let requests = clients * per_client;
+        runs.push(ServeRunRecord {
+            workers,
+            clients,
+            requests,
+            seconds,
+            rps: requests as f64 / seconds.max(1e-9),
+            cache_hits: metrics.cache_hits,
+            cache_misses: metrics.cache_misses,
+        });
+        handle.shutdown();
+    }
+
+    let mut table_md = MdTable::new([
+        "workers", "clients", "requests", "seconds", "req/s", "hits", "misses",
+    ]);
+    for r in &runs {
+        table_md.row([
+            r.workers.to_string(),
+            r.clients.to_string(),
+            r.requests.to_string(),
+            format!("{:.3}", r.seconds),
+            format!("{:.1}", r.rps),
+            r.cache_hits.to_string(),
+            r.cache_misses.to_string(),
+        ]);
+    }
+    println!("{}", table_md.render());
+
+    let report = ServeBenchReport {
+        pr: 4,
+        available_parallelism: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        rows,
+        runs,
+    };
+    let json = serde_json::to_string(&report).expect("serialize");
+    let path = "BENCH_pr4.json";
+    std::fs::write(path, &json).expect("write BENCH_pr4.json");
+    println!(
+        "\n(wrote {path}; identical requests are byte-identical at every worker count — \
+         only req/s may differ)"
+    );
+}

@@ -26,6 +26,7 @@ pub mod pipeline;
 pub mod query;
 pub mod report;
 pub mod rewrite;
+pub mod wire;
 
 pub use detect::{detect_bias, BiasReport};
 pub use effect::{adjusted_averages, natural_direct_effect, EffectEstimate, EffectKind};
@@ -34,3 +35,4 @@ pub use explain::{coarse_explanations, fine_explanations, Explanations, FineExpl
 pub use pipeline::{AnalysisReport, ContextReport, HypDb, HypDbConfig, Timings};
 pub use query::{Query, QueryBuilder};
 pub use rewrite::{rewrite_spec, RewriteResult};
+pub use wire::{AnalyzeRequest, DetectContext, DetectReport};

@@ -75,6 +75,33 @@ pub fn set_global_threads(threads: usize) {
     GLOBAL_OVERRIDE.store(threads, Ordering::Relaxed);
 }
 
+/// Runs `f` with the current thread marked as a pool worker, so any
+/// [`ThreadPool`] fan-out issued inside `f` runs inline (depth-1
+/// parallelism), exactly as if `f` were a work item of an outer
+/// `parallel_map`. The previous mark is restored on exit (panics
+/// included — the mark lives in a thread-local that the next guarded
+/// call resets), so nesting guards is harmless.
+///
+/// This is the admission-control lever for long-lived request workers
+/// (e.g. `hypdb-serve`): a server that runs each in-flight request
+/// under the guard owns its parallelism budget at the *request* level —
+/// concurrent requests spread across worker threads while each
+/// request's internal fan-outs (per-context analysis, MIT permutation
+/// chunks, shard scans) stay sequential instead of multiplying into
+/// `workers × threads` threads. Results never change: the guard only
+/// collapses *where* work runs, and every fan-out in the workspace is
+/// deterministic at any thread count, including 1.
+pub fn with_fanout_guard<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            IN_WORKER.with(|w| w.set(self.0));
+        }
+    }
+    let _restore = Restore(IN_WORKER.with(|w| w.replace(true)));
+    f()
+}
+
 /// A parallelism budget for deterministic fork-join maps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ThreadPool {
@@ -290,6 +317,24 @@ mod tests {
         });
         let expect: Vec<usize> = (0..8).map(|i| (0..5).map(|j| i * 10 + j).sum()).collect();
         assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn fanout_guard_forces_inline_runs() {
+        let pool = ThreadPool::new(4);
+        let out = with_fanout_guard(|| pool.map_indices(6, |i| i * 2));
+        assert_eq!(out, vec![0, 2, 4, 6, 8, 10]);
+        // The mark is restored after the guard: this fan-out may spawn.
+        assert_eq!(pool.map_indices(3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn fanout_guard_restores_on_panic() {
+        let caught = std::panic::catch_unwind(|| with_fanout_guard(|| panic!("boom")));
+        assert!(caught.is_err());
+        // A subsequent unguarded fan-out still parallelises correctly.
+        let out = ThreadPool::new(4).map_indices(10, |i| i + 1);
+        assert_eq!(out, (1..=10).collect::<Vec<_>>());
     }
 
     #[test]

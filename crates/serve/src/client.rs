@@ -1,0 +1,116 @@
+//! A minimal blocking HTTP client for loopback use.
+//!
+//! One request per connection, matching the server's
+//! `Connection: close` framing: write the request, read to EOF, split
+//! head from body. Shared by the example, the throughput bench, and the
+//! integration tests so none of them re-implement framing.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// `(name, value)` headers in arrival order (names lower-cased).
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// First header with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// `GET path`.
+pub fn get(addr: impl ToSocketAddrs, path: &str) -> io::Result<HttpResponse> {
+    request(addr, "GET", path, None)
+}
+
+/// `POST path` with a JSON body.
+pub fn post_json(addr: impl ToSocketAddrs, path: &str, body: &str) -> io::Result<HttpResponse> {
+    request(addr, "POST", path, Some(body))
+}
+
+/// Issues one request and reads the full response.
+pub fn request(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: hypdb\r\nContent-Length: {}\r\n\
+         Content-Type: application/json\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn parse_response(raw: &[u8]) -> io::Result<HttpResponse> {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("response has no header terminator"))?;
+    let head =
+        std::str::from_utf8(&raw[..head_end]).map_err(|_| bad("response head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status = status_line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad("bad status line"))?;
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    let body = String::from_utf8(raw[head_end + 4..].to_vec())
+        .map_err(|_| bad("response body is not UTF-8"))?;
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_response() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nX-Hypdb-Cache: hit\r\n\r\n{\"a\":1}";
+        let resp = parse_response(raw).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("x-hypdb-cache"), Some("hit"));
+        assert_eq!(resp.header("X-Hypdb-Cache"), Some("hit"));
+        assert_eq!(resp.body, "{\"a\":1}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response(b"nope").is_err());
+        assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n").is_err());
+    }
+}

@@ -1,0 +1,382 @@
+//! Hand-rolled HTTP/1.1 framing over `std::net` streams.
+//!
+//! In keeping with the workspace's vendored-stubs/offline policy there
+//! is no HTTP dependency: this module implements exactly the slice the
+//! server needs — one request per connection (`Connection: close`),
+//! `Content-Length` bodies, and strict limits. Parsing failures map to
+//! precise status codes so clients get actionable errors instead of
+//! dropped sockets: 400 for malformed framing, 411 for a `POST` without
+//! a length, 413 for a body over the configured cap, 431 for runaway
+//! headers.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Upper bound on the request line + headers (bytes).
+pub const MAX_HEAD: usize = 8 * 1024;
+
+/// A parsed request: method, path (query string stripped), and body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path up to any `?`.
+    pub path: String,
+    /// Decoded body (empty for bodiless requests).
+    pub body: String,
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum RequestError {
+    /// Client spoke garbage → 400 with a reason.
+    Bad(String),
+    /// `POST` without `Content-Length` → 411.
+    LengthRequired,
+    /// Declared body exceeds the cap → 413.
+    TooLarge {
+        /// The configured body cap (bytes).
+        limit: usize,
+    },
+    /// Header section exceeds [`MAX_HEAD`] → 431.
+    HeadTooLarge,
+    /// Socket-level failure (peer vanished, timeout): no response owed.
+    Io(io::Error),
+}
+
+impl From<io::Error> for RequestError {
+    fn from(e: io::Error) -> Self {
+        RequestError::Io(e)
+    }
+}
+
+/// One `read` bounded by the connection's remaining deadline budget. A
+/// per-*read* socket timeout alone would let a client trickle one byte
+/// per interval and pin a worker forever; shrinking the timeout to the
+/// time left makes the whole request strictly bounded.
+fn read_within(stream: &mut TcpStream, chunk: &mut [u8], deadline: Instant) -> io::Result<usize> {
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    if remaining.is_zero() {
+        return Err(io::ErrorKind::TimedOut.into());
+    }
+    stream.set_read_timeout(Some(remaining))?;
+    stream.read(chunk)
+}
+
+/// Reads one request from `stream`, enforcing `max_body` and giving the
+/// client until `deadline` to deliver the complete request.
+pub fn read_request(
+    stream: &mut TcpStream,
+    max_body: usize,
+    deadline: Instant,
+) -> Result<Request, RequestError> {
+    // Accumulate until the blank line that ends the header section.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(i) = find_head_end(&buf) {
+            break i;
+        }
+        if buf.len() > MAX_HEAD {
+            return Err(RequestError::HeadTooLarge);
+        }
+        let n = read_within(stream, &mut chunk, deadline)?;
+        if n == 0 {
+            if buf.is_empty() {
+                // Peer connected and left (port probe): nothing to answer.
+                return Err(RequestError::Io(io::ErrorKind::UnexpectedEof.into()));
+            }
+            return Err(RequestError::Bad("truncated request head".into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| RequestError::Bad("request head is not UTF-8".into()))?;
+    let mut lines = head.split("\r\n").map(|l| l.trim_end_matches('\r'));
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| RequestError::Bad("empty request line".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| RequestError::Bad("request line has no target".into()))?;
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestError::Bad(format!(
+            "unsupported protocol `{version}`"
+        )));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length: Option<usize> = None;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(RequestError::Bad(format!("malformed header `{line}`")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        if name == "content-length" {
+            let n = value
+                .parse::<usize>()
+                .map_err(|_| RequestError::Bad(format!("bad Content-Length `{value}`")))?;
+            content_length = Some(n);
+        } else if name == "transfer-encoding" && !value.eq_ignore_ascii_case("identity") {
+            return Err(RequestError::Bad(
+                "chunked transfer encoding is not supported".into(),
+            ));
+        }
+    }
+
+    let body_len = match (method.as_str(), content_length) {
+        (_, Some(n)) => n,
+        ("POST" | "PUT" | "PATCH", None) => return Err(RequestError::LengthRequired),
+        (_, None) => 0,
+    };
+    if body_len > max_body {
+        return Err(RequestError::TooLarge { limit: max_body });
+    }
+
+    // The body starts with whatever arrived after the head.
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < body_len {
+        let n = read_within(stream, &mut chunk, deadline)?;
+        if n == 0 {
+            return Err(RequestError::Bad("truncated request body".into()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(body_len);
+    let body = String::from_utf8(body)
+        .map_err(|_| RequestError::Bad("request body is not UTF-8".into()))?;
+
+    Ok(Request { method, path, body })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// An outgoing response: status, content type, extra headers, body.
+///
+/// The body is an `Arc<String>` so a cached report can be served
+/// without copying its bytes — the cache-hit hot path shares the
+/// stored allocation all the way to the socket write.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Extra `(name, value)` headers (e.g. cache diagnostics).
+    pub headers: Vec<(String, String)>,
+    /// Response body (shared, never mutated).
+    pub body: Arc<String>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response::json_shared(status, Arc::new(body.into()))
+    }
+
+    /// A JSON response over an already-shared body (zero-copy).
+    pub fn json_shared(status: u16, body: Arc<String>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
+            body: Arc::new(body.into()),
+        }
+    }
+
+    /// An `{"error": …}` JSON response with the message safely escaped.
+    pub fn error(status: u16, message: impl AsRef<str>) -> Response {
+        let quoted = serde_json::to_string(&message.as_ref()).unwrap_or_else(|_| "\"\"".into());
+        Response::json(status, format!("{{\"error\":{quoted}}}"))
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+}
+
+/// Standard reason phrase for the status codes the server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes `resp` and flushes. One response per connection
+/// (`Connection: close`), so clients may simply read to EOF.
+pub fn write_response(stream: &mut TcpStream, resp: &Response) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len()
+    );
+    for (name, value) in &resp.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(resp.body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn far_deadline() -> Instant {
+        Instant::now() + std::time::Duration::from_secs(10)
+    }
+
+    /// Runs `read_request` against raw client bytes via a loopback pair.
+    fn parse_raw(raw: &[u8], max_body: usize) -> Result<Request, RequestError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+            // Keep the socket open briefly so reads see EOF cleanly.
+            s.shutdown(std::net::Shutdown::Write).ok();
+            let mut sink = Vec::new();
+            s.read_to_end(&mut sink).ok();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let out = read_request(&mut stream, max_body, far_deadline());
+        drop(stream);
+        client.join().unwrap();
+        out
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse_raw(
+            b"POST /analyze?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nabcd",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/analyze");
+        assert_eq!(req.body, "abcd");
+    }
+
+    #[test]
+    fn parses_get_without_length() {
+        let req = parse_raw(b"GET /healthz HTTP/1.0\r\n\r\n", 1024).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn post_without_length_is_411() {
+        assert!(matches!(
+            parse_raw(b"POST /analyze HTTP/1.1\r\n\r\n", 1024),
+            Err(RequestError::LengthRequired)
+        ));
+    }
+
+    #[test]
+    fn oversized_body_is_413() {
+        assert!(matches!(
+            parse_raw(b"POST /a HTTP/1.1\r\nContent-Length: 99\r\n\r\n", 10),
+            Err(RequestError::TooLarge { limit: 10 })
+        ));
+    }
+
+    #[test]
+    fn garbage_is_400() {
+        assert!(matches!(
+            parse_raw(b"NOT-HTTP\r\n\r\n", 1024),
+            Err(RequestError::Bad(_))
+        ));
+        assert!(matches!(
+            parse_raw(b"POST /a HTTP/1.1\r\nContent-Length: zz\r\n\r\n", 1024),
+            Err(RequestError::Bad(_))
+        ));
+    }
+
+    #[test]
+    fn runaway_headers_are_431() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEAD + 64));
+        assert!(matches!(
+            parse_raw(&raw, 1024),
+            Err(RequestError::HeadTooLarge)
+        ));
+    }
+
+    #[test]
+    fn trickling_clients_hit_the_connection_deadline() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            // Drip bytes slowly, never completing the head: each write
+            // would reset a naive per-read timeout.
+            for _ in 0..20 {
+                if s.write_all(b"x").is_err() {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let t0 = Instant::now();
+        let deadline = t0 + std::time::Duration::from_millis(200);
+        let out = read_request(&mut stream, 1024, deadline);
+        assert!(matches!(out, Err(RequestError::Io(_))), "{out:?}");
+        assert!(
+            t0.elapsed() < std::time::Duration::from_millis(900),
+            "must give up at the deadline, not per-read"
+        );
+        drop(stream);
+        client.join().unwrap();
+    }
+
+    #[test]
+    fn response_escapes_error_messages() {
+        let r = Response::error(400, "bad \"quote\"\nline");
+        assert!(r.body.starts_with("{\"error\":"));
+        assert!(serde_json::parse(&r.body).is_ok());
+    }
+}

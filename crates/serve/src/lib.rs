@@ -1,0 +1,53 @@
+//! `hypdb-serve`: the concurrent bias-analysis server.
+//!
+//! The paper pitches bias detection as an *interactive* aid — "think
+//! twice about your group-by query" — and the workspace's north star is
+//! serving that check at production scale. This crate is the serving
+//! front-end over everything the lower layers guarantee: the pipeline
+//! is `Sync` end to end and generic over [`Scan`](hypdb_table::Scan)
+//! storage, every RNG seed derives from configuration, and a
+//! `ShardedTable` is cheap to share immutably by `Arc` — so concurrent
+//! `analyze()` calls against one shared table are safe *and*
+//! reproducible, byte for byte, at any worker count.
+//!
+//! A hand-rolled HTTP/1.1 server (std `TcpListener`; the workspace
+//! vendors no network dependencies) exposes:
+//!
+//! | Endpoint         | Meaning                                            |
+//! |------------------|----------------------------------------------------|
+//! | `POST /analyze`  | full bias report for a submitted group-by query    |
+//! | `POST /detect`   | detection-only cheap path (no explain/resolve)     |
+//! | `GET /datasets`  | registered datasets (name, rows, attrs, shards)    |
+//! | `GET /healthz`   | liveness                                           |
+//! | `GET /metrics`   | Prometheus text: request/cache/queue counters      |
+//!
+//! Request/response bodies are the `hypdb-core` [`wire`] schema
+//! ([`AnalyzeRequest`](hypdb_core::AnalyzeRequest) in, a timing-zeroed
+//! [`AnalysisReport`](hypdb_core::AnalysisReport) or
+//! [`DetectReport`](hypdb_core::DetectReport) out), shared verbatim
+//! with the CLI and the test suite. Admission control is a bounded
+//! connection queue (overflow → clean `503`) plus `hypdb-exec`'s
+//! nested-fan-out guard around each request's pipeline run; responses
+//! for identical requests come from a fingerprint-keyed report cache
+//! with hit/miss counters surfaced in `/metrics`.
+//!
+//! Environment knobs: `HYPDB_SERVE_ADDR`, `HYPDB_SERVE_WORKERS`,
+//! `HYPDB_SERVE_QUEUE`, `HYPDB_SERVE_MAX_BODY`,
+//! `HYPDB_SERVE_TIMEOUT_MS` (see [`ServeConfig::from_env`]), alongside
+//! the workspace-wide `HYPDB_THREADS` and `HYPDB_SHARD_ROWS`.
+//!
+//! [`wire`]: hypdb_core::wire
+
+#![deny(unsafe_code)] // one documented FFI exception lives in `sig`
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod registry;
+pub mod server;
+pub mod sig;
+
+pub use metrics::MetricsSnapshot;
+pub use registry::{DatasetInfo, Registry};
+pub use server::{ServeConfig, Server, ServerHandle};

@@ -1,0 +1,239 @@
+//! Server metrics: lock-free counters and the `/metrics` text format.
+//!
+//! Counters are relaxed atomics — statistics, not synchronisation —
+//! rendered in the Prometheus text exposition format so the endpoint
+//! can be scraped directly. The snapshot form is also what the test
+//! suite asserts cache-consistency against.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free counter block shared by acceptor and workers.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    requests: AtomicU64,
+    analyze: AtomicU64,
+    detect: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    rejected: AtomicU64,
+    client_errors: AtomicU64,
+    in_flight: AtomicU64,
+    queue_depth: AtomicU64,
+}
+
+/// A point-in-time copy of every counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// HTTP requests parsed (any endpoint, any outcome).
+    pub requests: u64,
+    /// `POST /analyze` requests routed.
+    pub analyze: u64,
+    /// `POST /detect` requests routed.
+    pub detect: u64,
+    /// Responses served from the report cache.
+    pub cache_hits: u64,
+    /// Reports computed and inserted into the cache.
+    pub cache_misses: u64,
+    /// Connections refused with 503 (admission queue full).
+    pub rejected: u64,
+    /// 4xx responses (bad framing, bad request JSON, unknown dataset).
+    pub client_errors: u64,
+    /// Connections currently being handled by workers.
+    pub in_flight: u64,
+    /// Connections waiting in the admission queue.
+    pub queue_depth: u64,
+}
+
+fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+impl Metrics {
+    /// Counts a parsed HTTP request.
+    pub fn request(&self) {
+        bump(&self.requests);
+    }
+
+    /// Counts a routed `/analyze` request.
+    pub fn analyze(&self) {
+        bump(&self.analyze);
+    }
+
+    /// Counts a routed `/detect` request.
+    pub fn detect(&self) {
+        bump(&self.detect);
+    }
+
+    /// Counts a cache hit.
+    pub fn cache_hit(&self) {
+        bump(&self.cache_hits);
+    }
+
+    /// Counts a cache miss (a freshly computed report).
+    pub fn cache_miss(&self) {
+        bump(&self.cache_misses);
+    }
+
+    /// Counts a 503 admission rejection.
+    pub fn rejected(&self) {
+        bump(&self.rejected);
+    }
+
+    /// Counts a 4xx response.
+    pub fn client_error(&self) {
+        bump(&self.client_errors);
+    }
+
+    /// Marks a connection entering a worker; the guard decrements on
+    /// drop (panic-safe, so `in_flight` can never leak upward).
+    pub fn enter(&self) -> InFlightGuard<'_> {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        InFlightGuard { metrics: self }
+    }
+
+    /// Updates the queue-depth gauge.
+    pub fn set_queue_depth(&self, depth: usize) {
+        self.queue_depth.store(depth as u64, Ordering::Relaxed);
+    }
+
+    /// Copies every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            analyze: self.analyze.load(Ordering::Relaxed),
+            detect: self.detect.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            client_errors: self.client_errors.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Decrements `in_flight` when a worker finishes a connection.
+pub struct InFlightGuard<'a> {
+    metrics: &'a Metrics,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+impl MetricsSnapshot {
+    /// Renders the Prometheus text exposition format (`/metrics`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut metric = |name: &str, kind: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
+            ));
+        };
+        metric(
+            "hypdb_requests_total",
+            "counter",
+            "HTTP requests parsed",
+            self.requests,
+        );
+        metric(
+            "hypdb_analyze_requests_total",
+            "counter",
+            "POST /analyze requests",
+            self.analyze,
+        );
+        metric(
+            "hypdb_detect_requests_total",
+            "counter",
+            "POST /detect requests",
+            self.detect,
+        );
+        metric(
+            "hypdb_report_cache_hits_total",
+            "counter",
+            "responses served from the report cache",
+            self.cache_hits,
+        );
+        metric(
+            "hypdb_report_cache_misses_total",
+            "counter",
+            "reports computed on a cache miss",
+            self.cache_misses,
+        );
+        metric(
+            "hypdb_rejected_total",
+            "counter",
+            "connections refused with 503 (queue full)",
+            self.rejected,
+        );
+        metric(
+            "hypdb_client_errors_total",
+            "counter",
+            "4xx responses",
+            self.client_errors,
+        );
+        metric(
+            "hypdb_in_flight",
+            "gauge",
+            "connections currently being handled",
+            self.in_flight,
+        );
+        metric(
+            "hypdb_queue_depth",
+            "gauge",
+            "connections waiting for a worker",
+            self.queue_depth,
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::default();
+        m.request();
+        m.request();
+        m.analyze();
+        m.cache_hit();
+        m.cache_miss();
+        m.rejected();
+        m.client_error();
+        m.set_queue_depth(3);
+        let s = m.snapshot();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.analyze, 1);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.client_errors, 1);
+        assert_eq!(s.queue_depth, 3);
+    }
+
+    #[test]
+    fn in_flight_guard_is_balanced() {
+        let m = Metrics::default();
+        {
+            let _a = m.enter();
+            let _b = m.enter();
+            assert_eq!(m.snapshot().in_flight, 2);
+        }
+        assert_eq!(m.snapshot().in_flight, 0);
+    }
+
+    #[test]
+    fn render_is_prometheus_shaped() {
+        let m = Metrics::default();
+        m.cache_hit();
+        let text = m.snapshot().render();
+        assert!(text.contains("# TYPE hypdb_report_cache_hits_total counter"));
+        assert!(text.contains("\nhypdb_report_cache_hits_total 1\n"));
+        assert!(text.contains("# TYPE hypdb_in_flight gauge"));
+    }
+}

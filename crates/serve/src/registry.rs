@@ -1,0 +1,183 @@
+//! The dataset registry: named, shared, immutable sharded tables.
+//!
+//! `ShardedTable` is the natural serving store — cheap to clone by
+//! `Arc`, shard-parallel to scan, streaming to (re)load — so the
+//! registry holds every dataset as an `Arc<ShardedTable>` built once at
+//! startup and handed out to request workers without copying. Lookups
+//! are lock-free reads of an immutable vector; reports are
+//! byte-identical to the monolithic layout by the PR-3 storage
+//! invariant, so the shard size (`HYPDB_SHARD_ROWS` or the store's
+//! default) is a pure performance knob.
+
+use hypdb_store::{env_shard_rows, ShardedTable, DEFAULT_SHARD_ROWS};
+use hypdb_table::Table;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A name → table map, immutable once the server starts.
+#[derive(Clone, Default)]
+pub struct Registry {
+    entries: Vec<(String, Arc<ShardedTable>)>,
+}
+
+/// One row of `GET /datasets`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetInfo {
+    /// Registry key (the `dataset` field of a request).
+    pub name: String,
+    /// Number of rows.
+    pub rows: usize,
+    /// Attribute names, schema order.
+    pub attrs: Vec<String>,
+    /// Number of storage shards.
+    pub shards: usize,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The ambient shard size: `HYPDB_SHARD_ROWS` when set (> 0),
+    /// otherwise the store's default.
+    pub fn shard_rows() -> usize {
+        env_shard_rows().unwrap_or(DEFAULT_SHARD_ROWS)
+    }
+
+    /// Registers `table` under `name`, re-sharding a monolithic table
+    /// at the ambient shard size. Last insert wins on duplicate names.
+    pub fn insert(&mut self, name: impl Into<String>, table: &Table) -> &mut Self {
+        self.insert_sharded(name, ShardedTable::from_table(table, Self::shard_rows()))
+    }
+
+    /// Registers an already-sharded table under `name`.
+    pub fn insert_sharded(&mut self, name: impl Into<String>, table: ShardedTable) -> &mut Self {
+        let name = name.into();
+        self.entries.retain(|(n, _)| *n != name);
+        self.entries.push((name, Arc::new(table)));
+        self
+    }
+
+    /// Looks a dataset up by name (cheap `Arc` clone).
+    pub fn get(&self, name: &str) -> Option<Arc<ShardedTable>> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| Arc::clone(t))
+    }
+
+    /// Number of datasets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no dataset is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The `GET /datasets` listing, registration order.
+    pub fn infos(&self) -> Vec<DatasetInfo> {
+        self.entries
+            .iter()
+            .map(|(name, t)| DatasetInfo {
+                name: name.clone(),
+                rows: t.nrows(),
+                attrs: t.schema().attrs().iter().map(|a| a.name.clone()).collect(),
+                shards: t.n_shards(),
+            })
+            .collect()
+    }
+
+    /// Names of the built-in demo datasets ([`Registry::builtin`]).
+    pub const BUILTIN_NAMES: &'static [&'static str] = &["cancer", "adult", "berkeley"];
+
+    /// Generates one built-in dataset by name at roughly `rows` rows
+    /// (`None` for unknown names). Generation is seeded, so every
+    /// process builds the identical table — what makes `hypdb analyze`
+    /// byte-equal to a `hypdb serve` instance it never talked to.
+    pub fn builtin_dataset(name: &str, rows: usize) -> Option<Table> {
+        match name {
+            "cancer" => Some(hypdb_datasets::cancer_data(rows, 1)),
+            "adult" => Some(hypdb_datasets::adult_data(&hypdb_datasets::AdultConfig {
+                rows,
+                seed: 1994,
+            })),
+            "berkeley" => Some(hypdb_datasets::berkeley_data()),
+            _ => None,
+        }
+    }
+
+    /// All built-in demo datasets — what `hypdb serve` loads when no
+    /// CSVs are given, and what the bench/CI smoke tests hammer.
+    pub fn builtin(rows: usize) -> Registry {
+        let mut reg = Registry::new();
+        for name in Self::BUILTIN_NAMES {
+            reg.insert(
+                *name,
+                &Self::builtin_dataset(name, rows).expect("known builtin"),
+            );
+        }
+        reg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypdb_table::TableBuilder;
+
+    fn tiny() -> Table {
+        let mut b = TableBuilder::new(["T", "Y"]);
+        b.push_row(["a", "0"]).unwrap();
+        b.push_row(["b", "1"]).unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut reg = Registry::new();
+        assert!(reg.is_empty());
+        reg.insert("tiny", &tiny());
+        assert_eq!(reg.len(), 1);
+        let t = reg.get("tiny").expect("registered");
+        assert_eq!(t.nrows(), 2);
+        assert!(reg.get("absent").is_none());
+    }
+
+    #[test]
+    fn duplicate_names_last_wins() {
+        let mut reg = Registry::new();
+        reg.insert("d", &tiny());
+        let mut b = TableBuilder::new(["T", "Y"]);
+        b.push_row(["x", "9"]).unwrap();
+        reg.insert("d", &b.finish());
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.get("d").unwrap().nrows(), 1);
+    }
+
+    #[test]
+    fn infos_describe_datasets() {
+        let mut reg = Registry::new();
+        reg.insert("tiny", &tiny());
+        let infos = reg.infos();
+        assert_eq!(infos.len(), 1);
+        assert_eq!(infos[0].name, "tiny");
+        assert_eq!(infos[0].rows, 2);
+        assert_eq!(infos[0].attrs, vec!["T", "Y"]);
+        assert!(infos[0].shards >= 1);
+        // The listing serializes (it backs `GET /datasets`).
+        let json = serde_json::to_string(&infos).unwrap();
+        let back: Vec<DatasetInfo> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, infos);
+    }
+
+    #[test]
+    fn builtin_has_the_demo_datasets() {
+        let reg = Registry::builtin(200);
+        for name in ["cancer", "adult", "berkeley"] {
+            assert!(reg.get(name).is_some(), "missing builtin `{name}`");
+        }
+    }
+}

@@ -1,0 +1,467 @@
+//! The concurrent bias-analysis server.
+//!
+//! Architecture: one **acceptor** thread owns the listener and applies
+//! admission control — a bounded connection queue; overflow is answered
+//! immediately with a clean `503` instead of an ever-growing backlog.
+//! A fixed set of **worker** threads pops connections, parses one
+//! request each (`Connection: close`), and routes it. Workers run every
+//! pipeline call under `hypdb-exec`'s nested-fan-out guard (when more
+//! than one worker is configured), so the parallelism budget is spent
+//! *across* requests while each request's internal fan-outs run inline
+//! — concurrent load never multiplies into `workers × threads` threads.
+//!
+//! **Reproducibility.** A request's report is a pure function of
+//! (dataset, base config, canonical request bytes): the wire layer
+//! derives the RNG seed from the base seed and the request fingerprint,
+//! and response bodies zero the wall-clock timings. Identical requests
+//! therefore produce byte-identical bodies at any worker count, thread
+//! count, or shard layout — which is what makes the report cache sound:
+//! it is keyed on the fingerprint and only ever stores values that any
+//! racing computation would reproduce exactly.
+//!
+//! **Shutdown.** [`ServerHandle::shutdown`] flips a flag: the acceptor
+//! stops accepting, workers drain the queue and finish in-flight
+//! requests, and every thread is joined before the call returns.
+
+use crate::http::{self, Request, RequestError, Response};
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::registry::Registry;
+use hypdb_core::HypDbConfig;
+use hypdb_core::{wire, Error as CoreError};
+use hypdb_exec::{seed, with_fanout_guard, ShardedMap};
+use std::collections::VecDeque;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server configuration. Every field has an `HYPDB_SERVE_*` environment
+/// override (see [`ServeConfig::from_env`]).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:7878` by default; port `0` = ephemeral).
+    pub addr: String,
+    /// Request worker threads (default: the global worker count).
+    pub workers: usize,
+    /// Admission-queue capacity; connections beyond it get `503`.
+    pub queue_capacity: usize,
+    /// Maximum request-body bytes; larger bodies get `413`.
+    pub max_body: usize,
+    /// Per-connection read/write timeout in milliseconds.
+    pub timeout_ms: u64,
+    /// Base pipeline configuration; per-request seeds derive from its
+    /// `ci.seed` and the request fingerprint.
+    pub base: HypDbConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7878".into(),
+            workers: hypdb_exec::global_threads(),
+            queue_capacity: 64,
+            max_body: 64 * 1024,
+            timeout_ms: 30_000,
+            base: HypDbConfig::default(),
+        }
+    }
+}
+
+fn env_parse<T: std::str::FromStr>(name: &str) -> Option<T> {
+    std::env::var(name).ok().and_then(|v| v.trim().parse().ok())
+}
+
+impl ServeConfig {
+    /// The default configuration with environment overrides applied:
+    /// `HYPDB_SERVE_ADDR`, `HYPDB_SERVE_WORKERS`, `HYPDB_SERVE_QUEUE`,
+    /// `HYPDB_SERVE_MAX_BODY`, `HYPDB_SERVE_TIMEOUT_MS`.
+    pub fn from_env() -> ServeConfig {
+        let mut cfg = ServeConfig::default();
+        if let Ok(addr) = std::env::var("HYPDB_SERVE_ADDR") {
+            cfg.addr = addr;
+        }
+        if let Some(w) = env_parse::<usize>("HYPDB_SERVE_WORKERS").filter(|&w| w > 0) {
+            cfg.workers = w;
+        }
+        if let Some(q) = env_parse::<usize>("HYPDB_SERVE_QUEUE").filter(|&q| q > 0) {
+            cfg.queue_capacity = q;
+        }
+        if let Some(b) = env_parse::<usize>("HYPDB_SERVE_MAX_BODY").filter(|&b| b > 0) {
+            cfg.max_body = b;
+        }
+        if let Some(t) = env_parse::<u64>("HYPDB_SERVE_TIMEOUT_MS").filter(|&t| t > 0) {
+            cfg.timeout_ms = t;
+        }
+        cfg
+    }
+}
+
+/// The bounded admission queue (mutex + condvar; no busy worker spins).
+struct Queue {
+    inner: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl Queue {
+    fn new(capacity: usize) -> Queue {
+        Queue {
+            inner: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, VecDeque<TcpStream>> {
+        // Poisoning is ignored: the queue holds plain sockets that stay
+        // structurally valid if a holder panicked.
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Enqueues a connection, or hands it back when full.
+    fn push(&self, stream: TcpStream, metrics: &Metrics) -> Result<(), TcpStream> {
+        let mut q = self.lock();
+        if q.len() >= self.capacity {
+            return Err(stream);
+        }
+        q.push_back(stream);
+        metrics.set_queue_depth(q.len());
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Pops the next connection; `None` once the acceptor has retired
+    /// **and** the queue has drained (graceful-drain semantics).
+    /// Gating on the acceptor — not on the shutdown flag directly —
+    /// closes the race where a connection accepted just as shutdown is
+    /// signalled would be queued after every worker had already exited.
+    fn pop(&self, accepting: &AtomicBool, metrics: &Metrics) -> Option<TcpStream> {
+        let mut q = self.lock();
+        loop {
+            if let Some(stream) = q.pop_front() {
+                metrics.set_queue_depth(q.len());
+                return Some(stream);
+            }
+            if !accepting.load(Ordering::Relaxed) {
+                return None;
+            }
+            q = self
+                .ready
+                .wait_timeout(q, Duration::from_millis(50))
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .0;
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.lock().len()
+    }
+}
+
+/// One cached response: the canonical request it answers (compared on
+/// every probe — fingerprints alone may collide) and the body bytes.
+struct CacheEntry {
+    request: String,
+    body: Arc<String>,
+}
+
+/// Which report lane a request takes (also the cache-key namespace).
+#[derive(Debug, Clone, Copy)]
+enum Lane {
+    Analyze,
+    Detect,
+}
+
+impl Lane {
+    fn tag(self) -> u64 {
+        match self {
+            Lane::Analyze => 0xA11A,
+            Lane::Detect => 0xDE7E,
+        }
+    }
+}
+
+/// State shared by the acceptor, the workers, and the handle.
+struct Shared {
+    cfg: ServeConfig,
+    registry: Registry,
+    queue: Queue,
+    metrics: Metrics,
+    /// fingerprint-keyed response bodies; values are immutable and any
+    /// racing recomputation produces identical bytes, so last-wins
+    /// insertion is unobservable. The canonical request is stored with
+    /// each body and re-compared on probe: a 64-bit fingerprint can
+    /// collide, and a collision must compute, never serve the wrong
+    /// report.
+    cache: ShardedMap<u64, Arc<CacheEntry>>,
+    shutdown: AtomicBool,
+    /// True until the acceptor retires; workers only exit once this
+    /// clears (no connection can be enqueued with nobody left to serve
+    /// it) and the queue has drained.
+    accepting: AtomicBool,
+    /// Run request pipelines under the nested-fan-out guard (true when
+    /// more than one worker owns the parallelism budget).
+    guard: bool,
+}
+
+/// The server constructor; [`Server::start`] returns a handle.
+pub struct Server;
+
+impl Server {
+    /// Binds `cfg.addr`, spawns the acceptor and `cfg.workers` workers,
+    /// and returns a handle. The registry is immutable from here on —
+    /// workers share its tables by `Arc` without any locking.
+    pub fn start(cfg: ServeConfig, registry: Registry) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: Queue::new(cfg.queue_capacity),
+            metrics: Metrics::default(),
+            cache: ShardedMap::default(),
+            shutdown: AtomicBool::new(false),
+            accepting: AtomicBool::new(true),
+            guard: workers > 1,
+            registry,
+            cfg,
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("hypdb-serve-acceptor".into())
+                .spawn(move || acceptor_loop(&shared, &listener))?
+        };
+        let worker_handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("hypdb-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(ServerHandle {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+        })
+    }
+}
+
+/// A running server: address, metrics, and graceful shutdown.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port `0` to the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A point-in-time metrics snapshot (queue gauge refreshed).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.set_queue_depth(self.shared.queue.len());
+        self.shared.metrics.snapshot()
+    }
+
+    /// Number of cached report bodies.
+    pub fn cache_len(&self) -> usize {
+        self.shared.cache.len()
+    }
+
+    /// Graceful shutdown: stop accepting, drain queued and in-flight
+    /// requests, join every thread. Idempotent via [`Drop`]. Returns
+    /// the final metrics — counted *after* the drain, so requests
+    /// completed during shutdown are included.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.shutdown_inner();
+        self.shared.metrics.snapshot()
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.queue.ready.notify_all();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn acceptor_loop(shared: &Shared, listener: &TcpListener) {
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Accepted sockets block with deadlines: reads are
+                // bounded by a per-connection budget (`read_request`
+                // shrinks the socket timeout to the time remaining, so
+                // a byte-trickling client cannot reset it), and every
+                // write syscall is bounded by `timeout_ms`.
+                let timeout = Duration::from_millis(shared.cfg.timeout_ms.max(1));
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_write_timeout(Some(timeout));
+                let _ = stream.set_nodelay(true);
+                if let Err(mut rejected) = shared.queue.push(stream, &shared.metrics) {
+                    shared.metrics.rejected();
+                    let resp = Response::error(503, "server busy: admission queue is full")
+                        .with_header("Retry-After", "1");
+                    let _ = http::write_response(&mut rejected, &resp);
+                    let _ = rejected.shutdown(Shutdown::Both);
+                }
+            }
+            // Nonblocking accept: poll the shutdown flag a few hundred
+            // times a second; transient errors take the same nap.
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    // Retire: no further pushes can happen, so workers may now exit
+    // once the queue is drained. Wake any parked worker to observe it.
+    shared.accepting.store(false, Ordering::Relaxed);
+    shared.queue.ready.notify_all();
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(mut stream) = shared.queue.pop(&shared.accepting, &shared.metrics) {
+        let _in_flight = shared.metrics.enter();
+        handle_connection(shared, &mut stream);
+    }
+}
+
+fn handle_connection(shared: &Shared, stream: &mut TcpStream) {
+    // The client has `timeout_ms` to deliver its complete request; the
+    // budget starts when a worker picks the connection up (compute time
+    // afterwards is the server's, not counted against the client).
+    let deadline = std::time::Instant::now() + Duration::from_millis(shared.cfg.timeout_ms.max(1));
+    let resp = match http::read_request(stream, shared.cfg.max_body, deadline) {
+        Ok(req) => {
+            shared.metrics.request();
+            route(shared, &req)
+        }
+        // Peer vanished or timed out before completing a request:
+        // there is nobody to answer.
+        Err(RequestError::Io(_)) => return,
+        Err(RequestError::Bad(msg)) => Response::error(400, msg),
+        Err(RequestError::LengthRequired) => Response::error(411, "Content-Length required"),
+        Err(RequestError::TooLarge { limit }) => {
+            Response::error(413, format!("request body exceeds {limit} bytes"))
+        }
+        Err(RequestError::HeadTooLarge) => Response::error(431, "request head too large"),
+    };
+    if (400..500).contains(&resp.status) {
+        shared.metrics.client_error();
+    }
+    let _ = http::write_response(stream, &resp);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn route(shared: &Shared, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Response::json(
+            200,
+            format!(
+                "{{\"status\":\"ok\",\"datasets\":{}}}",
+                shared.registry.len()
+            ),
+        ),
+        ("GET", "/metrics") => {
+            shared.metrics.set_queue_depth(shared.queue.len());
+            Response::text(200, shared.metrics.snapshot().render())
+        }
+        ("GET", "/datasets") => {
+            let infos = shared.registry.infos();
+            Response::json(200, serde_json::to_string(&infos).expect("infos serialize"))
+        }
+        ("POST", "/analyze") => {
+            shared.metrics.analyze();
+            report_endpoint(shared, &req.body, Lane::Analyze)
+        }
+        ("POST", "/detect") => {
+            shared.metrics.detect();
+            report_endpoint(shared, &req.body, Lane::Detect)
+        }
+        (_, "/healthz" | "/metrics" | "/datasets" | "/analyze" | "/detect") => {
+            Response::error(405, format!("method {} not allowed here", req.method))
+        }
+        (_, path) => Response::error(404, format!("no such endpoint `{path}`")),
+    }
+}
+
+/// The `/analyze` and `/detect` lanes: parse → registry lookup → cache
+/// probe → (guarded) pipeline run → cache fill.
+fn report_endpoint(shared: &Shared, body: &str, lane: Lane) -> Response {
+    let areq = match wire::parse_request(body) {
+        Ok(r) => r,
+        Err(e) => return Response::error(400, e.to_string()),
+    };
+    let Some(table) = shared.registry.get(&areq.dataset) else {
+        return Response::error(404, format!("unknown dataset `{}`", areq.dataset));
+    };
+    let canonical = areq.canonical_json();
+    let fingerprint = wire::fingerprint_json(&canonical);
+    let fp_hex = format!("{fingerprint:016x}");
+    let key = seed::mix(fingerprint, lane.tag());
+    if let Some(cached) = shared.cache.get(&key) {
+        // Fingerprints can collide; only byte-equal requests may share
+        // a cached body. A collision falls through and recomputes
+        // (last-wins overwrite — correctness over a colliding victim's
+        // hit rate).
+        if cached.request == canonical {
+            shared.metrics.cache_hit();
+            return Response::json_shared(200, Arc::clone(&cached.body))
+                .with_header("X-Hypdb-Cache", "hit")
+                .with_header("X-Hypdb-Fingerprint", fp_hex);
+        }
+    }
+    let compute = || -> Result<String, CoreError> {
+        match lane {
+            Lane::Analyze => {
+                wire::analyze(&*table, &areq, &shared.cfg.base).map(|r| wire::report_body(&r))
+            }
+            Lane::Detect => {
+                wire::detect(&*table, &areq, &shared.cfg.base).map(|r| wire::detect_body(&r))
+            }
+        }
+    };
+    let result = if shared.guard {
+        with_fanout_guard(compute)
+    } else {
+        compute()
+    };
+    match result {
+        Ok(body) => {
+            shared.metrics.cache_miss();
+            let body = Arc::new(body);
+            shared.cache.insert(
+                key,
+                Arc::new(CacheEntry {
+                    request: canonical,
+                    body: Arc::clone(&body),
+                }),
+            );
+            Response::json_shared(200, body)
+                .with_header("X-Hypdb-Cache", "miss")
+                .with_header("X-Hypdb-Fingerprint", fp_hex)
+        }
+        // Every pipeline error is request-shaped: bad SQL, unknown
+        // attribute, empty selection, degenerate treatment.
+        Err(e) => Response::error(400, e.to_string()),
+    }
+}

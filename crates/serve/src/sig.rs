@@ -1,0 +1,82 @@
+//! Process shutdown signals as a pollable flag.
+//!
+//! `hypdb serve` drains in-flight requests on SIGTERM/ctrl-c. Pure std
+//! cannot register signal handlers, and the workspace vendors no
+//! `libc`/`signal-hook`; instead of a new dependency, this module
+//! declares the one C function it needs (`signal(2)`, from the libc
+//! that std already links) and installs a handler that only stores into
+//! an atomic — the canonical async-signal-safe action. On non-Unix
+//! targets the flag simply never fires from a signal (the binary also
+//! honours stdin EOF as a shutdown request, which works everywhere).
+//!
+//! This is the only `unsafe` in the workspace; it is confined to the
+//! FFI call below and documented inline.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the handler once SIGINT or SIGTERM arrives.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// True once a shutdown signal has been observed.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::Relaxed)
+}
+
+/// Requests shutdown programmatically (the stdin-EOF path and tests
+/// share the signal flag).
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+/// Installs SIGINT/SIGTERM handlers that set the flag (Unix; a no-op
+/// elsewhere). Idempotent.
+pub fn install() {
+    #[cfg(unix)]
+    unix::install();
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod unix {
+    use super::SHUTDOWN;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        // A relaxed atomic store is async-signal-safe; everything else
+        // (draining, joining, printing) happens on normal threads that
+        // poll the flag.
+        SHUTDOWN.store(true, Ordering::Relaxed);
+    }
+
+    extern "C" {
+        /// `signal(2)` from the platform libc std already links. The
+        /// return value (the previous handler) is pointer-sized; it is
+        /// only checked, never called.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub fn install() {
+        // SAFETY: `signal` is the documented libc entry point; the
+        // handler is an `extern "C" fn(i32)` whose body performs a
+        // single async-signal-safe atomic store and never unwinds.
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programmatic_request_sets_the_flag() {
+        install();
+        request_shutdown();
+        assert!(shutdown_requested());
+    }
+}

@@ -1,0 +1,226 @@
+//! The `hypdb` command-line front end.
+//!
+//! ```sh
+//! hypdb serve [--addr HOST:PORT] [--rows N]       # run the server
+//! hypdb analyze --dataset D --sql 'SELECT …'      # offline report
+//! hypdb analyze --dataset D --sql '…' --detect    # detection only
+//! ```
+//!
+//! `serve` and `analyze` share the wire layer and the built-in dataset
+//! registry, so for any request the offline `analyze` output is
+//! **byte-identical** to the running server's `/analyze` body — the
+//! property the CI smoke test diffs.
+
+use hypdb::core::wire;
+use hypdb::core::HypDbConfig;
+use hypdb::serve::{sig, Registry, ServeConfig, Server};
+
+const USAGE: &str = "\
+usage:
+  hypdb serve [--addr HOST:PORT] [--rows N]
+      Serve the built-in datasets over HTTP. Knobs: HYPDB_SERVE_ADDR,
+      HYPDB_SERVE_WORKERS, HYPDB_SERVE_QUEUE, HYPDB_SERVE_MAX_BODY,
+      HYPDB_SERVE_TIMEOUT_MS, HYPDB_SERVE_ROWS (dataset size),
+      HYPDB_THREADS, HYPDB_SHARD_ROWS. Shuts down gracefully on
+      SIGINT/SIGTERM or a `quit` line on stdin.
+  hypdb analyze --dataset NAME --sql SQL
+               [--treatment T] [--covariates A,B] [--seed N]
+               [--detect] [--pretty] [--rows N]
+      Run the same analysis offline and print the wire response body
+      (or, with --pretty, the human-readable report).
+";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("hypdb: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// Dataset size for the built-in registry: `--rows`, else
+/// `HYPDB_SERVE_ROWS`, else 2000 (small enough for sub-second smoke
+/// tests, large enough for stable discovery).
+fn builtin_rows(flag: Option<usize>) -> usize {
+    flag.or_else(|| {
+        std::env::var("HYPDB_SERVE_ROWS")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+    })
+    .unwrap_or(2000)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("--help" | "-h" | "help") => print!("{USAGE}"),
+        Some(other) => fail(&format!("unknown command `{other}`")),
+        None => fail("missing command"),
+    }
+}
+
+fn take_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> &'a str {
+    *i += 1;
+    args.get(*i)
+        .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+}
+
+fn cmd_serve(args: &[String]) {
+    let mut cfg = ServeConfig::from_env();
+    let mut rows_flag = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => cfg.addr = take_value(args, &mut i, "--addr").to_string(),
+            "--rows" => {
+                rows_flag = Some(
+                    take_value(args, &mut i, "--rows")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--rows needs an integer")),
+                )
+            }
+            other => fail(&format!("unknown serve flag `{other}`")),
+        }
+        i += 1;
+    }
+
+    let rows = builtin_rows(rows_flag);
+    eprintln!("loading built-in datasets ({rows} rows each)…");
+    let registry = Registry::builtin(rows);
+    for info in registry.infos() {
+        eprintln!(
+            "  {:<10} {:>7} rows × {:>3} attrs, {} shard(s)",
+            info.name,
+            info.rows,
+            info.attrs.len(),
+            info.shards
+        );
+    }
+
+    sig::install();
+    let workers = cfg.workers;
+    let handle = match Server::start(cfg, registry) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("hypdb: cannot start server: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "hypdb-serve listening on http://{} ({} worker(s)) — \
+         POST /analyze | POST /detect | GET /datasets | /healthz | /metrics",
+        handle.addr(),
+        workers
+    );
+
+    // `quit` on stdin also shuts down (useful without a signal-capable
+    // shell); plain EOF does **not**, so running detached with stdin on
+    // /dev/null keeps serving.
+    std::thread::spawn(|| {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match std::io::stdin().read_line(&mut line) {
+                Ok(0) | Err(_) => return,
+                Ok(_) if matches!(line.trim(), "quit" | "exit" | "shutdown") => {
+                    sig::request_shutdown();
+                    return;
+                }
+                Ok(_) => {}
+            }
+        }
+    });
+
+    while !sig::shutdown_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    eprintln!("shutdown requested; draining in-flight requests…");
+    let metrics = handle.shutdown();
+    eprintln!(
+        "drained. served {} request(s), cache {} hit(s) / {} miss(es), {} rejected",
+        metrics.requests, metrics.cache_hits, metrics.cache_misses, metrics.rejected
+    );
+}
+
+fn cmd_analyze(args: &[String]) {
+    let mut dataset: Option<String> = None;
+    let mut sql: Option<String> = None;
+    let mut req_treatment: Option<String> = None;
+    let mut covariates: Option<Vec<String>> = None;
+    let mut seed: Option<u64> = None;
+    let mut rows_flag: Option<usize> = None;
+    let mut detect = false;
+    let mut pretty = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--dataset" => dataset = Some(take_value(args, &mut i, "--dataset").to_string()),
+            "--sql" => sql = Some(take_value(args, &mut i, "--sql").to_string()),
+            "--treatment" => {
+                req_treatment = Some(take_value(args, &mut i, "--treatment").to_string())
+            }
+            "--covariates" => {
+                covariates = Some(
+                    take_value(args, &mut i, "--covariates")
+                        .split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_string)
+                        .collect(),
+                )
+            }
+            "--seed" => {
+                seed = Some(
+                    take_value(args, &mut i, "--seed")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--seed needs an integer")),
+                )
+            }
+            "--rows" => {
+                rows_flag = Some(
+                    take_value(args, &mut i, "--rows")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--rows needs an integer")),
+                )
+            }
+            "--detect" => detect = true,
+            "--pretty" => pretty = true,
+            other => fail(&format!("unknown analyze flag `{other}`")),
+        }
+        i += 1;
+    }
+    let dataset = dataset.unwrap_or_else(|| fail("analyze needs --dataset"));
+    let sql = sql.unwrap_or_else(|| fail("analyze needs --sql"));
+
+    // Build only the dataset being analyzed (sharded at the ambient
+    // shard size, exactly as the server registers it).
+    let Some(mono) = Registry::builtin_dataset(&dataset, builtin_rows(rows_flag)) else {
+        eprintln!(
+            "hypdb: unknown dataset `{dataset}` (available: {:?})",
+            Registry::BUILTIN_NAMES
+        );
+        std::process::exit(1);
+    };
+    let mut registry = Registry::new();
+    registry.insert(&dataset, &mono);
+    let table = registry.get(&dataset).expect("just inserted");
+
+    let mut req = wire::AnalyzeRequest::new(dataset, sql);
+    req.treatment = req_treatment;
+    req.covariates = covariates;
+    req.seed = seed;
+    let base = HypDbConfig::default();
+
+    let outcome = if detect {
+        wire::detect(&*table, &req, &base).map(|r| wire::detect_body(&r))
+    } else if pretty {
+        wire::analyze(&*table, &req, &base).map(|r| r.to_string())
+    } else {
+        wire::analyze(&*table, &req, &base).map(|r| wire::report_body(&r))
+    };
+    match outcome {
+        Ok(body) => println!("{body}"),
+        Err(e) => {
+            eprintln!("hypdb: {e}");
+            std::process::exit(1);
+        }
+    }
+}

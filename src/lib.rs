@@ -28,6 +28,9 @@
 //!   algorithm, and the baseline structure learners (FGS, IAMB, HC),
 //! * [`sql`] — the mini OLAP SQL dialect of the paper,
 //! * [`core`] — the HypDB pipeline: detect / explain / resolve,
+//! * [`serve`] — the concurrent HTTP serving front-end: shared
+//!   `Arc<ShardedTable>` registry, bounded admission queue, report
+//!   cache, and byte-reproducible `/analyze`–`/detect` endpoints,
 //! * [`datasets`] — the paper's five datasets (real or faithfully
 //!   simulated) plus the RandomData ground-truth generator.
 //!
@@ -67,6 +70,7 @@ pub use hypdb_core as core;
 pub use hypdb_datasets as datasets;
 pub use hypdb_exec as exec;
 pub use hypdb_graph as graph;
+pub use hypdb_serve as serve;
 pub use hypdb_sql as sql;
 pub use hypdb_stats as stats;
 pub use hypdb_store as store;
@@ -78,9 +82,11 @@ pub mod prelude {
         CdConfig, CiConfig, CiOracle, CovariateDiscovery, IndependenceTestKind,
     };
     pub use hypdb_core::{
-        AnalysisReport, BiasReport, EffectKind, HypDb, Query, QueryBuilder, RewriteResult,
+        AnalysisReport, AnalyzeRequest, BiasReport, DetectReport, EffectKind, HypDb, Query,
+        QueryBuilder, RewriteResult,
     };
     pub use hypdb_datasets as datasets;
+    pub use hypdb_serve::{Registry, ServeConfig, Server};
     pub use hypdb_sql::{parse_query, Statement};
     pub use hypdb_stats::TestOutcome;
     pub use hypdb_store::{read_csv_shards, ShardedTable, ShardedTableBuilder};

@@ -1,0 +1,362 @@
+//! `hypdb-serve` integration suite: the wire layer over real sockets,
+//! the online/offline byte-identity invariant, cache-counter
+//! consistency under concurrent load, and clean admission-control
+//! rejections.
+//!
+//! Everything here runs at the ambient `HYPDB_THREADS` ×
+//! `HYPDB_SHARD_ROWS` CI matrix point: reports are thread- and
+//! shard-layout-invariant, so every leg must observe identical bytes.
+
+use hypdb::core::wire;
+use hypdb::core::HypDbConfig;
+use hypdb::datasets as ds;
+use hypdb::prelude::*;
+use hypdb::serve::client;
+use hypdb::serve::{Registry, ServeConfig, Server, ServerHandle};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+const CANCER_SQL: &str =
+    "SELECT Lung_Cancer, avg(Car_Accident) FROM CancerData GROUP BY Lung_Cancer";
+
+fn cancer_table(rows: usize) -> Table {
+    ds::cancer_data(rows, 1)
+}
+
+fn cancer_registry(rows: usize) -> Registry {
+    let mut reg = Registry::new();
+    reg.insert("cancer", &cancer_table(rows));
+    reg
+}
+
+/// Starts a server on an ephemeral loopback port.
+fn start(mut cfg: ServeConfig, registry: Registry) -> ServerHandle {
+    cfg.addr = "127.0.0.1:0".into();
+    Server::start(cfg, registry).expect("server starts")
+}
+
+fn analyze_request(seed: Option<u64>) -> wire::AnalyzeRequest {
+    let mut req = wire::AnalyzeRequest::new("cancer", CANCER_SQL);
+    req.seed = seed;
+    req
+}
+
+fn post_analyze(handle: &ServerHandle, body: &str) -> client::HttpResponse {
+    client::post_json(handle.addr(), "/analyze", body).expect("request round-trips")
+}
+
+#[test]
+fn health_datasets_and_metrics_endpoints() {
+    let handle = start(ServeConfig::default(), cancer_registry(300));
+    let health = client::get(handle.addr(), "/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body, "{\"status\":\"ok\",\"datasets\":1}");
+
+    let datasets = client::get(handle.addr(), "/datasets").unwrap();
+    assert_eq!(datasets.status, 200);
+    let infos: Vec<hypdb::serve::DatasetInfo> = serde_json::from_str(&datasets.body).unwrap();
+    assert_eq!(infos.len(), 1);
+    assert_eq!(infos[0].name, "cancer");
+    assert_eq!(infos[0].rows, 300);
+
+    let metrics = client::get(handle.addr(), "/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    assert!(metrics.body.contains("hypdb_requests_total"));
+    handle.shutdown();
+}
+
+#[test]
+fn wire_schema_round_trips_over_http() {
+    let handle = start(ServeConfig::default(), cancer_registry(400));
+    // Scrambled key order and an explicit null must parse to the same
+    // request (and thus hit the same fingerprint) as the compact form.
+    let body = format!("{{\"seed\":7,\"sql\":\"{CANCER_SQL}\",\"dataset\":\"cancer\"}}");
+    let resp = post_analyze(&handle, &body);
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert_eq!(resp.header("X-Hypdb-Cache"), Some("miss"));
+    let report: AnalysisReport = serde_json::from_str(&resp.body).expect("report parses");
+    assert_eq!(report.treatment, "Lung_Cancer");
+    assert_eq!(
+        report.timings.detection, 0.0,
+        "wire bodies zero the timings"
+    );
+
+    let canonical = analyze_request(Some(7)).canonical_json();
+    let resp2 = post_analyze(&handle, &canonical);
+    assert_eq!(resp2.status, 200);
+    assert_eq!(
+        resp2.header("X-Hypdb-Cache"),
+        Some("hit"),
+        "equivalent spellings share one cache entry"
+    );
+    assert_eq!(resp2.body, resp.body);
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_bodies_are_400() {
+    let handle = start(ServeConfig::default(), cancer_registry(200));
+    for body in [
+        "not json at all",
+        "{\"dataset\":\"cancer\"}",                          // missing sql
+        "{\"dataset\":\"cancer\",\"sql\":\"x\",\"nope\":1}", // unknown field
+        "{\"dataset\":\"cancer\",\"sql\":\"SELECT 1\"}",     // unparsable query
+    ] {
+        let resp = post_analyze(&handle, body);
+        assert_eq!(resp.status, 400, "body `{body}` → {}", resp.body);
+        assert!(resp.body.contains("\"error\""));
+    }
+    let m = handle.metrics();
+    assert_eq!(m.client_errors, 4);
+    assert_eq!(m.cache_misses, 0, "errors are never cached");
+    handle.shutdown();
+}
+
+#[test]
+fn unknown_dataset_and_path_are_404_and_wrong_method_405() {
+    let handle = start(ServeConfig::default(), cancer_registry(200));
+    let resp = post_analyze(&handle, "{\"dataset\":\"nope\",\"sql\":\"q\"}");
+    assert_eq!(resp.status, 404);
+    assert!(resp.body.contains("unknown dataset"));
+
+    let resp = client::get(handle.addr(), "/no/such/endpoint").unwrap();
+    assert_eq!(resp.status, 404);
+
+    let resp = client::get(handle.addr(), "/analyze").unwrap();
+    assert_eq!(resp.status, 405);
+    let resp = client::request(handle.addr(), "DELETE", "/healthz", Some("")).unwrap();
+    assert_eq!(resp.status, 405);
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_bodies_are_413() {
+    let cfg = ServeConfig {
+        max_body: 256,
+        ..ServeConfig::default()
+    };
+    let handle = start(cfg, cancer_registry(200));
+    let huge = format!(
+        "{{\"dataset\":\"cancer\",\"sql\":\"{}\"}}",
+        "x".repeat(1024)
+    );
+    let resp = post_analyze(&handle, &huge);
+    assert_eq!(resp.status, 413);
+    assert!(resp.body.contains("256"), "{}", resp.body);
+    // A sane request still works afterwards on a fresh connection.
+    let ok = post_analyze(&handle, &analyze_request(Some(3)).canonical_json());
+    assert_eq!(ok.status, 200);
+    handle.shutdown();
+}
+
+/// The acceptance criterion: a served `/analyze` body is byte-identical
+/// to the offline pipeline's — monolithic or sharded storage, any
+/// thread count, cached or freshly computed.
+#[test]
+fn served_reports_are_byte_identical_to_offline() {
+    let table = cancer_table(1_000);
+    let req = analyze_request(None);
+    let base = HypDbConfig::default();
+
+    // Offline, monolithic storage, pinned to one thread.
+    hypdb::exec::set_global_threads(1);
+    let offline_mono = wire::report_body(&wire::analyze(&table, &req, &base).unwrap());
+    hypdb::exec::set_global_threads(0);
+    // Offline, deliberately unaligned shard layout, ambient threads.
+    let sharded = ShardedTable::from_table(&table, 333);
+    let offline_shard = wire::report_body(&wire::analyze(&sharded, &req, &base).unwrap());
+    assert_eq!(offline_mono, offline_shard, "storage-layout invariance");
+
+    // Online, against a third layout (the registry's ambient shard
+    // size), twice: a cache miss then a cache hit.
+    let mut reg = Registry::new();
+    reg.insert_sharded("cancer", ShardedTable::from_table(&table, 257));
+    let handle = start(ServeConfig::default(), reg);
+    let body = req.canonical_json();
+    let miss = post_analyze(&handle, &body);
+    assert_eq!(miss.status, 200);
+    assert_eq!(miss.header("X-Hypdb-Cache"), Some("miss"));
+    assert_eq!(miss.body, offline_mono, "served bytes == offline bytes");
+    let hit = post_analyze(&handle, &body);
+    assert_eq!(hit.header("X-Hypdb-Cache"), Some("hit"));
+    assert_eq!(hit.body, offline_mono);
+    let m = handle.metrics();
+    assert_eq!((m.cache_hits, m.cache_misses), (1, 1));
+
+    // The detect lane agrees with its offline twin too, and with the
+    // full report's bias_total.
+    let det_offline = wire::detect_body(&wire::detect(&table, &req, &base).unwrap());
+    let det = client::post_json(handle.addr(), "/detect", &body).unwrap();
+    assert_eq!(det.status, 200);
+    assert_eq!(det.body, det_offline);
+    let full: AnalysisReport = serde_json::from_str(&miss.body).unwrap();
+    let cheap: DetectReport = serde_json::from_str(&det.body).unwrap();
+    assert_eq!(cheap.contexts[0].bias, full.contexts[0].bias_total);
+    handle.shutdown();
+}
+
+/// N threads issuing interleaved identical + distinct requests: every
+/// response must be bit-exact, and the cache counters must add up.
+#[test]
+fn concurrent_mixed_load_is_correct_and_counted() {
+    let cfg = ServeConfig {
+        workers: 4,
+        ..ServeConfig::default()
+    };
+    let handle = start(cfg, cancer_registry(600));
+
+    // Prime two distinct requests sequentially so the miss count is
+    // deterministic (concurrent first-misses may legitimately compute
+    // the same report more than once).
+    let reqs: Vec<String> = [11u64, 22]
+        .iter()
+        .map(|&s| analyze_request(Some(s)).canonical_json())
+        .collect();
+    let expected: Vec<String> = reqs
+        .iter()
+        .map(|b| {
+            let r = post_analyze(&handle, b);
+            assert_eq!(r.status, 200);
+            r.body
+        })
+        .collect();
+    assert_ne!(expected[0], expected[1], "distinct seeds, distinct bytes");
+    assert_eq!(handle.metrics().cache_misses, 2);
+
+    let per_thread = 6usize;
+    let n_threads = 8usize;
+    std::thread::scope(|scope| {
+        for t in 0..n_threads {
+            let reqs = &reqs;
+            let expected = &expected;
+            let handle = &handle;
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    let which = (t + i) % 2;
+                    let resp = post_analyze(handle, &reqs[which]);
+                    assert_eq!(resp.status, 200);
+                    assert_eq!(
+                        resp.body, expected[which],
+                        "thread {t} iter {i}: response corrupted under load"
+                    );
+                    assert_eq!(resp.header("X-Hypdb-Cache"), Some("hit"));
+                }
+            });
+        }
+    });
+
+    let m = handle.metrics();
+    let total = (n_threads * per_thread) as u64 + 2;
+    assert_eq!(m.analyze, total);
+    assert_eq!(m.cache_hits, total - 2);
+    assert_eq!(m.cache_misses, 2);
+    assert_eq!(m.cache_hits + m.cache_misses, m.analyze);
+    assert_eq!(handle.cache_len(), 2);
+    // Workers decrement the gauge just after closing the socket, so
+    // clients can observe their responses a beat earlier: poll.
+    poll(2_000, "in-flight gauge to settle", || {
+        handle.metrics().in_flight == 0
+    });
+    handle.shutdown();
+}
+
+fn read_raw(stream: &mut TcpStream) -> String {
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    String::from_utf8_lossy(&raw).into_owned()
+}
+
+fn poll(deadline_ms: u64, what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_millis(deadline_ms);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Admission control: with one worker pinned and the one queue slot
+/// taken, further connections get an immediate, clean 503 — and the
+/// held requests still complete afterwards.
+#[test]
+fn queue_overflow_returns_clean_503() {
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        timeout_ms: 10_000,
+        ..ServeConfig::default()
+    };
+    let handle = start(cfg, cancer_registry(100));
+    let addr = handle.addr();
+
+    // Hold the single worker with a deliberately incomplete request…
+    let mut held = TcpStream::connect(addr).unwrap();
+    held.write_all(b"GET /healthz HTTP/1.1\r\n").unwrap();
+    held.flush().unwrap();
+    poll(5_000, "worker to pick the held request up", || {
+        handle.metrics().in_flight == 1
+    });
+
+    // …and fill the one queue slot with another.
+    let mut queued = TcpStream::connect(addr).unwrap();
+    queued.write_all(b"GET /healthz HTTP/1.1\r\n").unwrap();
+    queued.flush().unwrap();
+    poll(5_000, "admission queue to fill", || {
+        handle.metrics().queue_depth == 1
+    });
+
+    // Every further connection is rejected with a 503 by the acceptor.
+    for i in 0..3 {
+        let mut c = TcpStream::connect(addr).unwrap();
+        let raw = read_raw(&mut c);
+        assert!(
+            raw.starts_with("HTTP/1.1 503 "),
+            "connection {i} got: {raw:?}"
+        );
+        assert!(raw.contains("admission queue is full"));
+    }
+    assert_eq!(handle.metrics().rejected, 3);
+
+    // Releasing the held requests lets both complete normally.
+    held.write_all(b"\r\n").unwrap();
+    let raw = read_raw(&mut held);
+    assert!(raw.starts_with("HTTP/1.1 200 "), "{raw:?}");
+    queued.write_all(b"\r\n").unwrap();
+    let raw = read_raw(&mut queued);
+    assert!(raw.starts_with("HTTP/1.1 200 "), "{raw:?}");
+
+    let m = handle.metrics();
+    assert_eq!(m.requests, 2, "rejected connections never reach a worker");
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    let cfg = ServeConfig {
+        workers: 1,
+        timeout_ms: 10_000,
+        ..ServeConfig::default()
+    };
+    let handle = start(cfg, cancer_registry(150));
+    let addr = handle.addr();
+    let ok = client::get(addr, "/healthz").unwrap();
+    assert_eq!(ok.status, 200);
+
+    // Park a request mid-flight, then shut down on another thread: the
+    // drain must wait for — not kill — the in-flight request.
+    let mut held = TcpStream::connect(addr).unwrap();
+    held.write_all(b"GET /healthz HTTP/1.1\r\n").unwrap();
+    held.flush().unwrap();
+    poll(5_000, "worker to pick the held request up", || {
+        handle.metrics().in_flight == 1
+    });
+    let joiner = std::thread::spawn(move || handle.shutdown());
+    std::thread::sleep(Duration::from_millis(100));
+    held.write_all(b"\r\n").unwrap();
+    let raw = read_raw(&mut held);
+    assert!(
+        raw.starts_with("HTTP/1.1 200 "),
+        "in-flight request must complete through shutdown, got {raw:?}"
+    );
+    joiner.join().expect("shutdown returns after draining");
+}
