@@ -1,10 +1,175 @@
 //! Figs 1, 3 and 4: the five end-to-end dataset reports, printed in the
 //! paper's layout (SQL answer vs rewritten total vs rewritten direct,
-//! coarse- and fine-grained explanations).
+//! coarse- and fine-grained explanations) — plus the PR-5 multi-query
+//! comparison (batched vs call-at-a-time analyze, `BENCH_pr5.json`).
 
+use crate::report::MdTable;
 use crate::Scale;
-use hypdb_core::{HypDb, Query};
+use hypdb_core::{HypDb, HypDbConfig, OracleCache, Query};
 use hypdb_datasets as ds;
+use hypdb_table::Table;
+use serde::Serialize;
+use std::sync::Arc;
+
+/// One timed analyze run of the PR-5 comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct MqoRunRecord {
+    /// Dataset analyzed.
+    pub dataset: String,
+    /// `"batched"` (planner on) or `"call_at_a_time"` (planner off).
+    pub mode: String,
+    /// Wall-clock seconds for the cold (uncached) analyze.
+    pub seconds: f64,
+    /// Full contingency-table row scans (the number batching exists to
+    /// cut; `OracleStats::table_scans`).
+    pub count_scans: u64,
+    /// Contingency tables served from the materialisation cache.
+    pub count_cache_hits: u64,
+    /// Contingency tables derived from cached supersets.
+    pub marginalizations: u64,
+    /// Independence tests performed.
+    pub tests: u64,
+    /// Statements routed through the batch planner.
+    pub batched_statements: u64,
+    /// Statement groups the planner formed.
+    pub groups_planned: u64,
+}
+
+/// The machine-readable PR-5 report (`BENCH_pr5.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct MqoBenchReport {
+    /// PR number this trajectory point belongs to.
+    pub pr: u32,
+    /// Experiment tag.
+    pub experiment: String,
+    /// `std::thread::available_parallelism` on the runner.
+    pub available_parallelism: usize,
+    /// All timed runs.
+    pub runs: Vec<MqoRunRecord>,
+}
+
+fn mqo_run(dataset: &str, table: &Table, sql: &str, batched: bool) -> MqoRunRecord {
+    let mut cfg = HypDbConfig::default();
+    cfg.ci.batch.enabled = batched;
+    let cache = Arc::new(OracleCache::new());
+    let q = Query::from_sql(sql, table).expect("query");
+    let db = HypDb::new(table)
+        .with_config(cfg)
+        .with_oracle_cache(Arc::clone(&cache));
+    let (report, seconds) = crate::timed(|| db.analyze(&q).expect("analysis"));
+    assert!(!report.contexts.is_empty());
+    let s = cache.stats();
+    MqoRunRecord {
+        dataset: dataset.to_string(),
+        mode: if batched { "batched" } else { "call_at_a_time" }.to_string(),
+        seconds,
+        count_scans: s.table_scans,
+        count_cache_hits: s.count_cache_hits,
+        marginalizations: s.marginalizations,
+        tests: s.tests,
+        batched_statements: s.batched_statements,
+        groups_planned: s.groups_planned,
+    }
+}
+
+/// PR-5: batched vs call-at-a-time independence testing on the two
+/// ground-truth datasets. Prints the comparison, asserts the planner's
+/// core win (strictly fewer full contingency scans *and* identical
+/// report bytes), and writes `BENCH_pr5.json`.
+fn run_mqo_comparison(scale: Scale) {
+    crate::report::section(
+        "PR-5 — batched multi-query independence testing vs call-at-a-time (cold analyze)",
+    );
+    let cases: Vec<(&str, Table, &str)> = vec![
+        (
+            "cancer",
+            ds::cancer_data(scale.pick(2_000, 10_000), 1),
+            "SELECT Lung_Cancer, avg(Car_Accident) FROM CancerData GROUP BY Lung_Cancer",
+        ),
+        (
+            "adult",
+            ds::adult_data(&ds::AdultConfig {
+                rows: scale.pick(8_000, 30_000),
+                seed: 1994,
+            }),
+            "SELECT Gender, avg(Income) FROM AdultData GROUP BY Gender",
+        ),
+    ];
+    let mut runs: Vec<MqoRunRecord> = Vec::new();
+    let mut table = MdTable::new([
+        "dataset",
+        "mode",
+        "seconds",
+        "count_scans",
+        "marginalizations",
+        "batched stmts",
+        "groups",
+    ]);
+    for (name, data, sql) in &cases {
+        // Byte-identity first: the planner must not move a single byte.
+        let mut cfg_on = HypDbConfig::default();
+        cfg_on.ci.batch.enabled = true;
+        let mut cfg_off = cfg_on;
+        cfg_off.ci.batch.enabled = false;
+        let q = Query::from_sql(sql, data).expect("query");
+        let on = HypDb::new(data)
+            .with_config(cfg_on)
+            .analyze(&q)
+            .expect("analysis");
+        let off = HypDb::new(data)
+            .with_config(cfg_off)
+            .analyze(&q)
+            .expect("analysis");
+        assert_eq!(
+            on.contexts, off.contexts,
+            "{name}: batching changed report content"
+        );
+        assert_eq!(on.covariates, off.covariates);
+        assert_eq!(on.mediators, off.mediators);
+
+        for batched in [false, true] {
+            let rec = mqo_run(name, data, sql, batched);
+            table.row([
+                rec.dataset.clone(),
+                rec.mode.clone(),
+                format!("{:.3}", rec.seconds),
+                rec.count_scans.to_string(),
+                rec.marginalizations.to_string(),
+                rec.batched_statements.to_string(),
+                rec.groups_planned.to_string(),
+            ]);
+            runs.push(rec);
+        }
+        let seq = &runs[runs.len() - 2];
+        let bat = &runs[runs.len() - 1];
+        assert!(
+            bat.count_scans < seq.count_scans,
+            "{name}: batched CD must perform strictly fewer full scans \
+             ({} vs {})",
+            bat.count_scans,
+            seq.count_scans
+        );
+        assert!(bat.batched_statements > 0 && bat.groups_planned > 0);
+        assert_eq!(seq.batched_statements, 0);
+    }
+    println!("{}", table.render());
+
+    let report = MqoBenchReport {
+        pr: 5,
+        experiment: "batched_vs_call_at_a_time_analyze".to_string(),
+        available_parallelism: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        runs,
+    };
+    let json = serde_json::to_string(&report).expect("serialize");
+    let path = "BENCH_pr5.json";
+    std::fs::write(path, &json).expect("write BENCH_pr5.json");
+    println!(
+        "\n(wrote {path}; batched runs are byte-identical to call-at-a-time \
+         and perform strictly fewer full contingency scans)"
+    );
+}
 
 /// Runs all five analyses and prints their reports.
 pub fn run(scale: Scale) {
@@ -107,4 +272,6 @@ pub fn run(scale: Scale) {
              (Male, 1, A), (Male, 1, B) — men applied to the easy departments)"
         );
     }
+
+    run_mqo_comparison(scale);
 }

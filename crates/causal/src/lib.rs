@@ -12,6 +12,10 @@
 //! * [`fgs`] — the Full Grow-Shrink structure-learning baseline
 //!   (skeleton from blankets + collider orientation + Meek rules),
 //! * [`hc`] — score-based greedy hill climbing with AIC/BIC/BDeu,
+//! * [`plan`] — the multi-query statement planner: batch independence
+//!   statements, group them by conditioning set, and answer each group
+//!   with one shared contingency pass (the Analyze-operator
+//!   optimisation),
 //! * [`preprocess`] — dropping logical dependencies: approximate FDs and
 //!   key-like high-entropy attributes (§4),
 //! * [`eval`] — precision/recall/F1 of recovered parent sets against a
@@ -25,6 +29,7 @@ pub mod eval;
 pub mod fgs;
 pub mod hc;
 pub mod oracle;
+pub mod plan;
 pub mod preprocess;
 pub mod subsets;
 
@@ -33,5 +38,8 @@ pub use cd::{CdConfig, CovariateDiscovery};
 pub use eval::{parent_f1, ParentScore};
 pub use fgs::FgsLearner;
 pub use hc::{HillClimb, Score};
-pub use oracle::{CiConfig, CiOracle, DataOracle, GraphOracle, IndependenceTestKind};
+pub use oracle::{
+    CiConfig, CiOracle, DataOracle, GraphOracle, IndependenceTestKind, OracleCache, OracleStats,
+};
+pub use plan::{BatchConfig, CiStatement, Plan, PlanGroup};
 pub use preprocess::{drop_logical_dependencies, PreprocessConfig, PreprocessReport};

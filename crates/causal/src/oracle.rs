@@ -12,12 +12,13 @@
 //! * [`GraphOracle`] — exact d-separation on a known DAG; the
 //!   noise-free oracle used to validate discovery algorithms.
 
-use hypdb_exec::{seed, ShardedMap};
+use crate::plan::{BatchConfig, CiStatement, Plan};
+use hypdb_exec::{seed, ShardedMap, ThreadPool};
 use hypdb_graph::dag::Dag;
 use hypdb_graph::dsep::d_separated_pair;
 use hypdb_stats::crosstab::CrossTab;
 use hypdb_stats::independence::{
-    mit_early, mit_sampled_early, MitConfig, Strata, TestMethod, TestOutcome,
+    mit_batch, mit_early, mit_sampled_early, MitConfig, MitJob, Strata, TestMethod, TestOutcome,
 };
 use hypdb_stats::math::chi2_sf;
 use hypdb_stats::EntropyEstimator;
@@ -69,6 +70,9 @@ pub struct CiConfig {
     pub materialize: bool,
     /// RNG seed for the permutation tests.
     pub seed: u64,
+    /// Multi-query batching of independence statements (the
+    /// Analyze-operator optimisation; see [`crate::plan`]).
+    pub batch: BatchConfig,
 }
 
 impl Default for CiConfig {
@@ -81,6 +85,7 @@ impl Default for CiConfig {
             cache_entropies: true,
             materialize: true,
             seed: 0x48_7970_4442, // "HypDB"
+            batch: BatchConfig::default(),
         }
     }
 }
@@ -96,11 +101,17 @@ struct AtomicStats {
     marginalizations: AtomicU64,
     entropy_hits: AtomicU64,
     entropy_misses: AtomicU64,
+    batched_statements: AtomicU64,
+    groups_planned: AtomicU64,
 }
 
 impl AtomicStats {
     fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
     }
 
     fn snapshot(&self) -> OracleStats {
@@ -111,6 +122,8 @@ impl AtomicStats {
             marginalizations: self.marginalizations.load(Ordering::Relaxed),
             entropy_hits: self.entropy_hits.load(Ordering::Relaxed),
             entropy_misses: self.entropy_misses.load(Ordering::Relaxed),
+            batched_statements: self.batched_statements.load(Ordering::Relaxed),
+            groups_planned: self.groups_planned.load(Ordering::Relaxed),
         }
     }
 
@@ -121,10 +134,13 @@ impl AtomicStats {
         self.marginalizations.store(0, Ordering::Relaxed);
         self.entropy_hits.store(0, Ordering::Relaxed);
         self.entropy_misses.store(0, Ordering::Relaxed);
+        self.batched_statements.store(0, Ordering::Relaxed);
+        self.groups_planned.store(0, Ordering::Relaxed);
     }
 }
 
-/// Work counters, the instrumentation behind Fig 6(a)/(c).
+/// Work counters, the instrumentation behind Fig 6(a)/(c) — plus the
+/// multi-query planner's batching counters.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OracleStats {
     /// Independence tests performed.
@@ -139,6 +155,72 @@ pub struct OracleStats {
     pub entropy_hits: u64,
     /// Entropy values computed.
     pub entropy_misses: u64,
+    /// Statements submitted through the batch API and planned.
+    pub batched_statements: u64,
+    /// Statement groups (shared conditioning sets) the planner formed.
+    pub groups_planned: u64,
+}
+
+impl OracleStats {
+    /// Element-wise sum — aggregating the counters of several shared
+    /// caches (e.g. every serving slot) into one exportable total.
+    pub fn merge(&self, other: &OracleStats) -> OracleStats {
+        OracleStats {
+            tests: self.tests + other.tests,
+            table_scans: self.table_scans + other.table_scans,
+            count_cache_hits: self.count_cache_hits + other.count_cache_hits,
+            marginalizations: self.marginalizations + other.marginalizations,
+            entropy_hits: self.entropy_hits + other.entropy_hits,
+            entropy_misses: self.entropy_misses + other.entropy_misses,
+            batched_statements: self.batched_statements + other.batched_statements,
+            groups_planned: self.groups_planned + other.groups_planned,
+        }
+    }
+}
+
+/// The shareable half of a [`DataOracle`]: its contingency/entropy
+/// caches and work counters, split out so several oracles over the
+/// *same* `(table, selection)` can pool their work.
+///
+/// Keys are sorted [`AttrId`] sets — table-global names, not
+/// oracle-local variable indices — so oracles with different variable
+/// lists (e.g. two concurrent `/analyze` requests with different
+/// treatments over one dataset selection) hit one another's entries.
+/// Every entry is a pure function of `(table, rows, attrs)`: sharing
+/// changes which work is *skipped*, never any value.
+#[derive(Default)]
+pub struct OracleCache {
+    counts: ShardedMap<Vec<AttrId>, Arc<ContingencyTable>, FxBuildHasher>,
+    entropies: ShardedMap<Vec<AttrId>, f64, FxBuildHasher>,
+    counters: AtomicStats,
+}
+
+impl OracleCache {
+    /// A fresh, empty cache.
+    pub fn new() -> OracleCache {
+        OracleCache::default()
+    }
+
+    /// Snapshot of the work counters accumulated through this cache
+    /// (across every oracle that shared it).
+    pub fn stats(&self) -> OracleStats {
+        self.counters.snapshot()
+    }
+
+    /// Resets the work counters (cache contents are kept).
+    pub fn reset_stats(&self) {
+        self.counters.reset();
+    }
+
+    /// Number of materialised contingency tables.
+    pub fn num_tables(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of cached entropies.
+    pub fn num_entropies(&self) -> usize {
+        self.entropies.len()
+    }
 }
 
 /// The conditional-independence oracle interface.
@@ -160,6 +242,36 @@ pub trait CiOracle {
     /// True when dependence is significant.
     fn dependent(&self, x: Var, y: Var, z: &[Var]) -> bool {
         !self.independent(x, y, z)
+    }
+
+    /// True when this oracle profits from whole-round statement
+    /// batches ([`Self::test_batch`]). Issuers consult it before
+    /// assembling a round: an oracle that answers call-at-a-time (the
+    /// default — e.g. an exact d-separation oracle, or a data oracle
+    /// with batching disabled) keeps the lazy early-exit scan instead,
+    /// so "batching off" costs exactly what the pre-planner code did.
+    fn prefers_batches(&self) -> bool {
+        false
+    }
+
+    /// Tests a whole batch of statements, one outcome per submitted
+    /// statement (in submission order). The default evaluates
+    /// call-at-a-time; implementations may plan and batch
+    /// ([`DataOracle`] groups statements by conditioning set so one
+    /// shared contingency pass answers a group), but every outcome
+    /// **must** equal the corresponding `test(x, y, z)` exactly —
+    /// batching is a pure performance choice.
+    fn test_batch(&self, stmts: &[CiStatement]) -> Vec<TestOutcome> {
+        stmts.iter().map(|s| self.test(s.x, s.y, &s.z)).collect()
+    }
+
+    /// Batched `independent` verdicts (submission order).
+    fn independent_batch(&self, stmts: &[CiStatement]) -> Vec<bool> {
+        let alpha = self.alpha();
+        self.test_batch(stmts)
+            .iter()
+            .map(|o| o.independent(alpha))
+            .collect()
     }
 
     /// Association strength heuristic (used by IAMB's ordering); default
@@ -212,23 +324,38 @@ pub struct DataOracle<'a, S: Scan + ?Sized = Table> {
     rows: RowSet,
     vars: Vec<AttrId>,
     cfg: CiConfig,
-    counts: ShardedMap<Vec<Var>, Arc<ContingencyTable>, FxBuildHasher>,
-    entropies: ShardedMap<Vec<Var>, f64, FxBuildHasher>,
-    counters: AtomicStats,
+    /// Contingency/entropy caches + counters, attr-keyed and shareable
+    /// across oracles over the same `(table, rows)` (see
+    /// [`OracleCache`]); a fresh oracle owns a fresh cache.
+    cache: Arc<OracleCache>,
 }
 
 impl<'a, S: Scan + ?Sized> DataOracle<'a, S> {
     /// Builds an oracle over `vars` (oracle variable `i` ↔ `vars[i]`)
     /// restricted to `rows`.
     pub fn new(table: &'a S, rows: RowSet, vars: Vec<AttrId>, cfg: CiConfig) -> Self {
+        DataOracle::with_cache(table, rows, vars, cfg, Arc::new(OracleCache::new()))
+    }
+
+    /// Like [`DataOracle::new`], but sharing an existing cache. The
+    /// cache **must** belong to the same `(table, rows)` pair — its
+    /// entries are pure functions of that data, so sharing across
+    /// oracles (different variable lists, seeds, or test kinds are all
+    /// fine) lets concurrent analyses hit one another's contingency
+    /// tables and entropies.
+    pub fn with_cache(
+        table: &'a S,
+        rows: RowSet,
+        vars: Vec<AttrId>,
+        cfg: CiConfig,
+        cache: Arc<OracleCache>,
+    ) -> Self {
         DataOracle {
             table,
             rows,
             vars,
             cfg,
-            counts: ShardedMap::default(),
-            entropies: ShardedMap::default(),
-            counters: AtomicStats::default(),
+            cache,
         }
     }
 
@@ -236,6 +363,11 @@ impl<'a, S: Scan + ?Sized> DataOracle<'a, S> {
     pub fn over_all_attrs(table: &'a S, rows: RowSet, cfg: CiConfig) -> Self {
         let vars: Vec<AttrId> = table.schema().attr_ids().collect();
         DataOracle::new(table, rows, vars, cfg)
+    }
+
+    /// The (possibly shared) cache behind this oracle.
+    pub fn shared_cache(&self) -> &Arc<OracleCache> {
+        &self.cache
     }
 
     /// The attribute backing an oracle variable.
@@ -263,9 +395,18 @@ impl<'a, S: Scan + ?Sized> DataOracle<'a, S> {
         &self.cfg
     }
 
+    /// The canonical cache key of a variable set: its attribute ids,
+    /// sorted. Table-global, so oracles with different variable lists
+    /// share entries through one [`OracleCache`].
+    fn canonical_attrs(&self, vars: &[Var]) -> Vec<AttrId> {
+        let mut attrs: Vec<AttrId> = vars.iter().map(|&v| self.vars[v]).collect();
+        attrs.sort_unstable();
+        attrs
+    }
+
     /// Counts over `vars` in the *given* order. Internally normalises to
-    /// a sorted cache key and derives reorderings/marginals from cached
-    /// supersets when materialisation is enabled.
+    /// a sorted-attribute cache key and derives reorderings/marginals
+    /// from cached supersets when materialisation is enabled.
     pub fn counts_for(&self, vars: &[Var]) -> Arc<ContingencyTable> {
         let mut sorted: Vec<Var> = vars.to_vec();
         sorted.sort_unstable();
@@ -275,32 +416,41 @@ impl<'a, S: Scan + ?Sized> DataOracle<'a, S> {
             vars.len(),
             "duplicate variables in counts_for"
         );
-        let base = self.sorted_counts(&sorted);
-        if sorted == vars {
+        let attrs = self.canonical_attrs(&sorted);
+        let base = self.canonical_counts(&attrs);
+        let requested: Vec<AttrId> = vars.iter().map(|&v| self.vars[v]).collect();
+        if requested == attrs {
             return base;
         }
-        // Reorder by marginalising onto the requested permutation.
-        let positions: Vec<usize> = vars
+        // Reorder by marginalising onto the requested permutation. The
+        // result's counts are exact integer sums of the base's, so a
+        // reordered table equals a direct scan in that order cell for
+        // cell (every downstream consumer — strata, entropies, cross
+        // tabs — is iteration-order-insensitive on top of that).
+        let positions: Vec<usize> = requested
             .iter()
-            .map(|v| sorted.binary_search(v).expect("var present"))
+            .map(|a| attrs.binary_search(a).expect("attr present"))
             .collect();
         Arc::new(base.marginal(&positions))
     }
 
-    fn sorted_counts(&self, sorted: &[Var]) -> Arc<ContingencyTable> {
+    /// The cached contingency table over a canonical (sorted) attribute
+    /// set — the one place rows are ever scanned.
+    fn canonical_counts(&self, attrs: &[AttrId]) -> Arc<ContingencyTable> {
+        let counters = &self.cache.counters;
         if self.cfg.materialize {
-            if let Some(hit) = self.counts.get(sorted) {
-                AtomicStats::bump(&self.counters.count_cache_hits);
+            if let Some(hit) = self.cache.counts.get(attrs) {
+                AtomicStats::bump(&counters.count_cache_hits);
                 return hit;
             }
             // Find the smallest cached superset to marginalise from.
             // Minimising over the *total* order (len, key) keeps the
             // choice independent of the shard/bucket visit order; two
             // workers racing here compute identical tables either way.
-            let superset = self.counts.fold(
-                None::<(Vec<Var>, Arc<ContingencyTable>)>,
+            let superset = self.cache.counts.fold(
+                None::<(Vec<AttrId>, Arc<ContingencyTable>)>,
                 |best, key, ct| {
-                    if !is_subset(sorted, key) {
+                    if !is_subset(attrs, key) {
                         return best;
                     }
                     match &best {
@@ -314,23 +464,21 @@ impl<'a, S: Scan + ?Sized> DataOracle<'a, S> {
                 },
             );
             let ct = if let Some((key, sup)) = superset {
-                AtomicStats::bump(&self.counters.marginalizations);
-                let positions: Vec<usize> = sorted
+                AtomicStats::bump(&counters.marginalizations);
+                let positions: Vec<usize> = attrs
                     .iter()
-                    .map(|v| key.binary_search(v).expect("subset"))
+                    .map(|a| key.binary_search(a).expect("subset"))
                     .collect();
                 Arc::new(sup.marginal(&positions))
             } else {
-                AtomicStats::bump(&self.counters.table_scans);
-                let attrs: Vec<AttrId> = sorted.iter().map(|&v| self.vars[v]).collect();
-                Arc::new(ContingencyTable::from_table(self.table, &self.rows, &attrs))
+                AtomicStats::bump(&counters.table_scans);
+                Arc::new(ContingencyTable::from_table(self.table, &self.rows, attrs))
             };
-            self.counts.insert(sorted.to_vec(), ct.clone());
+            self.cache.counts.insert(attrs.to_vec(), ct.clone());
             ct
         } else {
-            AtomicStats::bump(&self.counters.table_scans);
-            let attrs: Vec<AttrId> = sorted.iter().map(|&v| self.vars[v]).collect();
-            Arc::new(ContingencyTable::from_table(self.table, &self.rows, &attrs))
+            AtomicStats::bump(&counters.table_scans);
+            Arc::new(ContingencyTable::from_table(self.table, &self.rows, attrs))
         }
     }
 
@@ -343,16 +491,17 @@ impl<'a, S: Scan + ?Sized> DataOracle<'a, S> {
         let mut sorted: Vec<Var> = vars.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
+        let attrs = self.canonical_attrs(&sorted);
         if self.cfg.cache_entropies {
-            if let Some(h) = self.entropies.get(sorted.as_slice()) {
-                AtomicStats::bump(&self.counters.entropy_hits);
+            if let Some(h) = self.cache.entropies.get(attrs.as_slice()) {
+                AtomicStats::bump(&self.cache.counters.entropy_hits);
                 return h;
             }
         }
-        AtomicStats::bump(&self.counters.entropy_misses);
-        let h = self.sorted_counts(&sorted).entropy(self.cfg.estimator);
+        AtomicStats::bump(&self.cache.counters.entropy_misses);
+        let h = self.canonical_counts(&attrs).entropy(self.cfg.estimator);
         if self.cfg.cache_entropies {
-            self.entropies.insert(sorted, h);
+            self.cache.entropies.insert(attrs, h);
         }
         h
     }
@@ -393,7 +542,9 @@ impl<'a, S: Scan + ?Sized> DataOracle<'a, S> {
         } else {
             let mut zs = z.to_vec();
             zs.sort_unstable();
-            self.sorted_counts(&zs).support().max(1)
+            self.canonical_counts(&self.canonical_attrs(&zs))
+                .support()
+                .max(1)
         };
         ((sx - 1) * (sy - 1) * sz) as f64
     }
@@ -445,9 +596,99 @@ impl<'a, S: Scan + ?Sized> DataOracle<'a, S> {
             permutations: None,
         }
     }
+
+    /// Replicates `test`'s dispatch for one statement, but *defers* the
+    /// expensive permutation run into a [`MitJob`] so a whole group can
+    /// settle together in `mit_batch`. χ² outcomes (and HyMIT's χ²
+    /// shortcut) complete inline — they only touch the shared caches.
+    fn prepare_statement(&self, x: Var, y: Var, z: &[Var]) -> PreparedTest {
+        assert!(x != y && !z.contains(&x) && !z.contains(&y));
+        AtomicStats::bump(&self.cache.counters.tests);
+        let seed = self.statement_seed(x, y, z);
+        let early = self.cfg.mit.early_stop;
+        let m = self.cfg.mit.permutations;
+        match self.cfg.kind {
+            IndependenceTestKind::ChiSquared => PreparedTest::Done(self.chi2_outcome(x, y, z)),
+            IndependenceTestKind::Mit => PreparedTest::Perm(MitJob {
+                strata: self.strata(x, y, z),
+                permutations: m,
+                group_sample: None,
+                early_stop: early,
+                seed,
+            }),
+            IndependenceTestKind::MitSampled { max_groups } => PreparedTest::Perm(MitJob {
+                strata: self.strata(x, y, z),
+                permutations: m,
+                group_sample: Some(max_groups),
+                early_stop: early,
+                seed,
+            }),
+            IndependenceTestKind::HyMit => {
+                let n = self.rows.len() as f64;
+                let df = self.paper_dof(x, y, z);
+                if df == 0.0 || df * self.cfg.mit.beta <= n {
+                    PreparedTest::Done(self.chi2_outcome(x, y, z))
+                } else {
+                    let strata = self.strata(x, y, z);
+                    let g = strata.num_groups();
+                    PreparedTest::Perm(MitJob {
+                        strata,
+                        permutations: m,
+                        group_sample: (g > 64).then(|| MitConfig::auto_group_sample(g)),
+                        early_stop: early,
+                        seed,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Executes one planned group: a parallel *prepare* pass builds
+    /// every member's strata against the (just-materialised) shared
+    /// joint, then `mit_batch` settles all deferred permutation tests
+    /// together. Outcomes are returned in member order and are
+    /// byte-identical to calling `test` per member.
+    fn test_group(&self, unique: &[CiStatement], members: &[usize]) -> Vec<TestOutcome> {
+        let pool = ThreadPool::current();
+        let prepared = pool.parallel_map(members, |_, &m| {
+            let s = &unique[m];
+            self.prepare_statement(s.x, s.y, &s.z)
+        });
+        let jobs: Vec<MitJob> = prepared
+            .iter()
+            .filter_map(|p| match p {
+                PreparedTest::Perm(job) => Some(job.clone()),
+                PreparedTest::Done(_) => None,
+            })
+            .collect();
+        let perm_outs = mit_batch(&jobs);
+        let mut perm_iter = perm_outs.into_iter();
+        members
+            .iter()
+            .zip(prepared)
+            .map(|(&m, p)| match p {
+                PreparedTest::Done(out) => out,
+                PreparedTest::Perm(_) => {
+                    let s = &unique[m];
+                    let mut out = perm_iter.next().expect("one outcome per job");
+                    // Report the configured estimator's CMI, exactly as
+                    // the call-at-a-time path does after its run.
+                    out.statistic = self.cmi(s.x, s.y, &s.z);
+                    out
+                }
+            })
+            .collect()
+    }
 }
 
-fn is_subset(small: &[Var], big: &[Var]) -> bool {
+/// A statement after the cheap dispatch phase of batched execution:
+/// either already settled (χ² paths) or a deferred permutation job.
+enum PreparedTest {
+    Done(TestOutcome),
+    Perm(MitJob),
+}
+
+fn is_subset<T: Ord>(small: &[T], big: &[T]) -> bool {
     // Both sorted.
     let mut it = big.iter();
     'outer: for s in small {
@@ -471,7 +712,7 @@ impl<S: Scan + ?Sized> CiOracle for DataOracle<'_, S> {
 
     fn test(&self, x: Var, y: Var, z: &[Var]) -> TestOutcome {
         assert!(x != y && !z.contains(&x) && !z.contains(&y));
-        AtomicStats::bump(&self.counters.tests);
+        AtomicStats::bump(&self.cache.counters.tests);
         let mut rng = StdRng::seed_from_u64(self.statement_seed(x, y, z));
         let early = self.cfg.mit.early_stop;
         match self.cfg.kind {
@@ -553,12 +794,53 @@ impl<S: Scan + ?Sized> CiOracle for DataOracle<'_, S> {
         }
     }
 
+    fn prefers_batches(&self) -> bool {
+        self.cfg.batch.enabled
+    }
+
+    /// Plan-then-execute: canonicalise + dedupe the statements, group
+    /// them by conditioning set, materialise each group's shared joint
+    /// contingency table (largest first, so smaller groups marginalise
+    /// from cached supersets), then settle every group's permutation
+    /// tests in one pool fan-out with per-statement seeds. Verdicts are
+    /// byte-identical to call-at-a-time `test` — grouping and group
+    /// order only change which scans are *skipped*.
+    fn test_batch(&self, stmts: &[CiStatement]) -> Vec<TestOutcome> {
+        if !self.cfg.batch.enabled || stmts.len() <= 1 {
+            return stmts.iter().map(|s| self.test(s.x, s.y, &s.z)).collect();
+        }
+        let plan = Plan::build(stmts);
+        let counters = &self.cache.counters;
+        AtomicStats::add(&counters.batched_statements, stmts.len() as u64);
+        AtomicStats::add(&counters.groups_planned, plan.groups().len() as u64);
+        let mut results: Vec<Option<TestOutcome>> = vec![None; plan.num_unique()];
+        for group in plan.groups() {
+            // The shared pass: one scan (or one marginalisation of an
+            // earlier, larger joint) covers every member's contingency
+            // and entropy work for this conditioning set.
+            if self.cfg.materialize
+                && group.members.len() >= self.cfg.batch.min_group_joint
+                && group.joint.len() <= self.cfg.batch.max_joint_vars
+            {
+                let _ = self.canonical_counts(&self.canonical_attrs(&group.joint));
+            }
+            let outcomes = self.test_group(plan.unique(), &group.members);
+            for (&m, out) in group.members.iter().zip(outcomes) {
+                results[m] = Some(out);
+            }
+        }
+        plan.slots()
+            .iter()
+            .map(|&u| results[u].clone().expect("every unique statement executed"))
+            .collect()
+    }
+
     fn stats(&self) -> OracleStats {
-        self.counters.snapshot()
+        self.cache.counters.snapshot()
     }
 
     fn reset_stats(&self) {
-        self.counters.reset();
+        self.cache.counters.reset();
     }
 }
 
@@ -868,6 +1150,137 @@ mod tests {
             stopped.p_value,
             full.p_value
         );
+    }
+
+    #[test]
+    fn batched_outcomes_equal_call_at_a_time() {
+        // The planner invariant: grouping, dedup, and group order never
+        // change a single verdict byte. Compare against a *separate*
+        // oracle so the batched run cannot lean on sequentially warmed
+        // caches.
+        let t = fork_table();
+        for kind in [
+            IndependenceTestKind::ChiSquared,
+            IndependenceTestKind::Mit,
+            IndependenceTestKind::MitSampled { max_groups: 8 },
+            IndependenceTestKind::HyMit,
+        ] {
+            let stmts = vec![
+                CiStatement::new(0, 1, vec![]),
+                CiStatement::new(0, 1, vec![2]),
+                CiStatement::new(1, 0, vec![2]), // orientation is distinct
+                CiStatement::new(0, 2, vec![]),
+                CiStatement::new(0, 1, vec![2]), // duplicate
+                CiStatement::new(1, 2, vec![0]),
+            ];
+            let sequential: Vec<TestOutcome> = {
+                let o = oracle(&t, kind);
+                stmts.iter().map(|s| o.test(s.x, s.y, &s.z)).collect()
+            };
+            let batched = oracle(&t, kind).test_batch(&stmts);
+            assert_eq!(batched, sequential, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn batching_counts_statements_and_saves_scans() {
+        // A Grow–Shrink-shaped round: every candidate against the same
+        // (empty) boundary — one shared joint answers all of them.
+        let t = fork_table();
+        let stmts: Vec<CiStatement> = vec![
+            CiStatement::new(0, 1, vec![]),
+            CiStatement::new(0, 2, vec![]),
+            CiStatement::new(1, 2, vec![]),
+        ];
+        let batched = oracle(&t, IndependenceTestKind::ChiSquared);
+        batched.test_batch(&stmts);
+        let bs = batched.stats();
+        assert_eq!(bs.batched_statements, 3);
+        assert_eq!(bs.groups_planned, 1, "{bs:?}");
+        let sequential = oracle(&t, IndependenceTestKind::ChiSquared);
+        for s in &stmts {
+            sequential.test(s.x, s.y, &s.z);
+        }
+        let ss = sequential.stats();
+        assert_eq!(ss.batched_statements, 0);
+        assert!(
+            bs.table_scans < ss.table_scans,
+            "batched {} vs sequential {} scans",
+            bs.table_scans,
+            ss.table_scans
+        );
+    }
+
+    #[test]
+    fn batch_disabled_falls_back_to_sequential() {
+        let t = fork_table();
+        let cfg = CiConfig {
+            kind: IndependenceTestKind::HyMit,
+            batch: crate::plan::BatchConfig {
+                enabled: false,
+                ..crate::plan::BatchConfig::default()
+            },
+            ..CiConfig::default()
+        };
+        let o = DataOracle::over_all_attrs(&t, t.all_rows(), cfg);
+        let stmts = vec![
+            CiStatement::new(0, 1, vec![2]),
+            CiStatement::new(0, 2, vec![]),
+        ];
+        let outs = o.test_batch(&stmts);
+        assert_eq!(o.stats().batched_statements, 0, "planner bypassed");
+        let o2 = oracle(&t, IndependenceTestKind::HyMit);
+        assert_eq!(outs[0], o2.test(0, 1, &[2]));
+        assert_eq!(outs[1], o2.test(0, 2, &[]));
+    }
+
+    #[test]
+    fn shared_cache_serves_oracles_with_different_var_lists() {
+        // Two oracles over the same (table, rows) but different
+        // variable lists must share contingency work through one
+        // attr-keyed cache — the cross-request serving scenario.
+        let t = fork_table();
+        let cache = Arc::new(OracleCache::new());
+        let all: Vec<AttrId> = t.schema().attr_ids().collect();
+        let a = DataOracle::with_cache(
+            &t,
+            t.all_rows(),
+            all.clone(),
+            CiConfig::default(),
+            Arc::clone(&cache),
+        );
+        // Prime the full joint through oracle A.
+        a.counts_for(&[0, 1, 2]);
+        let scans_after_prime = cache.stats().table_scans;
+        // Oracle B sees the variables in a different order; its lookups
+        // must hit A's entries (attr-keyed), not scan again.
+        let reordered = vec![all[2], all[0], all[1]];
+        let b = DataOracle::with_cache(
+            &t,
+            t.all_rows(),
+            reordered,
+            CiConfig {
+                seed: 999, // different seed is irrelevant to the caches
+                ..CiConfig::default()
+            },
+            Arc::clone(&cache),
+        );
+        b.entropy(&[0, 1, 2]);
+        b.entropy(&[0]);
+        let s = cache.stats();
+        assert_eq!(s.table_scans, scans_after_prime, "no new scans");
+        assert!(s.marginalizations > 0 || s.count_cache_hits > 0);
+        // And the verdict equals a fresh oracle's (sharing is invisible).
+        let fresh = DataOracle::over_all_attrs(
+            &t,
+            t.all_rows(),
+            CiConfig {
+                seed: 999,
+                ..CiConfig::default()
+            },
+        );
+        // b's var 1 is attr all[0] = X, var 2 is attr all[1] = Y, var 0 is Z.
+        assert_eq!(b.test(1, 2, &[0]), fresh.test(0, 1, &[2]));
     }
 
     #[test]

@@ -1,0 +1,271 @@
+//! The multi-query statement planner: batched conditional-independence
+//! testing (the *Analyze-operator* multi-query optimisation applied to
+//! the CMI workload of §6).
+//!
+//! Causal discovery issues thousands of independence statements, and
+//! most of them share structure: a Grow–Shrink round tests every
+//! candidate against the *same* boundary, CD phase I tests every
+//! `W ∈ MB(T)` against the same separating set. Call-at-a-time
+//! execution re-scans the data for each statement's contingency table;
+//! plan-then-execute instead
+//!
+//! 1. **canonicalises** each statement (`z` sorted and deduplicated —
+//!    the conditioning side is a set, while the `(x, y)` orientation is
+//!    preserved because the per-statement RNG seed and the strata
+//!    orientation depend on it),
+//! 2. **dedupes** exact duplicates so each distinct statement is
+//!    evaluated once,
+//! 3. **groups** statements by conditioning set `z`, computing each
+//!    group's *joint* variable set `z ∪ {x, y : members}`,
+//! 4. **orders** groups so larger joints are materialised first —
+//!    smaller groups then marginalise from cached supersets instead of
+//!    re-scanning rows.
+//!
+//! The plan is a pure function of the submitted statement list: the
+//! same statements always produce the same groups in the same order,
+//! at any thread count. Execution (on `DataOracle`) preserves
+//! byte-identical verdicts relative to call-at-a-time testing because
+//! every statement keeps its own seed and its strata are exact integer
+//! marginals of the shared joint.
+
+use crate::oracle::Var;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// One conditional-independence statement `X ⊥⊥ Y | Z` submitted to a
+/// batch ([`crate::oracle::CiOracle::test_batch`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CiStatement {
+    /// Left variable.
+    pub x: Var,
+    /// Right variable.
+    pub y: Var,
+    /// Conditioning set (order-insensitive; canonicalised by the plan).
+    pub z: Vec<Var>,
+}
+
+impl CiStatement {
+    /// Builds a statement. `x`, `y` must be distinct and absent from
+    /// `z` (enforced by the oracle at evaluation time, like `test`).
+    pub fn new(x: Var, y: Var, z: Vec<Var>) -> CiStatement {
+        CiStatement { x, y, z }
+    }
+
+    /// The canonical form: `z` sorted ascending and deduplicated. The
+    /// `(x, y)` orientation is significant — the statement-local RNG
+    /// seed mixes `x` before `y` — and is left untouched.
+    pub fn canonical(&self) -> CiStatement {
+        let mut z = self.z.clone();
+        z.sort_unstable();
+        z.dedup();
+        CiStatement {
+            x: self.x,
+            y: self.y,
+            z,
+        }
+    }
+}
+
+/// A planned group: all distinct statements sharing one conditioning
+/// set, plus the joint variable set one shared contingency pass covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanGroup {
+    /// The shared conditioning set (sorted).
+    pub z: Vec<Var>,
+    /// `z ∪ {x, y}` over every member (sorted): materialising this
+    /// joint once lets every member's strata, marginals, and entropies
+    /// derive from it without another row scan.
+    pub joint: Vec<Var>,
+    /// Indices into [`Plan::unique`], in first-submission order.
+    pub members: Vec<usize>,
+}
+
+/// An execution plan over a submitted statement batch.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    unique: Vec<CiStatement>,
+    /// `slots[i]` = index into `unique` answering submitted statement `i`.
+    slots: Vec<usize>,
+    groups: Vec<PlanGroup>,
+}
+
+impl Plan {
+    /// Canonicalises, dedupes, groups by conditioning set, and orders
+    /// groups largest-joint-first (ties broken lexicographically, so
+    /// the plan is deterministic).
+    pub fn build(stmts: &[CiStatement]) -> Plan {
+        let mut index: HashMap<CiStatement, usize> = HashMap::with_capacity(stmts.len());
+        let mut unique: Vec<CiStatement> = Vec::new();
+        let mut slots: Vec<usize> = Vec::with_capacity(stmts.len());
+        for s in stmts {
+            let c = s.canonical();
+            let slot = *index.entry(c.clone()).or_insert_with(|| {
+                unique.push(c);
+                unique.len() - 1
+            });
+            slots.push(slot);
+        }
+
+        // Group by conditioning set; a BTreeMap makes the grouping
+        // order a pure function of the statements.
+        let mut by_z: BTreeMap<Vec<Var>, Vec<usize>> = BTreeMap::new();
+        for (i, s) in unique.iter().enumerate() {
+            by_z.entry(s.z.clone()).or_default().push(i);
+        }
+        let mut groups: Vec<PlanGroup> = by_z
+            .into_iter()
+            .map(|(z, members)| {
+                let mut joint = z.clone();
+                for &m in &members {
+                    joint.push(unique[m].x);
+                    joint.push(unique[m].y);
+                }
+                joint.sort_unstable();
+                joint.dedup();
+                PlanGroup { z, joint, members }
+            })
+            .collect();
+        // Larger joints first: a later, smaller group whose joint is a
+        // subset of an earlier one marginalises from the cache instead
+        // of scanning rows.
+        groups.sort_by(|a, b| {
+            b.joint
+                .len()
+                .cmp(&a.joint.len())
+                .then_with(|| a.joint.cmp(&b.joint))
+                .then_with(|| a.z.cmp(&b.z))
+        });
+        Plan {
+            unique,
+            slots,
+            groups,
+        }
+    }
+
+    /// The distinct statements, first-submission order.
+    pub fn unique(&self) -> &[CiStatement] {
+        &self.unique
+    }
+
+    /// The answer slot (index into [`Plan::unique`]) of each submitted
+    /// statement.
+    pub fn slots(&self) -> &[usize] {
+        &self.slots
+    }
+
+    /// The planned groups, execution order (largest joint first).
+    pub fn groups(&self) -> &[PlanGroup] {
+        &self.groups
+    }
+
+    /// Number of distinct statements.
+    pub fn num_unique(&self) -> usize {
+        self.unique.len()
+    }
+}
+
+/// Batching knobs, threaded from `HypDbConfig` through `CiConfig` down
+/// to the oracle (the "batch hints" of the pipeline configuration).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchConfig {
+    /// Master switch: `false` reverts every issuer to call-at-a-time
+    /// testing (the pre-planner behaviour, bit for bit).
+    pub enabled: bool,
+    /// Materialise a group's shared joint contingency table only when
+    /// the group has at least this many distinct statements (a
+    /// singleton group gains nothing from a shared pass).
+    pub min_group_joint: usize,
+    /// …and only when the joint has at most this many variables
+    /// (beyond it the shared table stops paying for itself; members
+    /// then fall back to their own per-statement tables).
+    pub max_joint_vars: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            enabled: true,
+            min_group_joint: 2,
+            max_joint_vars: 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(x: Var, y: Var, z: &[Var]) -> CiStatement {
+        CiStatement::new(x, y, z.to_vec())
+    }
+
+    #[test]
+    fn canonicalises_z_but_not_xy() {
+        let a = s(0, 1, &[3, 2, 3]).canonical();
+        assert_eq!(a.z, vec![2, 3]);
+        let b = s(1, 0, &[2, 3]).canonical();
+        assert_ne!(a, b, "orientation is significant");
+    }
+
+    #[test]
+    fn dedupes_and_maps_slots() {
+        let stmts = vec![s(0, 1, &[2]), s(0, 1, &[2]), s(0, 3, &[2]), s(0, 1, &[2])];
+        let plan = Plan::build(&stmts);
+        assert_eq!(plan.num_unique(), 2);
+        assert_eq!(plan.slots(), &[0, 0, 1, 0]);
+        // Both unique statements share the one conditioning set.
+        assert_eq!(plan.groups().len(), 1);
+        assert_eq!(plan.groups()[0].members, vec![0, 1]);
+    }
+
+    #[test]
+    fn z_order_does_not_split_groups() {
+        let stmts = vec![s(0, 1, &[3, 2]), s(0, 4, &[2, 3])];
+        let plan = Plan::build(&stmts);
+        assert_eq!(plan.groups().len(), 1);
+        assert_eq!(plan.groups()[0].z, vec![2, 3]);
+        assert_eq!(plan.groups()[0].joint, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn larger_joints_come_first() {
+        let stmts = vec![
+            s(0, 1, &[]),        // joint {0,1}
+            s(0, 1, &[2, 3, 4]), // joint {0,1,2,3,4}
+            s(0, 1, &[2]),       // joint {0,1,2}
+        ];
+        let plan = Plan::build(&stmts);
+        let sizes: Vec<usize> = plan.groups().iter().map(|g| g.joint.len()).collect();
+        assert_eq!(sizes, vec![5, 3, 2]);
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let stmts = vec![
+            s(5, 1, &[0]),
+            s(2, 3, &[0]),
+            s(4, 0, &[1, 2]),
+            s(5, 1, &[0]),
+        ];
+        let a = Plan::build(&stmts);
+        let b = Plan::build(&stmts);
+        assert_eq!(a.groups(), b.groups());
+        assert_eq!(a.slots(), b.slots());
+    }
+
+    #[test]
+    fn empty_batch_plans_empty() {
+        let plan = Plan::build(&[]);
+        assert_eq!(plan.num_unique(), 0);
+        assert!(plan.groups().is_empty());
+        assert!(plan.slots().is_empty());
+    }
+
+    #[test]
+    fn batch_config_defaults_enable_batching() {
+        let cfg = BatchConfig::default();
+        assert!(cfg.enabled);
+        assert!(cfg.min_group_joint >= 2);
+        assert!(cfg.max_joint_vars >= 8);
+    }
+}

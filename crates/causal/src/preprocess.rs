@@ -136,7 +136,10 @@ pub fn drop_logical_dependencies<S: Scan + ?Sized>(
     // --- Approximate-FD equivalences among survivors. ---
     // Marginal entropies in parallel up front; the pairwise scan below
     // is inherently sequential (each verdict depends on what is already
-    // kept) but only touches the joint table on candidate pairs.
+    // kept), but each attribute's *round* of candidate joint entropies
+    // is submitted as one parallel batch: the verdict only needs the
+    // first matching representative in kept order, which is recovered
+    // from the batch results exactly as the sequential scan would.
     let marginal_entropies = pool.parallel_map(&survivors, |_, &a| {
         ContingencyTable::from_table(table, rows, &[a])
             .entropy(hypdb_stats::EntropyEstimator::PlugIn)
@@ -145,18 +148,24 @@ pub fn drop_logical_dependencies<S: Scan + ?Sized>(
     let mut kept: Vec<AttrId> = Vec::new();
     let mut entropies: Vec<f64> = Vec::new();
     for (&a, &h_a) in survivors.iter().zip(&marginal_entropies) {
+        // Quick reject: equivalence needs similar entropies; only the
+        // candidates passing the screen pay a joint-table pass.
+        let cand_idx: Vec<usize> = kept
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (h_a - entropies[*i]).abs() <= 2.0 * cfg.fd_epsilon)
+            .map(|(i, _)| i)
+            .collect();
+        let joint_entropies = pool.parallel_map(&cand_idx, |_, &i| {
+            ContingencyTable::from_table(table, rows, &[a, kept[i]])
+                .entropy(hypdb_stats::EntropyEstimator::PlugIn)
+        });
         let mut representative: Option<AttrId> = None;
-        for (i, &b) in kept.iter().enumerate() {
-            // Quick reject: equivalence needs similar entropies.
-            if (h_a - entropies[i]).abs() > 2.0 * cfg.fd_epsilon {
-                continue;
-            }
-            let h_ab = ContingencyTable::from_table(table, rows, &[a, b])
-                .entropy(hypdb_stats::EntropyEstimator::PlugIn);
+        for (&i, &h_ab) in cand_idx.iter().zip(&joint_entropies) {
             let h_a_given_b = h_ab - entropies[i];
             let h_b_given_a = h_ab - h_a;
             if h_a_given_b <= cfg.fd_epsilon && h_b_given_a <= cfg.fd_epsilon {
-                representative = Some(b);
+                representative = Some(kept[i]);
                 break;
             }
         }

@@ -32,6 +32,7 @@ pub use detect::{detect_bias, BiasReport};
 pub use effect::{adjusted_averages, natural_direct_effect, EffectEstimate, EffectKind};
 pub use error::{Error, Result};
 pub use explain::{coarse_explanations, fine_explanations, Explanations, FineExplanation};
+pub use hypdb_causal::oracle::{OracleCache, OracleStats};
 pub use pipeline::{AnalysisReport, ContextReport, HypDb, HypDbConfig, Timings};
 pub use query::{Query, QueryBuilder};
 pub use rewrite::{rewrite_spec, RewriteResult};

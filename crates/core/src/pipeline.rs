@@ -8,7 +8,7 @@ use crate::explain::{coarse_explanations, fine_explanations, Explanations};
 use crate::query::Query;
 use crate::rewrite::{render_rewrites, RewriteResult};
 use hypdb_causal::cd::discover_parents;
-use hypdb_causal::oracle::{CiConfig, CiOracle, DataOracle};
+use hypdb_causal::oracle::{CiConfig, CiOracle, DataOracle, OracleCache};
 use hypdb_causal::preprocess::{drop_logical_dependencies, PreprocessConfig};
 use hypdb_causal::CdConfig;
 use hypdb_exec::ThreadPool;
@@ -19,13 +19,19 @@ use hypdb_table::{AttrId, Scan, Table};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Pipeline configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HypDbConfig {
     /// Independence-test configuration (shared by detection and
-    /// discovery).
+    /// discovery). Its `batch` field carries the multi-query batching
+    /// hints ([`hypdb_causal::BatchConfig`]) down to the oracle: when
+    /// enabled (the default), discovery submits each round's
+    /// independence statements as one planned batch — grouped by
+    /// conditioning set, answered from shared contingency passes —
+    /// without changing a single report byte.
     pub ci: CiConfig,
     /// CD-algorithm configuration.
     pub cd: CdConfig,
@@ -150,6 +156,7 @@ pub struct HypDb<'a, S: Scan + ?Sized = Table> {
     cfg: HypDbConfig,
     covariates: Option<Vec<AttrId>>,
     mediators: Option<Vec<AttrId>>,
+    oracle_cache: Option<Arc<OracleCache>>,
 }
 
 impl<'a, S: Scan + ?Sized> HypDb<'a, S> {
@@ -160,12 +167,26 @@ impl<'a, S: Scan + ?Sized> HypDb<'a, S> {
             cfg: HypDbConfig::default(),
             covariates: None,
             mediators: None,
+            oracle_cache: None,
         }
     }
 
     /// Overrides the configuration.
     pub fn with_config(mut self, cfg: HypDbConfig) -> Self {
         self.cfg = cfg;
+        self
+    }
+
+    /// Shares an existing oracle cache with this pipeline's discovery
+    /// phase. The cache **must** belong to the same `(table, WHERE
+    /// selection)` — its contingency tables and entropies are pure
+    /// functions of that data, so concurrent analyses over one
+    /// selection (e.g. in-flight server requests) coalesce their
+    /// statement batches and hit one another's entries; the caller can
+    /// also read the accumulated [`hypdb_causal::OracleStats`] back
+    /// out of it after the run.
+    pub fn with_oracle_cache(mut self, cache: Arc<OracleCache>) -> Self {
+        self.oracle_cache = Some(cache);
         self
     }
 
@@ -251,7 +272,16 @@ impl<'a, S: Scan + ?Sized> HypDb<'a, S> {
         let mut vars: Vec<AttrId> = vec![query.treatment];
         vars.extend(&query.outcomes);
         vars.extend(&candidate_attrs);
-        let oracle = DataOracle::new(self.table, rows, vars.clone(), self.cfg.ci);
+        let oracle = match &self.oracle_cache {
+            Some(cache) => DataOracle::with_cache(
+                self.table,
+                rows,
+                vars.clone(),
+                self.cfg.ci,
+                Arc::clone(cache),
+            ),
+            None => DataOracle::new(self.table, rows, vars.clone(), self.cfg.ci),
+        };
 
         let (covariates, used_fallback) = match &self.covariates {
             Some(z) => (z.clone(), false),

@@ -29,9 +29,11 @@ use crate::detect::{detect_bias, BiasReport};
 use crate::error::{Error, Result};
 use crate::pipeline::{AnalysisReport, HypDb, HypDbConfig, Timings};
 use crate::query::Query;
+use hypdb_causal::oracle::OracleCache;
 use hypdb_exec::{seed, ThreadPool};
 use hypdb_table::Scan;
 use serde::{Deserialize, Serialize, Value};
+use std::sync::Arc;
 
 /// A bias-analysis request: the query text plus per-request overrides.
 ///
@@ -185,8 +187,27 @@ pub fn analyze<S: Scan + ?Sized>(
     req: &AnalyzeRequest,
     base: &HypDbConfig,
 ) -> Result<AnalysisReport> {
+    analyze_cached(table, req, base, None)
+}
+
+/// [`analyze`] with an optional shared [`OracleCache`] for the
+/// discovery phase. The cache must belong to this `(table, WHERE
+/// selection)`; sharing one across concurrent identical-selection
+/// requests coalesces their independence-statement batches (and lets
+/// the caller read the accumulated `OracleStats` afterwards) without
+/// changing a single response byte.
+pub fn analyze_cached<S: Scan + ?Sized>(
+    table: &S,
+    req: &AnalyzeRequest,
+    base: &HypDbConfig,
+    cache: Option<&Arc<OracleCache>>,
+) -> Result<AnalysisReport> {
     let query = req.query(table)?;
-    req.bind(table, req.config(base))?.analyze(&query)
+    let mut db = req.bind(table, req.config(base))?;
+    if let Some(c) = cache {
+        db = db.with_oracle_cache(Arc::clone(c));
+    }
+    db.analyze(&query)
 }
 
 /// One context's detection verdict (the cheap path's row block).
@@ -233,10 +254,25 @@ pub fn detect<S: Scan + ?Sized>(
     req: &AnalyzeRequest,
     base: &HypDbConfig,
 ) -> Result<DetectReport> {
+    detect_cached(table, req, base, None)
+}
+
+/// [`detect`] with an optional shared [`OracleCache`] (see
+/// [`analyze_cached`]); the cheap lane's covariate discovery is exactly
+/// the batch-heavy phase that cross-request sharing accelerates.
+pub fn detect_cached<S: Scan + ?Sized>(
+    table: &S,
+    req: &AnalyzeRequest,
+    base: &HypDbConfig,
+    cache: Option<&Arc<OracleCache>>,
+) -> Result<DetectReport> {
     let mut cfg = req.config(base);
     cfg.compute_direct = false;
     let query = req.query(table)?;
-    let db = req.bind(table, cfg)?;
+    let mut db = req.bind(table, cfg)?;
+    if let Some(c) = cache {
+        db = db.with_oracle_cache(Arc::clone(c));
+    }
     let discovery = db.discover(&query)?;
     let ctxs = contexts(table, &query);
     let pool = cfg
@@ -295,7 +331,9 @@ pub fn fingerprint_json(canonical: &str) -> u64 {
 
 /// FNV-1a 64-bit over raw bytes: tiny, dependency-free, and stable
 /// across platforms and runs — everything a wire fingerprint needs.
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// Public so other fingerprints (e.g. the serving registry's
+/// per-selection oracle slots) reuse one hash definition.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h = OFFSET;

@@ -28,19 +28,32 @@
 //! with the CLI and the test suite. Admission control is a bounded
 //! connection queue (overflow → clean `503`) plus `hypdb-exec`'s
 //! nested-fan-out guard around each request's pipeline run; responses
-//! for identical requests come from a fingerprint-keyed report cache
-//! with hit/miss counters surfaced in `/metrics`.
+//! for identical requests come from a fingerprint-keyed,
+//! **byte-bounded LRU** report cache ([`cache::ByteLruCache`]) with
+//! hit/miss/eviction/resident-bytes counters surfaced in `/metrics`.
+//!
+//! Cross-request multi-query batching: every report request resolves
+//! its `(dataset, WHERE selection)` to a shared
+//! [`OracleCache`](hypdb_core::OracleCache) slot in the [`Registry`],
+//! so concurrent analyses over one selection coalesce their
+//! independence-statement batches and serve one another's contingency
+//! tables and entropies. The aggregated
+//! [`OracleStats`](hypdb_core::OracleStats) — scans, cache hits,
+//! marginalisations, and the planner's `batched_statements` /
+//! `groups_planned` counters — are exported in `/metrics`.
 //!
 //! Environment knobs: `HYPDB_SERVE_ADDR`, `HYPDB_SERVE_WORKERS`,
 //! `HYPDB_SERVE_QUEUE`, `HYPDB_SERVE_MAX_BODY`,
-//! `HYPDB_SERVE_TIMEOUT_MS` (see [`ServeConfig::from_env`]), alongside
-//! the workspace-wide `HYPDB_THREADS` and `HYPDB_SHARD_ROWS`.
+//! `HYPDB_SERVE_TIMEOUT_MS`, `HYPDB_SERVE_CACHE_BYTES` (see
+//! [`ServeConfig::from_env`]), alongside the workspace-wide
+//! `HYPDB_THREADS` and `HYPDB_SHARD_ROWS`.
 //!
 //! [`wire`]: hypdb_core::wire
 
 #![deny(unsafe_code)] // one documented FFI exception lives in `sig`
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod client;
 pub mod http;
 pub mod metrics;
@@ -48,6 +61,7 @@ pub mod registry;
 pub mod server;
 pub mod sig;
 
+pub use cache::{ByteLruCache, CacheStats};
 pub use metrics::MetricsSnapshot;
 pub use registry::{DatasetInfo, Registry};
 pub use server::{ServeConfig, Server, ServerHandle};

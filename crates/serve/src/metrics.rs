@@ -191,9 +191,124 @@ impl MetricsSnapshot {
     }
 }
 
+/// Renders the aggregated oracle work counters ([`hypdb_core::OracleStats`]
+/// summed over every shared oracle-cache slot) in the Prometheus text
+/// format — scans, cache hits, marginalisations, entropies, and the
+/// multi-query planner's batching counters.
+pub fn render_oracle_stats(stats: &hypdb_core::OracleStats) -> String {
+    let mut out = String::new();
+    let mut metric = |name: &str, help: &str, value: u64| {
+        out.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+        ));
+    };
+    metric(
+        "hypdb_oracle_tests_total",
+        "independence tests performed",
+        stats.tests,
+    );
+    metric(
+        "hypdb_oracle_table_scans_total",
+        "full row scans to build a contingency table",
+        stats.table_scans,
+    );
+    metric(
+        "hypdb_oracle_count_cache_hits_total",
+        "contingency tables served from the materialisation cache",
+        stats.count_cache_hits,
+    );
+    metric(
+        "hypdb_oracle_marginalizations_total",
+        "contingency tables derived from a cached superset",
+        stats.marginalizations,
+    );
+    metric(
+        "hypdb_oracle_entropy_hits_total",
+        "entropies served from the entropy cache",
+        stats.entropy_hits,
+    );
+    metric(
+        "hypdb_oracle_entropy_misses_total",
+        "entropies computed",
+        stats.entropy_misses,
+    );
+    metric(
+        "hypdb_oracle_batched_statements_total",
+        "independence statements submitted through the batch planner",
+        stats.batched_statements,
+    );
+    metric(
+        "hypdb_oracle_groups_planned_total",
+        "statement groups (shared conditioning sets) planned",
+        stats.groups_planned,
+    );
+    out
+}
+
+/// Renders the report cache's byte accounting ([`crate::cache::CacheStats`]).
+pub fn render_cache_stats(stats: &crate::cache::CacheStats) -> String {
+    let mut out = String::new();
+    let mut metric = |name: &str, kind: &str, help: &str, value: u64| {
+        out.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
+        ));
+    };
+    metric(
+        "hypdb_report_cache_entries",
+        "gauge",
+        "resident report-cache entries",
+        stats.entries as u64,
+    );
+    metric(
+        "hypdb_report_cache_resident_bytes",
+        "gauge",
+        "bytes pinned by resident report-cache entries",
+        stats.resident_bytes as u64,
+    );
+    metric(
+        "hypdb_report_cache_evictions_total",
+        "counter",
+        "report-cache entries evicted by the byte budget",
+        stats.evictions,
+    );
+    metric(
+        "hypdb_report_cache_evicted_bytes_total",
+        "counter",
+        "bytes reclaimed by report-cache eviction",
+        stats.evicted_bytes,
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn oracle_and_cache_renders_are_prometheus_shaped() {
+        let stats = hypdb_core::OracleStats {
+            batched_statements: 12,
+            groups_planned: 3,
+            table_scans: 2,
+            ..Default::default()
+        };
+        let text = render_oracle_stats(&stats);
+        assert!(text.contains("\nhypdb_oracle_batched_statements_total 12\n"));
+        assert!(text.contains("\nhypdb_oracle_groups_planned_total 3\n"));
+        assert!(text.contains("\nhypdb_oracle_table_scans_total 2\n"));
+
+        let cs = crate::cache::CacheStats {
+            entries: 2,
+            resident_bytes: 4096,
+            evictions: 5,
+            evicted_bytes: 999,
+        };
+        let text = render_cache_stats(&cs);
+        assert!(text.contains("\nhypdb_report_cache_resident_bytes 4096\n"));
+        assert!(text.contains("\nhypdb_report_cache_evictions_total 5\n"));
+        assert!(text.contains("\nhypdb_report_cache_evicted_bytes_total 999\n"));
+        assert!(text.contains("# TYPE hypdb_report_cache_entries gauge"));
+    }
 
     #[test]
     fn counters_accumulate() {

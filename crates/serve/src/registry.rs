@@ -1,4 +1,6 @@
-//! The dataset registry: named, shared, immutable sharded tables.
+//! The dataset registry: named, shared, immutable sharded tables —
+//! plus the shared **oracle-cache slots** that let concurrent requests
+//! against one `(dataset, WHERE selection)` pool their discovery work.
 //!
 //! `ShardedTable` is the natural serving store — cheap to clone by
 //! `Arc`, shard-parallel to scan, streaming to (re)load — so the
@@ -8,16 +10,55 @@
 //! byte-identical to the monolithic layout by the PR-3 storage
 //! invariant, so the shard size (`HYPDB_SHARD_ROWS` or the store's
 //! default) is a pure performance knob.
+//!
+//! Oracle slots: every `/analyze`–`/detect` request resolves its WHERE
+//! selection up front and asks the registry for the
+//! [`OracleCache`](hypdb_core::OracleCache) keyed by `(dataset, exact
+//! row set)`. In-flight and future requests over the same selection
+//! share one cache, so their independence-statement batches hit one
+//! another's contingency tables and entropies — the cross-request half
+//! of the multi-query optimisation. Cache entries are pure functions of
+//! the selected data (requests with different seeds, treatments, or
+//! variable lists still share soundly), so sharing changes work, never
+//! bytes.
 
+use hypdb_core::{OracleCache, OracleStats};
 use hypdb_store::{env_shard_rows, ShardedTable, DEFAULT_SHARD_ROWS};
-use hypdb_table::Table;
+use hypdb_table::{RowSet, Table};
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
-/// A name → table map, immutable once the server starts.
+/// Upper bound on resident oracle-cache slots; beyond it the
+/// least-recently-used slot (and its memoised tables) is dropped.
+const MAX_ORACLE_SLOTS: usize = 64;
+
+/// One shared oracle cache, bound to an exact `(dataset, selection)`.
+struct OracleSlot {
+    key: u64,
+    /// The exact selection, compared on every probe: the 64-bit key is
+    /// a hash and must never alias two different row sets into one
+    /// cache (entries are pure functions of the *selection*).
+    rows: RowSet,
+    cache: Arc<OracleCache>,
+    used: u64,
+}
+
+#[derive(Default)]
+struct OracleSlots {
+    slots: Vec<OracleSlot>,
+    tick: u64,
+    /// Counters of evicted slots, folded in at eviction time so the
+    /// exported totals stay monotonic (a Prometheus counter that
+    /// decreases reads as a reset and wrecks `rate()`).
+    retired: OracleStats,
+}
+
+/// A name → table map, immutable once the server starts (the oracle
+/// slots are interior-mutable and shared across clones).
 #[derive(Clone, Default)]
 pub struct Registry {
     entries: Vec<(String, Arc<ShardedTable>)>,
+    oracles: Arc<Mutex<OracleSlots>>,
 }
 
 /// One row of `GET /datasets`.
@@ -90,6 +131,70 @@ impl Registry {
             .collect()
     }
 
+    fn lock_oracles(&self) -> MutexGuard<'_, OracleSlots> {
+        // Poisoning is ignored: slots hold pure cache state.
+        self.oracles
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// The shared [`OracleCache`] for one `(dataset, selection)` pair,
+    /// created on first use. Concurrent requests that resolve to the
+    /// same exact row set receive the same `Arc`, so their discovery
+    /// phases coalesce statement batches and serve one another's
+    /// contingency/entropy lookups. Slots are bounded: the
+    /// least-recently-used one is evicted past [`MAX_ORACLE_SLOTS`].
+    pub fn oracle_cache(&self, dataset: &str, rows: &RowSet) -> Arc<OracleCache> {
+        let key = selection_fingerprint(dataset, rows);
+        let mut inner = self.lock_oracles();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(slot) = inner
+            .slots
+            .iter_mut()
+            .find(|s| s.key == key && s.rows == *rows)
+        {
+            slot.used = tick;
+            return Arc::clone(&slot.cache);
+        }
+        let cache = Arc::new(OracleCache::new());
+        inner.slots.push(OracleSlot {
+            key,
+            rows: rows.clone(),
+            cache: Arc::clone(&cache),
+            used: tick,
+        });
+        if inner.slots.len() > MAX_ORACLE_SLOTS {
+            let victim = inner
+                .slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.used)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            let evicted = inner.slots.swap_remove(victim);
+            inner.retired = inner.retired.merge(&evicted.cache.stats());
+        }
+        cache
+    }
+
+    /// Aggregated work counters: every resident oracle slot plus the
+    /// retired totals of evicted ones — the `/metrics` export of
+    /// [`OracleStats`] (scans, cache hits, marginalisations, entropies,
+    /// and the batching counters), kept monotonic across slot eviction.
+    pub fn oracle_stats(&self) -> OracleStats {
+        let inner = self.lock_oracles();
+        inner
+            .slots
+            .iter()
+            .fold(inner.retired, |acc, s| acc.merge(&s.cache.stats()))
+    }
+
+    /// Number of resident oracle-cache slots.
+    pub fn oracle_slots(&self) -> usize {
+        self.lock_oracles().slots.len()
+    }
+
     /// Names of the built-in demo datasets ([`Registry::builtin`]).
     pub const BUILTIN_NAMES: &'static [&'static str] = &["cancer", "adult", "berkeley"];
 
@@ -121,6 +226,19 @@ impl Registry {
         }
         reg
     }
+}
+
+/// A stable 64-bit fingerprint of one `(dataset, exact selection)` —
+/// the wire layer's FNV-1a over the name, folded with the row count
+/// and every selected row id via the seed mixer. Probes still compare
+/// the full row set (see [`OracleSlot::rows`]); the hash only routes.
+fn selection_fingerprint(dataset: &str, rows: &RowSet) -> u64 {
+    let mut h = hypdb_core::wire::fnv1a64(dataset.as_bytes());
+    h = hypdb_exec::seed::mix(h, rows.len() as u64);
+    for row in rows.iter() {
+        h = hypdb_exec::seed::mix(h, u64::from(row));
+    }
+    h
 }
 
 #[cfg(test)]
@@ -171,6 +289,50 @@ mod tests {
         let json = serde_json::to_string(&infos).unwrap();
         let back: Vec<DatasetInfo> = serde_json::from_str(&json).unwrap();
         assert_eq!(back, infos);
+    }
+
+    #[test]
+    fn oracle_slots_are_shared_per_selection() {
+        let mut reg = Registry::new();
+        reg.insert("tiny", &tiny());
+        let all = RowSet::All(2);
+        let a = reg.oracle_cache("tiny", &all);
+        let b = reg.oracle_cache("tiny", &all);
+        assert!(Arc::ptr_eq(&a, &b), "same selection shares one cache");
+        assert_eq!(reg.oracle_slots(), 1);
+        // A different selection (or dataset) gets its own slot.
+        let sub = RowSet::Ids(vec![0]);
+        let c = reg.oracle_cache("tiny", &sub);
+        assert!(!Arc::ptr_eq(&a, &c));
+        let d = reg.oracle_cache("other", &all);
+        assert!(!Arc::ptr_eq(&a, &d));
+        assert_eq!(reg.oracle_slots(), 3);
+        // Clones of the registry (the server shares it across workers)
+        // see the same slots.
+        let clone = reg.clone();
+        assert!(Arc::ptr_eq(&a, &clone.oracle_cache("tiny", &all)));
+        assert_eq!(clone.oracle_slots(), 3);
+    }
+
+    #[test]
+    fn oracle_slots_are_bounded() {
+        let reg = Registry::new();
+        for i in 0..(MAX_ORACLE_SLOTS + 10) {
+            reg.oracle_cache("d", &RowSet::Ids(vec![i as u32]));
+        }
+        assert_eq!(reg.oracle_slots(), MAX_ORACLE_SLOTS);
+    }
+
+    #[test]
+    fn oracle_stats_aggregate_slots() {
+        let reg = Registry::new();
+        let rows = RowSet::All(4);
+        let cache = reg.oracle_cache("d", &rows);
+        assert_eq!(reg.oracle_stats(), OracleStats::default());
+        // Counters accumulated through the shared cache surface in the
+        // aggregate (reset via the cache handle works too).
+        cache.reset_stats();
+        assert_eq!(reg.oracle_stats().tests, 0);
     }
 
     #[test]

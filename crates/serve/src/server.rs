@@ -23,12 +23,13 @@
 //! stops accepting, workers drain the queue and finish in-flight
 //! requests, and every thread is joined before the call returns.
 
+use crate::cache::ByteLruCache;
 use crate::http::{self, Request, RequestError, Response};
-use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::metrics::{self, Metrics, MetricsSnapshot};
 use crate::registry::Registry;
 use hypdb_core::HypDbConfig;
-use hypdb_core::{wire, Error as CoreError};
-use hypdb_exec::{seed, with_fanout_guard, ShardedMap};
+use hypdb_core::{wire, Error as CoreError, OracleCache};
+use hypdb_exec::{seed, with_fanout_guard};
 use std::collections::VecDeque;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -51,6 +52,9 @@ pub struct ServeConfig {
     pub max_body: usize,
     /// Per-connection read/write timeout in milliseconds.
     pub timeout_ms: u64,
+    /// Report-cache byte budget; least-recently-used responses are
+    /// evicted past it (resident/evicted bytes appear in `/metrics`).
+    pub cache_bytes: usize,
     /// Base pipeline configuration; per-request seeds derive from its
     /// `ci.seed` and the request fingerprint.
     pub base: HypDbConfig,
@@ -64,6 +68,7 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             max_body: 64 * 1024,
             timeout_ms: 30_000,
+            cache_bytes: 64 << 20,
             base: HypDbConfig::default(),
         }
     }
@@ -76,7 +81,8 @@ fn env_parse<T: std::str::FromStr>(name: &str) -> Option<T> {
 impl ServeConfig {
     /// The default configuration with environment overrides applied:
     /// `HYPDB_SERVE_ADDR`, `HYPDB_SERVE_WORKERS`, `HYPDB_SERVE_QUEUE`,
-    /// `HYPDB_SERVE_MAX_BODY`, `HYPDB_SERVE_TIMEOUT_MS`.
+    /// `HYPDB_SERVE_MAX_BODY`, `HYPDB_SERVE_TIMEOUT_MS`,
+    /// `HYPDB_SERVE_CACHE_BYTES`.
     pub fn from_env() -> ServeConfig {
         let mut cfg = ServeConfig::default();
         if let Ok(addr) = std::env::var("HYPDB_SERVE_ADDR") {
@@ -93,6 +99,9 @@ impl ServeConfig {
         }
         if let Some(t) = env_parse::<u64>("HYPDB_SERVE_TIMEOUT_MS").filter(|&t| t > 0) {
             cfg.timeout_ms = t;
+        }
+        if let Some(b) = env_parse::<usize>("HYPDB_SERVE_CACHE_BYTES").filter(|&b| b > 0) {
+            cfg.cache_bytes = b;
         }
         cfg
     }
@@ -163,13 +172,6 @@ impl Queue {
     }
 }
 
-/// One cached response: the canonical request it answers (compared on
-/// every probe — fingerprints alone may collide) and the body bytes.
-struct CacheEntry {
-    request: String,
-    body: Arc<String>,
-}
-
 /// Which report lane a request takes (also the cache-key namespace).
 #[derive(Debug, Clone, Copy)]
 enum Lane {
@@ -192,13 +194,13 @@ struct Shared {
     registry: Registry,
     queue: Queue,
     metrics: Metrics,
-    /// fingerprint-keyed response bodies; values are immutable and any
-    /// racing recomputation produces identical bytes, so last-wins
-    /// insertion is unobservable. The canonical request is stored with
-    /// each body and re-compared on probe: a 64-bit fingerprint can
-    /// collide, and a collision must compute, never serve the wrong
-    /// report.
-    cache: ShardedMap<u64, Arc<CacheEntry>>,
+    /// Fingerprint-keyed response bodies, byte-bounded with LRU
+    /// eviction; values are immutable and any racing recomputation
+    /// produces identical bytes, so last-wins insertion is
+    /// unobservable. The canonical request is stored with each body and
+    /// re-compared on probe: a 64-bit fingerprint can collide, and a
+    /// collision must compute, never serve the wrong report.
+    cache: ByteLruCache,
     shutdown: AtomicBool,
     /// True until the acceptor retires; workers only exit once this
     /// clears (no connection can be enqueued with nobody left to serve
@@ -224,7 +226,7 @@ impl Server {
         let shared = Arc::new(Shared {
             queue: Queue::new(cfg.queue_capacity),
             metrics: Metrics::default(),
-            cache: ShardedMap::default(),
+            cache: ByteLruCache::new(cfg.cache_bytes),
             shutdown: AtomicBool::new(false),
             accepting: AtomicBool::new(true),
             guard: workers > 1,
@@ -277,6 +279,17 @@ impl ServerHandle {
     /// Number of cached report bodies.
     pub fn cache_len(&self) -> usize {
         self.shared.cache.len()
+    }
+
+    /// Report-cache byte accounting (entries, resident bytes, evictions).
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// Aggregated oracle work counters over every shared
+    /// (dataset, selection) cache slot.
+    pub fn oracle_stats(&self) -> hypdb_core::OracleStats {
+        self.shared.registry.oracle_stats()
     }
 
     /// Graceful shutdown: stop accepting, drain queued and in-flight
@@ -383,7 +396,12 @@ fn route(shared: &Shared, req: &Request) -> Response {
         ),
         ("GET", "/metrics") => {
             shared.metrics.set_queue_depth(shared.queue.len());
-            Response::text(200, shared.metrics.snapshot().render())
+            let mut body = shared.metrics.snapshot().render();
+            body.push_str(&metrics::render_cache_stats(&shared.cache.stats()));
+            body.push_str(&metrics::render_oracle_stats(
+                &shared.registry.oracle_stats(),
+            ));
+            Response::text(200, body)
         }
         ("GET", "/datasets") => {
             let infos = shared.registry.infos();
@@ -405,7 +423,8 @@ fn route(shared: &Shared, req: &Request) -> Response {
 }
 
 /// The `/analyze` and `/detect` lanes: parse → registry lookup → cache
-/// probe → (guarded) pipeline run → cache fill.
+/// probe → shared-oracle resolution → (guarded) pipeline run → cache
+/// fill.
 fn report_endpoint(shared: &Shared, body: &str, lane: Lane) -> Response {
     let areq = match wire::parse_request(body) {
         Ok(r) => r,
@@ -418,25 +437,37 @@ fn report_endpoint(shared: &Shared, body: &str, lane: Lane) -> Response {
     let fingerprint = wire::fingerprint_json(&canonical);
     let fp_hex = format!("{fingerprint:016x}");
     let key = seed::mix(fingerprint, lane.tag());
-    if let Some(cached) = shared.cache.get(&key) {
-        // Fingerprints can collide; only byte-equal requests may share
-        // a cached body. A collision falls through and recomputes
-        // (last-wins overwrite — correctness over a colliding victim's
-        // hit rate).
-        if cached.request == canonical {
-            shared.metrics.cache_hit();
-            return Response::json_shared(200, Arc::clone(&cached.body))
-                .with_header("X-Hypdb-Cache", "hit")
-                .with_header("X-Hypdb-Fingerprint", fp_hex);
-        }
+    // Fingerprints can collide; only byte-equal requests may share a
+    // cached body (the cache re-compares the canonical bytes). A
+    // collision falls through and recomputes — correctness over a
+    // colliding victim's hit rate.
+    if let Some(cached) = shared.cache.get(key, &canonical) {
+        shared.metrics.cache_hit();
+        return Response::json_shared(200, cached)
+            .with_header("X-Hypdb-Cache", "hit")
+            .with_header("X-Hypdb-Fingerprint", fp_hex);
     }
     let compute = || -> Result<String, CoreError> {
+        // Resolve the shared oracle cache for this (dataset, WHERE
+        // selection): concurrent requests over the same selection
+        // coalesce their independence-statement batches and hit one
+        // another's contingency/entropy entries. Resolved inside the
+        // (guarded) compute path so the selection scan runs inline on
+        // the request worker, never as an extra unguarded fan-out. A
+        // request whose SQL fails to parse skips the slot; the
+        // pipeline below reports the error.
+        let oracle_cache: Option<Arc<OracleCache>> = areq.query(&*table).ok().map(|q| {
+            let rows = q.predicate.select(&*table);
+            shared.registry.oracle_cache(&areq.dataset, &rows)
+        });
         match lane {
             Lane::Analyze => {
-                wire::analyze(&*table, &areq, &shared.cfg.base).map(|r| wire::report_body(&r))
+                wire::analyze_cached(&*table, &areq, &shared.cfg.base, oracle_cache.as_ref())
+                    .map(|r| wire::report_body(&r))
             }
             Lane::Detect => {
-                wire::detect(&*table, &areq, &shared.cfg.base).map(|r| wire::detect_body(&r))
+                wire::detect_cached(&*table, &areq, &shared.cfg.base, oracle_cache.as_ref())
+                    .map(|r| wire::detect_body(&r))
             }
         }
     };
@@ -449,13 +480,7 @@ fn report_endpoint(shared: &Shared, body: &str, lane: Lane) -> Response {
         Ok(body) => {
             shared.metrics.cache_miss();
             let body = Arc::new(body);
-            shared.cache.insert(
-                key,
-                Arc::new(CacheEntry {
-                    request: canonical,
-                    body: Arc::clone(&body),
-                }),
-            );
+            shared.cache.insert(key, canonical, Arc::clone(&body));
             Response::json_shared(200, body)
                 .with_header("X-Hypdb-Cache", "miss")
                 .with_header("X-Hypdb-Fingerprint", fp_hex)

@@ -409,6 +409,49 @@ fn mit_impl(
     }
 }
 
+/// One statement's permutation-test job within a [`mit_batch`] call:
+/// its stratified summary, its budget, and — the key to batching
+/// without changing a single verdict — its *own* RNG seed.
+#[derive(Debug, Clone)]
+pub struct MitJob {
+    /// Stratified cross tabs of `(X, Y)` given `Z`.
+    pub strata: Strata,
+    /// Monte-Carlo budget `m`.
+    pub permutations: usize,
+    /// `Some(k)`: weighted sample of at most `k` conditioning groups
+    /// (routes through [`mit_sampled_early`]); `None`: exact MIT.
+    pub group_sample: Option<usize>,
+    /// Deterministic early termination at fixed batch boundaries
+    /// ([`MitConfig::early_stop`]).
+    pub early_stop: Option<f64>,
+    /// Per-statement RNG seed. The caller derives it from the statement
+    /// alone (never from batch position), so the outcome is a pure
+    /// function of `(strata, budget, seed)`.
+    pub seed: u64,
+}
+
+/// Evaluates a batch of permutation tests on the global worker pool —
+/// the statement-group entry point of the multi-query planner: a
+/// caller that has grouped many independence statements by conditioning
+/// set builds their strata from one shared contingency pass and then
+/// settles all of them here in one fan-out.
+///
+/// Each job seeds its own `StdRng` from `job.seed` and runs exactly the
+/// procedure the call-at-a-time path runs, so the returned outcomes are
+/// **byte-identical** to evaluating the jobs one at a time, in any
+/// order, at any thread count — grouping is a pure performance choice.
+pub fn mit_batch(jobs: &[MitJob]) -> Vec<TestOutcome> {
+    ThreadPool::current().parallel_map(jobs, |_, job| {
+        let mut rng = StdRng::seed_from_u64(job.seed);
+        match job.group_sample {
+            None => mit_early(&job.strata, job.permutations, job.early_stop, &mut rng),
+            Some(k) => {
+                mit_sampled_early(&job.strata, job.permutations, k, job.early_stop, &mut rng)
+            }
+        }
+    })
+}
+
 /// MIT with automatic group sampling: exact over all conditioning
 /// groups when their number is small, weighted-sampled otherwise. This
 /// is the procedure §7.1 prescribes for testing the significance of
@@ -871,6 +914,56 @@ mod tests {
         assert!(done > 256, "stopped too eagerly at {done}");
         assert!(done < 2_000, "clear dependence should still stop early");
         assert_eq!(out.p_value, 0.0);
+    }
+
+    #[test]
+    fn mit_batch_matches_call_at_a_time() {
+        // Batch evaluation must reproduce every sequential outcome
+        // byte-for-byte: same per-job seed, same procedure — at any
+        // thread count and regardless of batch composition.
+        let mut r = rng();
+        let jobs: Vec<MitJob> = (0..7)
+            .map(|i| {
+                let groups: Vec<CrossTab> = (0..(2 + i % 3))
+                    .map(|_| sample_table(&mut r, &[20, 30], &[25, 25]))
+                    .collect();
+                MitJob {
+                    strata: Strata::new(groups),
+                    permutations: 100 + 64 * i,
+                    group_sample: (i % 2 == 0).then_some(2),
+                    early_stop: (i % 3 == 0).then_some(0.01),
+                    seed: 0xBA7C_4000 + i as u64,
+                }
+            })
+            .collect();
+        let sequential: Vec<TestOutcome> = jobs
+            .iter()
+            .map(|job| {
+                let mut rng = StdRng::seed_from_u64(job.seed);
+                match job.group_sample {
+                    None => mit_early(&job.strata, job.permutations, job.early_stop, &mut rng),
+                    Some(k) => mit_sampled_early(
+                        &job.strata,
+                        job.permutations,
+                        k,
+                        job.early_stop,
+                        &mut rng,
+                    ),
+                }
+            })
+            .collect();
+        for threads in [1, 4] {
+            hypdb_exec::set_global_threads(threads);
+            let batched = mit_batch(&jobs);
+            hypdb_exec::set_global_threads(0);
+            assert_eq!(batched, sequential, "threads={threads}");
+        }
+        // A permuted batch returns the same outcomes in the new order.
+        let rev: Vec<MitJob> = jobs.iter().rev().cloned().collect();
+        let rev_out = mit_batch(&rev);
+        for (a, b) in rev_out.iter().zip(sequential.iter().rev()) {
+            assert_eq!(a, b, "batch order must not matter");
+        }
     }
 
     #[test]

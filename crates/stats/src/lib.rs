@@ -33,5 +33,6 @@ pub mod random;
 pub use crosstab::CrossTab;
 pub use entropy::{entropy_miller_madow, entropy_plugin, EntropyEstimator};
 pub use independence::{
-    chi2_test, hymit, mit, mit_sampled, shuffle_test, MitConfig, Strata, TestMethod, TestOutcome,
+    chi2_test, hymit, mit, mit_batch, mit_sampled, shuffle_test, MitConfig, MitJob, Strata,
+    TestMethod, TestOutcome,
 };

@@ -12,22 +12,25 @@
 //! property the CI smoke test diffs.
 
 use hypdb::core::wire;
-use hypdb::core::HypDbConfig;
+use hypdb::core::{HypDbConfig, OracleCache};
 use hypdb::serve::{sig, Registry, ServeConfig, Server};
+use std::sync::Arc;
 
 const USAGE: &str = "\
 usage:
   hypdb serve [--addr HOST:PORT] [--rows N]
       Serve the built-in datasets over HTTP. Knobs: HYPDB_SERVE_ADDR,
       HYPDB_SERVE_WORKERS, HYPDB_SERVE_QUEUE, HYPDB_SERVE_MAX_BODY,
-      HYPDB_SERVE_TIMEOUT_MS, HYPDB_SERVE_ROWS (dataset size),
-      HYPDB_THREADS, HYPDB_SHARD_ROWS. Shuts down gracefully on
-      SIGINT/SIGTERM or a `quit` line on stdin.
+      HYPDB_SERVE_TIMEOUT_MS, HYPDB_SERVE_CACHE_BYTES (report-cache
+      budget), HYPDB_SERVE_ROWS (dataset size), HYPDB_THREADS,
+      HYPDB_SHARD_ROWS. Shuts down gracefully on SIGINT/SIGTERM or a
+      `quit` line on stdin.
   hypdb analyze --dataset NAME --sql SQL
                [--treatment T] [--covariates A,B] [--seed N]
                [--detect] [--pretty] [--rows N]
       Run the same analysis offline and print the wire response body
-      (or, with --pretty, the human-readable report).
+      (or, with --pretty, the human-readable report). An oracle-work
+      footer (scans, cache hits, batched statements) goes to stderr.
 ";
 
 fn fail(msg: &str) -> ! {
@@ -209,15 +212,37 @@ fn cmd_analyze(args: &[String]) {
     req.seed = seed;
     let base = HypDbConfig::default();
 
+    // One oracle cache for the run, so the discovery work counters
+    // (scans, cache hits, batching) can be reported afterwards.
+    let cache = Arc::new(OracleCache::new());
     let outcome = if detect {
-        wire::detect(&*table, &req, &base).map(|r| wire::detect_body(&r))
+        wire::detect_cached(&*table, &req, &base, Some(&cache)).map(|r| wire::detect_body(&r))
     } else if pretty {
-        wire::analyze(&*table, &req, &base).map(|r| r.to_string())
+        wire::analyze_cached(&*table, &req, &base, Some(&cache)).map(|r| r.to_string())
     } else {
-        wire::analyze(&*table, &req, &base).map(|r| wire::report_body(&r))
+        wire::analyze_cached(&*table, &req, &base, Some(&cache)).map(|r| wire::report_body(&r))
     };
     match outcome {
-        Ok(body) => println!("{body}"),
+        Ok(body) => {
+            println!("{body}");
+            // The oracle-work footer goes to stderr: stdout stays
+            // byte-identical to the server's response body (the CI
+            // smoke test diffs the two).
+            let s = cache.stats();
+            eprintln!(
+                "oracle: {} test(s) | {} table scan(s), {} count-cache hit(s), \
+                 {} marginalisation(s) | entropy {}/{} hit/miss | \
+                 {} statement(s) batched into {} group(s)",
+                s.tests,
+                s.table_scans,
+                s.count_cache_hits,
+                s.marginalizations,
+                s.entropy_hits,
+                s.entropy_misses,
+                s.batched_statements,
+                s.groups_planned
+            );
+        }
         Err(e) => {
             eprintln!("hypdb: {e}");
             std::process::exit(1);

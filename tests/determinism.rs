@@ -101,6 +101,65 @@ fn cancer_pipeline_report_identical_across_thread_counts() {
 }
 
 #[test]
+fn batched_planning_never_changes_a_report_byte() {
+    // The PR-5 property: planner grouping, group order, dedup, and the
+    // worker count are pure performance choices. For cancer + adult,
+    // the full wire body (canonical JSON, timings zeroed) must be
+    // byte-identical at batching {on, off} × HYPDB_THREADS {1, 4} —
+    // and the batched runs must actually route through the planner.
+    use hypdb::core::{wire, HypDbConfig, OracleCache};
+    use std::sync::Arc;
+
+    let cases = [
+        (
+            ds::cancer_data(2_000, 1),
+            "SELECT Lung_Cancer, avg(Car_Accident) FROM CancerData GROUP BY Lung_Cancer",
+            "cancer",
+        ),
+        (
+            ds::adult_data(&ds::AdultConfig {
+                rows: 4_000,
+                seed: 1994,
+            }),
+            "SELECT Gender, avg(Income) FROM AdultData GROUP BY Gender",
+            "adult",
+        ),
+    ];
+    for (table, sql, name) in &cases {
+        let req = hypdb::core::AnalyzeRequest::new(*name, *sql);
+        let mut base: Option<String> = None;
+        for batched in [true, false] {
+            for threads in [1usize, 4] {
+                let mut cfg = HypDbConfig::default();
+                cfg.ci.batch.enabled = batched;
+                let cache = Arc::new(OracleCache::new());
+                let body = with_threads(threads, || {
+                    wire::report_body(
+                        &wire::analyze_cached(table, &req, &cfg, Some(&cache)).expect("analysis"),
+                    )
+                });
+                let stats = cache.stats();
+                if batched {
+                    assert!(
+                        stats.batched_statements > 0 && stats.groups_planned > 0,
+                        "{name}: planner must be engaged, got {stats:?}"
+                    );
+                } else {
+                    assert_eq!(stats.batched_statements, 0, "{name}: planner must be off");
+                }
+                match &base {
+                    None => base = Some(body),
+                    Some(b) => assert_eq!(
+                        &body, b,
+                        "{name}: batched={batched} threads={threads} changed bytes"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn adult_discovery_identical_across_thread_counts() {
     let table = ds::adult_data(&ds::AdultConfig {
         rows: 8_000,

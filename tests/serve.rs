@@ -261,6 +261,98 @@ fn concurrent_mixed_load_is_correct_and_counted() {
     handle.shutdown();
 }
 
+/// The byte-bounded report cache: a budget that holds roughly one
+/// report forces LRU eviction, surfaces the evicted/resident-bytes
+/// counters in `/metrics`, and never serves a wrong body.
+#[test]
+fn report_cache_evicts_by_bytes() {
+    let cfg = ServeConfig {
+        // Roughly one cancer report (~3.5 KB body + canonical request
+        // + overhead): the second distinct request must evict the first.
+        cache_bytes: 6 * 1024,
+        ..ServeConfig::default()
+    };
+    let handle = start(cfg, cancer_registry(400));
+    let reqs: Vec<String> = [1u64, 2]
+        .iter()
+        .map(|&s| analyze_request(Some(s)).canonical_json())
+        .collect();
+
+    let first = post_analyze(&handle, &reqs[0]);
+    assert_eq!(first.header("X-Hypdb-Cache"), Some("miss"));
+    assert_eq!(handle.cache_len(), 1);
+    let stats = handle.cache_stats();
+    assert!(stats.resident_bytes > 0);
+    assert_eq!(stats.evictions, 0);
+
+    // A second distinct report exceeds the budget: the LRU entry (the
+    // first report) is evicted…
+    let second = post_analyze(&handle, &reqs[1]);
+    assert_eq!(second.header("X-Hypdb-Cache"), Some("miss"));
+    assert_eq!(handle.cache_len(), 1);
+    let stats = handle.cache_stats();
+    assert_eq!(stats.evictions, 1);
+    assert!(stats.evicted_bytes > 0);
+    assert!(stats.resident_bytes <= 6 * 1024);
+
+    // …so replaying it recomputes (identical bytes), while the resident
+    // report still hits.
+    let hit = post_analyze(&handle, &reqs[1]);
+    assert_eq!(hit.header("X-Hypdb-Cache"), Some("hit"));
+    assert_eq!(hit.body, second.body);
+    let recomputed = post_analyze(&handle, &reqs[0]);
+    assert_eq!(recomputed.header("X-Hypdb-Cache"), Some("miss"));
+    assert_eq!(recomputed.body, first.body, "eviction never changes bytes");
+
+    let metrics = client::get(handle.addr(), "/metrics").unwrap();
+    assert!(metrics.body.contains("hypdb_report_cache_resident_bytes"));
+    assert!(metrics
+        .body
+        .contains("hypdb_report_cache_evictions_total 2"));
+    handle.shutdown();
+}
+
+/// The cross-request multi-query surface: requests over one
+/// (dataset, selection) share an oracle cache, so a second request —
+/// different seed, same selection — re-runs discovery without a single
+/// new table scan, and the batching counters appear in `/metrics`.
+#[test]
+fn shared_oracle_coalesces_requests_and_exports_stats() {
+    let handle = start(ServeConfig::default(), cancer_registry(500));
+    let first = post_analyze(&handle, &analyze_request(Some(41)).canonical_json());
+    assert_eq!(first.status, 200);
+    let after_first = handle.oracle_stats();
+    assert!(
+        after_first.batched_statements > 0,
+        "discovery must route through the planner: {after_first:?}"
+    );
+    assert!(after_first.groups_planned > 0);
+    assert!(after_first.table_scans > 0);
+
+    // Different seed => different report, but the same WHERE selection:
+    // every contingency table the second run needs is already resident.
+    let second = post_analyze(&handle, &analyze_request(Some(42)).canonical_json());
+    assert_eq!(second.status, 200);
+    assert_ne!(second.body, first.body);
+    let after_second = handle.oracle_stats();
+    assert_eq!(
+        after_second.table_scans, after_first.table_scans,
+        "same selection: the shared joint serves the second request"
+    );
+    assert!(after_second.batched_statements > after_first.batched_statements);
+
+    let metrics = client::get(handle.addr(), "/metrics").unwrap();
+    let line = metrics
+        .body
+        .lines()
+        .find(|l| l.starts_with("hypdb_oracle_batched_statements_total"))
+        .expect("batching counter exported");
+    let value: u64 = line.split_whitespace().nth(1).unwrap().parse().unwrap();
+    assert_eq!(value, after_second.batched_statements);
+    assert!(metrics.body.contains("hypdb_oracle_table_scans_total"));
+    handle.shutdown();
+}
+
 fn read_raw(stream: &mut TcpStream) -> String {
     let mut raw = Vec::new();
     stream.read_to_end(&mut raw).expect("read response");
