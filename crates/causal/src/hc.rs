@@ -99,9 +99,13 @@ impl<'a> HillClimb<'a> {
             return 0.0;
         }
 
-        // Aggregate per parent configuration.
+        // Aggregate per parent configuration. A BTreeMap keeps the
+        // BDeu per-configuration gamma sum in canonical key order —
+        // with a hash map the float accumulation order would follow
+        // bucket order and the score could drift across builds.
         let np = parents.len();
-        let mut cfg_counts: FxHashMap<Box<[u32]>, u64> = FxHashMap::default();
+        let mut cfg_counts: std::collections::BTreeMap<Box<[u32]>, u64> =
+            std::collections::BTreeMap::new();
         let mut cell_counts: Vec<(Box<[u32]>, u64, u64)> = Vec::new(); // (config, value, n)
         ct.for_each(|cell, count| {
             let config: Box<[u32]> = cell[..np].to_vec().into_boxed_slice();

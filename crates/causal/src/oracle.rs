@@ -447,6 +447,7 @@ impl<'a, S: Scan + ?Sized> DataOracle<'a, S> {
             // Minimising over the *total* order (len, key) keeps the
             // choice independent of the shard/bucket visit order; two
             // workers racing here compute identical tables either way.
+            // lint:allow(nondeterministic-iteration) — fold computes a min over the total order (len, key), which is the same for every visit order
             let superset = self.cache.counts.fold(
                 None::<(Vec<AttrId>, Arc<ContingencyTable>)>,
                 |best, key, ct| {

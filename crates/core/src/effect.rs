@@ -4,6 +4,8 @@
 //! contain every compared treatment level are discarded and the block
 //! weights renormalised — the SQL `HAVING count(DISTINCT T) = k` guard.
 
+use std::collections::BTreeMap;
+
 use crate::error::{Error, Result};
 use hypdb_stats::independence::{mit_auto, MitConfig, TestOutcome};
 use hypdb_table::contingency::Stratified;
@@ -87,7 +89,10 @@ pub fn adjusted_averages<S: Scan + ?Sized>(
     let zcols: Vec<ColRef<'_>> = z.iter().map(|&a| table.col(a)).collect();
     let level_of: FxHashMap<u32, usize> = levels.iter().enumerate().map(|(i, &c)| (c, i)).collect();
 
-    let mut blocks: FxHashMap<Box<[u32]>, BlockAcc> = FxHashMap::default();
+    // Blocks in canonical key order: the matched-block weights feed a
+    // floating-point sum, so the visit order must not depend on hash
+    // bucket layout.
+    let mut blocks: BTreeMap<Box<[u32]>, BlockAcc> = BTreeMap::new();
     let mut key = vec![0u32; z.len()];
     for row in rows.iter() {
         for (slot, col) in key.iter_mut().zip(&zcols) {
@@ -213,9 +218,11 @@ pub fn natural_direct_effect<S: Scan + ?Sized>(
     #[derive(Default)]
     struct ZAcc {
         total: u64,
-        ms: FxHashMap<Box<[u32]>, ZmAcc>,
+        ms: BTreeMap<Box<[u32]>, ZmAcc>,
     }
-    let mut zblocks: FxHashMap<Box<[u32]>, ZAcc> = FxHashMap::default();
+    // Canonical key order at both levels: the nested weighted float
+    // sums below must visit (z, m) blocks in a hash-independent order.
+    let mut zblocks: BTreeMap<Box<[u32]>, ZAcc> = BTreeMap::new();
     let mut zkey = vec![0u32; z.len()];
     let mut mkey = vec![0u32; mediators.len()];
     for row in rows.iter() {

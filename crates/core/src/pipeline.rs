@@ -361,6 +361,7 @@ impl<'a, S: Scan + ?Sized> HypDb<'a, S> {
     /// Full pipeline: discovery, then per-context detection,
     /// explanation and resolution.
     pub fn analyze(&self, query: &Query) -> Result<AnalysisReport> {
+        // lint:allow(wall-clock-in-output) — feeds Timings, which the wire layer zeroes before serialization (wire.rs canonical_report_bytes)
         let t0 = Instant::now();
         let discovery = self.discover(query)?;
         let mut timings = Timings::default();
@@ -467,6 +468,7 @@ impl<'a, S: Scan + ?Sized> HypDb<'a, S> {
             .collect();
 
         // --- Detection. ---
+        // lint:allow(wall-clock-in-output) — feeds Timings, which the wire layer zeroes before serialization (wire.rs canonical_report_bytes)
         let td = Instant::now();
         let bias_total = detect_bias(
             table,
@@ -497,6 +499,7 @@ impl<'a, S: Scan + ?Sized> HypDb<'a, S> {
         timings.detection += td.elapsed().as_secs_f64();
 
         // --- Explanation. ---
+        // lint:allow(wall-clock-in-output) — feeds Timings, which the wire layer zeroes before serialization (wire.rs canonical_report_bytes)
         let te = Instant::now();
         let mut explain_attrs: Vec<AttrId> = discovery.covariates.clone();
         for ms in &discovery.mediators {
@@ -517,6 +520,7 @@ impl<'a, S: Scan + ?Sized> HypDb<'a, S> {
         timings.explanation += te.elapsed().as_secs_f64();
 
         // --- Resolution. ---
+        // lint:allow(wall-clock-in-output) — feeds Timings, which the wire layer zeroes before serialization (wire.rs canonical_report_bytes)
         let tr = Instant::now();
         let (total_effect, direct_effects) = if levels.len() >= 2 {
             let total = adjusted_averages(

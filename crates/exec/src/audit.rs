@@ -1,0 +1,208 @@
+//! Debug-only determinism auditor for the pool's fork-join maps.
+//!
+//! Set `HYPDB_AUDIT=1` and the parallel branch of
+//! [`ThreadPool::map_indices`](crate::ThreadPool::map_indices) verifies
+//! — with `debug_assert!`s, so release builds pay nothing — that its
+//! merged output is *completion-order-independent*:
+//!
+//! * every index in `0..n` was computed by exactly one worker (no
+//!   duplicate hand-outs from the atomic cursor, no gaps), and
+//! * the XOR-combination of the per-chunk trace fingerprints equals the
+//!   fingerprint of the full index range. XOR is commutative and
+//!   associative, so the combined value is identical no matter which
+//!   worker finished which chunk first — if the equality holds, the
+//!   reassembled result vector is a pure function of the index set.
+//!
+//! Work items are generic (`R` has no `Hash` bound), so the auditor
+//! fingerprints the *scheduling trace* — which indices each worker
+//! computed — rather than result bytes. That is the exact degree of
+//! freedom scheduling has: slot `i` of the merged output always holds
+//! `f(i)`, so proving the index cover is schedule-independent proves
+//! the merged output is too.
+//!
+//! The flag is read once per process (`OnceLock`); tests force it with
+//! [`set_audit`] the same way the thread count can be overridden. When
+//! the audit first observes an enabled check it announces itself once
+//! on stderr (`determinism audit: active`) so CI can grep that the
+//! hook actually ran.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Once, OnceLock};
+
+use crate::seed;
+
+/// Runtime override: 0 = none (use the environment), 1 = forced on,
+/// 2 = forced off.
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Lazily parsed `HYPDB_AUDIT` (enabled on `1`/`true`/`on`).
+static ENV_DEFAULT: OnceLock<bool> = OnceLock::new();
+
+/// One-time activation announcement.
+static ANNOUNCE: Once = Once::new();
+
+/// True when the determinism audit is active: `HYPDB_AUDIT=1` in the
+/// environment, unless overridden by [`set_audit`].
+pub fn enabled() -> bool {
+    let on = match OVERRIDE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => *ENV_DEFAULT.get_or_init(|| {
+            std::env::var("HYPDB_AUDIT")
+                .map(|v| matches!(v.trim(), "1" | "true" | "on"))
+                .unwrap_or(false)
+        }),
+    };
+    if on {
+        ANNOUNCE.call_once(|| {
+            eprintln!("hypdb-exec: determinism audit: active (HYPDB_AUDIT)");
+        });
+    }
+    on
+}
+
+/// Forces the audit on (`Some(true)`), off (`Some(false)`), or back to
+/// the `HYPDB_AUDIT` default (`None`). Tests use this; the environment
+/// is read only once, so flipping the variable mid-process has no
+/// effect.
+pub fn set_audit(force: Option<bool>) {
+    let v = match force {
+        Some(true) => 1,
+        Some(false) => 2,
+        None => 0,
+    };
+    OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// Order-independent fingerprint of a set of indices: the XOR of each
+/// index's SplitMix64 avalanche. Permuting or re-partitioning the
+/// indices never changes the value; adding, dropping, or duplicating
+/// one almost surely does (a duplicate cancels itself out of the XOR —
+/// which is why [`CoverAudit`] also tracks per-index `seen` bits).
+pub fn trace_fingerprint(indices: impl IntoIterator<Item = usize>) -> u64 {
+    indices
+        .into_iter()
+        .fold(0u64, |acc, i| acc ^ seed::mix(AUDIT_STREAM, i as u64))
+}
+
+/// Dedicated master seed for audit fingerprints, so they can never
+/// collide structurally with the workspace's RNG seed derivation.
+const AUDIT_STREAM: u64 = 0x4155_4449_5421; // "AUDIT!"
+
+/// Verifies one fork-join's scheduling trace (see the module docs).
+///
+/// The pool feeds it each worker's `(index, …)` bucket in join order;
+/// [`CoverAudit::finish`] then `debug_assert!`s the exact cover and the
+/// fingerprint equality. All state is plain `Vec`/`u64` arithmetic —
+/// the auditor itself is deterministic.
+pub struct CoverAudit {
+    n: usize,
+    seen: Vec<bool>,
+    duplicate: Option<usize>,
+    combined: u64,
+}
+
+impl CoverAudit {
+    /// An auditor for a fan-out over `0..n`.
+    pub fn new(n: usize) -> CoverAudit {
+        CoverAudit {
+            n,
+            seen: vec![false; n],
+            duplicate: None,
+            combined: 0,
+        }
+    }
+
+    /// Records one worker's chunk: the indices it pulled off the
+    /// cursor, in the order it computed them. The chunk's fingerprint
+    /// is XOR-combined, so the fold order of chunks is immaterial.
+    pub fn record_chunk(&mut self, indices: impl IntoIterator<Item = usize> + Clone) {
+        for i in indices.clone() {
+            if self.n <= i || std::mem::replace(&mut self.seen[i], true) {
+                self.duplicate.get_or_insert(i);
+            }
+        }
+        self.combined ^= trace_fingerprint(indices);
+    }
+
+    /// Asserts (debug builds) the trace covers `0..n` exactly once and
+    /// the order-independent fingerprints agree.
+    pub fn finish(self) {
+        debug_assert!(
+            self.duplicate.is_none(),
+            "determinism audit: index {} computed more than once (or out of range)",
+            self.duplicate.unwrap_or(0),
+        );
+        let missing = self.seen.iter().position(|&s| !s);
+        debug_assert!(
+            missing.is_none(),
+            "determinism audit: index {} never computed",
+            missing.unwrap_or(0),
+        );
+        let expected = trace_fingerprint(0..self.n);
+        debug_assert!(
+            self.combined == expected,
+            "determinism audit: combined chunk fingerprint {:#018x} != expected {:#018x} \
+             — the merged output is not a pure function of the index set",
+            self.combined,
+            expected,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_partition_and_order_independent() {
+        let whole = trace_fingerprint(0..10);
+        assert_eq!(trace_fingerprint((0..10).rev()), whole);
+        let mut split = CoverAudit::new(10);
+        split.record_chunk([9, 3, 0]);
+        split.record_chunk([4, 1, 7, 2]);
+        split.record_chunk([5, 6, 8]);
+        assert_eq!(split.combined, whole);
+        split.finish();
+    }
+
+    #[test]
+    fn empty_cover_passes() {
+        CoverAudit::new(0).finish();
+    }
+
+    #[test]
+    fn duplicate_and_missing_are_detected() {
+        let mut dup = CoverAudit::new(3);
+        dup.record_chunk([0, 1, 1, 2]);
+        assert_eq!(dup.duplicate, Some(1));
+
+        let mut gap = CoverAudit::new(3);
+        gap.record_chunk([0, 2]);
+        assert_eq!(gap.seen, vec![true, false, true]);
+        assert_ne!(gap.combined, trace_fingerprint(0..3));
+    }
+
+    #[test]
+    fn out_of_range_index_is_flagged() {
+        let mut audit = CoverAudit::new(2);
+        audit.record_chunk([0, 5]);
+        assert_eq!(audit.duplicate, Some(5));
+    }
+
+    #[test]
+    fn override_controls_enabled_and_audits_fanout() {
+        // The only test in the crate that mutates the process-wide
+        // override (keeping it here avoids races between parallel
+        // tests). With the audit forced on, a real multi-worker
+        // fan-out must still produce ordered results — i.e. run the
+        // assert path in `map_indices` and pass it.
+        set_audit(Some(true));
+        assert!(enabled());
+        let out = crate::ThreadPool::new(4).map_indices(100, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+        set_audit(Some(false));
+        assert!(!enabled());
+        set_audit(None);
+    }
+}

@@ -18,6 +18,11 @@
 //! * [`shard`] — a sharded mutex-protected hash map for the read-mostly
 //!   caches (contingency tables, entropies) that independence-test
 //!   workers share.
+//! * [`audit`] — a debug-only determinism auditor (`HYPDB_AUDIT=1`)
+//!   that `debug_assert!`s each fork-join's merged output is
+//!   completion-order-independent, by checking the scheduling trace
+//!   covers every index exactly once with an order-insensitive
+//!   (XOR-combined) fingerprint.
 //!
 //! **The determinism contract.** Callers must make the work
 //! decomposition a function of the *problem* (item count, fixed chunk
@@ -30,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod pool;
 pub mod seed;
 pub mod shard;

@@ -183,6 +183,19 @@ impl ThreadPool {
             std::panic::resume_unwind(payload);
         }
 
+        // Debug-only determinism audit (`HYPDB_AUDIT=1`): the cursor
+        // must have handed out exactly `0..n`, once each, and the
+        // XOR-combined per-worker trace fingerprints must match the
+        // full range — proving the merge below is independent of which
+        // worker completed which chunk (see [`crate::audit`]).
+        if crate::audit::enabled() {
+            let mut cover = crate::audit::CoverAudit::new(n);
+            for bucket in &buckets {
+                cover.record_chunk(bucket.iter().map(|(i, _)| *i));
+            }
+            cover.finish();
+        }
+
         // Reassemble in index order (scheduling-independent).
         let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
         for (i, r) in buckets.into_iter().flatten() {

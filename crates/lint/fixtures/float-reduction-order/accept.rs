@@ -1,0 +1,19 @@
+// Accept fixture: float reductions over canonical (sorted) orders or
+// exact integer accumulation converted once.
+use std::collections::HashMap;
+
+fn sorted_then_summed(m: &HashMap<u32, f64>) -> f64 {
+    let mut entries: Vec<(u32, f64)> = m.iter().map(|(k, v)| (*k, *v)).collect();
+    entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    let mut total = 0.0;
+    for (_, v) in &entries {
+        total += v;
+    }
+    total
+}
+
+fn exact_counts(m: &HashMap<u32, u64>) -> f64 {
+    // Integer sums are exact and commutative; one conversion at the end.
+    let total: u64 = m.values().sum::<u64>();
+    total as f64
+}

@@ -1,0 +1,14 @@
+// Reject fixture: float accumulation in hash-iteration order.
+use std::collections::HashMap;
+
+fn loop_accumulation(m: &HashMap<u32, f64>) -> f64 {
+    let mut total = 0.0;
+    for v in m.values() {
+        total += v.ln();
+    }
+    total
+}
+
+fn chained_sum(m: &HashMap<u32, f64>) -> f64 {
+    m.values().map(|v| v * 2.0).sum::<f64>()
+}

@@ -1,0 +1,30 @@
+// Accept fixture: hash containers used with order-insensitive sinks,
+// sorted emission, ordered containers, or a reasoned allow.
+use std::collections::{BTreeMap, HashMap};
+
+fn sorted_emission(m: &HashMap<u32, u64>) -> Vec<(u32, u64)> {
+    let mut out: Vec<(u32, u64)> = m.iter().map(|(k, v)| (*k, *v)).collect();
+    out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+fn exact_reductions(m: &HashMap<u32, u64>) -> (u64, usize, Option<u32>) {
+    let total: u64 = m.values().sum::<u64>();
+    let n = m.len();
+    let min_key = m.keys().min().copied();
+    (total, n, min_key)
+}
+
+fn ordered_container(m: &BTreeMap<u32, u64>) -> Vec<u64> {
+    // BTreeMap iteration is key-ordered: no finding.
+    m.values().copied().collect()
+}
+
+fn documented_exception(m: &HashMap<u32, u64>) -> u64 {
+    // lint:allow(nondeterministic-iteration) — XOR is commutative and associative, so any visit order folds to the same value
+    m.values().fold(0, |acc, v| acc ^ v)
+}
+
+fn collect_into_ordered(m: &HashMap<u32, u64>) -> BTreeMap<u32, u64> {
+    m.iter().map(|(k, v)| (*k, *v)).collect::<BTreeMap<_, _>>()
+}

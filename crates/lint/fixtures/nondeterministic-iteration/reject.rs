@@ -1,0 +1,28 @@
+// Reject fixture: hash-order entry streams escaping into output.
+use std::collections::{HashMap, HashSet};
+
+fn emits_in_hash_order(m: &HashMap<u32, u64>) -> Vec<(u32, u64)> {
+    // Finding: collected in iteration order, never sorted.
+    m.iter().map(|(k, v)| (*k, *v)).collect::<Vec<_>>()
+}
+
+fn prints_keys(s: &HashSet<String>) {
+    for k in s {
+        println!("{k}");
+    }
+}
+
+fn drains_unordered(m: &mut HashMap<u32, u64>) -> Vec<u64> {
+    m.drain().map(|(_, v)| v).collect::<Vec<_>>()
+}
+
+struct Cache {
+    entries: HashMap<u64, String>,
+}
+
+impl Cache {
+    fn first_value(&self) -> Option<&String> {
+        // Finding: `values()` order decides which entry wins.
+        self.entries.values().next()
+    }
+}

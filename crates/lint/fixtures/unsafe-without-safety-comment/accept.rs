@@ -1,0 +1,19 @@
+// Accept fixture: every unsafe block/fn and FFI block justified.
+
+// SAFETY: `signal` is the documented libc entry point; the handler
+// performs one async-signal-safe atomic store and never unwinds.
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+fn install(handler: extern "C" fn(i32)) {
+    // SAFETY: the handler is an `extern "C" fn(i32)` that only stores
+    // into an atomic — the canonical async-signal-safe action.
+    unsafe {
+        signal(15, handler);
+    }
+}
+
+// The forbid attribute mentions unsafe_code without being unsafe.
+#[allow(unsafe_code)]
+fn marker() {}

@@ -1,0 +1,13 @@
+// Reject fixture: undocumented unsafe and FFI trust boundaries.
+
+extern "C" {
+    fn getpid() -> i32;
+}
+
+fn read_pid() -> i32 {
+    unsafe { getpid() }
+}
+
+unsafe fn transmute_len(v: &[u8]) -> usize {
+    v.len()
+}

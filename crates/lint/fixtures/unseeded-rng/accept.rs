@@ -1,0 +1,21 @@
+// Accept fixture: every RNG derives from the config seed or a
+// SplitMix64 chunk stream; literal seeds are deterministic.
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Config {
+    seed: u64,
+}
+
+fn from_config(cfg: &Config) -> StdRng {
+    StdRng::seed_from_u64(cfg.seed)
+}
+
+fn per_chunk(master: u64, chunk: usize) -> StdRng {
+    let derived = hypdb_exec::seed::chunk_seed(master, chunk);
+    StdRng::seed_from_u64(derived)
+}
+
+fn pinned_fixture_seed() -> StdRng {
+    StdRng::seed_from_u64(0x48_7970_4442)
+}

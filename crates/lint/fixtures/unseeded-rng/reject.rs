@@ -1,0 +1,24 @@
+// Reject fixture: ambient-entropy and time-derived RNG state.
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn ambient() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen::<f64>()
+}
+
+fn entropy_constructor() -> StdRng {
+    StdRng::from_entropy()
+}
+
+fn time_seeded() -> StdRng {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .as_nanos() as u64;
+    StdRng::seed_from_u64(nanos)
+}
+
+fn random_hasher() -> std::collections::hash_map::RandomState {
+    std::collections::hash_map::RandomState::new()
+}

@@ -1,0 +1,33 @@
+// Accept fixture: request handling that degrades to status codes and
+// restructures away panicking calls.
+use std::sync::{Mutex, MutexGuard};
+
+struct Inner {
+    hits: u64,
+}
+
+struct State {
+    inner: Mutex<Inner>,
+}
+
+impl State {
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // Poisoning is ignored: counters stay structurally valid.
+        self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+fn parse_len(header: Option<&str>) -> Result<usize, &'static str> {
+    let Some(raw) = header else {
+        return Err("411 Length Required");
+    };
+    raw.trim().parse::<usize>().map_err(|_| "400 Bad Request")
+}
+
+fn respond(state: &State, body: Option<String>) -> String {
+    state.lock().hits += 1;
+    match body {
+        Some(b) => b,
+        None => "503 Service Unavailable".to_string(),
+    }
+}

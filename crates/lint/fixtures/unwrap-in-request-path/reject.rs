@@ -1,0 +1,13 @@
+// Reject fixture: panicking constructs in request handling.
+
+fn handle(body: Option<&str>) -> String {
+    let raw = body.unwrap();
+    let len: usize = raw.len().to_string().parse().expect("digits");
+    if len > 1 << 20 {
+        panic!("body too large");
+    }
+    match raw.chars().next() {
+        Some(c) => c.to_string(),
+        None => unreachable!("checked above"),
+    }
+}

@@ -1,0 +1,17 @@
+// Accept fixture: wall-clock reads confined to the control plane, each
+// carrying the reasoned allow; report structs hold zeroed timings.
+use std::time::{Duration, Instant};
+
+struct Report {
+    // Timings are zeroed by the wire layer before serialization.
+    elapsed_ms: u64,
+}
+
+fn connection_deadline(timeout_ms: u64) -> Instant {
+    // lint:allow(wall-clock-in-output) — connection deadline is control plane; it bounds I/O and never reaches response bytes
+    Instant::now() + Duration::from_millis(timeout_ms)
+}
+
+fn zeroed_report() -> Report {
+    Report { elapsed_ms: 0 }
+}

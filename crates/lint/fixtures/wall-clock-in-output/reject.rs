@@ -1,0 +1,17 @@
+// Reject fixture: clock reads flowing toward output bytes.
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+struct Report {
+    elapsed_ms: u64,
+    stamp: u64,
+}
+
+fn timed_report() -> Report {
+    let t0 = Instant::now();
+    let elapsed_ms = t0.elapsed().as_millis() as u64;
+    let stamp = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap()
+        .as_secs();
+    Report { elapsed_ms, stamp }
+}

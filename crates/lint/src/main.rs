@@ -1,0 +1,62 @@
+//! `hypdb-lint` CLI: `hypdb-lint --check <path>`.
+//!
+//! Prints the sorted diagnostic report to stdout (byte-identical across
+//! runs over the same tree — no timestamps, no ordering jitter) and a
+//! one-line summary to stderr. Exit codes: `0` clean, `1` diagnostics
+//! found, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: hypdb-lint [--check] [PATH]   (default PATH: .)");
+    eprintln!("       hypdb-lint --list-rules");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut path: Option<PathBuf> = None;
+    let mut list_rules = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            // --check is the only mode; accepted explicitly so the CI
+            // invocation reads as intent.
+            "--check" => {}
+            "--list-rules" => list_rules = true,
+            "--help" | "-h" => {
+                return usage();
+            }
+            _ if arg.starts_with('-') => {
+                eprintln!("hypdb-lint: unknown flag `{arg}`");
+                return usage();
+            }
+            _ if path.is_none() => path = Some(PathBuf::from(arg)),
+            _ => return usage(),
+        }
+    }
+    if list_rules {
+        for name in hypdb_lint::rules::names() {
+            println!("{name}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let root = path.unwrap_or_else(|| PathBuf::from("."));
+    match hypdb_lint::run(&root) {
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            if diags.is_empty() {
+                eprintln!("hypdb-lint: clean ({})", root.display());
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("hypdb-lint: {} diagnostic(s)", diags.len());
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("hypdb-lint: {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! The rule set.
+//!
+//! Each rule is one module with unit fixtures under
+//! `crates/lint/fixtures/<rule>/{accept,reject}.rs`. Rules receive the
+//! lexed [`SourceFile`] and append [`Diagnostic`]s; suppression via
+//! `// lint:allow(<rule>) — <reason>` is applied centrally in
+//! [`check_file`] so every rule honours the same mechanism.
+
+use crate::source::SourceFile;
+use crate::Diagnostic;
+
+pub mod float_order;
+pub mod nondet_iter;
+pub mod unsafe_safety;
+pub mod unseeded_rng;
+pub mod unwrap_serve;
+pub mod wall_clock;
+
+/// A single lint rule.
+pub trait Rule {
+    /// Kebab-case rule name (the `lint:allow` target).
+    fn name(&self) -> &'static str;
+    /// Appends diagnostics for `file` (allow filtering happens in the
+    /// caller).
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>);
+}
+
+/// Every rule, in report order.
+pub fn all() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(nondet_iter::NondeterministicIteration),
+        Box::new(unseeded_rng::UnseededRng),
+        Box::new(wall_clock::WallClockInOutput),
+        Box::new(unsafe_safety::UnsafeWithoutSafetyComment),
+        Box::new(unwrap_serve::UnwrapInRequestPath),
+        Box::new(float_order::FloatReductionOrder),
+    ]
+}
+
+/// The rule names (for allow-directive validation).
+pub fn names() -> Vec<&'static str> {
+    all().iter().map(|r| r.name()).collect()
+}
+
+/// Runs every rule over `file`, honouring allow directives, and
+/// appends the file's own directive-syntax diagnostics.
+pub fn check_file(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    out.extend(file.meta_diags.iter().cloned());
+    let mut raw = Vec::new();
+    for rule in all() {
+        rule.check(file, &mut raw);
+    }
+    out.extend(
+        raw.into_iter()
+            .filter(|d| !file.allowed(d.line - 1, d.rule)),
+    );
+}
+
+/// Shared helper: push a diagnostic at 0-based `line` and byte `col`.
+pub(crate) fn push(
+    out: &mut Vec<Diagnostic>,
+    file: &SourceFile,
+    line: usize,
+    col: usize,
+    rule: &'static str,
+    message: String,
+) {
+    out.push(Diagnostic {
+        path: file.path.clone(),
+        line: line + 1,
+        col: col + 1,
+        rule,
+        message,
+    });
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+
+    /// Parses fixture text under a synthetic in-scope path and runs one
+    /// rule over it.
+    pub fn run_rule(rule: &dyn Rule, path: &str, text: &str) -> Vec<Diagnostic> {
+        let names = super::names();
+        let file = SourceFile::parse(path.to_string(), text, &names);
+        let mut raw = Vec::new();
+        rule.check(&file, &mut raw);
+        raw.into_iter()
+            .filter(|d| !file.allowed(d.line - 1, d.rule))
+            .collect()
+    }
+}

@@ -1,0 +1,115 @@
+//! `unsafe-without-safety-comment` — every `unsafe` block/fn and every
+//! `extern` FFI block must carry a `// SAFETY:` justification.
+//!
+//! The workspace is `forbid(unsafe_code)` in all but one crate; the one
+//! exception (`hypdb-serve`'s `signal(2)` FFI) is only acceptable while
+//! its justification stays attached to the code. This rule makes that
+//! attachment machine-checked: an `unsafe` keyword (or an `extern "…" {`
+//! declaration block — the FFI trust boundary itself) without a
+//! `SAFETY:` comment on the same or the five preceding lines is a
+//! diagnostic. Applies everywhere, tests included — unsound test code
+//! is still unsound.
+
+use super::{push, Rule};
+use crate::source::{find_words, SourceFile};
+use crate::Diagnostic;
+
+/// How far above the `unsafe` token a `SAFETY:` comment may sit.
+const LOOKBACK_LINES: usize = 5;
+
+/// The rule.
+pub struct UnsafeWithoutSafetyComment;
+
+impl Rule for UnsafeWithoutSafetyComment {
+    fn name(&self) -> &'static str {
+        "unsafe-without-safety-comment"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for line in 0..file.len() {
+            let code = &file.code[line];
+            for pos in find_words(code, "unsafe") {
+                // `unsafe_code` in attributes is excluded by the word
+                // boundary; `unsafe impl`/`unsafe fn`/`unsafe {` all
+                // need justification.
+                if !file.comment_lookback(line, LOOKBACK_LINES, "SAFETY:") {
+                    push(
+                        out,
+                        file,
+                        line,
+                        pos,
+                        self.name(),
+                        "`unsafe` without a `// SAFETY:` justification within the \
+                         5 preceding lines"
+                            .to_string(),
+                    );
+                }
+            }
+            // FFI declaration blocks: `extern "C" {` (fn-pointer types
+            // and `extern "C" fn` definitions declare no foreign
+            // symbols and are excluded).
+            if let Some(pos) = code.find("extern \"") {
+                let after_quote = &code[pos + "extern \"".len()..];
+                let Some(close) = after_quote.find('"') else {
+                    continue;
+                };
+                let rest = after_quote[close + 1..].trim_start();
+                let opens_block =
+                    rest.starts_with('{') || (rest.is_empty() && next_code_opens_brace(file, line));
+                if opens_block && !file.comment_lookback(line, LOOKBACK_LINES, "SAFETY:") {
+                    push(
+                        out,
+                        file,
+                        line,
+                        pos,
+                        self.name(),
+                        "FFI `extern` block without a `// SAFETY:` justification for \
+                         trusting the declared signatures"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// True when the next non-empty code line starts with `{`.
+fn next_code_opens_brace(file: &SourceFile, line: usize) -> bool {
+    (line + 1..file.len())
+        .find(|&l| !file.code[l].trim().is_empty())
+        .is_some_and(|l| file.code[l].trim_start().starts_with('{'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::run_rule;
+
+    const ACCEPT: &str = include_str!("../../fixtures/unsafe-without-safety-comment/accept.rs");
+    const REJECT: &str = include_str!("../../fixtures/unsafe-without-safety-comment/reject.rs");
+
+    #[test]
+    fn accept_fixture_is_clean() {
+        let diags = run_rule(&UnsafeWithoutSafetyComment, "crates/serve/src/x.rs", ACCEPT);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn reject_fixture_fires() {
+        let diags = run_rule(&UnsafeWithoutSafetyComment, "crates/serve/src/x.rs", REJECT);
+        assert!(diags.len() >= 2, "got {}: {diags:?}", diags.len());
+        assert!(diags
+            .iter()
+            .all(|d| d.rule == "unsafe-without-safety-comment"));
+    }
+
+    #[test]
+    fn forbid_attribute_does_not_fire() {
+        let diags = run_rule(
+            &UnsafeWithoutSafetyComment,
+            "crates/core/src/lib.rs",
+            "#![forbid(unsafe_code)]\nfn main() {}\n",
+        );
+        assert!(diags.is_empty());
+    }
+}

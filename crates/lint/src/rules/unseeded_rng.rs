@@ -1,0 +1,123 @@
+//! `unseeded-rng` — any RNG construction not derived from a config
+//! seed or SplitMix64 chunk derivation.
+//!
+//! Every random draw in the workspace flows from `HypDbConfig`'s seed
+//! through `hypdb_exec::seed`'s per-chunk SplitMix64 streams; that is
+//! what makes permutation-test verdicts reproducible at any thread
+//! count. Entropy-based constructors (`thread_rng`, `from_entropy`,
+//! `OsRng`, `rand::random`) and explicitly random hasher states
+//! (`RandomState::new`) reintroduce run-to-run variance, as does
+//! seeding from wall-clock time or the process id. Literal seeds
+//! (`seed_from_u64(42)`) are fine — they are deterministic.
+
+use super::{push, Rule};
+use crate::source::{find_words, SourceFile};
+use crate::Diagnostic;
+
+/// Constructors that draw from ambient entropy.
+const ENTROPY_SOURCES: &[&str] = &[
+    "thread_rng",
+    "from_entropy",
+    "from_os_rng",
+    "OsRng",
+    "getrandom",
+];
+
+/// Path-ish tokens (matched without word boundaries on the left).
+const ENTROPY_CALLS: &[&str] = &["rand::random(", "RandomState::new("];
+
+/// Tokens that make a `seed_from_u64` argument time/process-derived.
+const VOLATILE_SEED_SOURCES: &[&str] = &[
+    "now()",
+    "elapsed",
+    "as_nanos",
+    "as_micros",
+    "as_millis",
+    "process::id",
+    "UNIX_EPOCH",
+];
+
+/// The rule.
+pub struct UnseededRng;
+
+impl Rule for UnseededRng {
+    fn name(&self) -> &'static str {
+        "unseeded-rng"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for line in 0..file.len() {
+            let code = &file.code[line];
+            for token in ENTROPY_SOURCES {
+                for pos in find_words(code, token) {
+                    push(
+                        out,
+                        file,
+                        line,
+                        pos,
+                        self.name(),
+                        format!(
+                            "`{token}` draws from ambient entropy; construct RNGs from \
+                             the config seed (`seed_from_u64`) or a SplitMix64 chunk \
+                             derivation (`hypdb_exec::seed`)"
+                        ),
+                    );
+                }
+            }
+            for token in ENTROPY_CALLS {
+                if let Some(pos) = code.find(token) {
+                    push(
+                        out,
+                        file,
+                        line,
+                        pos,
+                        self.name(),
+                        format!(
+                            "`{}` is randomly keyed per process; derive state from the \
+                             config seed instead",
+                            token.trim_end_matches('(')
+                        ),
+                    );
+                }
+            }
+            if let Some(pos) = code.find("seed_from_u64(") {
+                let window = file.statement_window(line, 0);
+                if let Some(src) = VOLATILE_SEED_SOURCES.iter().find(|s| window.contains(*s)) {
+                    push(
+                        out,
+                        file,
+                        line,
+                        pos,
+                        self.name(),
+                        format!(
+                            "seed derived from `{src}` varies per run; derive it from \
+                             the config seed or a SplitMix64 chunk stream"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::run_rule;
+
+    const ACCEPT: &str = include_str!("../../fixtures/unseeded-rng/accept.rs");
+    const REJECT: &str = include_str!("../../fixtures/unseeded-rng/reject.rs");
+
+    #[test]
+    fn accept_fixture_is_clean() {
+        let diags = run_rule(&UnseededRng, "crates/stats/src/x.rs", ACCEPT);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn reject_fixture_fires() {
+        let diags = run_rule(&UnseededRng, "crates/stats/src/x.rs", REJECT);
+        assert!(diags.len() >= 3, "got {}: {diags:?}", diags.len());
+        assert!(diags.iter().all(|d| d.rule == "unseeded-rng"));
+    }
+}

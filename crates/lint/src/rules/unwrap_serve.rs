@@ -1,0 +1,107 @@
+//! `unwrap-in-request-path` — `unwrap`/`expect`/`panic!` in
+//! `hypdb-serve` request handling.
+//!
+//! A panicking request worker tears down its connection mid-response
+//! (or, on the acceptor, the whole server); malformed input and full
+//! queues must surface as status codes (400/413/503), never as panics.
+//! This rule covers `crates/serve/src/` minus `client.rs` (the
+//! loopback test/bench client panics on setup failure by design) and
+//! `#[cfg(test)]` code. Structurally unreachable cases should be
+//! rewritten (`let … else`, `unwrap_or_else`) — or, where a panic is
+//! genuinely the right response to a broken invariant, allow-listed
+//! with the invariant spelled out.
+
+use super::{push, Rule};
+use crate::source::SourceFile;
+use crate::Diagnostic;
+
+/// Panicking constructs.
+const PANIC_TOKENS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+/// The rule.
+pub struct UnwrapInRequestPath;
+
+impl Rule for UnwrapInRequestPath {
+    fn name(&self) -> &'static str {
+        "unwrap-in-request-path"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        // In scope: serve request handling — plus this rule's own
+        // fixture directory, so pointing the binary at the fixtures
+        // still exercises the rule (their paths lack the serve prefix).
+        let in_scope = file.path.starts_with("crates/serve/src/")
+            || file.path.contains("unwrap-in-request-path/");
+        if !in_scope || file.path.ends_with("/client.rs") {
+            return;
+        }
+        for line in 0..file.len() {
+            if file.in_test_code(line) {
+                continue;
+            }
+            let code = &file.code[line];
+            for token in PANIC_TOKENS {
+                let mut from = 0;
+                while let Some(rel) = code[from..].find(token) {
+                    let pos = from + rel;
+                    from = pos + token.len();
+                    push(
+                        out,
+                        file,
+                        line,
+                        pos,
+                        self.name(),
+                        format!(
+                            "`{}` can panic in the request path; return an error \
+                             status instead, restructure (`let … else`, \
+                             `unwrap_or_else`), or lint:allow with the invariant \
+                             that makes it unreachable",
+                            token.trim_start_matches('.').trim_end_matches('(')
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::run_rule;
+
+    const ACCEPT: &str = include_str!("../../fixtures/unwrap-in-request-path/accept.rs");
+    const REJECT: &str = include_str!("../../fixtures/unwrap-in-request-path/reject.rs");
+
+    #[test]
+    fn accept_fixture_is_clean() {
+        let diags = run_rule(&UnwrapInRequestPath, "crates/serve/src/server.rs", ACCEPT);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn reject_fixture_fires() {
+        let diags = run_rule(&UnwrapInRequestPath, "crates/serve/src/server.rs", REJECT);
+        assert!(diags.len() >= 3, "got {}: {diags:?}", diags.len());
+        assert!(diags.iter().all(|d| d.rule == "unwrap-in-request-path"));
+    }
+
+    #[test]
+    fn other_crates_are_out_of_scope() {
+        let diags = run_rule(&UnwrapInRequestPath, "crates/core/src/pipeline.rs", REJECT);
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn client_module_is_out_of_scope() {
+        let diags = run_rule(&UnwrapInRequestPath, "crates/serve/src/client.rs", REJECT);
+        assert!(diags.is_empty());
+    }
+}

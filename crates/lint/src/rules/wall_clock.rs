@@ -1,0 +1,85 @@
+//! `wall-clock-in-output` — `Instant::now`/`SystemTime::now` in code
+//! that contributes to report or wire bytes.
+//!
+//! The online/offline byte-identity invariant (`hypdb serve` bodies ==
+//! CLI bodies, pinned in CI) only holds because every timing that
+//! reaches a serialized report is zeroed before emission
+//! (`hypdb_core::wire`). A wall-clock read is legitimate for *control
+//! plane* purposes — connection deadlines, admission timeouts, bench
+//! measurement — but each such site must say so with a reasoned
+//! `lint:allow(wall-clock-in-output)`, so new clock reads can't drift
+//! into output paths unreviewed. Benches, tests, and examples are out
+//! of scope (they measure; they don't serve bytes).
+
+use super::{push, Rule};
+use crate::source::SourceFile;
+use crate::Diagnostic;
+
+/// Clock reads that vary per run.
+const CLOCK_TOKENS: &[&str] = &["Instant::now", "SystemTime::now"];
+
+/// The rule.
+pub struct WallClockInOutput;
+
+impl Rule for WallClockInOutput {
+    fn name(&self) -> &'static str {
+        "wall-clock-in-output"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if file.is_test_or_bench_path() {
+            return;
+        }
+        for line in 0..file.len() {
+            if file.in_test_code(line) {
+                continue;
+            }
+            let code = &file.code[line];
+            for token in CLOCK_TOKENS {
+                if let Some(pos) = code.find(token) {
+                    push(
+                        out,
+                        file,
+                        line,
+                        pos,
+                        self.name(),
+                        format!(
+                            "`{token}` varies per run; keep wall-clock reads out of \
+                             report/wire bytes (timings must be zeroed before \
+                             serialization), or lint:allow with the control-plane \
+                             reason"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::run_rule;
+
+    const ACCEPT: &str = include_str!("../../fixtures/wall-clock-in-output/accept.rs");
+    const REJECT: &str = include_str!("../../fixtures/wall-clock-in-output/reject.rs");
+
+    #[test]
+    fn accept_fixture_is_clean() {
+        let diags = run_rule(&WallClockInOutput, "crates/serve/src/x.rs", ACCEPT);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn reject_fixture_fires() {
+        let diags = run_rule(&WallClockInOutput, "crates/serve/src/x.rs", REJECT);
+        assert!(diags.len() >= 2, "got {}: {diags:?}", diags.len());
+        assert!(diags.iter().all(|d| d.rule == "wall-clock-in-output"));
+    }
+
+    #[test]
+    fn bench_crate_is_out_of_scope() {
+        let diags = run_rule(&WallClockInOutput, "crates/bench/src/lib.rs", REJECT);
+        assert!(diags.is_empty());
+    }
+}

@@ -1,0 +1,584 @@
+//! Lexical model of one Rust source file.
+//!
+//! The analyzer is token/line-level, not a full parser: each file is
+//! split into a *code* view (string and char literals blanked to
+//! spaces, comments blanked to spaces — column positions survive) and a
+//! *comment* view (the text of every comment, per line). Rules match
+//! tokens against the code view only, so a `thread_rng` inside a string
+//! literal or a doc comment never fires, and consult the comment view
+//! for the things that legitimately live in comments: `// SAFETY:`
+//! justifications and `// lint:allow(<rule>) — <reason>` suppressions.
+//!
+//! The file also carries a per-line `#[cfg(test)]` mask (brace-matched
+//! over the code view) so rules can exclude test-only code, and the
+//! parsed allow directives with their attachment lines: a trailing
+//! allow suppresses its own line, a standalone comment line suppresses
+//! the next line that contains code.
+
+use crate::Diagnostic;
+
+/// How an `// lint:allow(...)` directive must be written: rule names in
+/// parentheses (comma-separated for several), then a non-empty reason.
+pub const ALLOW_SYNTAX: &str = "// lint:allow(<rule>[, <rule>]) — <reason>";
+
+/// One analyzed source file.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (display + scoping).
+    pub path: String,
+    /// Per-line code view: literals and comments blanked to spaces.
+    pub code: Vec<String>,
+    /// Per-line comment text (line + block comments, `//`/`/*` stripped).
+    pub comments: Vec<String>,
+    /// True for lines inside a brace-matched `#[cfg(test)]` item.
+    pub test_mask: Vec<bool>,
+    /// Rules suppressed per line (0-based), via allow directives.
+    allows: Vec<Vec<String>>,
+    /// Malformed allow directives found while parsing (reported as
+    /// `invalid-allow` diagnostics — the allow syntax is itself
+    /// machine-checked).
+    pub meta_diags: Vec<Diagnostic>,
+}
+
+impl SourceFile {
+    /// Lexes `text` into the code/comment views and parses directives.
+    /// `rule_names` validates `lint:allow` targets.
+    pub fn parse(path: String, text: &str, rule_names: &[&str]) -> SourceFile {
+        let (code, comments) = split_code_and_comments(text);
+        let test_mask = mask_cfg_test(&code);
+        let mut file = SourceFile {
+            path,
+            code,
+            comments,
+            test_mask,
+            allows: Vec::new(),
+            meta_diags: Vec::new(),
+        };
+        file.collect_allows(rule_names);
+        file
+    }
+
+    /// Number of lines.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// True when the file holds no lines.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// True when `rule` is suppressed on 0-based `line`.
+    pub fn allowed(&self, line: usize, rule: &str) -> bool {
+        self.allows
+            .get(line)
+            .is_some_and(|rules| rules.iter().any(|r| r == rule))
+    }
+
+    /// True when 0-based `line` is inside `#[cfg(test)]` code.
+    pub fn in_test_code(&self, line: usize) -> bool {
+        self.test_mask.get(line).copied().unwrap_or(false)
+    }
+
+    /// True for paths that never contribute to report/wire bytes:
+    /// integration tests, examples, benches, and the bench crate.
+    pub fn is_test_or_bench_path(&self) -> bool {
+        let p = &self.path;
+        let in_dir =
+            |dir: &str| p.starts_with(&format!("{dir}/")) || p.contains(&format!("/{dir}/"));
+        in_dir("tests") || in_dir("examples") || in_dir("benches") || p.starts_with("crates/bench/")
+    }
+
+    /// The code of lines `[from, from + n)` joined with spaces — the
+    /// look-ahead window rules use for statement-level context.
+    pub fn window(&self, from: usize, n: usize) -> String {
+        let to = (from + n).min(self.code.len());
+        self.code[from..to].join(" ")
+    }
+
+    /// The current statement starting at `line` (scans forward to the
+    /// first `;`, capped), plus `extra` following lines. Used to spot
+    /// order-insensitive sinks like a `sort` right after a drain.
+    pub fn statement_window(&self, line: usize, extra: usize) -> String {
+        let mut end = line;
+        let cap = (line + 8).min(self.code.len().saturating_sub(1));
+        while end < cap && !self.code[end].contains(';') {
+            end += 1;
+        }
+        self.window(line, end - line + 1 + extra)
+    }
+
+    /// True when the comments on lines `[line - back, line]` contain
+    /// `needle` (e.g. `SAFETY:` justification look-back).
+    pub fn comment_lookback(&self, line: usize, back: usize, needle: &str) -> bool {
+        let from = line.saturating_sub(back);
+        self.comments[from..=line.min(self.comments.len() - 1)]
+            .iter()
+            .any(|c| c.contains(needle))
+    }
+
+    fn collect_allows(&mut self, rule_names: &[&str]) {
+        self.allows = vec![Vec::new(); self.code.len()];
+        for line in 0..self.comments.len() {
+            // A directive is a whole comment starting with `lint:allow`
+            // (`// lint:allow(...)`). Prose that merely mentions the
+            // syntax — doc comments, rule messages — never anchors
+            // there (doc comment text starts with `/` or `!`).
+            let comment = self.comments[line].clone();
+            let Some(rest) = comment.trim_start().strip_prefix("lint:allow") else {
+                continue;
+            };
+            let Some(open) = rest.find('(') else {
+                self.invalid_allow(line, "missing `(<rule>)` list");
+                continue;
+            };
+            let Some(close) = rest[open..].find(')') else {
+                self.invalid_allow(line, "unterminated rule list");
+                continue;
+            };
+            let names: Vec<String> = rest[open + 1..open + close]
+                .split(',')
+                .map(|n| n.trim().to_string())
+                .filter(|n| !n.is_empty())
+                .collect();
+            let reason = rest[open + close + 1..]
+                .trim_start_matches([' ', '\t', '—', '–', '-', ':', '.'])
+                .trim();
+            if names.is_empty() {
+                self.invalid_allow(line, "empty rule list");
+                continue;
+            }
+            let mut valid = Vec::new();
+            for name in names {
+                if rule_names.contains(&name.as_str()) {
+                    valid.push(name);
+                } else {
+                    self.invalid_allow(line, &format!("unknown rule `{name}`"));
+                }
+            }
+            if reason.len() < 8 {
+                self.invalid_allow(
+                    line,
+                    "an allow must state a reason (≥ 8 chars) after the rule list",
+                );
+                continue;
+            }
+            if valid.is_empty() {
+                continue;
+            }
+            // Trailing allow → its own line; standalone comment
+            // line → the next line containing code.
+            let target = if self.code[line].trim().is_empty() {
+                (line + 1..self.code.len()).find(|&l| !self.code[l].trim().is_empty())
+            } else {
+                Some(line)
+            };
+            if let Some(t) = target {
+                self.allows[t].extend(valid);
+            }
+        }
+    }
+
+    fn invalid_allow(&mut self, line: usize, what: &str) {
+        self.meta_diags.push(Diagnostic {
+            path: self.path.clone(),
+            line: line + 1,
+            col: 1,
+            rule: "invalid-allow",
+            message: format!("malformed lint:allow directive ({what}); write `{ALLOW_SYNTAX}`"),
+        });
+    }
+}
+
+/// Splits source text into per-line (code, comment) views. Code keeps
+/// every non-literal, non-comment character at its original column;
+/// string/char-literal interiors and comment spans become spaces.
+fn split_code_and_comments(text: &str) -> (Vec<String>, Vec<String>) {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+        CharLit,
+    }
+    let mut code = vec![String::new()];
+    let mut comments = vec![String::new()];
+    let chars: Vec<char> = text.chars().collect();
+    let mut st = St::Code;
+    let mut i = 0usize;
+    let mut prev_ident = false; // previous code char was ident-ish (for raw-string detection)
+
+    macro_rules! cur_code {
+        () => {
+            code.last_mut().expect("one line always present")
+        };
+    }
+    macro_rules! cur_comment {
+        () => {
+            comments.last_mut().expect("one line always present")
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if st == St::LineComment {
+                st = St::Code;
+            }
+            code.push(String::new());
+            comments.push(String::new());
+            prev_ident = false;
+            i += 1;
+            continue;
+        }
+        match st {
+            St::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    st = St::LineComment;
+                    cur_code!().push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    st = St::BlockComment(1);
+                    cur_code!().push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    st = St::Str;
+                    cur_code!().push('"');
+                    i += 1;
+                } else if (c == 'r' || c == 'b')
+                    && !prev_ident
+                    && raw_string_hashes(&chars, i).is_some()
+                {
+                    let (hashes, skip) = raw_string_hashes(&chars, i).expect("checked above");
+                    st = St::RawStr(hashes);
+                    for _ in 0..skip {
+                        cur_code!().push(' ');
+                    }
+                    cur_code!().push('"');
+                    i += skip + 1;
+                } else if c == 'b' && !prev_ident && next == Some('"') {
+                    st = St::Str;
+                    cur_code!().push_str(" \"");
+                    i += 2;
+                } else if c == '\'' {
+                    // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                    if is_lifetime(&chars, i) {
+                        cur_code!().push('\'');
+                        prev_ident = false;
+                        i += 1;
+                    } else {
+                        st = St::CharLit;
+                        cur_code!().push('\'');
+                        i += 1;
+                    }
+                    continue;
+                } else {
+                    prev_ident = c.is_alphanumeric() || c == '_';
+                    cur_code!().push(c);
+                    i += 1;
+                    continue;
+                }
+                prev_ident = false;
+            }
+            St::LineComment => {
+                cur_comment!().push(c);
+                cur_code!().push(' ');
+                i += 1;
+            }
+            St::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    cur_code!().push_str("  ");
+                    i += 2;
+                    if depth == 1 {
+                        st = St::Code;
+                    } else {
+                        st = St::BlockComment(depth - 1);
+                    }
+                } else if c == '/' && next == Some('*') {
+                    cur_code!().push_str("  ");
+                    cur_comment!().push_str("/*");
+                    i += 2;
+                    st = St::BlockComment(depth + 1);
+                } else {
+                    cur_comment!().push(c);
+                    cur_code!().push(' ');
+                    i += 1;
+                }
+            }
+            St::Str => {
+                if c == '\\' {
+                    // Keep escaped newlines (line continuations) on the
+                    // normal newline path so line counts stay aligned.
+                    if chars.get(i + 1) == Some(&'\n') {
+                        cur_code!().push(' ');
+                        i += 1;
+                    } else {
+                        cur_code!().push_str("  ");
+                        i += 2;
+                    }
+                } else if c == '"' {
+                    cur_code!().push('"');
+                    st = St::Code;
+                    i += 1;
+                } else {
+                    cur_code!().push(' ');
+                    i += 1;
+                }
+            }
+            St::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    cur_code!().push('"');
+                    for _ in 0..hashes {
+                        cur_code!().push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                    st = St::Code;
+                } else {
+                    cur_code!().push(' ');
+                    i += 1;
+                }
+            }
+            St::CharLit => {
+                if c == '\\' {
+                    cur_code!().push_str("  ");
+                    i += 2;
+                } else if c == '\'' {
+                    cur_code!().push('\'');
+                    st = St::Code;
+                    i += 1;
+                } else {
+                    cur_code!().push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    (code, comments)
+}
+
+/// At `chars[i] == 'r'` (or `'b'` for `br`), returns `(hash_count,
+/// chars_before_quote)` when a raw string literal starts here.
+fn raw_string_hashes(chars: &[char], i: usize) -> Option<(u32, usize)> {
+    let mut j = i + 1;
+    if chars[i] == 'b' {
+        if chars.get(j) != Some(&'r') {
+            return None;
+        }
+        j += 1;
+    }
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some((hashes, j - i))
+}
+
+/// True when the `"` at `chars[i]` is followed by `hashes` `#`s.
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// True when the `'` at `chars[i]` starts a lifetime, not a char
+/// literal: `'ident` not closed by a `'` right after the identifier.
+fn is_lifetime(chars: &[char], i: usize) -> bool {
+    let Some(&first) = chars.get(i + 1) else {
+        return false;
+    };
+    if !(first.is_alphabetic() || first == '_') {
+        return false;
+    }
+    let mut j = i + 2;
+    while chars
+        .get(j)
+        .is_some_and(|c| c.is_alphanumeric() || *c == '_')
+    {
+        j += 1;
+    }
+    chars.get(j) != Some(&'\'')
+}
+
+/// Marks lines covered by a brace-matched `#[cfg(test)]` item.
+fn mask_cfg_test(code: &[String]) -> Vec<bool> {
+    let mut mask = vec![false; code.len()];
+    let mut line = 0;
+    while line < code.len() {
+        if !code[line].contains("#[cfg(test)]") {
+            line += 1;
+            continue;
+        }
+        // The attribute must introduce a braced item within a few
+        // lines (`mod tests {`); otherwise mark just the attribute.
+        let has_brace = (line..(line + 4).min(code.len())).any(|l| code[l].contains('{'));
+        if !has_brace {
+            mask[line] = true;
+            line += 1;
+            continue;
+        }
+        // Find the item's opening brace (same line or a later one) and
+        // brace-match to its close over the code view.
+        let mut depth = 0i32;
+        let mut opened = false;
+        let mut end = line;
+        'scan: for (l, line_code) in code.iter().enumerate().skip(line) {
+            for ch in line_code.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+                if opened && depth == 0 {
+                    end = l;
+                    break 'scan;
+                }
+            }
+            end = l;
+        }
+        for m in mask.iter_mut().take(end + 1).skip(line) {
+            *m = true;
+        }
+        line = end + 1;
+    }
+    mask
+}
+
+/// True when `haystack[pos..]` starts `needle` on a word boundary on
+/// both sides (identifier characters delimit words).
+pub fn word_at(haystack: &str, pos: usize, needle: &str) -> bool {
+    let bytes = haystack.as_bytes();
+    let is_word = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    if pos > 0 && is_word(bytes[pos - 1]) {
+        return false;
+    }
+    let end = pos + needle.len();
+    if end < bytes.len() && is_word(bytes[end]) {
+        return false;
+    }
+    haystack[pos..].starts_with(needle)
+}
+
+/// All word-boundary occurrences of `needle` in `line` (byte offsets).
+pub fn find_words(line: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = line[from..].find(needle) {
+        let pos = from + rel;
+        if word_at(line, pos, needle) {
+            out.push(pos);
+        }
+        from = pos + needle.len().max(1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> SourceFile {
+        SourceFile::parse("crates/x/src/lib.rs".into(), text, &["rule-a", "rule-b"])
+    }
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let f = parse("let x = \"HashMap::new()\"; // HashMap::new()\n");
+        assert!(!f.code[0].contains("HashMap"));
+        assert!(f.comments[0].contains("HashMap"));
+        // Columns survive blanking.
+        assert_eq!(f.code[0].find("let"), Some(0));
+        assert_eq!(
+            f.code[0].find(';'),
+            Some("let x = \"HashMap::new()\"".len())
+        );
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked() {
+        let f = parse("let r = r#\"Instant::now()\"#; let c = 'x'; let lt: &'static str = \"\";\n");
+        assert!(!f.code[0].contains("Instant"));
+        assert!(f.code[0].contains("'static"), "lifetimes stay code");
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let f = parse("a /* one\n two */ b\n");
+        assert_eq!(f.code[0].trim(), "a");
+        assert_eq!(f.code[1].trim(), "b");
+        assert!(f.comments[0].contains("one"));
+        assert!(f.comments[1].contains("two"));
+    }
+
+    #[test]
+    fn cfg_test_mask_covers_module() {
+        let f = parse("fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n");
+        assert!(!f.in_test_code(0));
+        assert!(f.in_test_code(1));
+        assert!(f.in_test_code(3));
+        assert!(f.in_test_code(4));
+        assert!(!f.in_test_code(5));
+    }
+
+    #[test]
+    fn trailing_allow_binds_to_its_line() {
+        let f = parse("foo(); // lint:allow(rule-a) — a considered reason\nbar();\n");
+        assert!(f.allowed(0, "rule-a"));
+        assert!(!f.allowed(1, "rule-a"));
+        assert!(!f.allowed(0, "rule-b"));
+        assert!(f.meta_diags.is_empty());
+    }
+
+    #[test]
+    fn standalone_allow_binds_to_next_code_line() {
+        let f = parse("// lint:allow(rule-a, rule-b) — shared considered reason\nfoo();\n");
+        assert!(f.allowed(1, "rule-a"));
+        assert!(f.allowed(1, "rule-b"));
+    }
+
+    #[test]
+    fn allow_without_reason_is_invalid() {
+        let f = parse("foo(); // lint:allow(rule-a)\n");
+        assert!(!f.allowed(0, "rule-a"));
+        assert_eq!(f.meta_diags.len(), 1);
+        assert_eq!(f.meta_diags[0].rule, "invalid-allow");
+    }
+
+    #[test]
+    fn allow_of_unknown_rule_is_invalid() {
+        let f = parse("foo(); // lint:allow(nope) — some long reason here\n");
+        assert!(!f.allowed(0, "nope"));
+        assert_eq!(f.meta_diags.len(), 1);
+    }
+
+    #[test]
+    fn prose_mention_is_not_a_directive() {
+        // Doc comments describing the syntax must not parse as allows
+        // (nor as malformed ones).
+        let f = parse("//! suppress with `lint:allow(<rule>)` and a reason\nfoo();\n");
+        assert!(f.meta_diags.is_empty());
+        assert!(!f.allowed(1, "rule-a"));
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(word_at("x unsafe {", 2, "unsafe"));
+        assert!(!word_at("forbid(unsafe_code)", 7, "unsafe"));
+        assert_eq!(
+            find_words("unsafe unsafe_code unsafe", "unsafe"),
+            vec![0, 19]
+        );
+    }
+
+    #[test]
+    fn statement_window_reaches_semicolon_plus_extra() {
+        let f = parse("let v: Vec<_> = m\n    .into_iter()\n    .collect();\nv.sort();\n");
+        let w = f.statement_window(0, 2);
+        assert!(w.contains("collect"));
+        assert!(w.contains("sort"));
+    }
+}

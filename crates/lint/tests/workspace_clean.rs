@@ -1,0 +1,36 @@
+//! Meta-test: the workspace itself is lint-clean.
+//!
+//! Every rule violation in workspace source must be either fixed or
+//! carry a reasoned `lint:allow`; this test turns a new violation into
+//! a red `cargo test` even before the CI gate runs the binary.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_diagnostics() {
+    // crates/lint/tests → workspace root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let diags = hypdb_lint::run(&root).expect("workspace scan succeeds");
+    assert!(
+        diags.is_empty(),
+        "workspace is not lint-clean ({} diagnostic(s)):\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<_>>()
+            .join("\n"),
+    );
+}
+
+#[test]
+fn report_is_deterministic() {
+    // Two scans of the same tree must produce byte-identical output —
+    // the analyzer is subject to its own discipline.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let a = hypdb_lint::run(&root).expect("first scan");
+    let b = hypdb_lint::run(&root).expect("second scan");
+    let render =
+        |ds: &[hypdb_lint::Diagnostic]| ds.iter().map(|d| d.to_string() + "\n").collect::<String>();
+    assert_eq!(render(&a), render(&b));
+}

@@ -115,16 +115,22 @@ impl ByteLruCache {
             inner.resident_bytes -= old.bytes;
         }
         inner.resident_bytes += bytes;
-        while inner.resident_bytes > self.capacity && !inner.map.is_empty() {
+        while inner.resident_bytes > self.capacity {
             // O(n) LRU scan: the cache holds at most a few thousand
-            // reports, and eviction is off the common (hit) path.
-            let victim = inner
+            // reports, and eviction is off the common (hit) path. The
+            // `let … else` arms make an empty map end the loop instead
+            // of panicking the request worker.
+            let Some(victim) = inner
                 .map
                 .iter()
                 .min_by_key(|(k, e)| (e.used, **k))
                 .map(|(&k, _)| k)
-                .expect("non-empty map has a minimum");
-            let evicted = inner.map.remove(&victim).expect("victim present");
+            else {
+                break;
+            };
+            let Some(evicted) = inner.map.remove(&victim) else {
+                break;
+            };
             inner.resident_bytes -= evicted.bytes;
             inner.evictions += 1;
             inner.evicted_bytes += evicted.bytes as u64;

@@ -57,6 +57,7 @@ impl From<io::Error> for RequestError {
 /// per interval and pin a worker forever; shrinking the timeout to the
 /// time left makes the whole request strictly bounded.
 fn read_within(stream: &mut TcpStream, chunk: &mut [u8], deadline: Instant) -> io::Result<usize> {
+    // lint:allow(wall-clock-in-output) — remaining-deadline arithmetic is control plane: it shrinks the socket timeout, never response bytes
     let remaining = deadline.saturating_duration_since(Instant::now());
     if remaining.is_zero() {
         return Err(io::ErrorKind::TimedOut.into());

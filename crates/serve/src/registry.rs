@@ -170,10 +170,14 @@ impl Registry {
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, s)| s.used)
-                .map(|(i, _)| i)
-                .expect("non-empty");
-            let evicted = inner.slots.swap_remove(victim);
-            inner.retired = inner.retired.merge(&evicted.cache.stats());
+                .map(|(i, _)| i);
+            // `if let` instead of `expect`: an empty slot list (cannot
+            // happen past the length guard) skips eviction rather than
+            // panicking the request worker holding the lock.
+            if let Some(victim) = victim {
+                let evicted = inner.slots.swap_remove(victim);
+                inner.retired = inner.retired.merge(&evicted.cache.stats());
+            }
         }
         cache
     }
@@ -221,6 +225,7 @@ impl Registry {
         for name in Self::BUILTIN_NAMES {
             reg.insert(
                 *name,
+                // lint:allow(unwrap-in-request-path) — startup-only loading of BUILTIN_NAMES, every name is matched by builtin_dataset; no request is being served yet
                 &Self::builtin_dataset(name, rows).expect("known builtin"),
             );
         }

@@ -362,6 +362,7 @@ fn handle_connection(shared: &Shared, stream: &mut TcpStream) {
     // The client has `timeout_ms` to deliver its complete request; the
     // budget starts when a worker picks the connection up (compute time
     // afterwards is the server's, not counted against the client).
+    // lint:allow(wall-clock-in-output) — connection deadline is control plane: it bounds socket reads and never reaches response bytes
     let deadline = std::time::Instant::now() + Duration::from_millis(shared.cfg.timeout_ms.max(1));
     let resp = match http::read_request(stream, shared.cfg.max_body, deadline) {
         Ok(req) => {
@@ -405,7 +406,10 @@ fn route(shared: &Shared, req: &Request) -> Response {
         }
         ("GET", "/datasets") => {
             let infos = shared.registry.infos();
-            Response::json(200, serde_json::to_string(&infos).expect("infos serialize"))
+            match serde_json::to_string(&infos) {
+                Ok(body) => Response::json(200, body),
+                Err(e) => Response::error(500, format!("serializing dataset list: {e}")),
+            }
         }
         ("POST", "/analyze") => {
             shared.metrics.analyze();

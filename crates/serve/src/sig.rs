@@ -51,6 +51,11 @@ mod unix {
         SHUTDOWN.store(true, Ordering::Relaxed);
     }
 
+    // SAFETY: the declaration matches `signal(2)`'s C prototype: an
+    // `int` and a C-ABI handler pointer by value, returning the
+    // pointer-sized previous handler (declared `usize` — it is only
+    // compared, never called). A signature mismatch here would be UB
+    // at the FFI boundary, not a compile error.
     extern "C" {
         /// `signal(2)` from the platform libc std already links. The
         /// return value (the previous handler) is pointer-sized; it is

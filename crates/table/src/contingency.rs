@@ -247,10 +247,19 @@ impl ContingencyTable {
                 }
             }
             Cells::Sparse(m) => {
-                for (key, &count) in m {
-                    if count > 0 {
-                        f(key, count);
-                    }
+                // Emit in sorted key order: sparse insertion order is
+                // timing-dependent (fresh scan vs marginalised from a
+                // cached superset), and downstream float reductions
+                // (likelihoods, entropies) must not see a
+                // run-dependent visit order.
+                let mut entries: Vec<(&Box<[u32]>, u64)> = m
+                    .iter()
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(k, &c)| (k, c))
+                    .collect();
+                entries.sort_unstable_by(|a, b| a.0.cmp(b.0));
+                for (key, count) in entries {
+                    f(key, count);
                 }
             }
         }
@@ -359,7 +368,13 @@ impl Stratified {
                 .or_insert_with(|| CrossTab::zeros(r, c));
             tab.add(xcol.at(row) as usize, ycol.at(row) as usize, 1);
         }
-        Strata::new(groups.into_values().collect())
+        // Deterministic stratum order: per-stratum statistics are
+        // combined with floating-point sums downstream, so fix a
+        // canonical (sorted-by-key) order rather than exposing the
+        // hash map's bucket order.
+        let mut keyed: Vec<(Box<[u32]>, CrossTab)> = groups.into_iter().collect();
+        keyed.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        Strata::new(keyed.into_iter().map(|(_, tab)| tab).collect())
     }
 
     /// Like [`Stratified::build`] but also returning the group keys in
