@@ -14,6 +14,7 @@ use hypdb_bench::{
 const ALL: &[&str] = &[
     "table1",
     "end_to_end",
+    "planner",
     "fig5a",
     "fig5b",
     "fig5c",
@@ -33,6 +34,7 @@ fn run_one(name: &str, scale: Scale) {
     match name {
         "table1" => table1::run(scale),
         "end_to_end" => end_to_end::run(scale),
+        "planner" => end_to_end::run_planner(scale),
         "fig5a" => fig5a::run(scale),
         "fig5b" => quality::run_fig5b(scale),
         "fig5c" => quality::run_fig5c(scale),

@@ -3,15 +3,18 @@
 //! algorithm (§4) and the FGS baseline (§7.4).
 //!
 //! When the oracle profits from batches ([`CiOracle::prefers_batches`]),
-//! both learners issue their independence statements through the
-//! oracle's **batch API** ([`CiOracle::test_batch`]): each round — all
-//! candidates against the *current* boundary — is submitted as one
-//! statement set, so a planning oracle answers the whole round from one
-//! shared contingency pass. The sequential semantics are preserved
-//! exactly: within a Grow–Shrink pass the boundary mutates as soon as a
-//! candidate is admitted, so only the verdicts *up to the first change*
-//! are consumed from a round; the remaining candidates re-batch against
-//! the updated boundary (their speculative verdicts are discarded —
+//! both learners issue their independence statements round-wise. Rounds
+//! whose sequential semantics stop at the *first* hit — Grow–Shrink
+//! admissions, the shared shrink phase — go through
+//! [`CiOracle::find_first`], which plans the whole round's contingency
+//! work once but settles verdicts in speculation waves, skipping the
+//! statements a sequential pass would never have evaluated. Rounds that
+//! consume *every* verdict (IAMB's strongest-first grow) still use the
+//! full batch API ([`CiOracle::test_batch`]). Either way the sequential
+//! semantics are preserved exactly: within a Grow–Shrink pass the
+//! boundary mutates as soon as a candidate is admitted, only the
+//! verdicts up to the first change are consumed, and the remaining
+//! candidates re-round against the updated boundary (speculative
 //! verdicts are pure, so this changes cost, never results). Oracles
 //! that answer call-at-a-time (exact d-separation oracles; a data
 //! oracle with batching disabled) keep the original lazy early-exit
@@ -77,9 +80,11 @@ pub fn grow_shrink<O: CiOracle + ?Sized>(oracle: &O, target: Var) -> Vec<Var> {
                 .iter()
                 .map(|&x| CiStatement::new(target, x, boundary.clone()))
                 .collect();
-            let indep = oracle.independent_batch(&stmts);
-            match round.iter().zip(&indep).find(|(_, &ind)| !ind) {
-                Some((&x, _)) => {
+            // Only the first dependence is consumed; `find_first` lets
+            // the oracle skip the speculative tail of the round.
+            match oracle.find_first(&stmts, false) {
+                Some(k) => {
+                    let x = round[k];
                     boundary.push(x);
                     changed = true;
                     i = cands.iter().position(|&c| c == x).expect("candidate") + 1;
@@ -205,9 +210,10 @@ fn shrink<O: CiOracle + ?Sized>(oracle: &O, target: Var, boundary: &mut Vec<Var>
                 .iter()
                 .map(|(k, rest)| CiStatement::new(target, tail[*k], rest.clone()))
                 .collect();
-            let indep = oracle.independent_batch(&stmts);
-            match checks.iter().zip(&indep).find(|(_, &ind)| ind) {
-                Some(((k, _), _)) => {
+            // Only the first independence is consumed; `find_first`
+            // lets the oracle skip the speculative tail of the round.
+            match oracle.find_first(&stmts, true).map(|j| &checks[j]) {
+                Some((k, _)) => {
                     let x = tail[*k];
                     let pos = boundary.iter().position(|&v| v == x).expect("member");
                     boundary.remove(pos);

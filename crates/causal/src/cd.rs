@@ -175,15 +175,14 @@ impl<'o, O: CiOracle + Sync + ?Sized> CovariateDiscovery<'o, O> {
             }
             // Round 2: the dependence half, only for the survivors
             // (the same statements the sequential scan would issue).
+            // Only the first dependence is consumed, so `find_first`
+            // lets the oracle skip the round's speculative tail.
             let stmts: Vec<CiStatement> = passed
                 .iter()
                 .map(|(w, s_t)| CiStatement::new(z, *w, s_t.clone()))
                 .collect();
-            let dep = self.oracle.independent_batch(&stmts);
-            for ((w, _), &ind) in passed.iter().zip(&dep) {
-                if !ind {
-                    return Some((z, *w));
-                }
+            if let Some(j) = self.oracle.find_first(&stmts, false) {
+                return Some((z, passed[j].0));
             }
         }
         None
@@ -219,7 +218,9 @@ impl<'o, O: CiOracle + Sync + ?Sized> CovariateDiscovery<'o, O> {
                 .iter()
                 .map(|s| CiStatement::new(t, c, (*s).clone()))
                 .collect();
-            if self.oracle.independent_batch(&stmts).iter().any(|&ind| ind) {
+            // "Does any subset separate?" needs only the first
+            // independence; `find_first` skips the speculative tail.
+            if self.oracle.find_first(&stmts, true).is_some() {
                 return true;
             }
             start = end;

@@ -41,5 +41,5 @@ pub use hc::{HillClimb, Score};
 pub use oracle::{
     CiConfig, CiOracle, DataOracle, GraphOracle, IndependenceTestKind, OracleCache, OracleStats,
 };
-pub use plan::{BatchConfig, CiStatement, Plan, PlanGroup};
+pub use plan::{support_bound, BatchConfig, CiStatement, CostModel, Plan, PlanForce, PlanGroup};
 pub use preprocess::{drop_logical_dependencies, PreprocessConfig, PreprocessReport};

@@ -12,7 +12,10 @@
 //! * [`GraphOracle`] — exact d-separation on a known DAG; the
 //!   noise-free oracle used to validate discovery algorithms.
 
-use crate::plan::{BatchConfig, CiStatement, Plan};
+use crate::plan::{
+    support_bound, BatchConfig, CiStatement, CostModel, Plan, PlanForce, PlanGroup,
+    SPECULATION_WAVE,
+};
 use hypdb_exec::{seed, ShardedMap, ThreadPool};
 use hypdb_graph::dag::Dag;
 use hypdb_graph::dsep::d_separated_pair;
@@ -103,6 +106,10 @@ struct AtomicStats {
     entropy_misses: AtomicU64,
     batched_statements: AtomicU64,
     groups_planned: AtomicU64,
+    scans_direct: AtomicU64,
+    marginalised_from_superset: AtomicU64,
+    lattice_intermediates: AtomicU64,
+    speculative_skipped: AtomicU64,
 }
 
 impl AtomicStats {
@@ -124,6 +131,10 @@ impl AtomicStats {
             entropy_misses: self.entropy_misses.load(Ordering::Relaxed),
             batched_statements: self.batched_statements.load(Ordering::Relaxed),
             groups_planned: self.groups_planned.load(Ordering::Relaxed),
+            scans_direct: self.scans_direct.load(Ordering::Relaxed),
+            marginalised_from_superset: self.marginalised_from_superset.load(Ordering::Relaxed),
+            lattice_intermediates: self.lattice_intermediates.load(Ordering::Relaxed),
+            speculative_skipped: self.speculative_skipped.load(Ordering::Relaxed),
         }
     }
 
@@ -136,6 +147,10 @@ impl AtomicStats {
         self.entropy_misses.store(0, Ordering::Relaxed);
         self.batched_statements.store(0, Ordering::Relaxed);
         self.groups_planned.store(0, Ordering::Relaxed);
+        self.scans_direct.store(0, Ordering::Relaxed);
+        self.marginalised_from_superset.store(0, Ordering::Relaxed);
+        self.lattice_intermediates.store(0, Ordering::Relaxed);
+        self.speculative_skipped.store(0, Ordering::Relaxed);
     }
 }
 
@@ -159,6 +174,18 @@ pub struct OracleStats {
     pub batched_statements: u64,
     /// Statement groups (shared conditioning sets) the planner formed.
     pub groups_planned: u64,
+    /// Planner decisions: tables the cost model chose to build by a
+    /// direct row scan (a cached superset existed but was too wide).
+    pub scans_direct: u64,
+    /// Planner decisions: tables derived by walking a cached superset
+    /// (the cost model's marginalisation choice).
+    pub marginalised_from_superset: u64,
+    /// Intermediate lattice tables materialised during top-down
+    /// descent between a group's joint and its member tables.
+    pub lattice_intermediates: u64,
+    /// Speculative statements the round-wise issuers skipped because a
+    /// decisive verdict landed in an earlier wave.
+    pub speculative_skipped: u64,
 }
 
 impl OracleStats {
@@ -174,6 +201,11 @@ impl OracleStats {
             entropy_misses: self.entropy_misses + other.entropy_misses,
             batched_statements: self.batched_statements + other.batched_statements,
             groups_planned: self.groups_planned + other.groups_planned,
+            scans_direct: self.scans_direct + other.scans_direct,
+            marginalised_from_superset: self.marginalised_from_superset
+                + other.marginalised_from_superset,
+            lattice_intermediates: self.lattice_intermediates + other.lattice_intermediates,
+            speculative_skipped: self.speculative_skipped + other.speculative_skipped,
         }
     }
 }
@@ -192,6 +224,14 @@ impl OracleStats {
 pub struct OracleCache {
     counts: ShardedMap<Vec<AttrId>, Arc<ContingencyTable>, FxBuildHasher>,
     entropies: ShardedMap<Vec<AttrId>, f64, FxBuildHasher>,
+    /// Observed supports (non-zero cell counts) of every table built
+    /// through this cache — the planner's support-feedback seam. A
+    /// subset's support never exceeds a superset's, so these refine
+    /// the a-priori `min(∏ dims, rows)` bound online.
+    supports: ShardedMap<Vec<AttrId>, u64, FxBuildHasher>,
+    /// Resident contingency-table bytes (≈ support × key width),
+    /// exported as the `hypdb_oracle_cache_bytes` gauge.
+    table_bytes: AtomicU64,
     counters: AtomicStats,
 }
 
@@ -199,6 +239,23 @@ impl OracleCache {
     /// A fresh, empty cache.
     pub fn new() -> OracleCache {
         OracleCache::default()
+    }
+
+    /// Records a materialised table: memoises it, notes its observed
+    /// support for the planner's predictor, and accounts its resident
+    /// bytes exactly once (racing builders of the same key compute
+    /// identical tables; only the first insert is charged).
+    fn store_table(&self, key: Vec<AttrId>, ct: &Arc<ContingencyTable>) {
+        self.supports.insert(key.clone(), ct.support());
+        if self.counts.insert_new(key, Arc::clone(ct)) {
+            self.table_bytes
+                .fetch_add(ct.approx_bytes(), Ordering::Relaxed);
+        }
+    }
+
+    /// Approximate bytes held by the materialised contingency tables.
+    pub fn cache_bytes(&self) -> u64 {
+        self.table_bytes.load(Ordering::Relaxed)
     }
 
     /// Snapshot of the work counters accumulated through this cache
@@ -272,6 +329,22 @@ pub trait CiOracle {
             .iter()
             .map(|o| o.independent(alpha))
             .collect()
+    }
+
+    /// The round-wise issuer primitive: the index of the first
+    /// statement whose `independent` verdict equals `want`, or `None`.
+    /// Grow rounds ask for the first dependence, shrink rounds for the
+    /// first independence — either way the round's sequential
+    /// semantics discard every verdict past the hit, so lazy
+    /// evaluation is exact. The default is the call-at-a-time
+    /// early-exit scan; [`DataOracle`] overrides it to evaluate in
+    /// deterministic speculation waves (batch parallelism without
+    /// paying for the whole round). The returned index is identical
+    /// for every implementation — only the work differs.
+    fn find_first(&self, stmts: &[CiStatement], want: bool) -> Option<usize> {
+        stmts
+            .iter()
+            .position(|s| self.independent(s.x, s.y, &s.z) == want)
     }
 
     /// Association strength heuristic (used by IAMB's ordering); default
@@ -434,53 +507,129 @@ impl<'a, S: Scan + ?Sized> DataOracle<'a, S> {
         Arc::new(base.marginal(&positions))
     }
 
+    /// The cost model over this oracle's selection: scan cost is the
+    /// row count, marginal cost is the parent's support — both times
+    /// the key width. This is a *work* model, not a wall-clock model:
+    /// it deliberately ignores the worker-pool size, so a strategy
+    /// decision depends only on the data and the cache contents at the
+    /// moment it is made, never on `HYPDB_THREADS` — parallelism
+    /// speeds the chosen plan up, it never changes which plan is
+    /// cheapest. (Aggregate decision *counters* can still differ
+    /// between worker counts when concurrent analyses interleave their
+    /// cache population; the verdicts and reports never do.)
+    fn cost_model(&self) -> CostModel {
+        CostModel::new(self.rows.len() as u64, 1)
+    }
+
+    /// Predicted support of a table over `attrs` (sorted): the
+    /// a-priori `min(∏ dims, rows)` bound, refined by every observed
+    /// support of a superset already built through the cache (a
+    /// marginal cannot have more non-zero cells than its parent).
+    /// Exact once the set itself has been built.
+    fn predict_support(&self, attrs: &[AttrId]) -> u64 {
+        if let Some(observed) = self.cache.supports.get(attrs) {
+            return observed;
+        }
+        let dims: Vec<u32> = attrs
+            .iter()
+            .map(|&a| self.table.cardinality(a).max(1))
+            .collect();
+        let bound = support_bound(&dims, self.rows.len() as u64);
+        // lint:allow(nondeterministic-iteration) — fold computes a min over u64 supports, which is the same for every visit order
+        self.cache.supports.fold(bound, |best, key, &sup| {
+            if sup < best && is_subset(attrs, key) {
+                sup
+            } else {
+                best
+            }
+        })
+    }
+
+    /// Predicted cost of making `attrs` (sorted) available: zero when
+    /// already cached, otherwise the cheaper of a segment scan and a
+    /// marginal walk of the best cached superset.
+    fn predict_build_cost(&self, attrs: &[AttrId], cm: &CostModel) -> u64 {
+        if self.cache.counts.get(attrs).is_some() {
+            return 0;
+        }
+        let scan = cm.scan_cost(attrs.len());
+        // lint:allow(nondeterministic-iteration) — fold computes a min over u64 costs, which is the same for every visit order
+        self.cache.counts.fold(scan, |best, key, ct| {
+            if is_subset(attrs, key) {
+                best.min(cm.marginal_cost(ct.support(), attrs.len()))
+            } else {
+                best
+            }
+        })
+    }
+
     /// The cached contingency table over a canonical (sorted) attribute
     /// set — the one place rows are ever scanned.
+    ///
+    /// On a miss the *cheapest cached superset* (by predicted marginal
+    /// cost, tie-broken by `(len, key)`) competes against a direct
+    /// segment scan under the cost model; `PlanForce` can pin either
+    /// side. Whichever way the table is built, its cells are identical
+    /// — the strategy decides work, never content.
     fn canonical_counts(&self, attrs: &[AttrId]) -> Arc<ContingencyTable> {
         let counters = &self.cache.counters;
-        if self.cfg.materialize {
-            if let Some(hit) = self.cache.counts.get(attrs) {
-                AtomicStats::bump(&counters.count_cache_hits);
-                return hit;
-            }
-            // Find the smallest cached superset to marginalise from.
-            // Minimising over the *total* order (len, key) keeps the
-            // choice independent of the shard/bucket visit order; two
-            // workers racing here compute identical tables either way.
-            // lint:allow(nondeterministic-iteration) — fold computes a min over the total order (len, key), which is the same for every visit order
-            let superset = self.cache.counts.fold(
-                None::<(Vec<AttrId>, Arc<ContingencyTable>)>,
+        if !self.cfg.materialize {
+            AtomicStats::bump(&counters.table_scans);
+            return Arc::new(ContingencyTable::from_table(self.table, &self.rows, attrs));
+        }
+        if let Some(hit) = self.cache.counts.get(attrs) {
+            AtomicStats::bump(&counters.count_cache_hits);
+            return hit;
+        }
+        let force = self.cfg.batch.force;
+        let cm = self.cost_model();
+        // Minimising over the *total* order (cost, len, key) keeps the
+        // choice independent of the shard/bucket visit order; two
+        // workers racing here compute identical tables either way.
+        let superset = if force == PlanForce::Scan {
+            None
+        } else {
+            // lint:allow(nondeterministic-iteration) — fold computes a min over the total order (cost, len, key), which is the same for every visit order
+            self.cache.counts.fold(
+                None::<(u64, Vec<AttrId>, Arc<ContingencyTable>)>,
                 |best, key, ct| {
                     if !is_subset(attrs, key) {
                         return best;
                     }
+                    let cost = cm.marginal_cost(ct.support(), attrs.len());
                     match &best {
-                        Some((bk, _))
-                            if (bk.len(), bk.as_slice()) <= (key.len(), key.as_slice()) =>
+                        Some((bc, bk, _))
+                            if (*bc, bk.len(), bk.as_slice())
+                                <= (cost, key.len(), key.as_slice()) =>
                         {
                             best
                         }
-                        _ => Some((key.clone(), ct.clone())),
+                        _ => Some((cost, key.clone(), ct.clone())),
                     }
                 },
-            );
-            let ct = if let Some((key, sup)) = superset {
-                AtomicStats::bump(&counters.marginalizations);
-                let positions: Vec<usize> = attrs
-                    .iter()
-                    .map(|a| key.binary_search(a).expect("subset"))
-                    .collect();
-                Arc::new(sup.marginal(&positions))
-            } else {
-                AtomicStats::bump(&counters.table_scans);
-                Arc::new(ContingencyTable::from_table(self.table, &self.rows, attrs))
-            };
-            self.cache.counts.insert(attrs.to_vec(), ct.clone());
-            ct
+            )
+        };
+        let derive = match (&superset, force) {
+            (Some(_), PlanForce::Marginalise) => true,
+            (Some((cost, _, _)), PlanForce::Cost) => *cost < cm.scan_cost(attrs.len()),
+            _ => false,
+        };
+        let ct = if derive {
+            let (_, key, sup) = superset.expect("derive implies a superset");
+            AtomicStats::bump(&counters.marginalizations);
+            AtomicStats::bump(&counters.marginalised_from_superset);
+            let positions: Vec<usize> = attrs
+                .iter()
+                .map(|a| key.binary_search(a).expect("subset"))
+                .collect();
+            Arc::new(sup.marginal(&positions))
         } else {
             AtomicStats::bump(&counters.table_scans);
+            AtomicStats::bump(&counters.scans_direct);
             Arc::new(ContingencyTable::from_table(self.table, &self.rows, attrs))
-        }
+        };
+        self.cache.store_table(attrs.to_vec(), &ct);
+        ct
     }
 
     /// Entropy (config estimator) of the joint distribution of `vars`,
@@ -680,6 +829,115 @@ impl<'a, S: Scan + ?Sized> DataOracle<'a, S> {
             })
             .collect()
     }
+
+    /// The per-group strategy choice: decide whether the group's
+    /// shared joint pays for itself and materialise accordingly.
+    ///
+    /// Each member statement `X ⊥⊥ Y | Z` works from the table over
+    /// `{x, y} ∪ z` (its strata and entropies all derive from it). The
+    /// joint strategy builds the group's full joint once, then walks
+    /// it per member table (`support × width` each); the direct
+    /// strategy builds every member table on demand (each priced as
+    /// the cheaper of a scan and the best cached superset). The cost
+    /// model picks the cheaper plan; `PlanForce` pins either side.
+    /// When the joint wins and fans out widely, a lattice descent
+    /// additionally materialises cost-approved intermediate marginals
+    /// between the joint and the member tables.
+    fn stage_group(&self, unique: &[CiStatement], group: &PlanGroup) {
+        let force = self.cfg.batch.force;
+        if force == PlanForce::Scan {
+            return; // members build their own tables on demand
+        }
+        let joint = self.canonical_attrs(&group.joint);
+        // Distinct member target tables, sorted for a deterministic
+        // descent order.
+        let mut targets: Vec<Vec<AttrId>> = group
+            .members
+            .iter()
+            .map(|&m| {
+                let s = &unique[m];
+                let mut vars = s.z.clone();
+                vars.push(s.x);
+                vars.push(s.y);
+                self.canonical_attrs(&vars)
+            })
+            .collect();
+        targets.sort_unstable();
+        targets.dedup();
+        let cm = self.cost_model();
+        let materialise_joint = match force {
+            PlanForce::Marginalise => true,
+            _ => {
+                let sup_joint = self.predict_support(&joint);
+                let joint_cost = self.predict_build_cost(&joint, &cm)
+                    + targets
+                        .iter()
+                        .filter(|t| *t != &joint)
+                        .map(|t| cm.marginal_cost(sup_joint, t.len()))
+                        .sum::<u64>();
+                let direct_cost = targets
+                    .iter()
+                    .map(|t| self.predict_build_cost(t, &cm))
+                    .sum::<u64>();
+                joint_cost < direct_cost
+            }
+        };
+        if materialise_joint {
+            let _ = self.canonical_counts(&joint);
+            if force == PlanForce::Cost {
+                self.lattice_descend(&joint, &targets, &cm, 0);
+            }
+        }
+    }
+
+    /// Top-down lattice descent from a freshly materialised parent
+    /// towards the member target tables: split the targets into
+    /// halves, and when a half's union is strictly narrower than the
+    /// parent *and* routing the half through that intermediate is
+    /// predicted cheaper than walking the parent per member, build the
+    /// intermediate and recurse into the half. Members then derive
+    /// from the narrowest cost-winning ancestor automatically (the
+    /// cheapest-superset search in [`Self::canonical_counts`]).
+    fn lattice_descend(
+        &self,
+        parent: &[AttrId],
+        targets: &[Vec<AttrId>],
+        cm: &CostModel,
+        depth: usize,
+    ) {
+        const MIN_FANOUT: usize = 4;
+        const MAX_DEPTH: usize = 4;
+        if depth >= MAX_DEPTH || targets.len() < MIN_FANOUT {
+            return;
+        }
+        let sup_parent = self.predict_support(parent);
+        let mid = targets.len() / 2;
+        for half in [&targets[..mid], &targets[mid..]] {
+            let mut inter: Vec<AttrId> = half.iter().flatten().copied().collect();
+            inter.sort_unstable();
+            inter.dedup();
+            if inter.len() >= parent.len() {
+                continue; // no narrowing: the intermediate is the parent
+            }
+            let sup_inter = self.predict_support(&inter);
+            let with_inter = cm.marginal_cost(sup_parent, inter.len())
+                + half
+                    .iter()
+                    .map(|t| cm.marginal_cost(sup_inter, t.len()))
+                    .sum::<u64>();
+            let without = half
+                .iter()
+                .map(|t| cm.marginal_cost(sup_parent, t.len()))
+                .sum::<u64>();
+            if with_inter < without {
+                if self.cache.counts.get(inter.as_slice()).is_none() {
+                    AtomicStats::bump(&self.cache.counters.lattice_intermediates);
+                    let _ = self.canonical_counts(&inter);
+                }
+                self.lattice_descend(&inter, half, cm, depth + 1);
+            }
+        }
+    }
 }
 
 /// A statement after the cheap dispatch phase of batched execution:
@@ -816,14 +1074,12 @@ impl<S: Scan + ?Sized> CiOracle for DataOracle<'_, S> {
         AtomicStats::add(&counters.groups_planned, plan.groups().len() as u64);
         let mut results: Vec<Option<TestOutcome>> = vec![None; plan.num_unique()];
         for group in plan.groups() {
-            // The shared pass: one scan (or one marginalisation of an
-            // earlier, larger joint) covers every member's contingency
-            // and entropy work for this conditioning set.
-            if self.cfg.materialize
-                && group.members.len() >= self.cfg.batch.min_group_joint
-                && group.joint.len() <= self.cfg.batch.max_joint_vars
-            {
-                let _ = self.canonical_counts(&self.canonical_attrs(&group.joint));
+            // The shared pass: when the cost model approves (or a
+            // forced strategy demands it), one scan — plus any
+            // lattice-descent intermediates — covers every member's
+            // contingency and entropy work for this conditioning set.
+            if self.cfg.materialize {
+                self.stage_group(plan.unique(), group);
             }
             let outcomes = self.test_group(plan.unique(), &group.members);
             for (&m, out) in group.members.iter().zip(outcomes) {
@@ -834,6 +1090,86 @@ impl<S: Scan + ?Sized> CiOracle for DataOracle<'_, S> {
             .iter()
             .map(|&u| results[u].clone().expect("every unique statement executed"))
             .collect()
+    }
+
+    /// Speculation-pruned round evaluation: plan the round once (so
+    /// conditioning-set groups share staged joints and lattice
+    /// intermediates), then settle verdicts in waves of at most
+    /// [`SPECULATION_WAVE`] statements in submission order, stopping at
+    /// the first wave containing a hit. Everything past the hit — the
+    /// statements the round's sequential semantics must discard — is
+    /// skipped unevaluated and counted as `speculative_skipped`. A
+    /// statement group is staged (its shared joint and lattice
+    /// intermediates materialised) only when a wave first touches it,
+    /// so work planned for skipped statements is never paid. The
+    /// returned index is identical to the default linear scan — only
+    /// the work differs.
+    fn find_first(&self, stmts: &[CiStatement], want: bool) -> Option<usize> {
+        if !self.cfg.batch.enabled || stmts.len() <= 1 {
+            return stmts
+                .iter()
+                .position(|s| self.independent(s.x, s.y, &s.z) == want);
+        }
+        let plan = Plan::build(stmts);
+        AtomicStats::add(
+            &self.cache.counters.groups_planned,
+            plan.groups().len() as u64,
+        );
+        let group_of: Vec<usize> = {
+            let mut g = vec![0usize; plan.num_unique()];
+            for (gi, group) in plan.groups().iter().enumerate() {
+                for &m in &group.members {
+                    g[m] = gi;
+                }
+            }
+            g
+        };
+        let mut staged = vec![false; plan.groups().len()];
+        let slots = plan.slots();
+        let mut verdicts: Vec<Option<bool>> = vec![None; plan.num_unique()];
+        let mut i = 0;
+        let mut wave = 1usize;
+        while i < stmts.len() {
+            let end = (i + wave).min(stmts.len());
+            wave = (wave * 2).min(SPECULATION_WAVE);
+            let mut members: Vec<usize> = slots[i..end]
+                .iter()
+                .copied()
+                .filter(|&u| verdicts[u].is_none())
+                .collect();
+            members.sort_unstable();
+            members.dedup();
+            if !members.is_empty() {
+                if self.cfg.materialize {
+                    for &u in &members {
+                        let gi = group_of[u];
+                        if !staged[gi] {
+                            staged[gi] = true;
+                            self.stage_group(plan.unique(), &plan.groups()[gi]);
+                        }
+                    }
+                }
+                AtomicStats::add(
+                    &self.cache.counters.batched_statements,
+                    members.len() as u64,
+                );
+                let outcomes = self.test_group(plan.unique(), &members);
+                for (&u, out) in members.iter().zip(outcomes) {
+                    verdicts[u] = Some(out.independent(self.cfg.alpha));
+                }
+            }
+            for (k, &u) in slots[i..end].iter().enumerate() {
+                if verdicts[u] == Some(want) {
+                    AtomicStats::add(
+                        &self.cache.counters.speculative_skipped,
+                        (stmts.len() - end) as u64,
+                    );
+                    return Some(i + k);
+                }
+            }
+            i = end;
+        }
+        None
     }
 
     fn stats(&self) -> OracleStats {
@@ -992,6 +1328,123 @@ mod tests {
         let after = o.stats();
         assert_eq!(after.table_scans, before.table_scans);
         assert_eq!(after.marginalizations, before.marginalizations + 2);
+    }
+
+    #[test]
+    fn support_predictor_bounds_and_refines() {
+        use hypdb_table::TableBuilder;
+        let mut b = TableBuilder::new(["x", "y", "k"]);
+        for r in 0..400u32 {
+            let i = r / 4; // 100 distinct rows, each seen four times
+            let x = (i % 2).to_string();
+            let y = ((i / 2) % 2).to_string();
+            let k = i.to_string();
+            b.push_row([x.as_str(), y.as_str(), k.as_str()]).unwrap();
+        }
+        let t = b.finish();
+        let o = oracle(&t, IndependenceTestKind::ChiSquared);
+        let cm = o.cost_model();
+        let attrs = |vars: &[Var]| o.canonical_attrs(vars);
+        // Cold: the predictor is the pure min(∏ dims, rows) bound.
+        assert_eq!(o.predict_support(&attrs(&[0, 1])), 4);
+        assert_eq!(o.predict_support(&attrs(&[0, 2])), 200); // 2·100 < 400 rows
+                                                             // Building a table makes its own prediction exact…
+        let joint = o.counts_for(&[0, 1, 2]);
+        assert_eq!(joint.support(), 100);
+        assert_eq!(o.predict_support(&attrs(&[0, 1, 2])), 100);
+        // …and refines every subset: a marginal cannot out-support its
+        // parent, so the [0, 2] estimate halves (and is exact here).
+        assert_eq!(o.predict_support(&attrs(&[0, 2])), 100);
+        assert_eq!(o.counts_for(&[0, 2]).support(), 100);
+        // A cached table costs nothing to "build"; deriving a fresh
+        // marginal from the cached joint is priced below a scan.
+        assert_eq!(o.predict_build_cost(&attrs(&[0, 1, 2]), &cm), 0);
+        assert!(o.predict_build_cost(&attrs(&[1, 2]), &cm) < cm.scan_cost(2));
+    }
+
+    #[test]
+    fn cache_bytes_track_resident_tables() {
+        let t = fork_table();
+        let o = oracle(&t, IndependenceTestKind::ChiSquared);
+        assert_eq!(o.shared_cache().cache_bytes(), 0);
+        let joint = o.counts_for(&[0, 1, 2]);
+        let after_joint = o.shared_cache().cache_bytes();
+        assert_eq!(after_joint, joint.approx_bytes());
+        // Re-requesting the same table must not double-charge.
+        o.counts_for(&[0, 1, 2]);
+        assert_eq!(o.shared_cache().cache_bytes(), after_joint);
+        // A derived marginal adds its own footprint.
+        let pair = o.counts_for(&[0, 1]);
+        assert_eq!(
+            o.shared_cache().cache_bytes(),
+            after_joint + pair.approx_bytes()
+        );
+    }
+
+    #[test]
+    fn find_first_matches_lazy_scan() {
+        let t = fork_table();
+        // In the fork X ← Z → Y: X ⊥⊥ Y | Z, everything else dependent.
+        let stmts = vec![
+            CiStatement::new(0, 2, vec![]),
+            CiStatement::new(1, 2, vec![0]),
+            CiStatement::new(0, 1, vec![2]),
+            CiStatement::new(0, 1, vec![]),
+            CiStatement::new(1, 2, vec![]),
+        ];
+        for force in [PlanForce::Cost, PlanForce::Scan, PlanForce::Marginalise] {
+            let mut cfg = CiConfig::default();
+            cfg.batch.force = force;
+            let o = DataOracle::over_all_attrs(&t, t.all_rows(), cfg);
+            for want in [true, false] {
+                let lazy = stmts
+                    .iter()
+                    .position(|s| o.independent(s.x, s.y, &s.z) == want);
+                assert_eq!(o.find_first(&stmts, want), lazy, "want={want}");
+            }
+            // An all-miss round returns None.
+            let all_dep = vec![
+                CiStatement::new(0, 2, vec![]),
+                CiStatement::new(1, 2, vec![]),
+            ];
+            assert_eq!(o.find_first(&all_dep, true), None);
+        }
+    }
+
+    #[test]
+    fn forced_strategies_agree_and_count_decisions() {
+        let t = fork_table();
+        let stmts = vec![
+            CiStatement::new(0, 1, vec![2]),
+            CiStatement::new(0, 2, vec![]),
+            CiStatement::new(1, 2, vec![]),
+            CiStatement::new(0, 1, vec![]),
+        ];
+        let mut baseline = None;
+        for force in [PlanForce::Cost, PlanForce::Scan, PlanForce::Marginalise] {
+            let mut cfg = CiConfig::default();
+            cfg.batch.force = force;
+            let o = DataOracle::over_all_attrs(&t, t.all_rows(), cfg);
+            let outs = o.test_batch(&stmts);
+            let key: Vec<(u64, u64)> = outs
+                .iter()
+                .map(|o| (o.statistic.to_bits(), o.p_value.to_bits()))
+                .collect();
+            match &baseline {
+                None => baseline = Some(key),
+                Some(b) => assert_eq!(&key, b, "strategy {force:?} changed outcomes"),
+            }
+            let s = o.stats();
+            match force {
+                // Every table built fresh: no superset derivations.
+                PlanForce::Scan => assert_eq!(s.marginalised_from_superset, 0),
+                // The group joint always materialises, so the
+                // single-stratum tables derive from it.
+                PlanForce::Marginalise => assert!(s.marginalised_from_superset > 0),
+                PlanForce::Cost => {}
+            }
+            assert_eq!(s.scans_direct, s.table_scans);
+        }
     }
 
     #[test]

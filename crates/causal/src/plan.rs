@@ -164,6 +164,100 @@ impl Plan {
     }
 }
 
+/// Forced planner strategy — the `HYPDB_PLAN_FORCE` escape hatch that
+/// replaced the static `min_group_joint`/`max_joint_vars` knobs. The
+/// strategy decides *how* tables get built, never what any report
+/// contains: all three settings produce byte-identical output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PlanForce {
+    /// Cost-based choice (the default): per table, compare the
+    /// predicted marginalisation cost against the segment-scan cost
+    /// and take the cheaper; per group, weigh a shared joint (plus
+    /// lattice descent) against direct member builds.
+    #[default]
+    Cost,
+    /// Never derive from a cached superset: every table is built by a
+    /// row scan (the worst-case baseline the tests pin against).
+    Scan,
+    /// Always derive from the smallest cached superset and always
+    /// materialise a group's full joint (the pre-cost-model planner).
+    Marginalise,
+}
+
+impl PlanForce {
+    /// Reads `HYPDB_PLAN_FORCE` (`scan`, `marginalise`/`marginalize`,
+    /// anything else → cost-based). Tests usually set the field on
+    /// [`BatchConfig`] directly instead.
+    pub fn from_env() -> PlanForce {
+        match std::env::var("HYPDB_PLAN_FORCE").ok().as_deref() {
+            Some("scan") => PlanForce::Scan,
+            Some("marginalise") | Some("marginalize") => PlanForce::Marginalise,
+            _ => PlanForce::Cost,
+        }
+    }
+}
+
+/// The planner's cost model. Work is measured in *key slots touched*
+/// (cells × key width), which makes a row scan and a sequential
+/// marginal walk over sorted cells directly comparable.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Selected rows — the number of cells a scan visits.
+    pub rows: u64,
+    /// Workers a segment scan spreads over (a marginal walk is
+    /// sequential, so only the scan side divides by this).
+    pub scan_lanes: u64,
+}
+
+impl CostModel {
+    /// Builds a model for `rows` selected rows scanned across
+    /// `scan_lanes` parallel segment lanes (clamped to ≥ 1).
+    pub fn new(rows: u64, scan_lanes: usize) -> CostModel {
+        CostModel {
+            rows,
+            scan_lanes: scan_lanes.max(1) as u64,
+        }
+    }
+
+    /// Cost of building a `width`-attribute table by scanning rows.
+    pub fn scan_cost(&self, width: usize) -> u64 {
+        (self.rows / self.scan_lanes).max(1) * width.max(1) as u64
+    }
+
+    /// Cost of deriving a `width`-attribute table by walking a parent
+    /// with `parent_support` non-zero cells.
+    pub fn marginal_cost(&self, parent_support: u64, width: usize) -> u64 {
+        parent_support * width.max(1) as u64
+    }
+}
+
+/// A-priori support bound for a table over attributes with the given
+/// dimensions: `min(∏ dims, rows)` — a table cannot have more distinct
+/// cells than its domain product or its row count. The oracle refines
+/// this online with supports it has already observed.
+pub fn support_bound(dims: &[u32], rows: u64) -> u64 {
+    let mut product: u64 = 1;
+    for &d in dims {
+        product = product.saturating_mul(u64::from(d.max(1)));
+        if product >= rows {
+            return rows;
+        }
+    }
+    product.min(rows)
+}
+
+/// Cap on the speculative lookahead of the round-wise issuers
+/// (Grow–Shrink, CD phase I/II): a round stops at its first decisive
+/// verdict, so every statement evaluated past it is wasted work. The
+/// executor still *plans* the whole round (group staging amortises the
+/// shared joints), but settles verdicts in waves of at most this many
+/// statements. Profiling on adult (100k rows) showed lookahead > 1
+/// loses more in discarded tests than it gains, so the default is 1 —
+/// pure pruning, the evaluated set exactly matching a lazy scan. Fixed
+/// — never a function of the thread count — so the set of evaluated
+/// statements is deterministic.
+pub const SPECULATION_WAVE: usize = 1;
+
 /// Batching knobs, threaded from `HypDbConfig` through `CiConfig` down
 /// to the oracle (the "batch hints" of the pipeline configuration).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -171,14 +265,18 @@ pub struct BatchConfig {
     /// Master switch: `false` reverts every issuer to call-at-a-time
     /// testing (the pre-planner behaviour, bit for bit).
     pub enabled: bool,
-    /// Materialise a group's shared joint contingency table only when
-    /// the group has at least this many distinct statements (a
-    /// singleton group gains nothing from a shared pass).
+    /// Deprecated: superseded by the cost model ([`BatchConfig::force`])
+    /// and no longer consulted. Retained so existing configuration
+    /// literals keep compiling.
     pub min_group_joint: usize,
-    /// …and only when the joint has at most this many variables
-    /// (beyond it the shared table stops paying for itself; members
-    /// then fall back to their own per-statement tables).
+    /// Deprecated: superseded by the cost model ([`BatchConfig::force`])
+    /// and no longer consulted — a static variable cap could force a
+    /// pathological full joint whose support approaches the row count.
     pub max_joint_vars: usize,
+    /// Strategy override (default: cost-based). Initialised from
+    /// `HYPDB_PLAN_FORCE` so byte-identity across strategies can be
+    /// checked end to end without recompiling.
+    pub force: PlanForce,
 }
 
 impl Default for BatchConfig {
@@ -187,6 +285,7 @@ impl Default for BatchConfig {
             enabled: true,
             min_group_joint: 2,
             max_joint_vars: 16,
+            force: PlanForce::from_env(),
         }
     }
 }
@@ -265,7 +364,29 @@ mod tests {
     fn batch_config_defaults_enable_batching() {
         let cfg = BatchConfig::default();
         assert!(cfg.enabled);
-        assert!(cfg.min_group_joint >= 2);
-        assert!(cfg.max_joint_vars >= 8);
+        // The static knobs are deprecated; strategy defaults to the
+        // cost model unless HYPDB_PLAN_FORCE overrides it (not set in
+        // the test environment).
+        assert_eq!(cfg.force, PlanForce::Cost);
+    }
+
+    #[test]
+    fn support_bound_is_min_of_product_and_rows() {
+        assert_eq!(support_bound(&[2, 2, 2], 20_000), 8);
+        assert_eq!(support_bound(&[100, 100, 100], 5_000), 5_000);
+        // Saturating: huge products clamp to the row bound.
+        assert_eq!(support_bound(&[u32::MAX; 8], 1_000), 1_000);
+        assert_eq!(support_bound(&[], 1_000), 1);
+    }
+
+    #[test]
+    fn cost_model_prices_scans_and_marginals() {
+        let cm = CostModel::new(100_000, 4);
+        assert_eq!(cm.scan_cost(3), 25_000 * 3);
+        assert_eq!(cm.marginal_cost(500, 3), 1_500);
+        // A marginal walk beats the scan iff the parent support is
+        // below rows/lanes.
+        assert!(cm.marginal_cost(500, 3) < cm.scan_cost(3));
+        assert!(cm.marginal_cost(100_000, 3) > cm.scan_cost(3));
     }
 }

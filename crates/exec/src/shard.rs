@@ -79,6 +79,20 @@ impl<K: Hash + Eq, V, S: BuildHasher + Default> ShardedMap<K, V, S> {
         Self::lock(self.shard(&key)).insert(key, value);
     }
 
+    /// Inserts `key → value` only when the key is absent, returning
+    /// whether this call performed the insertion. Racing writers of the
+    /// same key get exactly one `true` between them — the hook callers
+    /// use to account a side effect (e.g. resident bytes) exactly once.
+    pub fn insert_new(&self, key: K, value: V) -> bool {
+        match Self::lock(self.shard(&key)).entry(key) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(value);
+                true
+            }
+        }
+    }
+
     /// Total number of entries across all shards.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| Self::lock(s).len()).sum()
@@ -141,6 +155,15 @@ mod tests {
         m.insert(vec![1], 1);
         m.insert(vec![1], 2);
         assert_eq!(m.get(&vec![1]), Some(2));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn insert_new_is_first_wins() {
+        let m = Map::default();
+        assert!(m.insert_new(vec![1], 1));
+        assert!(!m.insert_new(vec![1], 2));
+        assert_eq!(m.get(&vec![1]), Some(1));
         assert_eq!(m.len(), 1);
     }
 

@@ -242,7 +242,38 @@ pub fn render_oracle_stats(stats: &hypdb_core::OracleStats) -> String {
         "statement groups (shared conditioning sets) planned",
         stats.groups_planned,
     );
+    metric(
+        "hypdb_oracle_scans_direct_total",
+        "planner decisions to build a table by direct segment scan",
+        stats.scans_direct,
+    );
+    metric(
+        "hypdb_oracle_marginalised_from_superset_total",
+        "planner decisions to derive a table from a cached superset",
+        stats.marginalised_from_superset,
+    );
+    metric(
+        "hypdb_oracle_lattice_intermediates_total",
+        "intermediate marginals materialised by lattice descent",
+        stats.lattice_intermediates,
+    );
+    metric(
+        "hypdb_oracle_speculative_skipped_total",
+        "round statements skipped by speculation pruning",
+        stats.speculative_skipped,
+    );
     out
+}
+
+/// Renders the resident contingency-table footprint of every shared
+/// oracle-cache slot as a gauge (bytes rise as tables materialise and
+/// fall when a dataset slot is evicted).
+pub fn render_oracle_cache_bytes(bytes: u64) -> String {
+    let name = "hypdb_oracle_cache_bytes";
+    format!(
+        "# HELP {name} bytes resident in shared oracle contingency caches\n\
+         # TYPE {name} gauge\n{name} {bytes}\n"
+    )
 }
 
 /// Renders the report cache's byte accounting ([`crate::cache::CacheStats`]).
@@ -290,12 +321,24 @@ mod tests {
             batched_statements: 12,
             groups_planned: 3,
             table_scans: 2,
+            scans_direct: 2,
+            marginalised_from_superset: 7,
+            lattice_intermediates: 1,
+            speculative_skipped: 4,
             ..Default::default()
         };
         let text = render_oracle_stats(&stats);
         assert!(text.contains("\nhypdb_oracle_batched_statements_total 12\n"));
         assert!(text.contains("\nhypdb_oracle_groups_planned_total 3\n"));
         assert!(text.contains("\nhypdb_oracle_table_scans_total 2\n"));
+        assert!(text.contains("\nhypdb_oracle_scans_direct_total 2\n"));
+        assert!(text.contains("\nhypdb_oracle_marginalised_from_superset_total 7\n"));
+        assert!(text.contains("\nhypdb_oracle_lattice_intermediates_total 1\n"));
+        assert!(text.contains("\nhypdb_oracle_speculative_skipped_total 4\n"));
+
+        let text = render_oracle_cache_bytes(1536);
+        assert!(text.contains("# TYPE hypdb_oracle_cache_bytes gauge"));
+        assert!(text.contains("\nhypdb_oracle_cache_bytes 1536\n"));
 
         let cs = crate::cache::CacheStats {
             entries: 2,

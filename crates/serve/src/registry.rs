@@ -199,6 +199,18 @@ impl Registry {
         self.lock_oracles().slots.len()
     }
 
+    /// Bytes pinned by contingency tables across every *resident*
+    /// oracle slot — a gauge, not a counter: evicting a slot releases
+    /// its tables, so the value falls with them (unlike the work
+    /// counters, which fold into `retired` to stay monotonic).
+    pub fn oracle_cache_bytes(&self) -> u64 {
+        self.lock_oracles()
+            .slots
+            .iter()
+            .map(|s| s.cache.cache_bytes())
+            .sum()
+    }
+
     /// Names of the built-in demo datasets ([`Registry::builtin`]).
     pub const BUILTIN_NAMES: &'static [&'static str] = &["cancer", "adult", "berkeley"];
 
@@ -338,6 +350,17 @@ mod tests {
         // aggregate (reset via the cache handle works too).
         cache.reset_stats();
         assert_eq!(reg.oracle_stats().tests, 0);
+    }
+
+    #[test]
+    fn oracle_cache_bytes_track_resident_slots() {
+        let reg = Registry::new();
+        assert_eq!(reg.oracle_cache_bytes(), 0);
+        // Fresh slots hold no tables yet; the gauge stays zero until an
+        // analysis materialises contingency tables through the cache
+        // (exercised end-to-end by the server integration tests).
+        reg.oracle_cache("d", &RowSet::All(4));
+        assert_eq!(reg.oracle_cache_bytes(), 0);
     }
 
     #[test]

@@ -402,6 +402,9 @@ fn route(shared: &Shared, req: &Request) -> Response {
             body.push_str(&metrics::render_oracle_stats(
                 &shared.registry.oracle_stats(),
             ));
+            body.push_str(&metrics::render_oracle_cache_bytes(
+                shared.registry.oracle_cache_bytes(),
+            ));
             Response::text(200, body)
         }
         ("GET", "/datasets") => {

@@ -440,8 +440,18 @@ pub struct MitJob {
 /// procedure the call-at-a-time path runs, so the returned outcomes are
 /// **byte-identical** to evaluating the jobs one at a time, in any
 /// order, at any thread count — grouping is a pure performance choice.
+///
+/// Jobs are *settled* in descending predicted-cost order (permutation
+/// budget × total stratified mass, the work a full run would do) so the
+/// heaviest tests start first and stragglers don't serialise the tail
+/// of the fan-out; outcomes are scattered back to submission order, so
+/// the schedule is invisible to callers.
 pub fn mit_batch(jobs: &[MitJob]) -> Vec<TestOutcome> {
-    ThreadPool::current().parallel_map(jobs, |_, job| {
+    let cost = |job: &MitJob| job.permutations as u64 * job.strata.total().max(1);
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(cost(&jobs[i])), i));
+    let outcomes = ThreadPool::current().parallel_map(&order, |_, &i| {
+        let job = &jobs[i];
         let mut rng = StdRng::seed_from_u64(job.seed);
         match job.group_sample {
             None => mit_early(&job.strata, job.permutations, job.early_stop, &mut rng),
@@ -449,7 +459,15 @@ pub fn mit_batch(jobs: &[MitJob]) -> Vec<TestOutcome> {
                 mit_sampled_early(&job.strata, job.permutations, k, job.early_stop, &mut rng)
             }
         }
-    })
+    });
+    let mut results: Vec<Option<TestOutcome>> = vec![None; jobs.len()];
+    for (&i, out) in order.iter().zip(outcomes) {
+        results[i] = Some(out);
+    }
+    results
+        .into_iter()
+        .map(|o| o.expect("every job settled"))
+        .collect()
 }
 
 /// MIT with automatic group sampling: exact over all conditioning

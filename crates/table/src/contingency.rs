@@ -3,8 +3,12 @@
 //! independence tests.
 //!
 //! Storage is dense (a mixed-radix array) when the domain product is
-//! small, sparse (hash map) otherwise; both expose the same iteration
-//! interface.
+//! small, and a **sorted cell array** otherwise: non-zero cells kept as
+//! a flat, lexicographically sorted `(keys, counts)` pair. Marginal
+//! walks over the sorted form are sequential and cache-friendly — a
+//! prefix projection merges adjacent runs in one pass — which is what
+//! makes derive-from-superset cheaper than a scan for the planner's
+//! cost model. Both forms expose the same iteration interface.
 
 use crate::hash::FxHashMap;
 use crate::rows::RowSet;
@@ -22,19 +26,125 @@ const DENSE_LIMIT: u128 = 1 << 20;
 /// Selections below this size are always counted in one pass. Above it
 /// the scan is split into fixed chunks counted into per-worker partial
 /// tables and merged in chunk order — for sparse storage that *same*
-/// chunked path also runs at one thread, so the cell iteration order
-/// (which downstream floating-point sums observe) is a function of the
-/// data alone, never of the thread count.
-const PARALLEL_ROWS: usize = 1 << 15;
+/// chunked path also runs at one thread, so the cell layout (which
+/// downstream floating-point sums observe) is a function of the data
+/// alone, never of the thread count.
+///
+/// Public because the planner's cost model uses the same threshold to
+/// decide how many workers a segment scan can spread over.
+pub const PARALLEL_ROWS: usize = 1 << 15;
 
 /// Rows per chunk of a parallel sparse count (fixed: the chunk layout
 /// must not depend on the worker count).
 const SPARSE_ROW_CHUNK: usize = 1 << 14;
 
+/// Sparse cells as flat sorted arrays: `counts[i]` belongs to the key
+/// `keys[i*width .. (i+1)*width]`, and the key rows are in ascending
+/// lexicographic order with no duplicates and no zero counts.
+#[derive(Debug, Clone)]
+struct SortedCells {
+    width: usize,
+    keys: Vec<u32>,
+    counts: Vec<u64>,
+}
+
+impl SortedCells {
+    /// Converts a finished hash count into the sorted representation
+    /// (drops zero-count cells, sorts once, flattens).
+    fn from_map(width: usize, map: FxHashMap<Box<[u32]>, u64>) -> SortedCells {
+        let mut entries: Vec<(Box<[u32]>, u64)> = map.into_iter().filter(|&(_, c)| c > 0).collect();
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let mut keys = Vec::with_capacity(entries.len() * width);
+        let mut counts = Vec::with_capacity(entries.len());
+        for (k, c) in entries {
+            keys.extend_from_slice(&k);
+            counts.push(c);
+        }
+        SortedCells {
+            width,
+            keys,
+            counts,
+        }
+    }
+
+    #[inline]
+    fn key(&self, i: usize) -> &[u32] {
+        &self.keys[i * self.width..(i + 1) * self.width]
+    }
+
+    /// Binary search over the sorted key rows.
+    fn get(&self, key: &[u32]) -> u64 {
+        let (mut lo, mut hi) = (0usize, self.counts.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.key(mid) < key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo < self.counts.len() && self.key(lo) == key {
+            self.counts[lo]
+        } else {
+            0
+        }
+    }
+
+    /// Projects onto the attribute positions `keep`, merging cells that
+    /// collapse together. Lexicographic order survives projection only
+    /// for a *prefix* position list (`[0, 1, .., k-1]`): that path is a
+    /// single sequential run-merging pass. Any other position list
+    /// projects first, then sorts an index permutation, then merges.
+    fn project(&self, keep: &[usize]) -> SortedCells {
+        let w = keep.len();
+        let m = self.counts.len();
+        let mut keys: Vec<u32> = Vec::new();
+        let mut counts: Vec<u64> = Vec::new();
+        let push_or_merge = |keys: &mut Vec<u32>, counts: &mut Vec<u64>, row: &[u32], c: u64| {
+            if counts.is_empty() || &keys[keys.len() - w..] != row {
+                keys.extend_from_slice(row);
+                counts.push(c);
+            } else if let Some(last) = counts.last_mut() {
+                *last += c;
+            }
+        };
+        if keep.iter().enumerate().all(|(i, &p)| i == p) {
+            for i in 0..m {
+                push_or_merge(&mut keys, &mut counts, &self.key(i)[..w], self.counts[i]);
+            }
+        } else {
+            let mut proj: Vec<u32> = Vec::with_capacity(m * w);
+            for i in 0..m {
+                let row = self.key(i);
+                proj.extend(keep.iter().map(|&p| row[p]));
+            }
+            let mut order: Vec<u32> = (0..m as u32).collect();
+            order.sort_unstable_by(|&a, &b| {
+                let (a, b) = (a as usize, b as usize);
+                proj[a * w..(a + 1) * w].cmp(&proj[b * w..(b + 1) * w])
+            });
+            for &i in &order {
+                let i = i as usize;
+                push_or_merge(
+                    &mut keys,
+                    &mut counts,
+                    &proj[i * w..(i + 1) * w],
+                    self.counts[i],
+                );
+            }
+        }
+        SortedCells {
+            width: w,
+            keys,
+            counts,
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 enum Cells {
     Dense(Vec<u64>),
-    Sparse(FxHashMap<Box<[u32]>, u64>),
+    Sorted(SortedCells),
 }
 
 /// A k-way table of counts over an ordered attribute list.
@@ -43,6 +153,7 @@ pub struct ContingencyTable {
     attrs: Vec<AttrId>,
     dims: Vec<u32>,
     total: u64,
+    support: u64,
     cells: Cells,
 }
 
@@ -144,10 +255,10 @@ impl ContingencyTable {
                 }
                 sparse
             };
-            if n >= PARALLEL_ROWS {
+            let merged = if n >= PARALLEL_ROWS {
                 // Fixed chunk layout + in-order merge: the merged map's
-                // contents *and* iteration order depend only on the data
-                // (this path also runs, inline, at one thread).
+                // contents depend only on the data (this path also runs,
+                // inline, at one thread).
                 let mut partials = pool.map_chunks(n, SPARSE_ROW_CHUNK, count).into_iter();
                 let mut sparse = partials.next().unwrap_or_default();
                 for partial in partials {
@@ -155,33 +266,27 @@ impl ContingencyTable {
                         *sparse.entry(key).or_insert(0) += c;
                     }
                 }
-                Cells::Sparse(sparse)
+                sparse
             } else {
-                Cells::Sparse(count(0..n))
-            }
+                count(0..n)
+            };
+            Cells::Sorted(SortedCells::from_map(attrs.len(), merged))
         };
-        let total = match &cells {
-            Cells::Dense(v) => v.iter().sum(),
-            Cells::Sparse(m) => m.values().sum(),
-        };
-        ContingencyTable {
-            attrs: attrs.to_vec(),
-            dims,
-            total,
-            cells,
-        }
+        ContingencyTable::from_cells(attrs.to_vec(), dims, cells)
     }
 
-    /// Builds directly from explicit cells (used by cube marginals).
+    /// Builds from explicit cells, deriving the cached total and
+    /// support (non-zero cell count) once.
     fn from_cells(attrs: Vec<AttrId>, dims: Vec<u32>, cells: Cells) -> Self {
-        let total = match &cells {
-            Cells::Dense(v) => v.iter().sum(),
-            Cells::Sparse(m) => m.values().sum(),
+        let (total, support) = match &cells {
+            Cells::Dense(v) => (v.iter().sum(), v.iter().filter(|&&c| c > 0).count() as u64),
+            Cells::Sorted(s) => (s.counts.iter().sum(), s.counts.len() as u64),
         };
         ContingencyTable {
             attrs,
             dims,
             total,
+            support,
             cells,
         }
     }
@@ -202,11 +307,21 @@ impl ContingencyTable {
         self.total
     }
 
-    /// Number of non-zero cells (the observed support `m`).
+    /// Number of non-zero cells (the observed support `m`). Cached at
+    /// construction: the planner's cost model reads it for every table
+    /// in the oracle cache when pricing a derivation.
+    #[inline]
     pub fn support(&self) -> u64 {
+        self.support
+    }
+
+    /// Approximate resident bytes of the cell storage — the planner's
+    /// `support × key width` accounting, exported as the
+    /// `hypdb_oracle_cache_bytes` gauge.
+    pub fn approx_bytes(&self) -> u64 {
         match &self.cells {
-            Cells::Dense(v) => v.iter().filter(|&&c| c > 0).count() as u64,
-            Cells::Sparse(m) => m.values().filter(|&&c| c > 0).count() as u64,
+            Cells::Dense(v) => 8 * v.len() as u64,
+            Cells::Sorted(s) => 4 * s.keys.len() as u64 + 8 * s.counts.len() as u64,
         }
     }
 
@@ -224,11 +339,14 @@ impl ContingencyTable {
                 }
                 v[idx]
             }
-            Cells::Sparse(m) => m.get(key).copied().unwrap_or(0),
+            Cells::Sorted(s) => s.get(key),
         }
     }
 
-    /// Visits every non-zero cell as `(key, count)`.
+    /// Visits every non-zero cell as `(key, count)`, in ascending key
+    /// order for both storage forms (sparse cells are *stored* sorted,
+    /// so this is a sequential walk with no per-call sort; downstream
+    /// float reductions rely on the canonical order).
     pub fn for_each<F: FnMut(&[u32], u64)>(&self, mut f: F) {
         match &self.cells {
             Cells::Dense(v) => {
@@ -246,20 +364,9 @@ impl ContingencyTable {
                     }
                 }
             }
-            Cells::Sparse(m) => {
-                // Emit in sorted key order: sparse insertion order is
-                // timing-dependent (fresh scan vs marginalised from a
-                // cached superset), and downstream float reductions
-                // (likelihoods, entropies) must not see a
-                // run-dependent visit order.
-                let mut entries: Vec<(&Box<[u32]>, u64)> = m
-                    .iter()
-                    .filter(|(_, &c)| c > 0)
-                    .map(|(k, &c)| (k, c))
-                    .collect();
-                entries.sort_unstable_by(|a, b| a.0.cmp(b.0));
-                for (key, count) in entries {
-                    f(key, count);
+            Cells::Sorted(s) => {
+                for (i, &count) in s.counts.iter().enumerate() {
+                    f(s.key(i), count);
                 }
             }
         }
@@ -274,6 +381,10 @@ impl ContingencyTable {
 
     /// Marginalises onto the attribute *positions* `keep` (indices into
     /// [`Self::attrs`], in the order they should appear in the result).
+    ///
+    /// A sparse parent marginalises by a sequential walk of its sorted
+    /// cells — the cache-friendly path the planner's cost model prices
+    /// as `support × key width`.
     pub fn marginal(&self, keep: &[usize]) -> ContingencyTable {
         let attrs: Vec<AttrId> = keep.iter().map(|&p| self.attrs[p]).collect();
         let dims: Vec<u32> = keep.iter().map(|&p| self.dims[p]).collect();
@@ -289,12 +400,20 @@ impl ContingencyTable {
             });
             Cells::Dense(dense)
         } else {
-            let mut sparse: FxHashMap<Box<[u32]>, u64> = FxHashMap::default();
-            self.for_each(|key, count| {
-                let small: Box<[u32]> = keep.iter().map(|&p| key[p]).collect();
-                *sparse.entry(small).or_insert(0) += count;
-            });
-            Cells::Sparse(sparse)
+            match &self.cells {
+                Cells::Sorted(s) => Cells::Sorted(s.project(keep)),
+                // A dense parent's sub-products stay within DENSE_LIMIT,
+                // so this arm is unreachable in practice; keep a correct
+                // fallback rather than a panic.
+                Cells::Dense(_) => {
+                    let mut map: FxHashMap<Box<[u32]>, u64> = FxHashMap::default();
+                    self.for_each(|key, count| {
+                        let small: Box<[u32]> = keep.iter().map(|&p| key[p]).collect();
+                        *map.entry(small).or_insert(0) += count;
+                    });
+                    Cells::Sorted(SortedCells::from_map(keep.len(), map))
+                }
+            }
         };
         ContingencyTable::from_cells(attrs, dims, cells)
     }
@@ -303,10 +422,10 @@ impl ContingencyTable {
     /// attributes, under the chosen estimator.
     ///
     /// The counts are put in canonical (sorted) order before the
-    /// floating-point sum: a sparse table's iteration order depends on
-    /// how it was built (fresh scan vs marginalised from a cached
-    /// superset — a timing-dependent choice under parallel discovery),
-    /// and entropy must be a pure function of the count multiset.
+    /// floating-point sum: entropy must be a pure function of the count
+    /// multiset, however the table was built (fresh scan vs marginalised
+    /// from a cached superset — a timing-dependent choice under parallel
+    /// discovery).
     pub fn entropy(&self, estimator: EntropyEstimator) -> f64 {
         let mut counts = Vec::with_capacity(self.support() as usize);
         self.for_each(|_, c| counts.push(c));
@@ -595,5 +714,67 @@ mod tests {
         cells_a.sort();
         cells_b.sort();
         assert_eq!(cells_a, cells_b);
+    }
+
+    #[test]
+    fn sorted_cells_iterate_in_key_order_without_duplicates() {
+        // Sparse storage keeps cells pre-sorted: iteration must visit
+        // strictly ascending keys (no per-call sort, no merged-run
+        // duplicates) and the cached support must match the walk.
+        let names: Vec<String> = (0..7).map(|i| format!("a{i}")).collect();
+        let mut b = TableBuilder::new(names);
+        for i in 0..200u32 {
+            let vals: Vec<String> = (0..7)
+                .map(|j| ((i.wrapping_mul(31) >> j) % 8).to_string())
+                .collect();
+            b.push_row(vals.iter().map(String::as_str)).unwrap();
+        }
+        let t = b.finish();
+        let ids: Vec<AttrId> = t.schema().attr_ids().collect();
+        let ct = ContingencyTable::from_table(&t, &t.all_rows(), &ids);
+        let mut seen = 0u64;
+        let mut prev: Option<Vec<u32>> = None;
+        ct.for_each(|key, count| {
+            assert!(count > 0);
+            if let Some(p) = &prev {
+                assert!(p.as_slice() < key, "cells out of order");
+            }
+            prev = Some(key.to_vec());
+            // Binary-search lookup agrees with the walk.
+            assert_eq!(ct.get(key), count);
+            seen += 1;
+        });
+        assert_eq!(seen, ct.support());
+        assert!(ct.approx_bytes() >= seen * (4 * 7 + 8));
+    }
+
+    #[test]
+    fn sparse_marginals_agree_prefix_and_permuted() {
+        // 8 attrs x 8 codes = 2^24 cells: the full table and its 7-attr
+        // marginals all stay sparse, exercising both the prefix
+        // fast path and the project+sort general path.
+        let names: Vec<String> = (0..8).map(|i| format!("a{i}")).collect();
+        let mut b = TableBuilder::new(names);
+        for i in 0..300u32 {
+            let vals: Vec<String> = (0..8)
+                .map(|j| ((i.wrapping_mul(2654435761) >> (2 * j)) % 8).to_string())
+                .collect();
+            b.push_row(vals.iter().map(String::as_str)).unwrap();
+        }
+        let t = b.finish();
+        let ids: Vec<AttrId> = t.schema().attr_ids().collect();
+        let full = ContingencyTable::from_table(&t, &t.all_rows(), &ids);
+        // Prefix projection: [a0..a6] — sorted order survives, run merge.
+        let prefix = full.marginal(&[0, 1, 2, 3, 4, 5, 6]);
+        let direct_prefix = ContingencyTable::from_table(&t, &t.all_rows(), &ids[0..7]);
+        assert_eq!(prefix.cells(), direct_prefix.cells());
+        // Permuted projection: [a1, a0, a7, a2, a3, a4, a5] — needs the
+        // sort path; compare against a direct count in the same order.
+        let keep = [1usize, 0, 7, 2, 3, 4, 5];
+        let perm_attrs: Vec<AttrId> = keep.iter().map(|&p| ids[p]).collect();
+        let perm = full.marginal(&keep);
+        let direct_perm = ContingencyTable::from_table(&t, &t.all_rows(), &perm_attrs);
+        assert_eq!(perm.attrs(), perm_attrs.as_slice());
+        assert_eq!(perm.cells(), direct_perm.cells());
     }
 }

@@ -242,6 +242,16 @@ fn cmd_analyze(args: &[String]) {
                 s.batched_statements,
                 s.groups_planned
             );
+            eprintln!(
+                "planner: {} direct scan(s), {} superset marginalisation(s), \
+                 {} lattice intermediate(s), {} speculative statement(s) skipped | \
+                 cache {} byte(s)",
+                s.scans_direct,
+                s.marginalised_from_superset,
+                s.lattice_intermediates,
+                s.speculative_skipped,
+                cache.cache_bytes()
+            );
         }
         Err(e) => {
             eprintln!("hypdb: {e}");

@@ -350,6 +350,22 @@ fn shared_oracle_coalesces_requests_and_exports_stats() {
     let value: u64 = line.split_whitespace().nth(1).unwrap().parse().unwrap();
     assert_eq!(value, after_second.batched_statements);
     assert!(metrics.body.contains("hypdb_oracle_table_scans_total"));
+    assert!(metrics.body.contains("hypdb_oracle_scans_direct_total"));
+    assert!(metrics
+        .body
+        .contains("hypdb_oracle_speculative_skipped_total"));
+    let bytes_line = metrics
+        .body
+        .lines()
+        .find(|l| l.starts_with("hypdb_oracle_cache_bytes"))
+        .expect("cache bytes gauge exported");
+    let bytes: u64 = bytes_line
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(bytes > 0, "resident contingency tables must be accounted");
     handle.shutdown();
 }
 
