@@ -7,14 +7,15 @@
 //! ```
 
 use hypdb_bench::{
-    end_to_end, fig5a, opts, quality, scaling, serve_throughput, shard_scaling, table1, tests_perf,
-    Scale,
+    end_to_end, fig5a, obs, opts, quality, scaling, serve_throughput, shard_scaling, table1,
+    tests_perf, Scale,
 };
 
 const ALL: &[&str] = &[
     "table1",
     "end_to_end",
     "planner",
+    "obs_overhead",
     "fig5a",
     "fig5b",
     "fig5c",
@@ -35,6 +36,7 @@ fn run_one(name: &str, scale: Scale) {
         "table1" => table1::run(scale),
         "end_to_end" => end_to_end::run(scale),
         "planner" => end_to_end::run_planner(scale),
+        "obs_overhead" => obs::run(scale),
         "fig5a" => fig5a::run(scale),
         "fig5b" => quality::run_fig5b(scale),
         "fig5c" => quality::run_fig5c(scale),

@@ -18,6 +18,7 @@
 
 pub mod end_to_end;
 pub mod fig5a;
+pub mod obs;
 pub mod opts;
 pub mod quality;
 pub mod report;

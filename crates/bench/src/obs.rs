@@ -1,0 +1,123 @@
+//! PR-8: observability overhead. The span collector, histogram
+//! observations, and the explain sink ride every request; this
+//! experiment pins their cost — a traced analyze must stay within 3%
+//! of an untraced one on a production-sized table, and must not move
+//! a single byte of the wire body.
+
+use crate::Scale;
+use hypdb_core::{wire, AnalyzeRequest, HypDbConfig, OracleCache};
+use hypdb_datasets as ds;
+use serde::Serialize;
+use std::sync::Arc;
+
+/// One timed mode of the overhead comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct ObsRunRecord {
+    /// `"untraced"` or `"traced"` (span + explain collector installed).
+    pub mode: String,
+    /// Minimum wall-clock seconds over the interleaved repetitions.
+    pub seconds: f64,
+}
+
+/// The machine-readable PR-8 report (`BENCH_pr8.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct ObsBenchReport {
+    /// PR number this trajectory point belongs to.
+    pub pr: u32,
+    /// Experiment tag.
+    pub experiment: String,
+    /// Adult rows analyzed.
+    pub rows: usize,
+    /// `std::thread::available_parallelism` on the runner.
+    pub available_parallelism: usize,
+    /// `traced.seconds / untraced.seconds`.
+    pub overhead_ratio: f64,
+    /// Both timed modes.
+    pub runs: Vec<ObsRunRecord>,
+}
+
+/// PR-8: cold analyze on a ≥100k-row adult table, tracing off vs on —
+/// repetitions interleaved so machine-load drift hits both modes
+/// equally, each mode reporting its minimum wall clock. Asserts the
+/// traced body is byte-identical to the untraced one and the traced
+/// minimum stays within 3% of the untraced minimum, then writes
+/// `BENCH_pr8.json`.
+pub fn run(scale: Scale) {
+    crate::report::section("PR-8 — observability overhead (spans + histograms + explain sink)");
+    let rows = scale.pick(150_000, 300_000);
+    let data = ds::adult_data(&ds::AdultConfig { rows, seed: 1994 });
+    let req = AnalyzeRequest::new(
+        "adult",
+        "SELECT Gender, avg(Income) FROM AdultData GROUP BY Gender",
+    );
+    let base = HypDbConfig::default();
+
+    // One cold analyze: fresh oracle cache, full wire body rendered so
+    // the serialization path is measured too.
+    let once = || {
+        let cache = Arc::new(OracleCache::new());
+        wire::report_body(
+            &wire::analyze_cached(&data, &req, &base, Some(&cache)).expect("analysis"),
+        )
+    };
+    let traced_once = || {
+        // The HYPDB_TRACE middleware's tracer (explain-capable, like the
+        // server installs), minus the stderr dump.
+        let tracer = hypdb_obs::Tracer::with_explain();
+        let body = hypdb_obs::with_request(&tracer, once);
+        let report = tracer.finish();
+        assert!(!report.spans.is_empty(), "tracer observed no spans");
+        body
+    };
+
+    // Byte-identity pre-check: observation must be pure.
+    let plain = once();
+    assert_eq!(traced_once(), plain, "tracing changed the wire body");
+
+    const REPS: usize = 5;
+    let mut best = [f64::INFINITY; 2];
+    for _ in 0..REPS {
+        let (body, secs) = crate::timed(once);
+        assert_eq!(body, plain);
+        best[0] = best[0].min(secs);
+        let (body, secs) = crate::timed(traced_once);
+        assert_eq!(body, plain);
+        best[1] = best[1].min(secs);
+    }
+    let ratio = best[1] / best[0];
+    println!(
+        "adult {rows} rows: untraced {:.3}s, traced {:.3}s, ratio {:.4}",
+        best[0], best[1], ratio
+    );
+    assert!(
+        ratio <= 1.03,
+        "tracing overhead {:.2}% exceeds the 3% budget ({:.3}s vs {:.3}s)",
+        (ratio - 1.0) * 100.0,
+        best[1],
+        best[0]
+    );
+
+    let report = ObsBenchReport {
+        pr: 8,
+        experiment: "obs_overhead".to_string(),
+        rows,
+        available_parallelism: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        overhead_ratio: ratio,
+        runs: vec![
+            ObsRunRecord {
+                mode: "untraced".to_string(),
+                seconds: best[0],
+            },
+            ObsRunRecord {
+                mode: "traced".to_string(),
+                seconds: best[1],
+            },
+        ],
+    };
+    let json = serde_json::to_string(&report).expect("serialize");
+    let path = "BENCH_pr8.json";
+    std::fs::write(path, &json).expect("write BENCH_pr8.json");
+    println!("\n(wrote {path}; traced runs are byte-identical and within the 3% budget)");
+}

@@ -1,0 +1,531 @@
+//! The deterministic EXPLAIN surface of the multi-query planner.
+//!
+//! Classic optimisers ship EXPLAIN; this module is ours. While an
+//! analysis runs with an explain-collecting tracer installed
+//! (`hypdb_obs::Tracer::with_explain`), the data oracle records one
+//! [`RoundRecord`] per planner round — **only data-deterministic
+//! facts**: the round kind, the planned statement groups (attribute
+//! sets and cardinalities), and, for speculative rounds, the decisive
+//! hit index (itself invariant by the byte-identity guarantee). The
+//! records deliberately exclude live cache state, counters, and clocks,
+//! all of which depend on scheduling.
+//!
+//! [`assemble`] then replays the planner's cost model over the records
+//! in canonical `(span path, seq)` order against a *simulated* cache
+//! that starts empty at the request boundary: per-group
+//! scan-vs-marginalise choices with their predicted costs, lattice
+//! intermediates, cache reuse, and speculation skips. Because the
+//! replay consumes only a-priori quantities — `min(∏ dims, rows)`
+//! support bounds, attribute widths, row counts — the assembled JSON is
+//! **byte-identical across worker counts, shard layouts, and
+//! `HYPDB_PLAN_FORCE` strategies**. It is a *predicted* plan in the
+//! EXPLAIN tradition: the live counters in `/metrics` may differ when
+//! concurrent requests warm the shared cache or a forced strategy
+//! overrides the cost model; the explain output never does.
+
+use crate::plan::{support_bound, CostModel};
+use hypdb_obs::ExplainEntry;
+use serde::{Deserialize, Serialize, Value};
+use std::collections::BTreeMap;
+
+/// One planned statement group as recorded by the oracle. Attribute
+/// sets are ascending index lists into the round's [`RoundRecord::attrs`]
+/// dictionary (index order = `AttrId` order, so lexicographic
+/// comparisons mirror the planner's exactly).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupRecord {
+    /// Conditioning-set attributes (ascending indices).
+    pub z: Vec<usize>,
+    /// The group's joint table attributes (ascending indices).
+    pub joint: Vec<usize>,
+    /// Member statements, as indices into the round's unique list.
+    pub members: Vec<usize>,
+}
+
+/// One planner round's data-deterministic record — what the oracle
+/// writes into the EXPLAIN sink.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// `"batch"` (settle everything) or `"find_first"` (speculative).
+    pub kind: String,
+    /// Selected row count the round's cost model priced against.
+    pub rows: u64,
+    /// Submitted statements (before dedup).
+    pub statements: usize,
+    /// For `find_first`: the decisive statement index, if any.
+    pub hit: Option<usize>,
+    /// Statement slot → unique-statement index.
+    pub slots: Vec<usize>,
+    /// Attribute dictionary `(name, cardinality)`, ascending `AttrId`.
+    pub attrs: Vec<(String, u64)>,
+    /// Per unique statement: its target table `{x, y} ∪ z` (ascending
+    /// indices into `attrs`).
+    pub unique_targets: Vec<Vec<usize>>,
+    /// Planned groups, planner order (largest joint first).
+    pub groups: Vec<GroupRecord>,
+}
+
+impl RoundRecord {
+    /// The sink payload (canonical JSON text).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("round record serialises")
+    }
+}
+
+/// Mirror of the oracle's lattice-descent thresholds.
+const MIN_FANOUT: usize = 4;
+const MAX_DEPTH: usize = 4;
+
+/// The simulated cache: attribute set → predicted support of the table
+/// built over it. Starts empty at the request boundary and evolves in
+/// canonical round order.
+type SimCache = BTreeMap<Vec<usize>, u64>;
+
+struct Sim<'a> {
+    cards: Vec<u32>,
+    rows: u64,
+    cm: CostModel,
+    cache: &'a mut SimCache,
+}
+
+impl Sim<'_> {
+    /// Predicted support: the a-priori bound refined by every simulated
+    /// superset (mirror of the oracle's `predict_support`).
+    fn support(&self, attrs: &[usize]) -> u64 {
+        if let Some(&s) = self.cache.get(attrs) {
+            return s;
+        }
+        let dims: Vec<u32> = attrs.iter().map(|&i| self.cards[i].max(1)).collect();
+        let mut best = support_bound(&dims, self.rows);
+        for (key, &sup) in self.cache.iter() {
+            if sup < best && is_subset(attrs, key) {
+                best = sup;
+            }
+        }
+        best
+    }
+
+    /// Predicted build cost: zero when simulated-cached, else the
+    /// cheaper of a scan and the best simulated superset walk (mirror
+    /// of the oracle's `predict_build_cost`).
+    fn build_cost(&self, attrs: &[usize]) -> u64 {
+        if self.cache.contains_key(attrs) {
+            return 0;
+        }
+        let mut best = self.cm.scan_cost(attrs.len());
+        for (key, &sup) in self.cache.iter() {
+            if is_subset(attrs, key) {
+                best = best.min(self.cm.marginal_cost(sup, attrs.len()));
+            }
+        }
+        best
+    }
+
+    /// Marks `attrs` built (at its predicted support).
+    fn insert(&mut self, attrs: &[usize]) {
+        let sup = self.support(attrs);
+        self.cache.insert(attrs.to_vec(), sup);
+    }
+
+    /// Mirror of the oracle's top-down lattice descent, collecting the
+    /// intermediates the cost model approves.
+    fn lattice(
+        &mut self,
+        parent: &[usize],
+        targets: &[Vec<usize>],
+        depth: usize,
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        if depth >= MAX_DEPTH || targets.len() < MIN_FANOUT {
+            return;
+        }
+        let sup_parent = self.support(parent);
+        let mid = targets.len() / 2;
+        for half in [&targets[..mid], &targets[mid..]] {
+            let mut inter: Vec<usize> = half.iter().flatten().copied().collect();
+            inter.sort_unstable();
+            inter.dedup();
+            if inter.len() >= parent.len() {
+                continue;
+            }
+            let sup_inter = self.support(&inter);
+            let with_inter = self.cm.marginal_cost(sup_parent, inter.len())
+                + half
+                    .iter()
+                    .map(|t| self.cm.marginal_cost(sup_inter, t.len()))
+                    .sum::<u64>();
+            let without = half
+                .iter()
+                .map(|t| self.cm.marginal_cost(sup_parent, t.len()))
+                .sum::<u64>();
+            if with_inter < without {
+                if !self.cache.contains_key(inter.as_slice()) {
+                    out.push(inter.clone());
+                    self.insert(&inter);
+                }
+                self.lattice(&inter, half, depth + 1, out);
+            }
+        }
+    }
+}
+
+fn is_subset(small: &[usize], big: &[usize]) -> bool {
+    let mut it = big.iter();
+    'outer: for s in small {
+        for b in it.by_ref() {
+            if b == s {
+                continue 'outer;
+            }
+            if b > s {
+                return false;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Per-group simulated decision, accumulated while replaying a round.
+#[derive(Debug, Default)]
+struct GroupSim {
+    joint_support: u64,
+    joint_cost: u64,
+    direct_cost: u64,
+    marginalise: bool,
+    joint_cached: bool,
+    lattice: Vec<Vec<usize>>,
+    targets_cached: u64,
+    targets_marginalised: u64,
+    targets_scanned: u64,
+    staged: bool,
+}
+
+/// Running totals across every round of one request.
+#[derive(Debug, Default)]
+struct Totals {
+    rounds: u64,
+    statements: u64,
+    groups: u64,
+    joints_marginalised: u64,
+    lattice_intermediates: u64,
+    cache_hits: u64,
+    marginalisations: u64,
+    scans: u64,
+    speculative_skipped: u64,
+}
+
+fn names(attrs: &[(String, u64)], set: &[usize]) -> Value {
+    Value::Arr(
+        set.iter()
+            .map(|&i| Value::Str(attrs[i].0.clone()))
+            .collect(),
+    )
+}
+
+/// Stages one group against the simulation (the scan-vs-marginalise
+/// decision plus lattice descent), mirroring the oracle's
+/// `stage_group` under the pure cost strategy.
+fn stage(sim: &mut Sim<'_>, rec: &RoundRecord, group: &GroupRecord, gs: &mut GroupSim) {
+    gs.staged = true;
+    let mut targets: Vec<Vec<usize>> = group
+        .members
+        .iter()
+        .map(|&m| rec.unique_targets[m].clone())
+        .collect();
+    targets.sort_unstable();
+    targets.dedup();
+    gs.joint_cached = sim.cache.contains_key(&group.joint);
+    gs.joint_support = sim.support(&group.joint);
+    gs.joint_cost = sim.build_cost(&group.joint)
+        + targets
+            .iter()
+            .filter(|t| *t != &group.joint)
+            .map(|t| sim.cm.marginal_cost(gs.joint_support, t.len()))
+            .sum::<u64>();
+    gs.direct_cost = targets.iter().map(|t| sim.build_cost(t)).sum();
+    gs.marginalise = gs.joint_cost < gs.direct_cost;
+    if gs.marginalise {
+        sim.insert(&group.joint);
+        sim.lattice(&group.joint, &targets, 0, &mut gs.lattice);
+    }
+}
+
+/// Simulates building one unique statement's target table, charging
+/// the owning group's accounting.
+fn build_target(sim: &mut Sim<'_>, target: &[usize], gs: &mut GroupSim) {
+    let cost = sim.build_cost(target);
+    if cost == 0 {
+        gs.targets_cached += 1;
+    } else if cost < sim.cm.scan_cost(target.len()) {
+        gs.targets_marginalised += 1;
+    } else {
+        gs.targets_scanned += 1;
+    }
+    sim.insert(target);
+}
+
+/// Replays the recorded rounds in canonical `(path, seq)` order and
+/// returns the EXPLAIN document (`hypdb-explain/v1`). Entries that are
+/// not round records (or fail to parse) are skipped — parseability is
+/// itself deterministic, so skipping cannot break byte-identity.
+pub fn assemble(entries: &[ExplainEntry]) -> Value {
+    let mut cache = SimCache::new();
+    let mut totals = Totals::default();
+    let mut rounds: Vec<Value> = Vec::new();
+    for entry in entries {
+        let Ok(rec) = serde_json::from_str::<RoundRecord>(&entry.payload) else {
+            continue;
+        };
+        let mut sim = Sim {
+            cards: rec
+                .attrs
+                .iter()
+                .map(|&(_, c)| c.min(u32::MAX as u64) as u32)
+                .collect(),
+            rows: rec.rows,
+            cm: CostModel::new(rec.rows, 1),
+            cache: &mut cache,
+        };
+        let mut group_sims: Vec<GroupSim> =
+            rec.groups.iter().map(|_| GroupSim::default()).collect();
+        let speculative_skipped = match (rec.kind.as_str(), rec.hit) {
+            ("find_first", Some(h)) => rec.statements.saturating_sub(h + 1) as u64,
+            _ => 0,
+        };
+        if rec.kind == "find_first" {
+            // Wave-of-one replay: statements execute in submission
+            // order up to (and including) the decisive hit; a group is
+            // staged when a wave first touches it.
+            let group_of: Vec<usize> = {
+                let mut g = vec![0usize; rec.unique_targets.len()];
+                for (gi, group) in rec.groups.iter().enumerate() {
+                    for &m in &group.members {
+                        g[m] = gi;
+                    }
+                }
+                g
+            };
+            let mut executed = vec![false; rec.unique_targets.len()];
+            let last = rec.hit.unwrap_or(rec.slots.len().saturating_sub(1));
+            for &u in rec.slots.iter().take(last + 1) {
+                if executed[u] {
+                    continue;
+                }
+                executed[u] = true;
+                let gi = group_of[u];
+                if !group_sims[gi].staged {
+                    stage(&mut sim, &rec, &rec.groups[gi], &mut group_sims[gi]);
+                }
+                let target = rec.unique_targets[u].clone();
+                build_target(&mut sim, &target, &mut group_sims[gi]);
+            }
+        } else {
+            // Batch replay: groups stage and settle in planner order.
+            for (group, gs) in rec.groups.iter().zip(group_sims.iter_mut()) {
+                stage(&mut sim, &rec, group, gs);
+                for &m in &group.members {
+                    let target = rec.unique_targets[m].clone();
+                    build_target(&mut sim, &target, gs);
+                }
+            }
+        }
+        let groups_json: Vec<Value> = rec
+            .groups
+            .iter()
+            .zip(&group_sims)
+            .filter(|(_, gs)| gs.staged)
+            .map(|(group, gs)| {
+                totals.groups += 1;
+                totals.joints_marginalised += u64::from(gs.marginalise);
+                totals.lattice_intermediates += gs.lattice.len() as u64;
+                totals.cache_hits += gs.targets_cached;
+                totals.marginalisations += gs.targets_marginalised;
+                totals.scans += gs.targets_scanned;
+                Value::Obj(vec![
+                    ("z".into(), names(&rec.attrs, &group.z)),
+                    ("joint".into(), names(&rec.attrs, &group.joint)),
+                    ("members".into(), Value::UInt(group.members.len() as u64)),
+                    ("joint_support".into(), Value::UInt(gs.joint_support)),
+                    ("joint_cost".into(), Value::UInt(gs.joint_cost)),
+                    ("direct_cost".into(), Value::UInt(gs.direct_cost)),
+                    (
+                        "strategy".into(),
+                        Value::Str(
+                            if gs.marginalise {
+                                "marginalise"
+                            } else {
+                                "scan"
+                            }
+                            .into(),
+                        ),
+                    ),
+                    ("joint_cached".into(), Value::Bool(gs.joint_cached)),
+                    (
+                        "lattice_intermediates".into(),
+                        Value::Arr(gs.lattice.iter().map(|l| names(&rec.attrs, l)).collect()),
+                    ),
+                    ("targets_cached".into(), Value::UInt(gs.targets_cached)),
+                    (
+                        "targets_marginalised".into(),
+                        Value::UInt(gs.targets_marginalised),
+                    ),
+                    ("targets_scanned".into(), Value::UInt(gs.targets_scanned)),
+                ])
+            })
+            .collect();
+        totals.rounds += 1;
+        totals.statements += rec.statements as u64;
+        totals.speculative_skipped += speculative_skipped;
+        rounds.push(Value::Obj(vec![
+            ("path".into(), Value::Str(entry.path.clone())),
+            ("kind".into(), Value::Str(rec.kind.clone())),
+            ("rows".into(), Value::UInt(rec.rows)),
+            ("statements".into(), Value::UInt(rec.statements as u64)),
+            (
+                "unique".into(),
+                Value::UInt(rec.unique_targets.len() as u64),
+            ),
+            (
+                "hit".into(),
+                match rec.hit {
+                    Some(h) => Value::UInt(h as u64),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "speculative_skipped".into(),
+                Value::UInt(speculative_skipped),
+            ),
+            ("groups".into(), Value::Arr(groups_json)),
+        ]));
+    }
+    Value::Obj(vec![
+        ("schema".into(), Value::Str("hypdb-explain/v1".into())),
+        ("rounds".into(), Value::Arr(rounds)),
+        (
+            "totals".into(),
+            Value::Obj(vec![
+                ("rounds".into(), Value::UInt(totals.rounds)),
+                ("statements".into(), Value::UInt(totals.statements)),
+                ("groups".into(), Value::UInt(totals.groups)),
+                (
+                    "joints_marginalised".into(),
+                    Value::UInt(totals.joints_marginalised),
+                ),
+                (
+                    "lattice_intermediates".into(),
+                    Value::UInt(totals.lattice_intermediates),
+                ),
+                (
+                    "predicted_cache_hits".into(),
+                    Value::UInt(totals.cache_hits),
+                ),
+                (
+                    "predicted_marginalisations".into(),
+                    Value::UInt(totals.marginalisations),
+                ),
+                ("predicted_scans".into(), Value::UInt(totals.scans)),
+                (
+                    "speculative_skipped".into(),
+                    Value::UInt(totals.speculative_skipped),
+                ),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> RoundRecord {
+        RoundRecord {
+            kind: "batch".into(),
+            rows: 1000,
+            statements: 3,
+            hit: None,
+            slots: vec![0, 1, 2],
+            attrs: vec![
+                ("A".into(), 2),
+                ("B".into(), 3),
+                ("C".into(), 4),
+                ("D".into(), 5),
+            ],
+            unique_targets: vec![vec![0, 1, 3], vec![0, 2, 3], vec![1, 2, 3]],
+            groups: vec![GroupRecord {
+                z: vec![3],
+                joint: vec![0, 1, 2, 3],
+                members: vec![0, 1, 2],
+            }],
+        }
+    }
+
+    fn entry(rec: &RoundRecord, path: &str, seq: u64) -> ExplainEntry {
+        ExplainEntry {
+            path: path.into(),
+            seq,
+            payload: rec.to_json(),
+        }
+    }
+
+    #[test]
+    fn round_record_roundtrips_through_json() {
+        let rec = record();
+        let back: RoundRecord = serde_json::from_str(&rec.to_json()).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn assemble_is_deterministic_and_prices_the_joint() {
+        let rec = record();
+        let entries = vec![entry(&rec, "request/discovery", 0)];
+        let a = serde_json::to_string(&assemble(&entries)).unwrap();
+        let b = serde_json::to_string(&assemble(&entries)).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("\"schema\":\"hypdb-explain/v1\""));
+        // joint: build 1000*4 = 4000, three members derived at
+        // support(joint)=min(120,1000)=120 × width 3 = 360 each →
+        // 4000+1080 < direct 3×3000: marginalise wins.
+        assert!(a.contains("\"strategy\":\"marginalise\""));
+        assert!(a.contains("\"joint_support\":120"));
+        assert!(a.contains("\"targets_marginalised\":3"));
+        assert!(a.contains("\"predicted_scans\":0"));
+    }
+
+    #[test]
+    fn simulated_cache_carries_across_rounds() {
+        let rec = record();
+        let entries = vec![
+            entry(&rec, "request/discovery", 0),
+            entry(&rec, "request/discovery", 1),
+        ];
+        let doc = serde_json::to_string(&assemble(&entries)).unwrap();
+        // Second identical round finds every table simulated-cached.
+        assert!(doc.contains("\"joint_cached\":true"));
+        assert!(doc.contains("\"targets_cached\":3"));
+        assert!(doc.contains("\"predicted_cache_hits\":3"));
+    }
+
+    #[test]
+    fn find_first_replay_skips_past_the_hit() {
+        let mut rec = record();
+        rec.kind = "find_first".into();
+        rec.hit = Some(0);
+        let entries = vec![entry(&rec, "request/discovery", 0)];
+        let doc = serde_json::to_string(&assemble(&entries)).unwrap();
+        assert!(doc.contains("\"speculative_skipped\":2"));
+        // Only slot 0's unique executed: one target built.
+        assert!(doc.contains("\"targets_marginalised\":1"));
+    }
+
+    #[test]
+    fn unparsable_entries_are_skipped() {
+        let entries = vec![ExplainEntry {
+            path: "request".into(),
+            seq: 0,
+            payload: "not json".into(),
+        }];
+        let doc = serde_json::to_string(&assemble(&entries)).unwrap();
+        assert!(doc.contains("\"rounds\":[]"));
+    }
+}

@@ -16,6 +16,9 @@
 //!   statements, group them by conditioning set, and answer each group
 //!   with one shared contingency pass (the Analyze-operator
 //!   optimisation),
+//! * [`explain`] — the planner's deterministic EXPLAIN surface: replay
+//!   the cost model over per-round records into a byte-identical
+//!   decision document (costs, never clocks),
 //! * [`preprocess`] — dropping logical dependencies: approximate FDs and
 //!   key-like high-entropy attributes (§4),
 //! * [`eval`] — precision/recall/F1 of recovered parent sets against a
@@ -26,6 +29,7 @@
 pub mod blanket;
 pub mod cd;
 pub mod eval;
+pub mod explain;
 pub mod fgs;
 pub mod hc;
 pub mod oracle;

@@ -575,7 +575,10 @@ impl<'a, S: Scan + ?Sized> DataOracle<'a, S> {
         let counters = &self.cache.counters;
         if !self.cfg.materialize {
             AtomicStats::bump(&counters.table_scans);
-            return Arc::new(ContingencyTable::from_table(self.table, &self.rows, attrs));
+            let tick = hypdb_obs::Tick::now();
+            let ct = Arc::new(ContingencyTable::from_table(self.table, &self.rows, attrs));
+            hypdb_obs::CONTINGENCY_BUILD.observe(tick.elapsed_secs());
+            return ct;
         }
         if let Some(hit) = self.cache.counts.get(attrs) {
             AtomicStats::bump(&counters.count_cache_hits);
@@ -614,6 +617,7 @@ impl<'a, S: Scan + ?Sized> DataOracle<'a, S> {
             (Some((cost, _, _)), PlanForce::Cost) => *cost < cm.scan_cost(attrs.len()),
             _ => false,
         };
+        let tick = hypdb_obs::Tick::now();
         let ct = if derive {
             let (_, key, sup) = superset.expect("derive implies a superset");
             AtomicStats::bump(&counters.marginalizations);
@@ -628,6 +632,7 @@ impl<'a, S: Scan + ?Sized> DataOracle<'a, S> {
             AtomicStats::bump(&counters.scans_direct);
             Arc::new(ContingencyTable::from_table(self.table, &self.rows, attrs))
         };
+        hypdb_obs::CONTINGENCY_BUILD.observe(tick.elapsed_secs());
         self.cache.store_table(attrs.to_vec(), &ct);
         ct
     }
@@ -938,6 +943,127 @@ impl<'a, S: Scan + ?Sized> DataOracle<'a, S> {
             }
         }
     }
+
+    /// Builds one planner round's EXPLAIN record: the
+    /// data-deterministic facts only — attribute sets, cardinalities,
+    /// row count, group structure, and (for speculative rounds) the
+    /// decisive hit index. Never live cache state or counters; the
+    /// cost replay happens later in [`crate::explain::assemble`].
+    fn explain_round(
+        &self,
+        kind: &str,
+        stmts: &[CiStatement],
+        plan: &Plan,
+        hit: Option<usize>,
+    ) -> crate::explain::RoundRecord {
+        use crate::explain::{GroupRecord, RoundRecord};
+        let mut used: Vec<AttrId> = Vec::new();
+        let mut target_attrs: Vec<Vec<AttrId>> = Vec::with_capacity(plan.num_unique());
+        for s in plan.unique() {
+            let mut vars = s.z.clone();
+            vars.push(s.x);
+            vars.push(s.y);
+            let attrs = self.canonical_attrs(&vars);
+            used.extend_from_slice(&attrs);
+            target_attrs.push(attrs);
+        }
+        used.sort_unstable();
+        used.dedup();
+        // Ascending-index sets over the dictionary preserve the
+        // planner's `AttrId` lexicographic order exactly.
+        let to_idx = |attrs: &[AttrId]| -> Vec<usize> {
+            attrs
+                .iter()
+                .map(|a| used.binary_search(a).expect("attr in dictionary"))
+                .collect()
+        };
+        RoundRecord {
+            kind: kind.to_string(),
+            rows: self.rows.len() as u64,
+            statements: stmts.len(),
+            hit,
+            slots: plan.slots().to_vec(),
+            attrs: used
+                .iter()
+                .map(|&a| {
+                    (
+                        self.table.schema().name(a).to_string(),
+                        u64::from(self.table.cardinality(a).max(1)),
+                    )
+                })
+                .collect(),
+            unique_targets: target_attrs.iter().map(|t| to_idx(t)).collect(),
+            groups: plan
+                .groups()
+                .iter()
+                .map(|g| GroupRecord {
+                    z: to_idx(&self.canonical_attrs(&g.z)),
+                    joint: to_idx(&self.canonical_attrs(&g.joint)),
+                    members: g.members.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// The planned body of [`CiOracle::find_first`], split out so the
+    /// round can be spanned and its EXPLAIN record capture the result.
+    fn find_first_planned(&self, stmts: &[CiStatement], plan: &Plan, want: bool) -> Option<usize> {
+        let group_of: Vec<usize> = {
+            let mut g = vec![0usize; plan.num_unique()];
+            for (gi, group) in plan.groups().iter().enumerate() {
+                for &m in &group.members {
+                    g[m] = gi;
+                }
+            }
+            g
+        };
+        let mut staged = vec![false; plan.groups().len()];
+        let slots = plan.slots();
+        let mut verdicts: Vec<Option<bool>> = vec![None; plan.num_unique()];
+        let mut i = 0;
+        let mut wave = 1usize;
+        while i < stmts.len() {
+            let end = (i + wave).min(stmts.len());
+            wave = (wave * 2).min(SPECULATION_WAVE);
+            let mut members: Vec<usize> = slots[i..end]
+                .iter()
+                .copied()
+                .filter(|&u| verdicts[u].is_none())
+                .collect();
+            members.sort_unstable();
+            members.dedup();
+            if !members.is_empty() {
+                if self.cfg.materialize {
+                    for &u in &members {
+                        let gi = group_of[u];
+                        if !staged[gi] {
+                            staged[gi] = true;
+                            self.stage_group(plan.unique(), &plan.groups()[gi]);
+                        }
+                    }
+                }
+                AtomicStats::add(
+                    &self.cache.counters.batched_statements,
+                    members.len() as u64,
+                );
+                let outcomes = self.test_group(plan.unique(), &members);
+                for (&u, out) in members.iter().zip(outcomes) {
+                    verdicts[u] = Some(out.independent(self.cfg.alpha));
+                }
+            }
+            for (k, &u) in slots[i..end].iter().enumerate() {
+                if verdicts[u] == Some(want) {
+                    AtomicStats::add(
+                        &self.cache.counters.speculative_skipped,
+                        (stmts.len() - end) as u64,
+                    );
+                    return Some(i + k);
+                }
+            }
+            i = end;
+        }
+        None
+    }
 }
 
 /// A statement after the cheap dispatch phase of batched execution:
@@ -1069,27 +1195,30 @@ impl<S: Scan + ?Sized> CiOracle for DataOracle<'_, S> {
             return stmts.iter().map(|s| self.test(s.x, s.y, &s.z)).collect();
         }
         let plan = Plan::build(stmts);
+        hypdb_obs::record_explain(|| self.explain_round("batch", stmts, &plan, None).to_json());
         let counters = &self.cache.counters;
         AtomicStats::add(&counters.batched_statements, stmts.len() as u64);
         AtomicStats::add(&counters.groups_planned, plan.groups().len() as u64);
-        let mut results: Vec<Option<TestOutcome>> = vec![None; plan.num_unique()];
-        for group in plan.groups() {
-            // The shared pass: when the cost model approves (or a
-            // forced strategy demands it), one scan — plus any
-            // lattice-descent intermediates — covers every member's
-            // contingency and entropy work for this conditioning set.
-            if self.cfg.materialize {
-                self.stage_group(plan.unique(), group);
+        hypdb_obs::span("planner_round", || {
+            let mut results: Vec<Option<TestOutcome>> = vec![None; plan.num_unique()];
+            for group in plan.groups() {
+                // The shared pass: when the cost model approves (or a
+                // forced strategy demands it), one scan — plus any
+                // lattice-descent intermediates — covers every member's
+                // contingency and entropy work for this conditioning set.
+                if self.cfg.materialize {
+                    self.stage_group(plan.unique(), group);
+                }
+                let outcomes = self.test_group(plan.unique(), &group.members);
+                for (&m, out) in group.members.iter().zip(outcomes) {
+                    results[m] = Some(out);
+                }
             }
-            let outcomes = self.test_group(plan.unique(), &group.members);
-            for (&m, out) in group.members.iter().zip(outcomes) {
-                results[m] = Some(out);
-            }
-        }
-        plan.slots()
-            .iter()
-            .map(|&u| results[u].clone().expect("every unique statement executed"))
-            .collect()
+            plan.slots()
+                .iter()
+                .map(|&u| results[u].clone().expect("every unique statement executed"))
+                .collect()
+        })
     }
 
     /// Speculation-pruned round evaluation: plan the round once (so
@@ -1115,61 +1244,14 @@ impl<S: Scan + ?Sized> CiOracle for DataOracle<'_, S> {
             &self.cache.counters.groups_planned,
             plan.groups().len() as u64,
         );
-        let group_of: Vec<usize> = {
-            let mut g = vec![0usize; plan.num_unique()];
-            for (gi, group) in plan.groups().iter().enumerate() {
-                for &m in &group.members {
-                    g[m] = gi;
-                }
-            }
-            g
-        };
-        let mut staged = vec![false; plan.groups().len()];
-        let slots = plan.slots();
-        let mut verdicts: Vec<Option<bool>> = vec![None; plan.num_unique()];
-        let mut i = 0;
-        let mut wave = 1usize;
-        while i < stmts.len() {
-            let end = (i + wave).min(stmts.len());
-            wave = (wave * 2).min(SPECULATION_WAVE);
-            let mut members: Vec<usize> = slots[i..end]
-                .iter()
-                .copied()
-                .filter(|&u| verdicts[u].is_none())
-                .collect();
-            members.sort_unstable();
-            members.dedup();
-            if !members.is_empty() {
-                if self.cfg.materialize {
-                    for &u in &members {
-                        let gi = group_of[u];
-                        if !staged[gi] {
-                            staged[gi] = true;
-                            self.stage_group(plan.unique(), &plan.groups()[gi]);
-                        }
-                    }
-                }
-                AtomicStats::add(
-                    &self.cache.counters.batched_statements,
-                    members.len() as u64,
-                );
-                let outcomes = self.test_group(plan.unique(), &members);
-                for (&u, out) in members.iter().zip(outcomes) {
-                    verdicts[u] = Some(out.independent(self.cfg.alpha));
-                }
-            }
-            for (k, &u) in slots[i..end].iter().enumerate() {
-                if verdicts[u] == Some(want) {
-                    AtomicStats::add(
-                        &self.cache.counters.speculative_skipped,
-                        (stmts.len() - end) as u64,
-                    );
-                    return Some(i + k);
-                }
-            }
-            i = end;
-        }
-        None
+        let hit = hypdb_obs::span("planner_round", || {
+            self.find_first_planned(stmts, &plan, want)
+        });
+        hypdb_obs::record_explain(|| {
+            self.explain_round("find_first", stmts, &plan, hit)
+                .to_json()
+        });
+        hit
     }
 
     fn stats(&self) -> OracleStats {

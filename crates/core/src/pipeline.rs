@@ -12,6 +12,7 @@ use hypdb_causal::oracle::{CiConfig, CiOracle, DataOracle, OracleCache};
 use hypdb_causal::preprocess::{drop_logical_dependencies, PreprocessConfig};
 use hypdb_causal::CdConfig;
 use hypdb_exec::ThreadPool;
+use hypdb_obs::Tick;
 use hypdb_stats::independence::{hymit, TestOutcome};
 use hypdb_table::contingency::Stratified;
 use hypdb_table::groupby::group_counts;
@@ -20,7 +21,6 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Pipeline configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -247,26 +247,27 @@ impl<'a, S: Scan + ?Sized> HypDb<'a, S> {
         let mut dropped_fd = Vec::new();
         let mut dropped_keys = Vec::new();
 
-        let candidate_attrs: Vec<AttrId> = match &self.cfg.preprocess {
-            Some(pcfg) => {
-                let others: Vec<AttrId> = self
+        let candidate_attrs: Vec<AttrId> =
+            hypdb_obs::span("preprocess", || match &self.cfg.preprocess {
+                Some(pcfg) => {
+                    let others: Vec<AttrId> = self
+                        .table
+                        .schema()
+                        .attr_ids()
+                        .filter(|a| !referenced.contains(a))
+                        .collect();
+                    let rep = drop_logical_dependencies(self.table, &rows, &others, pcfg);
+                    dropped_fd = rep.dropped_fd;
+                    dropped_keys = rep.dropped_keys;
+                    rep.kept
+                }
+                None => self
                     .table
                     .schema()
                     .attr_ids()
                     .filter(|a| !referenced.contains(a))
-                    .collect();
-                let rep = drop_logical_dependencies(self.table, &rows, &others, pcfg);
-                dropped_fd = rep.dropped_fd;
-                dropped_keys = rep.dropped_keys;
-                rep.kept
-            }
-            None => self
-                .table
-                .schema()
-                .attr_ids()
-                .filter(|a| !referenced.contains(a))
-                .collect(),
-        };
+                    .collect(),
+            });
 
         // Oracle variables: treatment + outcomes + surviving candidates.
         let mut vars: Vec<AttrId> = vec![query.treatment];
@@ -283,7 +284,7 @@ impl<'a, S: Scan + ?Sized> HypDb<'a, S> {
             None => DataOracle::new(self.table, rows, vars.clone(), self.cfg.ci),
         };
 
-        let (covariates, used_fallback) = match &self.covariates {
+        let (covariates, used_fallback) = hypdb_obs::span("discovery", || match &self.covariates {
             Some(z) => (z.clone(), false),
             None => {
                 let out = discover_parents(&oracle, 0, self.cfg.cd);
@@ -302,7 +303,7 @@ impl<'a, S: Scan + ?Sized> HypDb<'a, S> {
                     (parents, false)
                 }
             }
-        };
+        });
 
         let mediators: Vec<Vec<AttrId>> = if !self.cfg.compute_direct {
             vec![Vec::new(); query.outcomes.len()]
@@ -312,40 +313,42 @@ impl<'a, S: Scan + ?Sized> HypDb<'a, S> {
             // One independent CD run per outcome — fanned out over the
             // pool (the shared oracle's caches and per-statement seeds
             // keep every run deterministic).
-            self.pool().parallel_map(&query.outcomes, |j, _| {
-                // Outcome j is oracle variable 1 + j.
-                let out = discover_parents(&oracle, 1 + j, self.cfg.cd);
-                let admissible = |a: &AttrId| {
-                    *a != query.treatment
-                        && !covariates.contains(a)
-                        && !query.outcomes.contains(a)
-                        && !query.grouping.contains(a)
-                };
-                let parents: Vec<AttrId> = out
-                    .parents
-                    .iter()
-                    .map(|&v| vars[v])
-                    .filter(admissible)
-                    .collect();
-                if !parents.is_empty() {
-                    return parents;
-                }
-                // Fallback mirroring §4's Z-fallback: when Y's
-                // parents cannot be oriented, take MB(Y) filtered to
-                // attributes that are (marginally) dependent on the
-                // treatment — a mediator must be a descendant of T.
-                // Like the paper's own Ex 1.1 output (which lists
-                // ArrDelay as "mediating"), this can admit
-                // descendants of Y; the NDE then conditions on them
-                // conservatively.
-                out.markov_boundary
-                    .iter()
-                    .filter(|&&v| {
-                        v != 0 && oracle.reliable(0, v, &[]) && oracle.dependent(0, v, &[])
-                    })
-                    .map(|&v| vars[v])
-                    .filter(admissible)
-                    .collect()
+            hypdb_obs::span("discovery", || {
+                self.pool().parallel_map(&query.outcomes, |j, _| {
+                    // Outcome j is oracle variable 1 + j.
+                    let out = discover_parents(&oracle, 1 + j, self.cfg.cd);
+                    let admissible = |a: &AttrId| {
+                        *a != query.treatment
+                            && !covariates.contains(a)
+                            && !query.outcomes.contains(a)
+                            && !query.grouping.contains(a)
+                    };
+                    let parents: Vec<AttrId> = out
+                        .parents
+                        .iter()
+                        .map(|&v| vars[v])
+                        .filter(admissible)
+                        .collect();
+                    if !parents.is_empty() {
+                        return parents;
+                    }
+                    // Fallback mirroring §4's Z-fallback: when Y's
+                    // parents cannot be oriented, take MB(Y) filtered to
+                    // attributes that are (marginally) dependent on the
+                    // treatment — a mediator must be a descendant of T.
+                    // Like the paper's own Ex 1.1 output (which lists
+                    // ArrDelay as "mediating"), this can admit
+                    // descendants of Y; the NDE then conditions on them
+                    // conservatively.
+                    out.markov_boundary
+                        .iter()
+                        .filter(|&&v| {
+                            v != 0 && oracle.reliable(0, v, &[]) && oracle.dependent(0, v, &[])
+                        })
+                        .map(|&v| vars[v])
+                        .filter(admissible)
+                        .collect()
+                })
             })
         };
 
@@ -361,8 +364,9 @@ impl<'a, S: Scan + ?Sized> HypDb<'a, S> {
     /// Full pipeline: discovery, then per-context detection,
     /// explanation and resolution.
     pub fn analyze(&self, query: &Query) -> Result<AnalysisReport> {
-        // lint:allow(wall-clock-in-output) — feeds Timings, which the wire layer zeroes before serialization (wire.rs canonical_report_bytes)
-        let t0 = Instant::now();
+        // Feeds Timings, which the wire layer zeroes before
+        // serialization (wire.rs canonical_report_bytes).
+        let t0 = Tick::now();
         let discovery = self.discover(query)?;
         let mut timings = Timings::default();
         let name = |a: &AttrId| self.table.schema().name(*a).to_string();
@@ -388,8 +392,8 @@ impl<'a, S: Scan + ?Sized> HypDb<'a, S> {
         // Attribute the un-phased remainder (discovery, bookkeeping) to
         // detection. Under parallel contexts the summed phase times can
         // exceed the wall clock; never subtract in that case.
-        let unattributed = t0.elapsed().as_secs_f64()
-            - (timings.detection + timings.explanation + timings.resolution);
+        let unattributed =
+            t0.elapsed_secs() - (timings.detection + timings.explanation + timings.resolution);
         if unattributed > 0.0 {
             timings.detection += unattributed;
         }
@@ -403,7 +407,9 @@ impl<'a, S: Scan + ?Sized> HypDb<'a, S> {
                 }
             }
         }
-        let rewritten = render_rewrites(self.table, query, &discovery.covariates, &med_union);
+        let rewritten = hypdb_obs::span("rewrite", || {
+            render_rewrites(self.table, query, &discovery.covariates, &med_union)
+        });
 
         Ok(AnalysisReport {
             from: query.from.clone(),
@@ -468,94 +474,100 @@ impl<'a, S: Scan + ?Sized> HypDb<'a, S> {
             .collect();
 
         // --- Detection. ---
-        // lint:allow(wall-clock-in-output) — feeds Timings, which the wire layer zeroes before serialization (wire.rs canonical_report_bytes)
-        let td = Instant::now();
-        let bias_total = detect_bias(
-            table,
-            &ctx.rows,
-            t,
-            &discovery.covariates,
-            self.cfg.ci.alpha,
-            &mit_cfg,
-            seed ^ 0xB1A5,
-        );
-        let bias_direct: Vec<BiasReport> = discovery
-            .mediators
-            .iter()
-            .map(|ms| {
-                let mut v = discovery.covariates.clone();
-                v.extend(ms);
-                detect_bias(
-                    table,
-                    &ctx.rows,
-                    t,
-                    &v,
-                    self.cfg.ci.alpha,
-                    &mit_cfg,
-                    seed ^ 0xD1,
-                )
-            })
-            .collect();
-        timings.detection += td.elapsed().as_secs_f64();
-
-        // --- Explanation. ---
-        // lint:allow(wall-clock-in-output) — feeds Timings, which the wire layer zeroes before serialization (wire.rs canonical_report_bytes)
-        let te = Instant::now();
-        let mut explain_attrs: Vec<AttrId> = discovery.covariates.clone();
-        for ms in &discovery.mediators {
-            for &m in ms {
-                if !explain_attrs.contains(&m) {
-                    explain_attrs.push(m);
-                }
-            }
-        }
-        let coarse = coarse_explanations(table, &ctx.rows, t, &explain_attrs);
-        let fine = match (coarse.first(), query.outcomes.first()) {
-            (Some(top), Some(&y)) if top.mutual_information > 0.0 => {
-                fine_explanations(table, &ctx.rows, t, y, top.attr, self.cfg.top_k)
-            }
-            _ => Vec::new(),
-        };
-        let explanations = Explanations { coarse, fine };
-        timings.explanation += te.elapsed().as_secs_f64();
-
-        // --- Resolution. ---
-        // lint:allow(wall-clock-in-output) — feeds Timings, which the wire layer zeroes before serialization (wire.rs canonical_report_bytes)
-        let tr = Instant::now();
-        let (total_effect, direct_effects) = if levels.len() >= 2 {
-            let total = adjusted_averages(
+        // Phase ticks feed Timings, which the wire layer zeroes before
+        // serialization (wire.rs canonical_report_bytes).
+        let td = Tick::now();
+        let (bias_total, bias_direct) = hypdb_obs::span("detect", || {
+            let bias_total = detect_bias(
                 table,
                 &ctx.rows,
                 t,
-                &levels,
-                &query.outcomes,
                 &discovery.covariates,
+                self.cfg.ci.alpha,
                 &mit_cfg,
-                seed ^ 0xA7E,
-            )?;
-            let directs = query
-                .outcomes
+                seed ^ 0xB1A5,
+            );
+            let bias_direct: Vec<BiasReport> = discovery
+                .mediators
                 .iter()
-                .zip(&discovery.mediators)
-                .map(|(&y, ms)| {
-                    natural_direct_effect(
+                .map(|ms| {
+                    let mut v = discovery.covariates.clone();
+                    v.extend(ms);
+                    detect_bias(
                         table,
                         &ctx.rows,
                         t,
-                        &levels,
-                        &[y],
-                        &discovery.covariates,
-                        ms,
+                        &v,
+                        self.cfg.ci.alpha,
                         &mit_cfg,
-                        seed ^ 0xDE,
+                        seed ^ 0xD1,
                     )
                 })
-                .collect::<Result<Vec<_>>>()?;
-            (Some(total), directs)
-        } else {
-            (None, Vec::new())
-        };
-        timings.resolution += tr.elapsed().as_secs_f64();
+                .collect();
+            (bias_total, bias_direct)
+        });
+        timings.detection += td.elapsed_secs();
+
+        // --- Explanation. ---
+        let te = Tick::now();
+        let explanations = hypdb_obs::span("explain", || {
+            let mut explain_attrs: Vec<AttrId> = discovery.covariates.clone();
+            for ms in &discovery.mediators {
+                for &m in ms {
+                    if !explain_attrs.contains(&m) {
+                        explain_attrs.push(m);
+                    }
+                }
+            }
+            let coarse = coarse_explanations(table, &ctx.rows, t, &explain_attrs);
+            let fine = match (coarse.first(), query.outcomes.first()) {
+                (Some(top), Some(&y)) if top.mutual_information > 0.0 => {
+                    fine_explanations(table, &ctx.rows, t, y, top.attr, self.cfg.top_k)
+                }
+                _ => Vec::new(),
+            };
+            Explanations { coarse, fine }
+        });
+        timings.explanation += te.elapsed_secs();
+
+        // --- Resolution. ---
+        let tr = Tick::now();
+        let (total_effect, direct_effects) = hypdb_obs::span("effect", || -> Result<_> {
+            if levels.len() >= 2 {
+                let total = adjusted_averages(
+                    table,
+                    &ctx.rows,
+                    t,
+                    &levels,
+                    &query.outcomes,
+                    &discovery.covariates,
+                    &mit_cfg,
+                    seed ^ 0xA7E,
+                )?;
+                let directs = query
+                    .outcomes
+                    .iter()
+                    .zip(&discovery.mediators)
+                    .map(|(&y, ms)| {
+                        natural_direct_effect(
+                            table,
+                            &ctx.rows,
+                            t,
+                            &levels,
+                            &[y],
+                            &discovery.covariates,
+                            ms,
+                            &mit_cfg,
+                            seed ^ 0xDE,
+                        )
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                Ok((Some(total), directs))
+            } else {
+                Ok((None, Vec::new()))
+            }
+        })?;
+        timings.resolution += tr.elapsed_secs();
 
         Ok((
             ContextReport {

@@ -147,11 +147,17 @@ impl ThreadPool {
     {
         let workers = self.threads.min(n);
         if workers <= 1 || IN_WORKER.with(Cell::get) {
-            return (0..n).map(f).collect();
+            return (0..n).map(|i| hypdb_obs::item(i, || f(i))).collect();
         }
 
+        // Tracing context propagation: workers inherit the submitting
+        // thread's span path, and every item runs under a `#index`
+        // frame — index-based, so span paths and EXPLAIN coordinates
+        // are identical at any worker count (inline path included).
+        let ctx = hypdb_obs::capture();
         let cursor = AtomicUsize::new(0);
         let f = &f;
+        let ctx = &ctx;
         let cursor = &cursor;
         let mut buckets: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
         let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
@@ -160,15 +166,17 @@ impl ThreadPool {
                 .map(|_| {
                     scope.spawn(move || {
                         IN_WORKER.with(|w| w.set(true));
-                        let mut local: Vec<(usize, R)> = Vec::new();
-                        loop {
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            if i >= n {
-                                break;
+                        hypdb_obs::install(ctx, || {
+                            let mut local: Vec<(usize, R)> = Vec::new();
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                if i >= n {
+                                    break;
+                                }
+                                local.push((i, hypdb_obs::item(i, || f(i))));
                             }
-                            local.push((i, f(i)));
-                        }
-                        local
+                            local
+                        })
                     })
                 })
                 .collect();

@@ -1,0 +1,11 @@
+// Reject fixture: raw `Instant` plumbing that bypasses the obs crate —
+// the import, the type position, and the construction each fire.
+use std::time::{Duration, Instant};
+
+struct Pending {
+    enqueued: Instant,
+}
+
+fn deadline(timeout_ms: u64) -> Instant {
+    Instant::now() + Duration::from_millis(timeout_ms)
+}

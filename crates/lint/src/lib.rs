@@ -6,13 +6,14 @@
 //! `tests/determinism.rs` defend that invariant at a handful of
 //! fixtures; this crate defends it at the *source* level, as a
 //! token/line-level static analysis over the whole workspace
-//! (`vendor/` excluded) with six rules:
+//! (`vendor/` excluded) with seven rules:
 //!
 //! | rule | defends against |
 //! |------|-----------------|
 //! | `nondeterministic-iteration` | emitting `HashMap`/`HashSet`/`ShardedMap` entries in hash order |
 //! | `unseeded-rng` | RNG state not derived from the config seed / SplitMix64 streams |
 //! | `wall-clock-in-output` | `Instant::now`/`SystemTime::now` leaking into report bytes |
+//! | `raw-instant-outside-obs` | `Instant` plumbing that bypasses `hypdb_obs::{Tick, Deadline}` |
 //! | `unsafe-without-safety-comment` | undocumented `unsafe` / FFI blocks |
 //! | `unwrap-in-request-path` | panics in `hypdb-serve` request handling |
 //! | `float-reduction-order` | float sums in hash-iteration order |
@@ -142,7 +143,7 @@ mod tests {
     #[test]
     fn rule_names_are_kebab_and_unique() {
         let names = rules::names();
-        assert_eq!(names.len(), 6);
+        assert_eq!(names.len(), 7);
         let mut sorted = names.clone();
         sorted.sort();
         sorted.dedup();

@@ -11,6 +11,7 @@ use crate::Diagnostic;
 
 pub mod float_order;
 pub mod nondet_iter;
+pub mod raw_instant;
 pub mod unsafe_safety;
 pub mod unseeded_rng;
 pub mod unwrap_serve;
@@ -31,6 +32,7 @@ pub fn all() -> Vec<Box<dyn Rule>> {
         Box::new(nondet_iter::NondeterministicIteration),
         Box::new(unseeded_rng::UnseededRng),
         Box::new(wall_clock::WallClockInOutput),
+        Box::new(raw_instant::RawInstantOutsideObs),
         Box::new(unsafe_safety::UnsafeWithoutSafetyComment),
         Box::new(unwrap_serve::UnwrapInRequestPath),
         Box::new(float_order::FloatReductionOrder),

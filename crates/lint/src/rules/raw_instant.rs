@@ -1,0 +1,119 @@
+//! `raw-instant-outside-obs` — `std::time::Instant` mentioned anywhere
+//! but `hypdb-obs`.
+//!
+//! `wall-clock-in-output` polices clock *reads*; this rule polices the
+//! clock *type*. The workspace's timing surface is funnelled through
+//! `hypdb_obs::{Tick, Deadline}` so that every place capable of
+//! observing wall time is reviewable in one crate (and so histogram /
+//! trace plumbing can't be bypassed by ad-hoc `Instant` arithmetic).
+//! Any `Instant` outside `crates/obs/` — even a type annotation or a
+//! `use` — should be rewritten in terms of `Tick` (elapsed-time
+//! measurement) or `Deadline` (timeout arithmetic). Tests, benches,
+//! and examples measure rather than serve bytes and are out of scope.
+
+use super::{push, Rule};
+use crate::source::SourceFile;
+use crate::Diagnostic;
+
+/// The rule.
+pub struct RawInstantOutsideObs;
+
+/// True when `code[pos..pos + len]` stands alone as an identifier
+/// (not a slice of a longer one like `InstantFoo`).
+fn ident_bounded(code: &str, pos: usize, len: usize) -> bool {
+    let is_ident = |c: char| c.is_ascii_alphanumeric() || c == '_';
+    let before_ok = !code[..pos].chars().next_back().is_some_and(is_ident);
+    let after_ok = !code[pos + len..].chars().next().is_some_and(is_ident);
+    before_ok && after_ok
+}
+
+impl Rule for RawInstantOutsideObs {
+    fn name(&self) -> &'static str {
+        "raw-instant-outside-obs"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if file.is_test_or_bench_path() || file.path.starts_with("crates/obs/") {
+            return;
+        }
+        const TOKEN: &str = "Instant";
+        for line in 0..file.len() {
+            if file.in_test_code(line) {
+                continue;
+            }
+            let code = &file.code[line];
+            let mut from = 0;
+            while let Some(off) = code[from..].find(TOKEN) {
+                let pos = from + off;
+                if ident_bounded(code, pos, TOKEN.len()) {
+                    push(
+                        out,
+                        file,
+                        line,
+                        pos,
+                        self.name(),
+                        "raw `Instant` outside `hypdb-obs`; use \
+                         `hypdb_obs::Tick` for elapsed-time measurement or \
+                         `hypdb_obs::Deadline` for timeout arithmetic, so \
+                         every wall-clock surface stays reviewable in the \
+                         obs crate"
+                            .to_string(),
+                    );
+                    // One diagnostic per line is enough to force the fix.
+                    break;
+                }
+                from = pos + TOKEN.len();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::run_rule;
+
+    const ACCEPT: &str = include_str!("../../fixtures/raw-instant-outside-obs/accept.rs");
+    const REJECT: &str = include_str!("../../fixtures/raw-instant-outside-obs/reject.rs");
+
+    #[test]
+    fn accept_fixture_is_clean() {
+        let diags = run_rule(&RawInstantOutsideObs, "crates/serve/src/x.rs", ACCEPT);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn reject_fixture_fires() {
+        let diags = run_rule(&RawInstantOutsideObs, "crates/serve/src/x.rs", REJECT);
+        assert!(diags.len() >= 3, "got {}: {diags:?}", diags.len());
+        assert!(diags.iter().all(|d| d.rule == "raw-instant-outside-obs"));
+    }
+
+    #[test]
+    fn obs_crate_is_the_sanctioned_home() {
+        let diags = run_rule(&RawInstantOutsideObs, "crates/obs/src/clock.rs", REJECT);
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn bench_and_test_paths_are_out_of_scope() {
+        for path in [
+            "crates/bench/src/lib.rs",
+            "tests/serve.rs",
+            "crates/core/benches/b.rs",
+        ] {
+            let diags = run_rule(&RawInstantOutsideObs, path, REJECT);
+            assert!(diags.is_empty(), "{path}: {diags:?}");
+        }
+    }
+
+    #[test]
+    fn longer_identifiers_do_not_match() {
+        let diags = run_rule(
+            &RawInstantOutsideObs,
+            "crates/core/src/x.rs",
+            "struct InstantaneousRate(f64);\nfn instant_ok() {}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -1,0 +1,44 @@
+//! `hypdb-obs` — std-only observability primitives for the workspace.
+//!
+//! Every other crate funnels its timing and plan-visibility needs
+//! through here, which keeps the workspace's byte-identity invariant
+//! auditable in one place:
+//!
+//! * [`clock`] — [`Tick`] and [`Deadline`], the **only** place the
+//!   workspace constructs `std::time::Instant` (enforced by
+//!   `hypdb-lint`'s `raw-instant-outside-obs` rule). Anything a `Tick`
+//!   measures may reach logs, histograms, and trace dumps — never a
+//!   report body.
+//! * [`ctx`] — the per-thread tracing context: hierarchical span paths
+//!   (`request/discovery/#2/planner_round`), lock-cheap aggregation
+//!   keyed by path, explicit capture/install so `hypdb-exec`'s scoped
+//!   pool propagates the context into its workers, and the EXPLAIN
+//!   sink. The *structural* side (paths, counts, explain payloads) is
+//!   strictly separated from the *timing* side (nanoseconds), so
+//!   deterministic surfaces consume structure only.
+//! * [`hist`] — fixed-bucket latency histograms with atomic counters,
+//!   rendered in Prometheus exposition format. The process-wide
+//!   [`MIT_SETTLE`] and [`CONTINGENCY_BUILD`] histograms live here so
+//!   the stats and causal layers can observe without a serve
+//!   dependency.
+//! * [`trace`] — the `HYPDB_TRACE` slow-request dump: a JSON span tree
+//!   (with timings) written to **stderr only**, never into a response
+//!   body.
+//!
+//! The crate depends on nothing and is `forbid(unsafe_code)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod ctx;
+pub mod hist;
+pub mod trace;
+
+pub use clock::{Deadline, Tick};
+pub use ctx::{
+    capture, explain_active, frame, install, item, record_explain, span, take_explain_here,
+    with_request, CtxHandle, ExplainEntry, SpanReport, TraceReport, Tracer,
+};
+pub use hist::{Histogram, HistogramSnapshot, CONTINGENCY_BUILD, MIT_SETTLE};
+pub use trace::{maybe_dump, trace_threshold};

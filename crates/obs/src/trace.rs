@@ -1,0 +1,39 @@
+//! The `HYPDB_TRACE` slow-request dump.
+//!
+//! `HYPDB_TRACE=<ms>` arms the dump: any traced request whose total
+//! wall time reaches the threshold writes its span tree (with
+//! timings) as one JSON line to **stderr** — never into a response
+//! body, so the byte-identity invariant is untouched. `HYPDB_TRACE=0`
+//! dumps every traced request. Redirect stderr to keep a file.
+
+use crate::ctx::TraceReport;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// The armed threshold, read once from `HYPDB_TRACE` (milliseconds).
+/// `None` when unset or unparsable — tracing stays dormant.
+pub fn trace_threshold() -> Option<Duration> {
+    static THRESHOLD: OnceLock<Option<Duration>> = OnceLock::new();
+    *THRESHOLD.get_or_init(|| {
+        std::env::var("HYPDB_TRACE")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .map(Duration::from_millis)
+    })
+}
+
+/// Writes the span tree to stderr when `elapsed` reaches the armed
+/// `HYPDB_TRACE` threshold; a no-op otherwise. `tag` names the request
+/// (endpoint or CLI invocation).
+pub fn maybe_dump(tag: &str, elapsed: Duration, report: &TraceReport) {
+    let Some(threshold) = trace_threshold() else {
+        return;
+    };
+    if elapsed >= threshold {
+        eprintln!(
+            "hypdb-trace: {tag} took {:.3} ms: {}",
+            elapsed.as_secs_f64() * 1e3,
+            report.to_json_tree()
+        );
+    }
+}

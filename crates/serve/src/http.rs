@@ -9,10 +9,10 @@
 //! a length, 413 for a body over the configured cap, 431 for runaway
 //! headers.
 
+use hypdb_obs::Deadline;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Upper bound on the request line + headers (bytes).
 pub const MAX_HEAD: usize = 8 * 1024;
@@ -56,9 +56,8 @@ impl From<io::Error> for RequestError {
 /// per-*read* socket timeout alone would let a client trickle one byte
 /// per interval and pin a worker forever; shrinking the timeout to the
 /// time left makes the whole request strictly bounded.
-fn read_within(stream: &mut TcpStream, chunk: &mut [u8], deadline: Instant) -> io::Result<usize> {
-    // lint:allow(wall-clock-in-output) — remaining-deadline arithmetic is control plane: it shrinks the socket timeout, never response bytes
-    let remaining = deadline.saturating_duration_since(Instant::now());
+fn read_within(stream: &mut TcpStream, chunk: &mut [u8], deadline: Deadline) -> io::Result<usize> {
+    let remaining = deadline.remaining();
     if remaining.is_zero() {
         return Err(io::ErrorKind::TimedOut.into());
     }
@@ -71,7 +70,7 @@ fn read_within(stream: &mut TcpStream, chunk: &mut [u8], deadline: Instant) -> i
 pub fn read_request(
     stream: &mut TcpStream,
     max_body: usize,
-    deadline: Instant,
+    deadline: Deadline,
 ) -> Result<Request, RequestError> {
     // Accumulate until the blank line that ends the header section.
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
@@ -264,8 +263,8 @@ mod tests {
     use super::*;
     use std::net::{TcpListener, TcpStream};
 
-    fn far_deadline() -> Instant {
-        Instant::now() + std::time::Duration::from_secs(10)
+    fn far_deadline() -> Deadline {
+        Deadline::after(std::time::Duration::from_secs(10))
     }
 
     /// Runs `read_request` against raw client bytes via a loopback pair.
@@ -362,8 +361,8 @@ mod tests {
             }
         });
         let (mut stream, _) = listener.accept().unwrap();
-        let t0 = Instant::now();
-        let deadline = t0 + std::time::Duration::from_millis(200);
+        let t0 = hypdb_obs::Tick::now();
+        let deadline = Deadline::after(std::time::Duration::from_millis(200));
         let out = read_request(&mut stream, 1024, deadline);
         assert!(matches!(out, Err(RequestError::Io(_))), "{out:?}");
         assert!(

@@ -62,6 +62,6 @@ pub mod server;
 pub mod sig;
 
 pub use cache::{ByteLruCache, CacheStats};
-pub use metrics::MetricsSnapshot;
+pub use metrics::{MetricsSnapshot, OracleSnapshot};
 pub use registry::{DatasetInfo, Registry};
 pub use server::{ServeConfig, Server, ServerHandle};

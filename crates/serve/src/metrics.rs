@@ -5,6 +5,7 @@
 //! can be scraped directly. The snapshot form is also what the test
 //! suite asserts cache-consistency against.
 
+use hypdb_obs::{hist, Histogram};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -20,6 +21,32 @@ pub struct Metrics {
     client_errors: AtomicU64,
     in_flight: AtomicU64,
     queue_depth: AtomicU64,
+    analyze_duration: Histogram,
+    detect_duration: Histogram,
+    other_duration: Histogram,
+    queue_wait: Histogram,
+}
+
+/// Which `hypdb_request_duration_seconds` series a request lands in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /analyze`.
+    Analyze,
+    /// `POST /detect`.
+    Detect,
+    /// Everything else (`/metrics`, `/healthz`, `/datasets`, errors).
+    Other,
+}
+
+impl Endpoint {
+    /// The endpoint a request path routes to.
+    pub fn of_path(path: &str) -> Endpoint {
+        match path {
+            "/analyze" => Endpoint::Analyze,
+            "/detect" => Endpoint::Detect,
+            _ => Endpoint::Other,
+        }
+    }
 }
 
 /// A point-in-time copy of every counter.
@@ -95,6 +122,59 @@ impl Metrics {
     /// Updates the queue-depth gauge.
     pub fn set_queue_depth(&self, depth: usize) {
         self.queue_depth.store(depth as u64, Ordering::Relaxed);
+    }
+
+    /// Records one request's wall-clock duration under its endpoint's
+    /// `hypdb_request_duration_seconds` series.
+    pub fn observe_request(&self, endpoint: Endpoint, seconds: f64) {
+        match endpoint {
+            Endpoint::Analyze => self.analyze_duration.observe(seconds),
+            Endpoint::Detect => self.detect_duration.observe(seconds),
+            Endpoint::Other => self.other_duration.observe(seconds),
+        }
+    }
+
+    /// Records how long a connection sat in the admission queue before
+    /// a worker picked it up.
+    pub fn observe_queue_wait(&self, seconds: f64) {
+        self.queue_wait.observe(seconds);
+    }
+
+    /// Renders every histogram family this process maintains: the
+    /// server's request-duration and queue-wait ladders plus the
+    /// process-wide pipeline histograms (`hypdb-obs` statics fed by the
+    /// stats and oracle layers).
+    pub fn render_histograms(&self) -> String {
+        let mut out = String::new();
+        hist::render(
+            &mut out,
+            "hypdb_request_duration_seconds",
+            "request wall-clock seconds per endpoint",
+            &[
+                ("endpoint=\"analyze\"", &self.analyze_duration),
+                ("endpoint=\"detect\"", &self.detect_duration),
+                ("endpoint=\"other\"", &self.other_duration),
+            ],
+        );
+        hist::render(
+            &mut out,
+            "hypdb_queue_wait_seconds",
+            "seconds a connection waited in the admission queue",
+            &[("", &self.queue_wait)],
+        );
+        hist::render(
+            &mut out,
+            "hypdb_mit_settle_seconds",
+            "permutation-test settle seconds per batched statement",
+            &[("", &hypdb_obs::MIT_SETTLE)],
+        );
+        hist::render(
+            &mut out,
+            "hypdb_contingency_build_seconds",
+            "contingency-table build seconds (scans and marginalisations)",
+            &[("", &hypdb_obs::CONTINGENCY_BUILD)],
+        );
+        out
     }
 
     /// Copies every counter.
@@ -175,19 +255,77 @@ impl MetricsSnapshot {
             "4xx responses",
             self.client_errors,
         );
+        // Gauge names follow the Prometheus conventions: a gauge is
+        // named for the thing measured (`…_requests`, `…_connections`),
+        // never left as a bare verb phrase.
         metric(
-            "hypdb_in_flight",
+            "hypdb_in_flight_requests",
             "gauge",
             "connections currently being handled",
             self.in_flight,
         );
         metric(
-            "hypdb_queue_depth",
+            "hypdb_queued_connections",
             "gauge",
             "connections waiting for a worker",
             self.queue_depth,
         );
         out
+    }
+}
+
+/// One coherent view of the oracle side of `/metrics`: the aggregated
+/// work counters and the resident contingency-table bytes, taken
+/// together (the server reads both under a single registry lock, the
+/// CLI from its single cache) so the stderr footer and the exposition
+/// can never disagree about the same instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleSnapshot {
+    /// Aggregated work counters.
+    pub stats: hypdb_core::OracleStats,
+    /// Bytes resident in contingency caches.
+    pub cache_bytes: u64,
+}
+
+impl OracleSnapshot {
+    /// Snapshot of one shared cache (the CLI's single-oracle case).
+    pub fn from_cache(cache: &hypdb_core::OracleCache) -> OracleSnapshot {
+        OracleSnapshot {
+            stats: cache.stats(),
+            cache_bytes: cache.cache_bytes(),
+        }
+    }
+
+    /// The `/metrics` rendering: work counters plus the byte gauge.
+    pub fn render(&self) -> String {
+        let mut out = render_oracle_stats(&self.stats);
+        out.push_str(&render_oracle_cache_bytes(self.cache_bytes));
+        out
+    }
+
+    /// The human-readable stderr footer the CLI prints after a run —
+    /// derived from the same snapshot as the exposition above.
+    pub fn footer(&self) -> String {
+        let s = &self.stats;
+        format!(
+            "oracle: {} tests, {} scans, {} cache hits, {} marginalizations, \
+             {} entropies ({} cached); planner: {} statements in {} groups, \
+             {} direct scans, {} from superset, {} lattice intermediates, \
+             {} speculative skips; {} bytes resident",
+            s.tests,
+            s.table_scans,
+            s.count_cache_hits,
+            s.marginalizations,
+            s.entropy_misses,
+            s.entropy_hits,
+            s.batched_statements,
+            s.groups_planned,
+            s.scans_direct,
+            s.marginalised_from_superset,
+            s.lattice_intermediates,
+            s.speculative_skipped,
+            self.cache_bytes,
+        )
     }
 }
 
@@ -392,6 +530,243 @@ mod tests {
         let text = m.snapshot().render();
         assert!(text.contains("# TYPE hypdb_report_cache_hits_total counter"));
         assert!(text.contains("\nhypdb_report_cache_hits_total 1\n"));
-        assert!(text.contains("# TYPE hypdb_in_flight gauge"));
+        assert!(text.contains("# TYPE hypdb_in_flight_requests gauge"));
+        assert!(text.contains("# TYPE hypdb_queued_connections gauge"));
+        // The pre-rename spellings must be gone: `hypdb_in_flight` was
+        // not named for what it measures, `hypdb_queue_depth` read as a
+        // depth-in-bytes counter to convention-aware tooling.
+        assert!(!text.contains("hypdb_in_flight \n") && !text.contains("hypdb_in_flight 0"));
+        assert!(!text.contains("hypdb_queue_depth"));
+    }
+
+    /// Line-by-line Prometheus text-exposition validator: HELP/TYPE
+    /// pairing per family, no duplicate families or samples, sample
+    /// names matching the declared family (including `_bucket`/`_sum`/
+    /// `_count` for histograms), numeric values, and per-series bucket
+    /// ladders that are `le`-ascending, cumulative, and closed by a
+    /// `+Inf` bucket equal to `_count`.
+    fn check_exposition(text: &str) -> Result<(), String> {
+        use std::collections::{HashMap, HashSet};
+        let mut declared: HashMap<String, String> = HashMap::new();
+        let mut pending_help: Option<String> = None;
+        let mut current: Option<String> = None;
+        let mut samples_seen: HashSet<String> = HashSet::new();
+        #[derive(Default)]
+        struct Series {
+            last_le: Option<f64>,
+            last_cum: Option<u64>,
+            inf: Option<u64>,
+        }
+        let mut series: HashMap<(String, String), Series> = HashMap::new();
+        let mut counts: Vec<((String, String), u64)> = Vec::new();
+
+        for (no, line) in text.lines().enumerate() {
+            let fail = |msg: &str| Err(format!("line {}: {msg}: `{line}`", no + 1));
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let Some((name, help)) = rest.split_once(' ') else {
+                    return fail("HELP without text");
+                };
+                if help.trim().is_empty() {
+                    return fail("empty HELP text");
+                }
+                if declared.contains_key(name) {
+                    return fail("duplicate metric family");
+                }
+                if pending_help.is_some() {
+                    return fail("HELP not followed by TYPE");
+                }
+                pending_help = Some(name.to_string());
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let Some((name, kind)) = rest.split_once(' ') else {
+                    return fail("TYPE without kind");
+                };
+                if pending_help.as_deref() != Some(name) {
+                    return fail("TYPE without a matching HELP directly above");
+                }
+                if !matches!(kind, "counter" | "gauge" | "histogram") {
+                    return fail("unknown metric kind");
+                }
+                declared.insert(name.to_string(), kind.to_string());
+                current = Some(name.to_string());
+                pending_help = None;
+                continue;
+            }
+            if line.starts_with('#') {
+                return fail("unknown comment line");
+            }
+            // A sample: `name[{labels}] value`.
+            let Some((metric, value)) = line.rsplit_once(' ') else {
+                return fail("sample without a value");
+            };
+            if value.parse::<f64>().is_err() {
+                return fail("sample value is not a number");
+            }
+            if !samples_seen.insert(metric.to_string()) {
+                return fail("duplicate sample");
+            }
+            let (name, labels) = match metric.split_once('{') {
+                Some((n, rest)) => match rest.strip_suffix('}') {
+                    Some(l) => (n, l),
+                    None => return fail("unclosed label block"),
+                },
+                None => (metric, ""),
+            };
+            let Some(family) = current.clone() else {
+                return fail("sample before any TYPE declaration");
+            };
+            match declared[&family].as_str() {
+                "histogram" => {
+                    let strip_le = |labels: &str| -> (Option<String>, String) {
+                        let mut le = None;
+                        let rest: Vec<&str> = labels
+                            .split(',')
+                            .filter(|part| match part.strip_prefix("le=\"") {
+                                Some(v) => {
+                                    le = v.strip_suffix('"').map(str::to_string);
+                                    false
+                                }
+                                None => true,
+                            })
+                            .collect();
+                        (le, rest.join(","))
+                    };
+                    if name == format!("{family}_bucket") {
+                        let (le, key) = strip_le(labels);
+                        let Some(le) = le else {
+                            return fail("bucket sample without an le label");
+                        };
+                        let cum: u64 = match value.parse() {
+                            Ok(c) => c,
+                            Err(_) => return fail("bucket count is not an integer"),
+                        };
+                        let s = series.entry((family.clone(), key)).or_default();
+                        if le == "+Inf" {
+                            if s.inf.is_some() {
+                                return fail("duplicate +Inf bucket");
+                            }
+                            if s.last_cum.is_some_and(|prev| cum < prev) {
+                                return fail("+Inf bucket below the ladder");
+                            }
+                            s.inf = Some(cum);
+                        } else {
+                            let Ok(bound) = le.parse::<f64>() else {
+                                return fail("unparsable le bound");
+                            };
+                            if s.inf.is_some() {
+                                return fail("finite bucket after +Inf");
+                            }
+                            if s.last_le.is_some_and(|prev| bound <= prev) {
+                                return fail("le bounds are not ascending");
+                            }
+                            if s.last_cum.is_some_and(|prev| cum < prev) {
+                                return fail("bucket counts are not cumulative");
+                            }
+                            s.last_le = Some(bound);
+                            s.last_cum = Some(cum);
+                        }
+                    } else if name == format!("{family}_sum") {
+                        // Any finite float is fine; already checked.
+                    } else if name == format!("{family}_count") {
+                        let Ok(count) = value.parse::<u64>() else {
+                            return fail("histogram count is not an integer");
+                        };
+                        counts.push(((family.clone(), labels.to_string()), count));
+                    } else {
+                        return fail("sample name does not match the histogram family");
+                    }
+                }
+                _ => {
+                    if name != family {
+                        return fail("sample name does not match the declared family");
+                    }
+                }
+            }
+        }
+        if pending_help.is_some() {
+            return Err("trailing HELP without TYPE".into());
+        }
+        for (key, count) in counts {
+            match series.get(&key) {
+                Some(s) if s.inf == Some(count) => {}
+                Some(s) => {
+                    return Err(format!(
+                        "series {key:?}: +Inf bucket {:?} != count {count}",
+                        s.inf
+                    ))
+                }
+                None => return Err(format!("series {key:?}: count without buckets")),
+            }
+        }
+        for (key, s) in &series {
+            if s.inf.is_none() {
+                return Err(format!("series {key:?}: no +Inf bucket"));
+            }
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn full_exposition_is_well_formed() {
+        let m = Metrics::default();
+        m.request();
+        m.analyze();
+        m.cache_miss();
+        m.observe_request(Endpoint::Analyze, 0.012);
+        m.observe_request(Endpoint::Other, 0.0002);
+        m.observe_queue_wait(0.0007);
+        let oracle = OracleSnapshot {
+            stats: hypdb_core::OracleStats {
+                tests: 5,
+                batched_statements: 12,
+                ..Default::default()
+            },
+            cache_bytes: 2048,
+        };
+        let cache = crate::cache::CacheStats {
+            entries: 1,
+            resident_bytes: 512,
+            evictions: 0,
+            evicted_bytes: 0,
+        };
+        let mut text = m.snapshot().render();
+        text.push_str(&render_cache_stats(&cache));
+        text.push_str(&oracle.render());
+        text.push_str(&m.render_histograms());
+        check_exposition(&text).unwrap();
+        assert!(text
+            .contains("hypdb_request_duration_seconds_bucket{endpoint=\"analyze\",le=\"0.05\"} 1"));
+        assert!(text.contains("hypdb_queue_wait_seconds_count 1"));
+    }
+
+    #[test]
+    fn malformed_expositions_are_rejected() {
+        // Duplicate family.
+        let dup = "# HELP a x\n# TYPE a counter\na 1\n# HELP a x\n# TYPE a counter\na 2\n";
+        assert!(check_exposition(dup).is_err());
+        // Sample before any TYPE.
+        assert!(check_exposition("a 1\n").is_err());
+        // Non-numeric value.
+        assert!(check_exposition("# HELP a x\n# TYPE a counter\na one\n").is_err());
+        // Sample name drifting from the declared family.
+        assert!(check_exposition("# HELP a x\n# TYPE a counter\nb 1\n").is_err());
+        // Duplicate sample.
+        assert!(check_exposition("# HELP a x\n# TYPE a gauge\na 1\na 2\n").is_err());
+        // Histogram with a non-cumulative ladder.
+        let bad = "# HELP h x\n# TYPE h histogram\n\
+                   h_bucket{le=\"0.1\"} 5\nh_bucket{le=\"1.0\"} 3\n\
+                   h_bucket{le=\"+Inf\"} 5\nh_sum 1.0\nh_count 5\n";
+        assert!(check_exposition(bad).is_err());
+        // Histogram whose +Inf bucket disagrees with its count.
+        let bad = "# HELP h x\n# TYPE h histogram\n\
+                   h_bucket{le=\"0.1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 0.1\nh_count 3\n";
+        assert!(check_exposition(bad).is_err());
+        // Histogram missing its +Inf closing bucket.
+        let bad = "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"0.1\"} 2\nh_sum 0.1\n";
+        assert!(check_exposition(bad).is_err());
     }
 }

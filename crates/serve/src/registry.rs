@@ -187,11 +187,7 @@ impl Registry {
     /// [`OracleStats`] (scans, cache hits, marginalisations, entropies,
     /// and the batching counters), kept monotonic across slot eviction.
     pub fn oracle_stats(&self) -> OracleStats {
-        let inner = self.lock_oracles();
-        inner
-            .slots
-            .iter()
-            .fold(inner.retired, |acc, s| acc.merge(&s.cache.stats()))
+        self.oracle_snapshot().stats
     }
 
     /// Number of resident oracle-cache slots.
@@ -199,16 +195,29 @@ impl Registry {
         self.lock_oracles().slots.len()
     }
 
+    /// Work counters *and* resident bytes from one pass under one lock
+    /// — the snapshot `/metrics` and the CLI footer both render, so the
+    /// two surfaces can never disagree (the old pair of
+    /// [`Self::oracle_stats`]/[`Self::oracle_cache_bytes`] calls took
+    /// the lock twice, and a request landing between them skewed bytes
+    /// against counters).
+    pub fn oracle_snapshot(&self) -> crate::metrics::OracleSnapshot {
+        let inner = self.lock_oracles();
+        crate::metrics::OracleSnapshot {
+            stats: inner
+                .slots
+                .iter()
+                .fold(inner.retired, |acc, s| acc.merge(&s.cache.stats())),
+            cache_bytes: inner.slots.iter().map(|s| s.cache.cache_bytes()).sum(),
+        }
+    }
+
     /// Bytes pinned by contingency tables across every *resident*
     /// oracle slot — a gauge, not a counter: evicting a slot releases
     /// its tables, so the value falls with them (unlike the work
     /// counters, which fold into `retired` to stay monotonic).
     pub fn oracle_cache_bytes(&self) -> u64 {
-        self.lock_oracles()
-            .slots
-            .iter()
-            .map(|s| s.cache.cache_bytes())
-            .sum()
+        self.oracle_snapshot().cache_bytes
     }
 
     /// Names of the built-in demo datasets ([`Registry::builtin`]).

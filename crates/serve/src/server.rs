@@ -25,11 +25,12 @@
 
 use crate::cache::ByteLruCache;
 use crate::http::{self, Request, RequestError, Response};
-use crate::metrics::{self, Metrics, MetricsSnapshot};
+use crate::metrics::{self, Endpoint, Metrics, MetricsSnapshot};
 use crate::registry::Registry;
 use hypdb_core::HypDbConfig;
 use hypdb_core::{wire, Error as CoreError, OracleCache};
 use hypdb_exec::{seed, with_fanout_guard};
+use hypdb_obs::{Deadline, Tick};
 use std::collections::VecDeque;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -108,8 +109,10 @@ impl ServeConfig {
 }
 
 /// The bounded admission queue (mutex + condvar; no busy worker spins).
+/// Each connection carries its enqueue [`Tick`] so the pop side can
+/// feed the `hypdb_queue_wait_seconds` histogram.
 struct Queue {
-    inner: Mutex<VecDeque<TcpStream>>,
+    inner: Mutex<VecDeque<(TcpStream, Tick)>>,
     ready: Condvar,
     capacity: usize,
 }
@@ -123,7 +126,7 @@ impl Queue {
         }
     }
 
-    fn lock(&self) -> MutexGuard<'_, VecDeque<TcpStream>> {
+    fn lock(&self) -> MutexGuard<'_, VecDeque<(TcpStream, Tick)>> {
         // Poisoning is ignored: the queue holds plain sockets that stay
         // structurally valid if a holder panicked.
         self.inner
@@ -137,7 +140,7 @@ impl Queue {
         if q.len() >= self.capacity {
             return Err(stream);
         }
-        q.push_back(stream);
+        q.push_back((stream, Tick::now()));
         metrics.set_queue_depth(q.len());
         drop(q);
         self.ready.notify_one();
@@ -152,8 +155,9 @@ impl Queue {
     fn pop(&self, accepting: &AtomicBool, metrics: &Metrics) -> Option<TcpStream> {
         let mut q = self.lock();
         loop {
-            if let Some(stream) = q.pop_front() {
+            if let Some((stream, enqueued)) = q.pop_front() {
                 metrics.set_queue_depth(q.len());
+                metrics.observe_queue_wait(enqueued.elapsed_secs());
                 return Some(stream);
             }
             if !accepting.load(Ordering::Relaxed) {
@@ -362,12 +366,11 @@ fn handle_connection(shared: &Shared, stream: &mut TcpStream) {
     // The client has `timeout_ms` to deliver its complete request; the
     // budget starts when a worker picks the connection up (compute time
     // afterwards is the server's, not counted against the client).
-    // lint:allow(wall-clock-in-output) — connection deadline is control plane: it bounds socket reads and never reaches response bytes
-    let deadline = std::time::Instant::now() + Duration::from_millis(shared.cfg.timeout_ms.max(1));
+    let deadline = Deadline::after(Duration::from_millis(shared.cfg.timeout_ms.max(1)));
     let resp = match http::read_request(stream, shared.cfg.max_body, deadline) {
         Ok(req) => {
             shared.metrics.request();
-            route(shared, &req)
+            routed(shared, &req)
         }
         // Peer vanished or timed out before completing a request:
         // there is nobody to answer.
@@ -386,6 +389,31 @@ fn handle_connection(shared: &Shared, stream: &mut TcpStream) {
     let _ = stream.shutdown(Shutdown::Both);
 }
 
+/// [`route`] wrapped in the observability middleware: times the request
+/// into its endpoint's duration histogram, and — when `HYPDB_TRACE` is
+/// armed — runs it under a span-collecting tracer whose tree is dumped
+/// to stderr for slow requests. Response bytes are untouched either
+/// way.
+fn routed(shared: &Shared, req: &Request) -> Response {
+    let endpoint = Endpoint::of_path(&req.path);
+    let tick = Tick::now();
+    let resp = if hypdb_obs::trace_threshold().is_some() {
+        // Explain-capable so an explain-lane request under HYPDB_TRACE
+        // keeps its compute spans in this tracer's dump; the sink costs
+        // nothing unless the pipeline records into it.
+        let tracer = hypdb_obs::Tracer::with_explain();
+        let resp = hypdb_obs::with_request(&tracer, || route(shared, req));
+        hypdb_obs::maybe_dump(&req.path, tick.elapsed(), &tracer.finish());
+        resp
+    } else {
+        route(shared, req)
+    };
+    shared
+        .metrics
+        .observe_request(endpoint, tick.elapsed_secs());
+    resp
+}
+
 fn route(shared: &Shared, req: &Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => Response::json(
@@ -399,12 +427,10 @@ fn route(shared: &Shared, req: &Request) -> Response {
             shared.metrics.set_queue_depth(shared.queue.len());
             let mut body = shared.metrics.snapshot().render();
             body.push_str(&metrics::render_cache_stats(&shared.cache.stats()));
-            body.push_str(&metrics::render_oracle_stats(
-                &shared.registry.oracle_stats(),
-            ));
-            body.push_str(&metrics::render_oracle_cache_bytes(
-                shared.registry.oracle_cache_bytes(),
-            ));
+            // Counters and resident bytes from one pass under one lock
+            // (the same snapshot path the CLI footer renders).
+            body.push_str(&shared.registry.oracle_snapshot().render());
+            body.push_str(&shared.metrics.render_histograms());
             Response::text(200, body)
         }
         ("GET", "/datasets") => {
@@ -468,6 +494,14 @@ fn report_endpoint(shared: &Shared, body: &str, lane: Lane) -> Response {
             shared.registry.oracle_cache(&areq.dataset, &rows)
         });
         match lane {
+            // `explain:true` rides the analyze lane: the report inside
+            // the wrapper is byte-identical to the plain lane's (the
+            // seed fingerprint strips the flag), and the cache key
+            // differs naturally because the canonical bytes carry it.
+            Lane::Analyze if areq.explain => {
+                wire::analyze_explained(&*table, &areq, &shared.cfg.base, oracle_cache.as_ref())
+                    .map(|(r, e)| wire::explain_body(&r, &e))
+            }
             Lane::Analyze => {
                 wire::analyze_cached(&*table, &areq, &shared.cfg.base, oracle_cache.as_ref())
                     .map(|r| wire::report_body(&r))

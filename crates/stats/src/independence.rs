@@ -450,15 +450,20 @@ pub fn mit_batch(jobs: &[MitJob]) -> Vec<TestOutcome> {
     let cost = |job: &MitJob| job.permutations as u64 * job.strata.total().max(1);
     let mut order: Vec<usize> = (0..jobs.len()).collect();
     order.sort_by_key(|&i| (std::cmp::Reverse(cost(&jobs[i])), i));
-    let outcomes = ThreadPool::current().parallel_map(&order, |_, &i| {
-        let job = &jobs[i];
-        let mut rng = StdRng::seed_from_u64(job.seed);
-        match job.group_sample {
-            None => mit_early(&job.strata, job.permutations, job.early_stop, &mut rng),
-            Some(k) => {
-                mit_sampled_early(&job.strata, job.permutations, k, job.early_stop, &mut rng)
-            }
-        }
+    let outcomes = hypdb_obs::span("mit_settle", || {
+        ThreadPool::current().parallel_map(&order, |_, &i| {
+            let job = &jobs[i];
+            let tick = hypdb_obs::Tick::now();
+            let mut rng = StdRng::seed_from_u64(job.seed);
+            let out = match job.group_sample {
+                None => mit_early(&job.strata, job.permutations, job.early_stop, &mut rng),
+                Some(k) => {
+                    mit_sampled_early(&job.strata, job.permutations, k, job.early_stop, &mut rng)
+                }
+            };
+            hypdb_obs::MIT_SETTLE.observe(tick.elapsed_secs());
+            out
+        })
     });
     let mut results: Vec<Option<TestOutcome>> = vec![None; jobs.len()];
     for (&i, out) in order.iter().zip(outcomes) {

@@ -13,7 +13,7 @@
 
 use hypdb::core::wire;
 use hypdb::core::{HypDbConfig, OracleCache};
-use hypdb::serve::{sig, Registry, ServeConfig, Server};
+use hypdb::serve::{sig, OracleSnapshot, Registry, ServeConfig, Server};
 use std::sync::Arc;
 
 const USAGE: &str = "\
@@ -27,10 +27,14 @@ usage:
       `quit` line on stdin.
   hypdb analyze --dataset NAME --sql SQL
                [--treatment T] [--covariates A,B] [--seed N]
-               [--detect] [--pretty] [--rows N]
+               [--detect] [--explain] [--pretty] [--rows N]
       Run the same analysis offline and print the wire response body
-      (or, with --pretty, the human-readable report). An oracle-work
-      footer (scans, cache hits, batched statements) goes to stderr.
+      (or, with --pretty, the human-readable report). --explain wraps
+      the report with the planner's deterministic EXPLAIN document —
+      the same bytes a served request with \"explain\": true returns.
+      An oracle-work footer (scans, cache hits, batched statements)
+      goes to stderr. HYPDB_TRACE=<ms> dumps the span tree of any run
+      at least that slow to stderr (0 = always).
 ";
 
 fn fail(msg: &str) -> ! {
@@ -152,6 +156,7 @@ fn cmd_analyze(args: &[String]) {
     let mut seed: Option<u64> = None;
     let mut rows_flag: Option<usize> = None;
     let mut detect = false;
+    let mut explain = false;
     let mut pretty = false;
     let mut i = 0;
     while i < args.len() {
@@ -185,6 +190,7 @@ fn cmd_analyze(args: &[String]) {
                 )
             }
             "--detect" => detect = true,
+            "--explain" => explain = true,
             "--pretty" => pretty = true,
             other => fail(&format!("unknown analyze flag `{other}`")),
         }
@@ -206,52 +212,57 @@ fn cmd_analyze(args: &[String]) {
     registry.insert(&dataset, &mono);
     let table = registry.get(&dataset).expect("just inserted");
 
+    if detect && explain {
+        fail("--explain applies to the analyze lane, not --detect");
+    }
     let mut req = wire::AnalyzeRequest::new(dataset, sql);
     req.treatment = req_treatment;
     req.covariates = covariates;
     req.seed = seed;
+    req.explain = explain;
     let base = HypDbConfig::default();
 
     // One oracle cache for the run, so the discovery work counters
     // (scans, cache hits, batching) can be reported afterwards.
     let cache = Arc::new(OracleCache::new());
-    let outcome = if detect {
-        wire::detect_cached(&*table, &req, &base, Some(&cache)).map(|r| wire::detect_body(&r))
-    } else if pretty {
-        wire::analyze_cached(&*table, &req, &base, Some(&cache)).map(|r| r.to_string())
-    } else {
-        wire::analyze_cached(&*table, &req, &base, Some(&cache)).map(|r| wire::report_body(&r))
+    let tick = hypdb_obs::Tick::now();
+    let traced = hypdb_obs::trace_threshold().map(|_| {
+        // Explain-capable when --explain is set, so the explain sink and
+        // the slow-run span dump share one tracer.
+        if explain {
+            hypdb_obs::Tracer::with_explain()
+        } else {
+            hypdb_obs::Tracer::new()
+        }
+    });
+    let compute = || {
+        if detect {
+            wire::detect_cached(&*table, &req, &base, Some(&cache)).map(|r| wire::detect_body(&r))
+        } else if explain {
+            wire::analyze_explained(&*table, &req, &base, Some(&cache))
+                .map(|(r, e)| wire::explain_body(&r, &e))
+        } else if pretty {
+            wire::analyze_cached(&*table, &req, &base, Some(&cache)).map(|r| r.to_string())
+        } else {
+            wire::analyze_cached(&*table, &req, &base, Some(&cache)).map(|r| wire::report_body(&r))
+        }
+    };
+    let outcome = match &traced {
+        Some(tracer) => {
+            let out = hypdb_obs::with_request(tracer, compute);
+            hypdb_obs::maybe_dump("analyze", tick.elapsed(), &tracer.finish());
+            out
+        }
+        None => compute(),
     };
     match outcome {
         Ok(body) => {
             println!("{body}");
             // The oracle-work footer goes to stderr: stdout stays
             // byte-identical to the server's response body (the CI
-            // smoke test diffs the two).
-            let s = cache.stats();
-            eprintln!(
-                "oracle: {} test(s) | {} table scan(s), {} count-cache hit(s), \
-                 {} marginalisation(s) | entropy {}/{} hit/miss | \
-                 {} statement(s) batched into {} group(s)",
-                s.tests,
-                s.table_scans,
-                s.count_cache_hits,
-                s.marginalizations,
-                s.entropy_hits,
-                s.entropy_misses,
-                s.batched_statements,
-                s.groups_planned
-            );
-            eprintln!(
-                "planner: {} direct scan(s), {} superset marginalisation(s), \
-                 {} lattice intermediate(s), {} speculative statement(s) skipped | \
-                 cache {} byte(s)",
-                s.scans_direct,
-                s.marginalised_from_superset,
-                s.lattice_intermediates,
-                s.speculative_skipped,
-                cache.cache_bytes()
-            );
+            // smoke test diffs the two). It renders the same snapshot
+            // the server's `/metrics` oracle section renders.
+            eprintln!("{}", OracleSnapshot::from_cache(&cache).footer());
         }
         Err(e) => {
             eprintln!("hypdb: {e}");

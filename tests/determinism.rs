@@ -160,6 +160,94 @@ fn batched_planning_never_changes_a_report_byte() {
 }
 
 #[test]
+fn tracing_and_explain_never_change_a_byte() {
+    // The PR-8 property: observability is pure observation. The wire
+    // body and the EXPLAIN document must be byte-identical across
+    // tracing {off, on} × HYPDB_THREADS {1, 4} × plan strategy
+    // {Cost, Scan, Marginalise} — the span collector, the explain
+    // sink, and the planner override may change *how* the answer is
+    // computed and what is recorded about it, never the answer.
+    use hypdb::causal::PlanForce;
+    use hypdb::core::{wire, HypDbConfig, OracleCache};
+    use std::sync::Arc;
+
+    let cases = [
+        (
+            ds::cancer_data(2_000, 1),
+            "SELECT Lung_Cancer, avg(Car_Accident) FROM CancerData GROUP BY Lung_Cancer",
+            "cancer",
+        ),
+        (
+            ds::adult_data(&ds::AdultConfig {
+                rows: 4_000,
+                seed: 1994,
+            }),
+            "SELECT Gender, avg(Income) FROM AdultData GROUP BY Gender",
+            "adult",
+        ),
+    ];
+    for (table, sql, name) in &cases {
+        let mut base: Option<(String, String)> = None;
+        for traced in [false, true] {
+            for threads in [1usize, 4] {
+                for force in [PlanForce::Cost, PlanForce::Scan, PlanForce::Marginalise] {
+                    let mut cfg = HypDbConfig::default();
+                    cfg.ci.batch.force = force;
+                    let mut req = hypdb::core::AnalyzeRequest::new(*name, *sql);
+                    let plain_cache = Arc::new(OracleCache::new());
+                    let body = with_threads(threads, || {
+                        let compute = || {
+                            wire::report_body(
+                                &wire::analyze_cached(table, &req, &cfg, Some(&plain_cache))
+                                    .expect("analysis"),
+                            )
+                        };
+                        if traced {
+                            // The HYPDB_TRACE middleware's tracer, minus
+                            // the stderr dump.
+                            let tracer = hypdb_obs::Tracer::with_explain();
+                            let body = hypdb_obs::with_request(&tracer, compute);
+                            assert!(
+                                !tracer.finish().spans.is_empty(),
+                                "{name}: tracer must have observed spans"
+                            );
+                            body
+                        } else {
+                            compute()
+                        }
+                    });
+                    req.explain = true;
+                    let explain_cache = Arc::new(OracleCache::new());
+                    let explained = with_threads(threads, || {
+                        let compute = || {
+                            let (r, e) =
+                                wire::analyze_explained(table, &req, &cfg, Some(&explain_cache))
+                                    .expect("explained analysis");
+                            wire::explain_body(&r, &e)
+                        };
+                        if traced {
+                            let tracer = hypdb_obs::Tracer::with_explain();
+                            hypdb_obs::with_request(&tracer, compute)
+                        } else {
+                            compute()
+                        }
+                    });
+                    let label =
+                        format!("{name}: traced={traced} threads={threads} force={force:?}");
+                    match &base {
+                        None => base = Some((body, explained)),
+                        Some((b, e)) => {
+                            assert_eq!(&body, b, "{label} changed the wire body");
+                            assert_eq!(&explained, e, "{label} changed the explain body");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn adult_discovery_identical_across_thread_counts() {
     let table = ds::adult_data(&ds::AdultConfig {
         rows: 8_000,
