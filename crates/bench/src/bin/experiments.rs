@@ -7,8 +7,8 @@
 //! ```
 
 use hypdb_bench::{
-    end_to_end, fig5a, obs, opts, quality, scaling, serve_throughput, shard_scaling, table1,
-    tests_perf, Scale,
+    end_to_end, fig5a, obs, opts, quality, replay_load, scaling, serve_throughput, shard_scaling,
+    table1, tests_perf, Scale,
 };
 
 const ALL: &[&str] = &[
@@ -16,6 +16,7 @@ const ALL: &[&str] = &[
     "end_to_end",
     "planner",
     "obs_overhead",
+    "replay_load",
     "fig5a",
     "fig5b",
     "fig5c",
@@ -37,6 +38,7 @@ fn run_one(name: &str, scale: Scale) {
         "end_to_end" => end_to_end::run(scale),
         "planner" => end_to_end::run_planner(scale),
         "obs_overhead" => obs::run(scale),
+        "replay_load" => replay_load::run(scale),
         "fig5a" => fig5a::run(scale),
         "fig5b" => quality::run_fig5b(scale),
         "fig5c" => quality::run_fig5c(scale),

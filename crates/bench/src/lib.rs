@@ -21,6 +21,7 @@ pub mod fig5a;
 pub mod obs;
 pub mod opts;
 pub mod quality;
+pub mod replay_load;
 pub mod report;
 pub mod scaling;
 pub mod serve_throughput;

@@ -1,0 +1,270 @@
+//! PR-9: flight-recorder fidelity and overhead. Two claims to pin:
+//! a journal captured under concurrent mixed load replays to
+//! byte-identical bodies against a fresh server, and journaling plus
+//! trace retention cost ≤3% on a production-sized cold analyze.
+
+use crate::Scale;
+use hypdb_core::{wire, AnalyzeRequest, HypDbConfig, OracleCache};
+use hypdb_datasets as ds;
+use hypdb_serve::journal::{render_record, RequestRecord};
+use hypdb_serve::{client, replay, Registry, ServeConfig, Server};
+use serde::Serialize;
+use std::sync::Arc;
+
+/// One timed mode of the overhead comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReplayRunRecord {
+    /// `"recorder_off"` or `"recorder_on"` (journal + trace ring).
+    pub mode: String,
+    /// Minimum wall-clock seconds over the interleaved repetitions.
+    pub seconds: f64,
+}
+
+/// The machine-readable PR-9 report (`BENCH_pr9.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct ReplayBenchReport {
+    /// PR number this trajectory point belongs to.
+    pub pr: u32,
+    /// Experiment tag.
+    pub experiment: String,
+    /// `std::thread::available_parallelism` on the runner.
+    pub available_parallelism: usize,
+    /// Built-in dataset rows for the record/replay phase.
+    pub record_rows: usize,
+    /// Journal records replayed (all byte-identical on pass).
+    pub replayed: usize,
+    /// Replay body/status mismatches (must be 0).
+    pub mismatches: usize,
+    /// Replay throughput, requests per second.
+    pub replay_rps: f64,
+    /// Replay p50 latency, seconds.
+    pub replay_p50_seconds: f64,
+    /// Adult rows for the overhead phase.
+    pub overhead_rows: usize,
+    /// `recorder_on.seconds / recorder_off.seconds`.
+    pub overhead_ratio: f64,
+    /// Both timed overhead modes.
+    pub runs: Vec<ReplayRunRecord>,
+}
+
+/// Drives a scripted concurrent mixed workload (analyze + detect,
+/// cancer + adult, repeated hot requests + unique cold ones) through a
+/// journaling server, then replays the captured journal against a
+/// fresh non-journaling server and asserts every body reproduces.
+fn record_and_replay(scale: Scale) -> (usize, replay::ReplayOutcome) {
+    let rows = scale.pick(600, 3_000);
+    let per_client = scale.pick(6, 20);
+    let journal_path = std::env::temp_dir()
+        .join(format!("hypdb_replay_bench_{}.jsonl", std::process::id()))
+        .to_string_lossy()
+        .into_owned();
+    let _ = std::fs::remove_file(&journal_path);
+
+    let record_cfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        journal: Some(journal_path.clone()),
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(record_cfg, Registry::builtin(rows)).expect("recording server");
+    let addr = handle.addr();
+
+    let lanes = [
+        ("/analyze", "cancer", CANCER_SQL),
+        ("/detect", "cancer", CANCER_SQL),
+        ("/analyze", "adult", ADULT_SQL),
+        ("/detect", "adult", ADULT_SQL),
+    ];
+    std::thread::scope(|scope| {
+        for (c, (path, dataset, sql)) in lanes.iter().enumerate() {
+            scope.spawn(move || {
+                let hot = AnalyzeRequest::new(*dataset, *sql).canonical_json();
+                for i in 0..per_client {
+                    // Every third request is a unique cold miss; the
+                    // rest re-issue the lane's hot request and ride the
+                    // report cache — so the journal mixes hits, misses,
+                    // both endpoints, and both datasets.
+                    let body = if i % 3 == 0 {
+                        let mut req = AnalyzeRequest::new(*dataset, *sql);
+                        req.seed = Some(9_000 + (c * per_client + i) as u64);
+                        req.canonical_json()
+                    } else {
+                        hot.clone()
+                    };
+                    let resp = client::post_json(addr, path, &body).expect("recorded request");
+                    assert_eq!(resp.status, 200, "{}", resp.body);
+                }
+            });
+        }
+    });
+    // Shutdown flushes and closes the journal.
+    handle.shutdown();
+
+    let text = std::fs::read_to_string(&journal_path).expect("read journal");
+    let parsed = replay::parse_journal(&text);
+    let recorded = lanes.len() * per_client;
+    assert_eq!(
+        parsed.items.len(),
+        recorded,
+        "journal must carry every recorded report request"
+    );
+
+    // Fresh server, recorder off: replay must reproduce every body.
+    let replay_cfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        journal: None,
+        debug_traces: 0,
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(replay_cfg, Registry::builtin(rows)).expect("replay server");
+    let outcome = replay::replay(handle.addr(), &parsed, 4, replay::Pace::MaxRate);
+    handle.shutdown();
+    let _ = std::fs::remove_file(&journal_path);
+
+    assert!(
+        outcome.passed(),
+        "replay must reproduce recorded bytes: {} mismatch(es), {} error(s)",
+        outcome.mismatches.len(),
+        outcome.errors
+    );
+    (rows, outcome)
+}
+
+const CANCER_SQL: &str =
+    "SELECT Lung_Cancer, avg(Car_Accident) FROM CancerData GROUP BY Lung_Cancer";
+const ADULT_SQL: &str = "SELECT Gender, avg(Income) FROM AdultData GROUP BY Gender";
+
+/// PR-9: replay fidelity under concurrent mixed load, then the
+/// recorder's overhead on a ≥150k-row cold adult analyze — recorder
+/// off vs on (span tracer + journal line render + bounded-channel
+/// append + ring retention), repetitions interleaved, min wall clock
+/// per mode, ratio asserted ≤1.03. Writes `BENCH_pr9.json`.
+pub fn run(scale: Scale) {
+    crate::report::section("PR-9 — flight recorder: replay fidelity + journaling overhead");
+
+    let (record_rows, outcome) = record_and_replay(scale);
+    println!(
+        "record/replay: {} record(s) replayed byte-identical ({:.1} req/s, p50 {:.3} ms)",
+        outcome.replayed,
+        outcome.requests_per_second,
+        outcome.latency.0 * 1e3
+    );
+
+    // Overhead phase: the same analyze path PR-8 pinned, now with the
+    // full per-request recording work the server does when the flight
+    // recorder is on.
+    let rows = scale.pick(150_000, 300_000);
+    let data = ds::adult_data(&ds::AdultConfig { rows, seed: 1994 });
+    let req = AnalyzeRequest::new("adult", ADULT_SQL);
+    let canonical = req.canonical_json();
+    let fingerprint = format!("{:016x}", req.fingerprint());
+    let base = HypDbConfig::default();
+
+    let journal_path = std::env::temp_dir()
+        .join(format!("hypdb_overhead_bench_{}.jsonl", std::process::id()))
+        .to_string_lossy()
+        .into_owned();
+    let journal = hypdb_obs::Journal::open(&journal_path).expect("open bench journal");
+    let ring = hypdb_obs::TraceRing::new(16);
+
+    let once = || {
+        let cache = Arc::new(OracleCache::new());
+        wire::report_body(
+            &wire::analyze_cached(&data, &req, &base, Some(&cache)).expect("analysis"),
+        )
+    };
+    let recorded_once = || {
+        // Exactly the server's recording path: tracer around the
+        // compute, then render the journal record, append it through
+        // the bounded channel, and retain the trace in the ring.
+        let tick = hypdb_obs::Tick::now();
+        let tracer = hypdb_obs::Tracer::new();
+        let body = hypdb_obs::with_request(&tracer, once);
+        let report = tracer.finish();
+        let total_ms = tick.elapsed_secs() * 1e3;
+        let line = render_record(&RequestRecord {
+            seq: 1,
+            method: "POST",
+            path: "/analyze",
+            dataset: Some("adult"),
+            fingerprint: Some(&fingerprint),
+            canonical: Some(&canonical),
+            cache: Some(false),
+            status: 200,
+            body: &body,
+            planner: None,
+            report: Some(&report),
+            offset_ms: total_ms,
+            queue_wait_ms: 0.0,
+            total_ms,
+        });
+        journal.append(line);
+        ring.record(hypdb_obs::TraceEntry {
+            seq: 1,
+            tag: "/analyze".to_string(),
+            millis: total_ms,
+            report,
+        });
+        body
+    };
+
+    // Byte-identity pre-check: recording must not move a body byte.
+    let plain = once();
+    assert_eq!(recorded_once(), plain, "recording changed the wire body");
+
+    const REPS: usize = 5;
+    let mut best = [f64::INFINITY; 2];
+    for _ in 0..REPS {
+        let (body, secs) = crate::timed(once);
+        assert_eq!(body, plain);
+        best[0] = best[0].min(secs);
+        let (body, secs) = crate::timed(recorded_once);
+        assert_eq!(body, plain);
+        best[1] = best[1].min(secs);
+    }
+    journal.close();
+    let _ = std::fs::remove_file(&journal_path);
+    let ratio = best[1] / best[0];
+    println!(
+        "adult {rows} rows: recorder off {:.3}s, on {:.3}s, ratio {:.4}",
+        best[0], best[1], ratio
+    );
+    assert!(
+        ratio <= 1.03,
+        "flight-recorder overhead {:.2}% exceeds the 3% budget ({:.3}s vs {:.3}s)",
+        (ratio - 1.0) * 100.0,
+        best[1],
+        best[0]
+    );
+
+    let report = ReplayBenchReport {
+        pr: 9,
+        experiment: "replay_load".to_string(),
+        available_parallelism: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        record_rows,
+        replayed: outcome.replayed,
+        mismatches: outcome.mismatches.len(),
+        replay_rps: outcome.requests_per_second,
+        replay_p50_seconds: outcome.latency.0,
+        overhead_rows: rows,
+        overhead_ratio: ratio,
+        runs: vec![
+            ReplayRunRecord {
+                mode: "recorder_off".to_string(),
+                seconds: best[0],
+            },
+            ReplayRunRecord {
+                mode: "recorder_on".to_string(),
+                seconds: best[1],
+            },
+        ],
+    };
+    let json = serde_json::to_string(&report).expect("serialize");
+    let path = "BENCH_pr9.json";
+    std::fs::write(path, &json).expect("write BENCH_pr9.json");
+    println!(
+        "\n(wrote {path}; replay reproduced every recorded body and the recorder \
+         stays within the 3% budget)"
+    );
+}

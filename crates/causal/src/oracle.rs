@@ -208,6 +208,40 @@ impl OracleStats {
             speculative_skipped: self.speculative_skipped + other.speculative_skipped,
         }
     }
+
+    /// Element-wise saturating difference — the work attributable to
+    /// one request when `earlier` was snapshotted from the same shared
+    /// cache before it ran (the flight recorder's per-request planner
+    /// delta). Saturating because a concurrent `reset_stats` can move
+    /// counters backwards; a clamped zero beats a wrapped giant.
+    pub fn since(&self, earlier: &OracleStats) -> OracleStats {
+        OracleStats {
+            tests: self.tests.saturating_sub(earlier.tests),
+            table_scans: self.table_scans.saturating_sub(earlier.table_scans),
+            count_cache_hits: self
+                .count_cache_hits
+                .saturating_sub(earlier.count_cache_hits),
+            marginalizations: self
+                .marginalizations
+                .saturating_sub(earlier.marginalizations),
+            entropy_hits: self.entropy_hits.saturating_sub(earlier.entropy_hits),
+            entropy_misses: self.entropy_misses.saturating_sub(earlier.entropy_misses),
+            batched_statements: self
+                .batched_statements
+                .saturating_sub(earlier.batched_statements),
+            groups_planned: self.groups_planned.saturating_sub(earlier.groups_planned),
+            scans_direct: self.scans_direct.saturating_sub(earlier.scans_direct),
+            marginalised_from_superset: self
+                .marginalised_from_superset
+                .saturating_sub(earlier.marginalised_from_superset),
+            lattice_intermediates: self
+                .lattice_intermediates
+                .saturating_sub(earlier.lattice_intermediates),
+            speculative_skipped: self
+                .speculative_skipped
+                .saturating_sub(earlier.speculative_skipped),
+        }
+    }
 }
 
 /// The shareable half of a [`DataOracle`]: its contingency/entropy

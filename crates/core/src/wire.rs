@@ -418,6 +418,23 @@ pub fn fingerprint_json(canonical: &str) -> u64 {
     fnv1a64(canonical.as_bytes())
 }
 
+/// Formats a request sequence number as the `X-Hypdb-Request-Id`
+/// header value (and the journal's `id` field): `req-<seq>`, zero-
+/// padded so ids sort lexically in journal order. Ids live in response
+/// **headers** only — bodies stay byte-identical with or without the
+/// flight recorder.
+pub fn request_id(seq: u64) -> String {
+    format!("req-{seq:08}")
+}
+
+/// The flight recorder's response-body fingerprint: FNV-1a 64 over the
+/// exact response bytes, rendered as 16 hex digits. Replay recomputes
+/// this over the bytes it receives; equality is the byte-identity pass
+/// criterion.
+pub fn body_fnv_hex(body: &str) -> String {
+    format!("{:016x}", fnv1a64(body.as_bytes()))
+}
+
 /// FNV-1a 64-bit over raw bytes: tiny, dependency-free, and stable
 /// across platforms and runs — everything a wire fingerprint needs.
 /// Public so other fingerprints (e.g. the serving registry's

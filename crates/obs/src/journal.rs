@@ -1,0 +1,222 @@
+//! The request journal writer: a bounded channel in front of a
+//! dedicated writer thread.
+//!
+//! The flight recorder's durability layer. Producers (the serve
+//! middleware, or any front end) render one JSONL record per request
+//! and hand the finished line to [`Journal::append`]; a single writer
+//! thread drains the channel and writes lines to the sink in arrival
+//! order. The channel is **bounded**: when the writer falls behind
+//! (slow disk, burst traffic) `append` drops the line and counts it in
+//! the process-wide [`dropped_total`] counter instead of blocking —
+//! journaling must never add latency to the request path, and a gap in
+//! the journal is always preferable to a stalled worker.
+//!
+//! The record *schema* ([`SCHEMA`] = `hypdb-journal/v1`) is defined by
+//! the producers (see `hypdb-serve`'s `journal` module); this module
+//! only moves finished lines. Lines are flushed as they are written,
+//! so a journal can be tailed while the process is live and is
+//! complete once [`Journal::close`] (or drop) has joined the writer.
+
+use std::io::{self, BufWriter, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::thread::JoinHandle;
+
+/// The journal record schema identifier every record carries.
+pub const SCHEMA: &str = "hypdb-journal/v1";
+
+/// Default bound on lines queued for the writer thread.
+pub const DEFAULT_CAPACITY: usize = 1024;
+
+/// Lines dropped because the writer's channel was full (or the writer
+/// had exited). Process-wide, monotonic: the `/metrics` export
+/// `hypdb_journal_dropped_total`.
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+/// Total journal lines dropped by every journal in this process.
+pub fn dropped_total() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// A running journal: the producer handle plus the writer thread.
+///
+/// Cheap to share behind an `Arc`; `append` is lock-free up to the
+/// channel. Dropping the journal closes the channel and joins the
+/// writer, so every accepted line reaches the sink.
+pub struct Journal {
+    tx: Option<SyncSender<String>>,
+    writer: Option<JoinHandle<()>>,
+}
+
+impl Journal {
+    /// Opens (creates or truncates) a journal file at `path` with the
+    /// default channel capacity.
+    pub fn open(path: &str) -> io::Result<Journal> {
+        Self::open_with_capacity(path, DEFAULT_CAPACITY)
+    }
+
+    /// [`Journal::open`] with an explicit channel capacity.
+    pub fn open_with_capacity(path: &str, capacity: usize) -> io::Result<Journal> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::to_writer(Box::new(file), capacity))
+    }
+
+    /// A journal over an arbitrary sink — the seam the backpressure
+    /// tests use (a deliberately slow writer) and the file constructors
+    /// wrap. `capacity` bounds the lines queued ahead of the writer.
+    pub fn to_writer(sink: Box<dyn Write + Send>, capacity: usize) -> Journal {
+        let (tx, rx): (SyncSender<String>, Receiver<String>) = sync_channel(capacity.max(1));
+        let writer = std::thread::Builder::new()
+            .name("hypdb-journal".into())
+            .spawn(move || {
+                let mut out = BufWriter::new(sink);
+                while let Ok(line) = rx.recv() {
+                    // A sink error retires the writer; subsequent
+                    // appends count as drops via the closed channel.
+                    if out.write_all(line.as_bytes()).is_err() || out.write_all(b"\n").is_err() {
+                        return;
+                    }
+                    // Flush per record so the journal is tail-able and
+                    // survives an abrupt exit; record rates are far
+                    // below what a buffered flush would be needed for.
+                    if out.flush().is_err() {
+                        return;
+                    }
+                }
+            })
+            .ok();
+        Journal {
+            tx: Some(tx),
+            writer,
+        }
+    }
+
+    /// Enqueues one finished record line. **Never blocks**: when the
+    /// writer is behind (channel full) or gone, the line is dropped and
+    /// counted in [`dropped_total`].
+    pub fn append(&self, line: String) {
+        let Some(tx) = &self.tx else {
+            DROPPED.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        match tx.try_send(line) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                DROPPED.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Closes the channel and joins the writer: every line accepted by
+    /// [`Journal::append`] is on disk when this returns. Also performed
+    /// on drop; `close` is for callers that want the completion point.
+    pub fn close(mut self) {
+        self.close_inner();
+    }
+
+    fn close_inner(&mut self) {
+        drop(self.tx.take());
+        if let Some(writer) = self.writer.take() {
+            let _ = writer.join();
+        }
+    }
+}
+
+impl Drop for Journal {
+    fn drop(&mut self) {
+        self.close_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    /// A sink that appends to a shared buffer, optionally stalling per
+    /// write to simulate a slow disk.
+    struct SharedSink {
+        buf: Arc<Mutex<Vec<u8>>>,
+        stall: std::time::Duration,
+    }
+
+    impl Write for SharedSink {
+        fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+            if !self.stall.is_zero() {
+                std::thread::sleep(self.stall);
+            }
+            self.buf.lock().unwrap().extend_from_slice(data);
+            Ok(data.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn lines_arrive_in_order_and_close_flushes() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let journal = Journal::to_writer(
+            Box::new(SharedSink {
+                buf: Arc::clone(&buf),
+                stall: std::time::Duration::ZERO,
+            }),
+            8,
+        );
+        for i in 0..5 {
+            journal.append(format!("{{\"id\":{i}}}"));
+        }
+        journal.close();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[0], "{\"id\":0}");
+        assert_eq!(lines[4], "{\"id\":4}");
+    }
+
+    #[test]
+    fn full_channel_drops_without_blocking() {
+        let before = dropped_total();
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        // A writer that takes 50 ms per line behind a 1-slot channel:
+        // a burst must drop, not block.
+        let journal = Journal::to_writer(
+            Box::new(SharedSink {
+                buf: Arc::clone(&buf),
+                stall: std::time::Duration::from_millis(50),
+            }),
+            1,
+        );
+        let t0 = crate::Tick::now();
+        for i in 0..64 {
+            journal.append(format!("line {i}"));
+        }
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed < std::time::Duration::from_millis(500),
+            "append must never block on a slow writer (took {elapsed:?})"
+        );
+        let dropped = dropped_total() - before;
+        assert!(dropped > 0, "a 1-slot channel under a burst must drop");
+        journal.close();
+        let written = String::from_utf8(buf.lock().unwrap().clone())
+            .unwrap()
+            .lines()
+            .count() as u64;
+        assert_eq!(written + dropped, 64, "every line is written or counted");
+    }
+
+    #[test]
+    fn file_journal_round_trips() {
+        let path =
+            std::env::temp_dir().join(format!("hypdb-journal-test-{}.jsonl", std::process::id()));
+        let path_str = path.to_string_lossy().to_string();
+        let journal = Journal::open(&path_str).unwrap();
+        journal.append("{\"a\":1}".to_string());
+        journal.append("{\"b\":2}".to_string());
+        journal.close();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\"a\":1}\n{\"b\":2}\n");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -24,6 +24,17 @@
 //! * [`trace`] — the `HYPDB_TRACE` slow-request dump: a JSON span tree
 //!   (with timings) written to **stderr only**, never into a response
 //!   body.
+//! * [`journal`] — the flight recorder's durability layer: a bounded
+//!   channel in front of a dedicated writer thread that appends one
+//!   JSONL record per request ([`journal::SCHEMA`] =
+//!   `hypdb-journal/v1`), dropping (and counting) rather than ever
+//!   blocking the request path.
+//! * [`ring`] — in-memory retention of finished span trees (last N +
+//!   K slowest) behind `HYPDB_DEBUG_TRACES`, serialized through
+//!   [`TraceEntry`] — the **single** trace renderer, shared with the
+//!   stderr dump.
+//! * [`window`] — rolling 1m/5m per-second request summaries
+//!   (count/errors/latency) for `/metrics`, all-atomic, no sweeper.
 //!
 //! The crate depends on nothing and is `forbid(unsafe_code)`.
 
@@ -33,7 +44,10 @@
 pub mod clock;
 pub mod ctx;
 pub mod hist;
+pub mod journal;
+pub mod ring;
 pub mod trace;
+pub mod window;
 
 pub use clock::{Deadline, Tick};
 pub use ctx::{
@@ -41,4 +55,7 @@ pub use ctx::{
     with_request, CtxHandle, ExplainEntry, SpanReport, TraceReport, Tracer,
 };
 pub use hist::{Histogram, HistogramSnapshot, CONTINGENCY_BUILD, MIT_SETTLE};
+pub use journal::Journal;
+pub use ring::{TraceEntry, TraceRing};
 pub use trace::{maybe_dump, trace_threshold};
+pub use window::{RollingWindow, WindowSummary};

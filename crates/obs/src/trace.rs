@@ -5,8 +5,13 @@
 //! timings) as one JSON line to **stderr** — never into a response
 //! body, so the byte-identity invariant is untouched. `HYPDB_TRACE=0`
 //! dumps every traced request. Redirect stderr to keep a file.
+//!
+//! The dumped JSON is a [`TraceEntry`] document — the same
+//! serialization `/debug/traces` serves, so there is exactly one trace
+//! renderer in the workspace.
 
 use crate::ctx::TraceReport;
+use crate::ring::TraceEntry;
 use std::sync::OnceLock;
 use std::time::Duration;
 
@@ -23,17 +28,22 @@ pub fn trace_threshold() -> Option<Duration> {
 }
 
 /// Writes the span tree to stderr when `elapsed` reaches the armed
-/// `HYPDB_TRACE` threshold; a no-op otherwise. `tag` names the request
-/// (endpoint or CLI invocation).
-pub fn maybe_dump(tag: &str, elapsed: Duration, report: &TraceReport) {
+/// `HYPDB_TRACE` threshold; a no-op otherwise. `seq` is the request
+/// sequence number (0 when the producer has none) and `tag` names the
+/// request (endpoint or CLI invocation). The line is
+/// `hypdb-trace: <TraceEntry JSON>` — identical to the corresponding
+/// `/debug/traces` entry.
+pub fn maybe_dump(seq: u64, tag: &str, elapsed: Duration, report: &TraceReport) {
     let Some(threshold) = trace_threshold() else {
         return;
     };
     if elapsed >= threshold {
-        eprintln!(
-            "hypdb-trace: {tag} took {:.3} ms: {}",
-            elapsed.as_secs_f64() * 1e3,
-            report.to_json_tree()
-        );
+        let entry = TraceEntry {
+            seq,
+            tag: tag.to_string(),
+            millis: elapsed.as_secs_f64() * 1e3,
+            report: report.clone(),
+        };
+        eprintln!("hypdb-trace: {}", entry.to_json());
     }
 }

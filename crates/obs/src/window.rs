@@ -1,0 +1,214 @@
+//! Rolling-window request summaries: per-second atomic slots covering
+//! the last five minutes, summarised over 1m/5m horizons for
+//! `/metrics`.
+//!
+//! Histograms accumulate forever; operators also want "what is the
+//! error rate *right now*". A [`RollingWindow`] keeps 300 one-second
+//! slots, each a bundle of atomics stamped with the epoch second it
+//! belongs to. Observation CASes the stamp: the first observation of a
+//! new second resets the slot, later ones accumulate. Summaries walk
+//! the slots and keep only those inside the asked horizon — no
+//! background sweeper thread, no locks.
+//!
+//! Time here is the elapsed seconds since the window was created (a
+//! [`Tick`]), not wall-clock: windows are timing-side observability
+//! and never reach a response body.
+
+use crate::clock::Tick;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Seconds of history a window retains (the 5m horizon).
+pub const WINDOW_SLOTS: usize = 300;
+
+/// One second of accumulation. `epoch` stamps which second the counts
+/// belong to; a slot whose stamp has fallen out of the horizon is dead
+/// weight until an observation recycles it.
+struct Slot {
+    /// The 1-based second this slot currently holds (0 = never used).
+    epoch: AtomicU64,
+    count: AtomicU64,
+    errors: AtomicU64,
+    sum_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+}
+
+impl Slot {
+    const fn new() -> Slot {
+        Slot {
+            epoch: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+            max_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Aggregated view of one horizon, as returned by
+/// [`RollingWindow::summary`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WindowSummary {
+    /// Requests observed inside the horizon.
+    pub count: u64,
+    /// Error responses among them.
+    pub errors: u64,
+    /// Mean latency in seconds (0 when `count` is 0).
+    pub avg_seconds: f64,
+    /// Maximum latency in seconds.
+    pub max_seconds: f64,
+}
+
+/// A 5-minute sliding record of request outcomes, queryable over any
+/// horizon up to [`WINDOW_SLOTS`] seconds.
+pub struct RollingWindow {
+    start: Tick,
+    slots: Vec<Slot>,
+}
+
+impl RollingWindow {
+    /// An empty window starting now.
+    pub fn new() -> RollingWindow {
+        RollingWindow {
+            start: Tick::now(),
+            slots: (0..WINDOW_SLOTS).map(|_| Slot::new()).collect(),
+        }
+    }
+
+    /// The current 1-based second since the window started.
+    fn now_epoch(&self) -> u64 {
+        self.start.elapsed().as_secs() + 1
+    }
+
+    /// Records one finished request: its latency and whether it was an
+    /// error (HTTP 4xx/5xx from the caller's point of view).
+    pub fn observe(&self, seconds: f64, error: bool) {
+        let epoch = self.now_epoch();
+        let slot = &self.slots[(epoch as usize) % WINDOW_SLOTS];
+        let stamped = slot.epoch.load(Ordering::Acquire);
+        if stamped != epoch {
+            // First observation of this second: try to claim and reset
+            // the slot. A racing loser just accumulates into the
+            // winner's fresh slot, which is the semantics we want.
+            if slot
+                .epoch
+                .compare_exchange(stamped, epoch, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                slot.count.store(0, Ordering::Relaxed);
+                slot.errors.store(0, Ordering::Relaxed);
+                slot.sum_nanos.store(0, Ordering::Relaxed);
+                slot.max_nanos.store(0, Ordering::Relaxed);
+            }
+        }
+        let nanos = if seconds.is_finite() && seconds > 0.0 {
+            (seconds * 1e9) as u64
+        } else {
+            0
+        };
+        slot.count.fetch_add(1, Ordering::Relaxed);
+        if error {
+            slot.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        slot.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        slot.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Aggregates the last `horizon_secs` seconds (clamped to
+    /// [`WINDOW_SLOTS`]). The current partial second is included.
+    pub fn summary(&self, horizon_secs: u64) -> WindowSummary {
+        let now = self.now_epoch();
+        let horizon = horizon_secs.clamp(1, WINDOW_SLOTS as u64);
+        let oldest = now.saturating_sub(horizon - 1);
+        let mut out = WindowSummary::default();
+        let mut sum_nanos = 0u64;
+        let mut max_nanos = 0u64;
+        for slot in &self.slots {
+            let stamped = slot.epoch.load(Ordering::Acquire);
+            if stamped < oldest || stamped > now || stamped == 0 {
+                continue;
+            }
+            out.count += slot.count.load(Ordering::Relaxed);
+            out.errors += slot.errors.load(Ordering::Relaxed);
+            sum_nanos += slot.sum_nanos.load(Ordering::Relaxed);
+            max_nanos = max_nanos.max(slot.max_nanos.load(Ordering::Relaxed));
+        }
+        if out.count > 0 {
+            out.avg_seconds = sum_nanos as f64 / 1e9 / out.count as f64;
+        }
+        out.max_seconds = max_nanos as f64 / 1e9;
+        out
+    }
+}
+
+impl Default for RollingWindow {
+    fn default() -> Self {
+        RollingWindow::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observations_accumulate_within_the_horizon() {
+        let w = RollingWindow::new();
+        w.observe(0.010, false);
+        w.observe(0.030, true);
+        w.observe(0.020, false);
+        let s = w.summary(60);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.errors, 1);
+        assert!((s.avg_seconds - 0.020).abs() < 1e-6);
+        assert!((s.max_seconds - 0.030).abs() < 1e-6);
+        // The 5m horizon sees the same young data.
+        assert_eq!(w.summary(300).count, 3);
+    }
+
+    #[test]
+    fn empty_window_summarises_to_zero() {
+        let w = RollingWindow::new();
+        assert_eq!(w.summary(60), WindowSummary::default());
+        assert_eq!(w.summary(300), WindowSummary::default());
+    }
+
+    #[test]
+    fn degenerate_latencies_are_clamped() {
+        let w = RollingWindow::new();
+        w.observe(f64::NAN, false);
+        w.observe(-5.0, true);
+        let s = w.summary(60);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.avg_seconds, 0.0);
+        assert_eq!(s.max_seconds, 0.0);
+    }
+
+    #[test]
+    fn concurrent_observation_loses_nothing_within_one_second() {
+        // All observations land inside the first slots of a fresh
+        // window, so totals must be exact.
+        let w = std::sync::Arc::new(RollingWindow::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let w = std::sync::Arc::clone(&w);
+                s.spawn(move || {
+                    for i in 0..250 {
+                        w.observe(0.001, i % 10 == 0);
+                    }
+                });
+            }
+        });
+        let s = w.summary(300);
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.errors, 100);
+    }
+
+    #[test]
+    fn horizon_is_clamped_to_the_window() {
+        let w = RollingWindow::new();
+        w.observe(0.001, false);
+        assert_eq!(w.summary(10_000).count, 1);
+        assert_eq!(w.summary(0).count, 1);
+    }
+}

@@ -19,7 +19,20 @@
 //! | `POST /detect`   | detection-only cheap path (no explain/resolve)     |
 //! | `GET /datasets`  | registered datasets (name, rows, attrs, shards)    |
 //! | `GET /healthz`   | liveness                                           |
-//! | `GET /metrics`   | Prometheus text: request/cache/queue counters      |
+//! | `GET /metrics`   | Prometheus text: request/cache/queue counters,     |
+//! |                  | latency histograms, rolling 1m/5m window summaries |
+//! | `GET /debug/traces`   | retained span trees (last N + K slowest)      |
+//! | `GET /debug/requests` | the most recent journal records               |
+//! | `GET /debug/config`   | the server's effective configuration          |
+//!
+//! The **flight recorder** (PR 9) threads through every request:
+//! `HYPDB_JOURNAL=path` (or `hypdb serve --journal`) appends one
+//! structural-first `hypdb-journal/v1` record per request ([`journal`])
+//! through `hypdb-obs`'s bounded, never-blocking writer;
+//! `HYPDB_DEBUG_TRACES=N` sizes the retained-trace ring behind
+//! `/debug/traces`; and [`replay`] re-issues a captured journal and
+//! verifies byte-identical response bodies — the `hypdb replay`
+//! subcommand and the `replay_load` bench gate.
 //!
 //! Request/response bodies are the `hypdb-core` [`wire`] schema
 //! ([`AnalyzeRequest`](hypdb_core::AnalyzeRequest) in, a timing-zeroed
@@ -44,7 +57,8 @@
 //!
 //! Environment knobs: `HYPDB_SERVE_ADDR`, `HYPDB_SERVE_WORKERS`,
 //! `HYPDB_SERVE_QUEUE`, `HYPDB_SERVE_MAX_BODY`,
-//! `HYPDB_SERVE_TIMEOUT_MS`, `HYPDB_SERVE_CACHE_BYTES` (see
+//! `HYPDB_SERVE_TIMEOUT_MS`, `HYPDB_SERVE_CACHE_BYTES`,
+//! `HYPDB_JOURNAL`, `HYPDB_DEBUG_TRACES` (see
 //! [`ServeConfig::from_env`]), alongside the workspace-wide
 //! `HYPDB_THREADS` and `HYPDB_SHARD_ROWS`.
 //!
@@ -56,12 +70,15 @@
 pub mod cache;
 pub mod client;
 pub mod http;
+pub mod journal;
 pub mod metrics;
 pub mod registry;
+pub mod replay;
 pub mod server;
 pub mod sig;
 
 pub use cache::{ByteLruCache, CacheStats};
 pub use metrics::{MetricsSnapshot, OracleSnapshot};
 pub use registry::{DatasetInfo, Registry};
+pub use replay::{Pace, ParsedJournal, ReplayOutcome};
 pub use server::{ServeConfig, Server, ServerHandle};

@@ -5,9 +5,11 @@
 //! can be scraped directly. The snapshot form is also what the test
 //! suite asserts cache-consistency against.
 
-use hypdb_obs::{hist, Histogram};
+use hypdb_obs::{hist, Histogram, RollingWindow};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Lock-free counter block shared by acceptor and workers.
 #[derive(Debug, Default)]
@@ -25,6 +27,10 @@ pub struct Metrics {
     detect_duration: Histogram,
     other_duration: Histogram,
     queue_wait: Histogram,
+    /// `hypdb_requests_total{endpoint,status}` — sorted so the
+    /// exposition renders deterministically. Brief mutex: one entry
+    /// bump per finished request.
+    statuses: Mutex<BTreeMap<(&'static str, u16), u64>>,
 }
 
 /// Which `hypdb_request_duration_seconds` series a request lands in.
@@ -45,6 +51,15 @@ impl Endpoint {
             "/analyze" => Endpoint::Analyze,
             "/detect" => Endpoint::Detect,
             _ => Endpoint::Other,
+        }
+    }
+
+    /// The `endpoint` label value in `hypdb_requests_total`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Analyze => "analyze",
+            Endpoint::Detect => "detect",
+            Endpoint::Other => "other",
         }
     }
 }
@@ -135,9 +150,41 @@ impl Metrics {
     }
 
     /// Records how long a connection sat in the admission queue before
-    /// a worker picked it up.
+    /// a worker picked it up — or, on the overflow path, before it was
+    /// rejected.
     pub fn observe_queue_wait(&self, seconds: f64) {
         self.queue_wait.observe(seconds);
+    }
+
+    /// Counts one finished request in the
+    /// `hypdb_requests_total{endpoint,status}` family. `endpoint` is an
+    /// [`Endpoint::label`] value, or `"rejected"` for admission 503s.
+    pub fn observe_status(&self, endpoint: &'static str, status: u16) {
+        let mut map = self
+            .statuses
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *map.entry((endpoint, status)).or_insert(0) += 1;
+    }
+
+    /// Renders the labelled `hypdb_requests_total{endpoint,status}`
+    /// counter family (one family header even when no sample exists
+    /// yet, so scrapes always see the declaration).
+    pub fn render_requests_total(&self) -> String {
+        let name = "hypdb_requests_total";
+        let mut out = format!(
+            "# HELP {name} requests served, by endpoint and status\n# TYPE {name} counter\n"
+        );
+        let map = self
+            .statuses
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        for (&(endpoint, status), &count) in map.iter() {
+            out.push_str(&format!(
+                "{name}{{endpoint=\"{endpoint}\",status=\"{status}\"}} {count}\n"
+            ));
+        }
+        out
     }
 
     /// Renders every histogram family this process maintains: the
@@ -213,8 +260,13 @@ impl MetricsSnapshot {
                 "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
             ));
         };
+        // `hypdb_requests_total` is rendered as a labelled
+        // {endpoint,status} family by `Metrics::render_requests_total`
+        // (the snapshot keeps the aggregate `requests` field for
+        // programmatic consumers); rendering an unlabelled sample here
+        // too would declare the family twice.
         metric(
-            "hypdb_requests_total",
+            "hypdb_parsed_requests_total",
             "counter",
             "HTTP requests parsed",
             self.requests,
@@ -412,6 +464,83 @@ pub fn render_oracle_cache_bytes(bytes: u64) -> String {
         "# HELP {name} bytes resident in shared oracle contingency caches\n\
          # TYPE {name} gauge\n{name} {bytes}\n"
     )
+}
+
+/// Renders the `hypdb_build_info` gauge (constant 1 with build
+/// metadata labels — the Prometheus convention for exposing versions)
+/// and the `hypdb_uptime_seconds` gauge.
+pub fn render_build_info(uptime_seconds: f64) -> String {
+    let version = env!("CARGO_PKG_VERSION");
+    let journal_schema = hypdb_obs::journal::SCHEMA;
+    format!(
+        "# HELP hypdb_build_info build metadata (value is constant 1)\n\
+         # TYPE hypdb_build_info gauge\n\
+         hypdb_build_info{{version=\"{version}\",journal_schema=\"{journal_schema}\"}} 1\n\
+         # HELP hypdb_uptime_seconds seconds since the server started\n\
+         # TYPE hypdb_uptime_seconds gauge\n\
+         hypdb_uptime_seconds {uptime_seconds:.3}\n"
+    )
+}
+
+/// Renders the process-wide `hypdb_journal_dropped_total` counter —
+/// journal lines dropped because the writer's bounded channel was full
+/// (the flight recorder never blocks the request path).
+pub fn render_journal_dropped() -> String {
+    let name = "hypdb_journal_dropped_total";
+    format!(
+        "# HELP {name} journal records dropped by the bounded writer channel\n\
+         # TYPE {name} counter\n{name} {}\n",
+        hypdb_obs::journal::dropped_total()
+    )
+}
+
+/// Renders the rolling-window gauge families
+/// (`hypdb_window_requests` / `_errors` / `_latency_avg_seconds` /
+/// `_latency_max_seconds`) over 1m and 5m horizons. `series` pairs a
+/// label block (`endpoint="analyze"`, `dataset="adult"`) with its
+/// window; each family is declared once with every sample under it.
+pub fn render_windows(series: &[(String, &RollingWindow)]) -> String {
+    const HORIZONS: [(&str, u64); 2] = [("1m", 60), ("5m", 300)];
+    let summaries: Vec<(&str, &str, hypdb_obs::WindowSummary)> = series
+        .iter()
+        .flat_map(|(labels, window)| {
+            HORIZONS
+                .iter()
+                .map(move |&(tag, secs)| (labels.as_str(), tag, window.summary(secs)))
+        })
+        .collect();
+    let mut out = String::new();
+    let mut family =
+        |name: &str, help: &str, value: &dyn Fn(&hypdb_obs::WindowSummary) -> String| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
+            for (labels, horizon, summary) in &summaries {
+                out.push_str(&format!(
+                    "{name}{{{labels},window=\"{horizon}\"}} {}\n",
+                    value(summary)
+                ));
+            }
+        };
+    family(
+        "hypdb_window_requests",
+        "requests finished inside the rolling window",
+        &|s| s.count.to_string(),
+    );
+    family(
+        "hypdb_window_errors",
+        "error (4xx/5xx) responses inside the rolling window",
+        &|s| s.errors.to_string(),
+    );
+    family(
+        "hypdb_window_latency_avg_seconds",
+        "mean request latency inside the rolling window",
+        &|s| format!("{:.6}", s.avg_seconds),
+    );
+    family(
+        "hypdb_window_latency_max_seconds",
+        "maximum request latency inside the rolling window",
+        &|s| format!("{:.6}", s.max_seconds),
+    );
+    out
 }
 
 /// Renders the report cache's byte accounting ([`crate::cache::CacheStats`]).
@@ -719,6 +848,9 @@ mod tests {
         m.observe_request(Endpoint::Analyze, 0.012);
         m.observe_request(Endpoint::Other, 0.0002);
         m.observe_queue_wait(0.0007);
+        m.observe_status(Endpoint::Analyze.label(), 200);
+        m.observe_status(Endpoint::Analyze.label(), 400);
+        m.observe_status("rejected", 503);
         let oracle = OracleSnapshot {
             stats: hypdb_core::OracleStats {
                 tests: 5,
@@ -733,14 +865,65 @@ mod tests {
             evictions: 0,
             evicted_bytes: 0,
         };
+        let analyze_window = RollingWindow::new();
+        analyze_window.observe(0.012, false);
+        analyze_window.observe(0.050, true);
+        let dataset_window = RollingWindow::new();
+        dataset_window.observe(0.012, false);
+        // Assemble the exposition exactly as the `/metrics` route does.
         let mut text = m.snapshot().render();
+        text.push_str(&m.render_requests_total());
+        text.push_str(&render_build_info(12.5));
+        text.push_str(&render_journal_dropped());
         text.push_str(&render_cache_stats(&cache));
         text.push_str(&oracle.render());
         text.push_str(&m.render_histograms());
+        text.push_str(&render_windows(&[
+            ("endpoint=\"analyze\"".into(), &analyze_window),
+            ("dataset=\"adult\"".into(), &dataset_window),
+        ]));
         check_exposition(&text).unwrap();
         assert!(text
             .contains("hypdb_request_duration_seconds_bucket{endpoint=\"analyze\",le=\"0.05\"} 1"));
         assert!(text.contains("hypdb_queue_wait_seconds_count 1"));
+        assert!(text.contains("hypdb_requests_total{endpoint=\"analyze\",status=\"200\"} 1\n"));
+        assert!(text.contains("hypdb_requests_total{endpoint=\"analyze\",status=\"400\"} 1\n"));
+        assert!(text.contains("hypdb_requests_total{endpoint=\"rejected\",status=\"503\"} 1\n"));
+        assert!(text.contains("hypdb_build_info{version=\""));
+        assert!(text.contains("journal_schema=\"hypdb-journal/v1\"} 1\n"));
+        assert!(text.contains("\nhypdb_uptime_seconds 12.500\n"));
+        assert!(text.contains("# TYPE hypdb_journal_dropped_total counter"));
+        assert!(text.contains("hypdb_window_requests{endpoint=\"analyze\",window=\"1m\"} 2\n"));
+        assert!(text.contains("hypdb_window_errors{endpoint=\"analyze\",window=\"5m\"} 1\n"));
+        assert!(text.contains("hypdb_window_requests{dataset=\"adult\",window=\"1m\"} 1\n"));
+        assert!(text.contains(
+            "hypdb_window_latency_max_seconds{endpoint=\"analyze\",window=\"1m\"} 0.050000\n"
+        ));
+    }
+
+    #[test]
+    fn requests_total_family_renders_sorted_and_headers_only_when_empty() {
+        let m = Metrics::default();
+        let empty = m.render_requests_total();
+        assert_eq!(
+            empty,
+            "# HELP hypdb_requests_total requests served, by endpoint and status\n\
+             # TYPE hypdb_requests_total counter\n"
+        );
+        m.observe_status("detect", 200);
+        m.observe_status("analyze", 404);
+        m.observe_status("analyze", 200);
+        m.observe_status("analyze", 200);
+        let text = m.render_requests_total();
+        let samples: Vec<&str> = text.lines().skip(2).collect();
+        assert_eq!(
+            samples,
+            vec![
+                "hypdb_requests_total{endpoint=\"analyze\",status=\"200\"} 2",
+                "hypdb_requests_total{endpoint=\"analyze\",status=\"404\"} 1",
+                "hypdb_requests_total{endpoint=\"detect\",status=\"200\"} 1",
+            ]
+        );
     }
 
     #[test]

@@ -25,19 +25,29 @@
 
 use crate::cache::ByteLruCache;
 use crate::http::{self, Request, RequestError, Response};
+use crate::journal::{self, RequestRecord};
 use crate::metrics::{self, Endpoint, Metrics, MetricsSnapshot};
 use crate::registry::Registry;
 use hypdb_core::HypDbConfig;
-use hypdb_core::{wire, Error as CoreError, OracleCache};
+use hypdb_core::{wire, Error as CoreError, OracleCache, OracleStats};
 use hypdb_exec::{seed, with_fanout_guard};
-use hypdb_obs::{Deadline, Tick};
-use std::collections::VecDeque;
+use hypdb_obs::{Deadline, Journal, RollingWindow, Tick, TraceEntry, TraceRing};
+use std::collections::{BTreeMap, VecDeque};
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Rendered request records retained in memory for `GET
+/// /debug/requests` (independent of `HYPDB_JOURNAL`; populated
+/// whenever the flight recorder is enabled).
+const REQUESTS_LOG_CAP: usize = 128;
+
+/// Default trace retention-ring capacity (`HYPDB_DEBUG_TRACES`
+/// overrides; 0 disables retention and the in-memory request log).
+const DEFAULT_DEBUG_TRACES: usize = 16;
 
 /// Server configuration. Every field has an `HYPDB_SERVE_*` environment
 /// override (see [`ServeConfig::from_env`]).
@@ -59,6 +69,12 @@ pub struct ServeConfig {
     /// Base pipeline configuration; per-request seeds derive from its
     /// `ci.seed` and the request fingerprint.
     pub base: HypDbConfig,
+    /// Request-journal path (`HYPDB_JOURNAL`); `None` disables the
+    /// on-disk flight recorder.
+    pub journal: Option<String>,
+    /// Trace retention-ring capacity (`HYPDB_DEBUG_TRACES`; default
+    /// 16, 0 disables retention and the in-memory request log).
+    pub debug_traces: usize,
 }
 
 impl Default for ServeConfig {
@@ -71,6 +87,8 @@ impl Default for ServeConfig {
             timeout_ms: 30_000,
             cache_bytes: 64 << 20,
             base: HypDbConfig::default(),
+            journal: None,
+            debug_traces: DEFAULT_DEBUG_TRACES,
         }
     }
 }
@@ -83,7 +101,9 @@ impl ServeConfig {
     /// The default configuration with environment overrides applied:
     /// `HYPDB_SERVE_ADDR`, `HYPDB_SERVE_WORKERS`, `HYPDB_SERVE_QUEUE`,
     /// `HYPDB_SERVE_MAX_BODY`, `HYPDB_SERVE_TIMEOUT_MS`,
-    /// `HYPDB_SERVE_CACHE_BYTES`.
+    /// `HYPDB_SERVE_CACHE_BYTES`, plus the flight recorder's
+    /// `HYPDB_JOURNAL` (journal path) and `HYPDB_DEBUG_TRACES`
+    /// (retention-ring capacity, 0 disables).
     pub fn from_env() -> ServeConfig {
         let mut cfg = ServeConfig::default();
         if let Ok(addr) = std::env::var("HYPDB_SERVE_ADDR") {
@@ -103,6 +123,14 @@ impl ServeConfig {
         }
         if let Some(b) = env_parse::<usize>("HYPDB_SERVE_CACHE_BYTES").filter(|&b| b > 0) {
             cfg.cache_bytes = b;
+        }
+        if let Ok(path) = std::env::var("HYPDB_JOURNAL") {
+            if !path.trim().is_empty() {
+                cfg.journal = Some(path);
+            }
+        }
+        if let Some(n) = env_parse::<usize>("HYPDB_DEBUG_TRACES") {
+            cfg.debug_traces = n;
         }
         cfg
     }
@@ -147,18 +175,20 @@ impl Queue {
         Ok(())
     }
 
-    /// Pops the next connection; `None` once the acceptor has retired
-    /// **and** the queue has drained (graceful-drain semantics).
-    /// Gating on the acceptor — not on the shutdown flag directly —
-    /// closes the race where a connection accepted just as shutdown is
-    /// signalled would be queued after every worker had already exited.
-    fn pop(&self, accepting: &AtomicBool, metrics: &Metrics) -> Option<TcpStream> {
+    /// Pops the next connection (with the seconds it waited in the
+    /// queue); `None` once the acceptor has retired **and** the queue
+    /// has drained (graceful-drain semantics). Gating on the acceptor —
+    /// not on the shutdown flag directly — closes the race where a
+    /// connection accepted just as shutdown is signalled would be
+    /// queued after every worker had already exited.
+    fn pop(&self, accepting: &AtomicBool, metrics: &Metrics) -> Option<(TcpStream, f64)> {
         let mut q = self.lock();
         loop {
             if let Some((stream, enqueued)) = q.pop_front() {
                 metrics.set_queue_depth(q.len());
-                metrics.observe_queue_wait(enqueued.elapsed_secs());
-                return Some(stream);
+                let waited = enqueued.elapsed_secs();
+                metrics.observe_queue_wait(waited);
+                return Some((stream, waited));
             }
             if !accepting.load(Ordering::Relaxed) {
                 return None;
@@ -192,12 +222,105 @@ impl Lane {
     }
 }
 
+/// Per-endpoint and per-dataset rolling request windows backing the
+/// `hypdb_window_*` gauge families in `/metrics`.
+struct Windows {
+    analyze: RollingWindow,
+    detect: RollingWindow,
+    other: RollingWindow,
+    /// Lazily created per registered dataset — bounded by the registry,
+    /// since only resolved dataset names create a window.
+    datasets: Mutex<BTreeMap<String, Arc<RollingWindow>>>,
+}
+
+impl Windows {
+    fn new() -> Windows {
+        Windows {
+            analyze: RollingWindow::new(),
+            detect: RollingWindow::new(),
+            other: RollingWindow::new(),
+            datasets: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn endpoint(&self, endpoint: Endpoint) -> &RollingWindow {
+        match endpoint {
+            Endpoint::Analyze => &self.analyze,
+            Endpoint::Detect => &self.detect,
+            Endpoint::Other => &self.other,
+        }
+    }
+
+    fn dataset(&self, name: &str) -> Arc<RollingWindow> {
+        let mut map = self
+            .datasets
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(RollingWindow::new())),
+        )
+    }
+
+    fn render(&self) -> String {
+        let map = self
+            .datasets
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let mut series: Vec<(String, &RollingWindow)> = vec![
+            ("endpoint=\"analyze\"".into(), &self.analyze),
+            ("endpoint=\"detect\"".into(), &self.detect),
+            ("endpoint=\"other\"".into(), &self.other),
+        ];
+        for (name, window) in map.iter() {
+            series.push((format!("dataset=\"{name}\""), window));
+        }
+        metrics::render_windows(&series)
+    }
+}
+
+/// What the report lanes learn about a request as it runs — the
+/// structural half of its journal record, threaded by `&mut` from
+/// [`routed`] down through [`report_endpoint`].
+#[derive(Default)]
+struct RequestMeta {
+    dataset: Option<String>,
+    fingerprint: Option<String>,
+    canonical: Option<String>,
+    /// `Some(true)` report-cache hit, `Some(false)` computed.
+    cache: Option<bool>,
+    /// Oracle/planner work delta attributable to this request
+    /// (exact under sequential driving; under concurrent load over one
+    /// shared selection it may include a neighbour's coalesced work).
+    planner: Option<OracleStats>,
+}
+
 /// State shared by the acceptor, the workers, and the handle.
 struct Shared {
     cfg: ServeConfig,
     registry: Registry,
     queue: Queue,
     metrics: Metrics,
+    /// The on-disk request journal (`HYPDB_JOURNAL`), when configured.
+    /// Mutex-wrapped so shutdown can take and close it (joining the
+    /// writer guarantees the file is complete before `shutdown`
+    /// returns); appends hold the lock for one `try_send`.
+    journal: Mutex<Option<Journal>>,
+    /// Whether a journal was configured (checked without the lock).
+    journal_on: bool,
+    /// Finished-trace retention behind `GET /debug/traces`.
+    ring: TraceRing,
+    /// Rolling 1m/5m request windows for `/metrics`.
+    windows: Windows,
+    /// The last [`REQUESTS_LOG_CAP`] rendered journal lines, newest
+    /// last — `GET /debug/requests` works with or without a journal
+    /// file.
+    requests_log: Mutex<VecDeque<String>>,
+    /// Request sequence numbers (1-based, per server instance — so a
+    /// sequentially driven workload journals deterministically).
+    next_id: AtomicU64,
+    /// Server start; the uptime gauge and journal `offset_ms` base.
+    start: Tick,
     /// Fingerprint-keyed response bodies, byte-bounded with LRU
     /// eviction; values are immutable and any racing recomputation
     /// produces identical bytes, so last-wins insertion is
@@ -227,6 +350,10 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let workers = cfg.workers.max(1);
+        let journal = match &cfg.journal {
+            Some(path) => Some(Journal::open(path)?),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             queue: Queue::new(cfg.queue_capacity),
             metrics: Metrics::default(),
@@ -234,6 +361,13 @@ impl Server {
             shutdown: AtomicBool::new(false),
             accepting: AtomicBool::new(true),
             guard: workers > 1,
+            journal_on: journal.is_some(),
+            journal: Mutex::new(journal),
+            ring: TraceRing::new(cfg.debug_traces),
+            windows: Windows::new(),
+            requests_log: Mutex::new(VecDeque::new()),
+            next_id: AtomicU64::new(0),
+            start: Tick::now(),
             registry,
             cfg,
         });
@@ -314,6 +448,17 @@ impl ServerHandle {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        // Workers are gone: close the journal so every accepted record
+        // is on disk before shutdown returns.
+        let taken = self
+            .shared
+            .journal
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .take();
+        if let Some(journal) = taken {
+            journal.close();
+        }
     }
 }
 
@@ -336,8 +481,15 @@ fn acceptor_loop(shared: &Shared, listener: &TcpListener) {
                 let _ = stream.set_nonblocking(false);
                 let _ = stream.set_write_timeout(Some(timeout));
                 let _ = stream.set_nodelay(true);
+                let accepted = Tick::now();
                 if let Err(mut rejected) = shared.queue.push(stream, &shared.metrics) {
                     shared.metrics.rejected();
+                    // The overflow path waits too (accept → rejection):
+                    // observe it so `hypdb_queue_wait_seconds` covers
+                    // every connection, not just the admitted ones, and
+                    // count the 503 in the labelled request family.
+                    shared.metrics.observe_queue_wait(accepted.elapsed_secs());
+                    shared.metrics.observe_status("rejected", 503);
                     let resp = Response::error(503, "server busy: admission queue is full")
                         .with_header("Retry-After", "1");
                     let _ = http::write_response(&mut rejected, &resp);
@@ -356,13 +508,14 @@ fn acceptor_loop(shared: &Shared, listener: &TcpListener) {
 }
 
 fn worker_loop(shared: &Shared) {
-    while let Some(mut stream) = shared.queue.pop(&shared.accepting, &shared.metrics) {
+    while let Some((mut stream, queue_wait)) = shared.queue.pop(&shared.accepting, &shared.metrics)
+    {
         let _in_flight = shared.metrics.enter();
-        handle_connection(shared, &mut stream);
+        handle_connection(shared, &mut stream, queue_wait);
     }
 }
 
-fn handle_connection(shared: &Shared, stream: &mut TcpStream) {
+fn handle_connection(shared: &Shared, stream: &mut TcpStream, queue_wait: f64) {
     // The client has `timeout_ms` to deliver its complete request; the
     // budget starts when a worker picks the connection up (compute time
     // afterwards is the server's, not counted against the client).
@@ -370,7 +523,7 @@ fn handle_connection(shared: &Shared, stream: &mut TcpStream) {
     let resp = match http::read_request(stream, shared.cfg.max_body, deadline) {
         Ok(req) => {
             shared.metrics.request();
-            routed(shared, &req)
+            routed(shared, &req, queue_wait)
         }
         // Peer vanished or timed out before completing a request:
         // there is nobody to answer.
@@ -389,32 +542,86 @@ fn handle_connection(shared: &Shared, stream: &mut TcpStream) {
     let _ = stream.shutdown(Shutdown::Both);
 }
 
-/// [`route`] wrapped in the observability middleware: times the request
-/// into its endpoint's duration histogram, and — when `HYPDB_TRACE` is
-/// armed — runs it under a span-collecting tracer whose tree is dumped
-/// to stderr for slow requests. Response bytes are untouched either
-/// way.
-fn routed(shared: &Shared, req: &Request) -> Response {
+/// [`route`] wrapped in the flight-recorder middleware: times the
+/// request into its endpoint's duration histogram and rolling windows,
+/// counts it in `hypdb_requests_total{endpoint,status}`, retains its
+/// span tree in the trace ring, journals one `hypdb-journal/v1` record,
+/// and — when `HYPDB_TRACE` is armed — dumps slow span trees to stderr.
+/// Response **bodies** are untouched; the request id is surfaced in the
+/// `X-Hypdb-Request-Id` header only.
+fn routed(shared: &Shared, req: &Request, queue_wait: f64) -> Response {
     let endpoint = Endpoint::of_path(&req.path);
+    let seq = shared.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+    let recording = shared.journal_on || shared.ring.is_enabled();
     let tick = Tick::now();
-    let resp = if hypdb_obs::trace_threshold().is_some() {
-        // Explain-capable so an explain-lane request under HYPDB_TRACE
-        // keeps its compute spans in this tracer's dump; the sink costs
-        // nothing unless the pipeline records into it.
+    let mut meta = RequestMeta::default();
+    let (resp, report) = if recording || hypdb_obs::trace_threshold().is_some() {
+        // Explain-capable so an explain-lane request keeps its compute
+        // spans in this tracer's report; the sink costs nothing unless
+        // the pipeline records into it.
         let tracer = hypdb_obs::Tracer::with_explain();
-        let resp = hypdb_obs::with_request(&tracer, || route(shared, req));
-        hypdb_obs::maybe_dump(&req.path, tick.elapsed(), &tracer.finish());
-        resp
+        let resp = hypdb_obs::with_request(&tracer, || route(shared, req, &mut meta));
+        (resp, Some(tracer.finish()))
     } else {
-        route(shared, req)
+        (route(shared, req, &mut meta), None)
     };
-    shared
-        .metrics
-        .observe_request(endpoint, tick.elapsed_secs());
-    resp
+    let elapsed = tick.elapsed();
+    let secs = elapsed.as_secs_f64();
+    if let Some(report) = &report {
+        hypdb_obs::maybe_dump(seq, &req.path, elapsed, report);
+        shared.ring.record(TraceEntry {
+            seq,
+            tag: req.path.clone(),
+            millis: secs * 1e3,
+            report: report.clone(),
+        });
+    }
+    shared.metrics.observe_request(endpoint, secs);
+    shared.metrics.observe_status(endpoint.label(), resp.status);
+    let error = resp.status >= 400;
+    shared.windows.endpoint(endpoint).observe(secs, error);
+    if let Some(dataset) = &meta.dataset {
+        shared.windows.dataset(dataset).observe(secs, error);
+    }
+    if recording {
+        let line = journal::render_record(&RequestRecord {
+            seq,
+            method: &req.method,
+            path: &req.path,
+            dataset: meta.dataset.as_deref(),
+            fingerprint: meta.fingerprint.as_deref(),
+            canonical: meta.canonical.as_deref(),
+            cache: meta.cache,
+            status: resp.status,
+            body: resp.body.as_str(),
+            planner: meta.planner,
+            report: report.as_ref(),
+            offset_ms: shared.start.elapsed_secs() * 1e3,
+            queue_wait_ms: queue_wait * 1e3,
+            total_ms: secs * 1e3,
+        });
+        if shared.journal_on {
+            let guard = shared
+                .journal
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            if let Some(journal) = guard.as_ref() {
+                journal.append(line.clone());
+            }
+        }
+        let mut log = shared
+            .requests_log
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if log.len() == REQUESTS_LOG_CAP {
+            log.pop_front();
+        }
+        log.push_back(line);
+    }
+    resp.with_header("X-Hypdb-Request-Id", wire::request_id(seq))
 }
 
-fn route(shared: &Shared, req: &Request) -> Response {
+fn route(shared: &Shared, req: &Request, meta: &mut RequestMeta) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => Response::json(
             200,
@@ -426,11 +633,15 @@ fn route(shared: &Shared, req: &Request) -> Response {
         ("GET", "/metrics") => {
             shared.metrics.set_queue_depth(shared.queue.len());
             let mut body = shared.metrics.snapshot().render();
+            body.push_str(&shared.metrics.render_requests_total());
+            body.push_str(&metrics::render_build_info(shared.start.elapsed_secs()));
+            body.push_str(&metrics::render_journal_dropped());
             body.push_str(&metrics::render_cache_stats(&shared.cache.stats()));
             // Counters and resident bytes from one pass under one lock
             // (the same snapshot path the CLI footer renders).
             body.push_str(&shared.registry.oracle_snapshot().render());
             body.push_str(&shared.metrics.render_histograms());
+            body.push_str(&shared.windows.render());
             Response::text(200, body)
         }
         ("GET", "/datasets") => {
@@ -440,25 +651,80 @@ fn route(shared: &Shared, req: &Request) -> Response {
                 Err(e) => Response::error(500, format!("serializing dataset list: {e}")),
             }
         }
+        ("GET", "/debug/traces") => Response::json(200, shared.ring.to_json()),
+        ("GET", "/debug/requests") => {
+            let log = shared
+                .requests_log
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            let mut body = format!("{{\"count\":{},\"records\":[", log.len());
+            for (i, line) in log.iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                body.push_str(line);
+            }
+            body.push_str("]}");
+            Response::json(200, body)
+        }
+        ("GET", "/debug/config") => Response::json(200, debug_config_body(shared)),
         ("POST", "/analyze") => {
             shared.metrics.analyze();
-            report_endpoint(shared, &req.body, Lane::Analyze)
+            report_endpoint(shared, &req.body, Lane::Analyze, meta)
         }
         ("POST", "/detect") => {
             shared.metrics.detect();
-            report_endpoint(shared, &req.body, Lane::Detect)
+            report_endpoint(shared, &req.body, Lane::Detect, meta)
         }
-        (_, "/healthz" | "/metrics" | "/datasets" | "/analyze" | "/detect") => {
-            Response::error(405, format!("method {} not allowed here", req.method))
-        }
+        (
+            _,
+            "/healthz" | "/metrics" | "/datasets" | "/analyze" | "/detect" | "/debug/traces"
+            | "/debug/requests" | "/debug/config",
+        ) => Response::error(405, format!("method {} not allowed here", req.method)),
         (_, path) => Response::error(404, format!("no such endpoint `{path}`")),
     }
+}
+
+/// The `GET /debug/config` body: the effective serve configuration and
+/// flight-recorder arming, for "what is this server actually running
+/// with" debugging.
+fn debug_config_body(shared: &Shared) -> String {
+    let cfg = &shared.cfg;
+    let mut body = format!(
+        "{{\"version\":\"{}\",\"addr\":{},\"workers\":{},\"queue_capacity\":{},\
+         \"max_body\":{},\"timeout_ms\":{},\"cache_bytes\":{}",
+        env!("CARGO_PKG_VERSION"),
+        journal::json_str(&cfg.addr),
+        cfg.workers,
+        cfg.queue_capacity,
+        cfg.max_body,
+        cfg.timeout_ms,
+        cfg.cache_bytes,
+    );
+    body.push_str(",\"journal\":");
+    match &cfg.journal {
+        Some(path) => body.push_str(&journal::json_str(path)),
+        None => body.push_str("null"),
+    }
+    body.push_str(",\"trace_threshold_ms\":");
+    match hypdb_obs::trace_threshold() {
+        Some(t) => body.push_str(&format!("{}", t.as_millis())),
+        None => body.push_str("null"),
+    }
+    body.push_str(&format!(
+        ",\"debug_traces\":{},\"requests_log_capacity\":{},\"guarded\":{},\"datasets\":{}}}",
+        cfg.debug_traces,
+        REQUESTS_LOG_CAP,
+        shared.guard,
+        shared.registry.len(),
+    ));
+    body
 }
 
 /// The `/analyze` and `/detect` lanes: parse → registry lookup → cache
 /// probe → shared-oracle resolution → (guarded) pipeline run → cache
 /// fill.
-fn report_endpoint(shared: &Shared, body: &str, lane: Lane) -> Response {
+fn report_endpoint(shared: &Shared, body: &str, lane: Lane, meta: &mut RequestMeta) -> Response {
     let areq = match wire::parse_request(body) {
         Ok(r) => r,
         Err(e) => return Response::error(400, e.to_string()),
@@ -469,6 +735,9 @@ fn report_endpoint(shared: &Shared, body: &str, lane: Lane) -> Response {
     let canonical = areq.canonical_json();
     let fingerprint = wire::fingerprint_json(&canonical);
     let fp_hex = format!("{fingerprint:016x}");
+    meta.dataset = Some(areq.dataset.clone());
+    meta.fingerprint = Some(fp_hex.clone());
+    meta.canonical = Some(canonical.clone());
     let key = seed::mix(fingerprint, lane.tag());
     // Fingerprints can collide; only byte-equal requests may share a
     // cached body (the cache re-compares the canonical bytes). A
@@ -476,11 +745,13 @@ fn report_endpoint(shared: &Shared, body: &str, lane: Lane) -> Response {
     // colliding victim's hit rate.
     if let Some(cached) = shared.cache.get(key, &canonical) {
         shared.metrics.cache_hit();
+        meta.cache = Some(true);
         return Response::json_shared(200, cached)
             .with_header("X-Hypdb-Cache", "hit")
             .with_header("X-Hypdb-Fingerprint", fp_hex);
     }
-    let compute = || -> Result<String, CoreError> {
+    let planner = &mut meta.planner;
+    let mut compute = || -> Result<String, CoreError> {
         // Resolve the shared oracle cache for this (dataset, WHERE
         // selection): concurrent requests over the same selection
         // coalesce their independence-statement batches and hit one
@@ -493,7 +764,10 @@ fn report_endpoint(shared: &Shared, body: &str, lane: Lane) -> Response {
             let rows = q.predicate.select(&*table);
             shared.registry.oracle_cache(&areq.dataset, &rows)
         });
-        match lane {
+        // Snapshot the slot counters around the run: the difference is
+        // this request's planner-decision delta for the journal.
+        let before = oracle_cache.as_deref().map(|c| c.stats());
+        let result = match lane {
             // `explain:true` rides the analyze lane: the report inside
             // the wrapper is byte-identical to the plain lane's (the
             // seed fingerprint strips the flag), and the cache key
@@ -510,7 +784,11 @@ fn report_endpoint(shared: &Shared, body: &str, lane: Lane) -> Response {
                 wire::detect_cached(&*table, &areq, &shared.cfg.base, oracle_cache.as_ref())
                     .map(|r| wire::detect_body(&r))
             }
+        };
+        if let (Some(before), Some(cache)) = (before, oracle_cache.as_deref()) {
+            *planner = Some(cache.stats().since(&before));
         }
+        result
     };
     let result = if shared.guard {
         with_fanout_guard(compute)
@@ -520,6 +798,7 @@ fn report_endpoint(shared: &Shared, body: &str, lane: Lane) -> Response {
     match result {
         Ok(body) => {
             shared.metrics.cache_miss();
+            meta.cache = Some(false);
             let body = Arc::new(body);
             shared.cache.insert(key, canonical, Arc::clone(&body));
             Response::json_shared(200, body)
