@@ -15,6 +15,7 @@ const ALL: &[&str] = &[
     "table1",
     "end_to_end",
     "planner",
+    "staged_mit",
     "obs_overhead",
     "replay_load",
     "fig5a",
@@ -37,6 +38,7 @@ fn run_one(name: &str, scale: Scale) {
         "table1" => table1::run(scale),
         "end_to_end" => end_to_end::run(scale),
         "planner" => end_to_end::run_planner(scale),
+        "staged_mit" => end_to_end::run_staged(scale),
         "obs_overhead" => obs::run(scale),
         "replay_load" => replay_load::run(scale),
         "fig5a" => fig5a::run(scale),

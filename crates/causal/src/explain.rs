@@ -61,6 +61,12 @@ pub struct RoundRecord {
     /// Per unique statement: its target table `{x, y} ∪ z` (ascending
     /// indices into `attrs`).
     pub unique_targets: Vec<Vec<usize>>,
+    /// Per unique statement: the staged permutation-budget checkpoints
+    /// ([`StageSchedule::stages`](hypdb_stats::independence::StageSchedule::stages))
+    /// its permutation test will run — `[m]` when the schedule is
+    /// pinned single-stage, empty when the statement settles inline
+    /// (χ² paths). A pure function of (seed, strata shape, config).
+    pub stage_budgets: Vec<Vec<usize>>,
     /// Planned groups, planner order (largest joint first).
     pub groups: Vec<GroupRecord>,
 }
@@ -396,6 +402,15 @@ pub fn assemble(entries: &[ExplainEntry]) -> Value {
                 "speculative_skipped".into(),
                 Value::UInt(speculative_skipped),
             ),
+            (
+                "stage_budgets".into(),
+                Value::Arr(
+                    rec.stage_budgets
+                        .iter()
+                        .map(|b| Value::Arr(b.iter().map(|&c| Value::UInt(c as u64)).collect()))
+                        .collect(),
+                ),
+            ),
             ("groups".into(), Value::Arr(groups_json)),
         ]));
     }
@@ -452,6 +467,7 @@ mod tests {
                 ("D".into(), 5),
             ],
             unique_targets: vec![vec![0, 1, 3], vec![0, 2, 3], vec![1, 2, 3]],
+            stage_budgets: vec![vec![16, 64, 400], vec![400], vec![]],
             groups: vec![GroupRecord {
                 z: vec![3],
                 joint: vec![0, 1, 2, 3],

@@ -21,7 +21,8 @@ use hypdb_graph::dag::Dag;
 use hypdb_graph::dsep::d_separated_pair;
 use hypdb_stats::crosstab::CrossTab;
 use hypdb_stats::independence::{
-    mit_batch, mit_early, mit_sampled_early, MitConfig, MitJob, Strata, TestMethod, TestOutcome,
+    mit_batch_staged, mit_resume, mit_settle_one, mit_stage1, MitConfig, MitJob, MitPartial,
+    StagePass, StageReport, StageSchedule, Strata, TestMethod, TestOutcome,
 };
 use hypdb_stats::math::chi2_sf;
 use hypdb_stats::EntropyEstimator;
@@ -29,8 +30,6 @@ use hypdb_table::contingency::ContingencyTable;
 use hypdb_table::hash::{FxBuildHasher, FxHashMap};
 use hypdb_table::sync::Mutex;
 use hypdb_table::{AttrId, RowSet, Scan, Table};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -110,6 +109,9 @@ struct AtomicStats {
     marginalised_from_superset: AtomicU64,
     lattice_intermediates: AtomicU64,
     speculative_skipped: AtomicU64,
+    mit_permutations: AtomicU64,
+    mit_stage1_settled: AtomicU64,
+    mit_escalated: AtomicU64,
 }
 
 impl AtomicStats {
@@ -135,6 +137,9 @@ impl AtomicStats {
             marginalised_from_superset: self.marginalised_from_superset.load(Ordering::Relaxed),
             lattice_intermediates: self.lattice_intermediates.load(Ordering::Relaxed),
             speculative_skipped: self.speculative_skipped.load(Ordering::Relaxed),
+            mit_permutations: self.mit_permutations.load(Ordering::Relaxed),
+            mit_stage1_settled: self.mit_stage1_settled.load(Ordering::Relaxed),
+            mit_escalated: self.mit_escalated.load(Ordering::Relaxed),
         }
     }
 
@@ -151,6 +156,21 @@ impl AtomicStats {
         self.marginalised_from_superset.store(0, Ordering::Relaxed);
         self.lattice_intermediates.store(0, Ordering::Relaxed);
         self.speculative_skipped.store(0, Ordering::Relaxed);
+        self.mit_permutations.store(0, Ordering::Relaxed);
+        self.mit_stage1_settled.store(0, Ordering::Relaxed);
+        self.mit_escalated.store(0, Ordering::Relaxed);
+    }
+
+    /// Folds one settled permutation job's [`StageReport`] into the
+    /// staged-testing counters.
+    fn note_stage(&self, report: &StageReport) {
+        Self::add(&self.mit_permutations, report.permutations as u64);
+        if report.settled_early() {
+            Self::bump(&self.mit_stage1_settled);
+        }
+        if report.escalated() {
+            Self::bump(&self.mit_escalated);
+        }
     }
 }
 
@@ -186,6 +206,15 @@ pub struct OracleStats {
     /// Speculative statements the round-wise issuers skipped because a
     /// decisive verdict landed in an earlier wave.
     pub speculative_skipped: u64,
+    /// Permutations actually evaluated across every settled MIT job
+    /// (the staged engine's work metric; screening savings show here).
+    pub mit_permutations: u64,
+    /// Permutation jobs whose verdict settled at a screening
+    /// checkpoint, never paying the full budget.
+    pub mit_stage1_settled: u64,
+    /// Screened permutation jobs that landed near alpha and escalated
+    /// to their full budget.
+    pub mit_escalated: u64,
 }
 
 impl OracleStats {
@@ -206,6 +235,9 @@ impl OracleStats {
                 + other.marginalised_from_superset,
             lattice_intermediates: self.lattice_intermediates + other.lattice_intermediates,
             speculative_skipped: self.speculative_skipped + other.speculative_skipped,
+            mit_permutations: self.mit_permutations + other.mit_permutations,
+            mit_stage1_settled: self.mit_stage1_settled + other.mit_stage1_settled,
+            mit_escalated: self.mit_escalated + other.mit_escalated,
         }
     }
 
@@ -240,6 +272,13 @@ impl OracleStats {
             speculative_skipped: self
                 .speculative_skipped
                 .saturating_sub(earlier.speculative_skipped),
+            mit_permutations: self
+                .mit_permutations
+                .saturating_sub(earlier.mit_permutations),
+            mit_stage1_settled: self
+                .mit_stage1_settled
+                .saturating_sub(earlier.mit_stage1_settled),
+            mit_escalated: self.mit_escalated.saturating_sub(earlier.mit_escalated),
         }
     }
 }
@@ -798,20 +837,30 @@ impl<'a, S: Scan + ?Sized> DataOracle<'a, S> {
         let m = self.cfg.mit.permutations;
         match self.cfg.kind {
             IndependenceTestKind::ChiSquared => PreparedTest::Done(self.chi2_outcome(x, y, z)),
-            IndependenceTestKind::Mit => PreparedTest::Perm(MitJob {
-                strata: self.strata(x, y, z),
-                permutations: m,
-                group_sample: None,
-                early_stop: early,
-                seed,
-            }),
-            IndependenceTestKind::MitSampled { max_groups } => PreparedTest::Perm(MitJob {
-                strata: self.strata(x, y, z),
-                permutations: m,
-                group_sample: Some(max_groups),
-                early_stop: early,
-                seed,
-            }),
+            IndependenceTestKind::Mit => {
+                let strata = self.strata(x, y, z);
+                let schedule = StageSchedule::derive(seed, &strata, &self.cfg.mit, self.cfg.alpha);
+                PreparedTest::Perm(MitJob {
+                    strata,
+                    permutations: m,
+                    group_sample: None,
+                    early_stop: early,
+                    seed,
+                    schedule,
+                })
+            }
+            IndependenceTestKind::MitSampled { max_groups } => {
+                let strata = self.strata(x, y, z);
+                let schedule = StageSchedule::derive(seed, &strata, &self.cfg.mit, self.cfg.alpha);
+                PreparedTest::Perm(MitJob {
+                    strata,
+                    permutations: m,
+                    group_sample: Some(max_groups),
+                    early_stop: early,
+                    seed,
+                    schedule,
+                })
+            }
             IndependenceTestKind::HyMit => {
                 let n = self.rows.len() as f64;
                 let df = self.paper_dof(x, y, z);
@@ -820,12 +869,15 @@ impl<'a, S: Scan + ?Sized> DataOracle<'a, S> {
                 } else {
                     let strata = self.strata(x, y, z);
                     let g = strata.num_groups();
+                    let schedule =
+                        StageSchedule::derive(seed, &strata, &self.cfg.mit, self.cfg.alpha);
                     PreparedTest::Perm(MitJob {
                         strata,
                         permutations: m,
                         group_sample: (g > 64).then(|| MitConfig::auto_group_sample(g)),
                         early_stop: early,
                         seed,
+                        schedule,
                     })
                 }
             }
@@ -850,7 +902,7 @@ impl<'a, S: Scan + ?Sized> DataOracle<'a, S> {
                 PreparedTest::Done(_) => None,
             })
             .collect();
-        let perm_outs = mit_batch(&jobs);
+        let perm_outs = mit_batch_staged(&jobs);
         let mut perm_iter = perm_outs.into_iter();
         members
             .iter()
@@ -859,7 +911,8 @@ impl<'a, S: Scan + ?Sized> DataOracle<'a, S> {
                 PreparedTest::Done(out) => out,
                 PreparedTest::Perm(_) => {
                     let s = &unique[m];
-                    let mut out = perm_iter.next().expect("one outcome per job");
+                    let (mut out, report) = perm_iter.next().expect("one outcome per job");
+                    self.cache.counters.note_stage(&report);
                     // Report the configured estimator's CMI, exactly as
                     // the call-at-a-time path does after its run.
                     out.statistic = self.cmi(s.x, s.y, &s.z);
@@ -1027,6 +1080,11 @@ impl<'a, S: Scan + ?Sized> DataOracle<'a, S> {
                 })
                 .collect(),
             unique_targets: target_attrs.iter().map(|t| to_idx(t)).collect(),
+            stage_budgets: plan
+                .unique()
+                .iter()
+                .map(|s| self.stage_budget(s.x, s.y, &s.z))
+                .collect(),
             groups: plan
                 .groups()
                 .iter()
@@ -1037,6 +1095,180 @@ impl<'a, S: Scan + ?Sized> DataOracle<'a, S> {
                 })
                 .collect(),
         }
+    }
+
+    /// The a-priori staged budget checkpoints of one statement — the
+    /// EXPLAIN per-statement stage record. `[m]` when the schedule is
+    /// pinned single-stage, empty when the statement settles inline
+    /// (χ² dispatch, HyMIT's χ² shortcut). A pure function of the
+    /// statement seed, the strata shape, and the MIT config, so the
+    /// record is byte-identical across threads, shards, and
+    /// `HYPDB_PLAN_FORCE`.
+    fn stage_budget(&self, x: Var, y: Var, z: &[Var]) -> Vec<usize> {
+        let derive = || {
+            let seed = self.statement_seed(x, y, z);
+            let strata = self.strata(x, y, z);
+            StageSchedule::derive(seed, &strata, &self.cfg.mit, self.cfg.alpha)
+                .stages()
+                .to_vec()
+        };
+        match self.cfg.kind {
+            IndependenceTestKind::ChiSquared => Vec::new(),
+            IndependenceTestKind::Mit | IndependenceTestKind::MitSampled { .. } => derive(),
+            IndependenceTestKind::HyMit => {
+                let n = self.rows.len() as f64;
+                let df = self.paper_dof(x, y, z);
+                if df == 0.0 || df * self.cfg.mit.beta <= n {
+                    Vec::new()
+                } else {
+                    derive()
+                }
+            }
+        }
+    }
+
+    /// Stage-aware wave settlement for [`Self::find_first_planned`]:
+    /// verdict-only, so the speculation round composes with staged
+    /// budgets. Every wave member runs its screening pass in one
+    /// fan-out; then, if a screening checkpoint already produced the
+    /// wave's first `want` hit, only the near-alpha survivors sitting
+    /// at *earlier* window positions escalate (they could still move
+    /// the hit forward) — survivors at or past the hit are left
+    /// unsettled, their verdict never consulted because the round
+    /// returns at the hit. The returned index is therefore identical
+    /// to full-budget evaluation; only the work differs. A skipped
+    /// survivor's verdict stays `None`: if a later round needs it, the
+    /// statement seed re-derives the same stream deterministically.
+    ///
+    /// Skipped survivors' screening permutations are charged to
+    /// `mit_permutations` without a settled/escalated bump — they
+    /// reached no verdict.
+    fn settle_wave(
+        &self,
+        unique: &[CiStatement],
+        members: &[usize],
+        window: &[usize],
+        verdicts: &mut [Option<bool>],
+        want: bool,
+    ) {
+        let pool = ThreadPool::current();
+        let prepared = pool.parallel_map(members, |_, &m| {
+            let s = &unique[m];
+            self.prepare_statement(s.x, s.y, &s.z)
+        });
+        let alpha = self.cfg.alpha;
+        hypdb_obs::span("mit_settle", || {
+            let deferred: Vec<usize> = prepared
+                .iter()
+                .enumerate()
+                .filter_map(|(j, p)| matches!(p, PreparedTest::Perm(_)).then_some(j))
+                .collect();
+            let passes: Vec<StagePass> = hypdb_obs::span("mit_stage", || {
+                pool.parallel_map(&deferred, |_, &j| {
+                    let PreparedTest::Perm(job) = &prepared[j] else {
+                        unreachable!("deferred positions hold jobs");
+                    };
+                    let tick = hypdb_obs::Tick::now();
+                    let pass = mit_stage1(job);
+                    hypdb_obs::MIT_SETTLE.observe(tick.elapsed_secs());
+                    pass
+                })
+            });
+            // Verdicts known without escalation: χ² inline results plus
+            // decisively screened jobs.
+            let mut outcome_of: Vec<Option<TestOutcome>> = prepared
+                .iter()
+                .map(|p| match p {
+                    PreparedTest::Done(out) => Some(out.clone()),
+                    PreparedTest::Perm(_) => None,
+                })
+                .collect();
+            for (&j, pass) in deferred.iter().zip(&passes) {
+                if let StagePass::Settled { outcome, stage } = pass {
+                    let PreparedTest::Perm(job) = &prepared[j] else {
+                        unreachable!("deferred positions hold jobs");
+                    };
+                    self.cache.counters.note_stage(&StageReport {
+                        stages: job.schedule.stages().len(),
+                        stage: *stage,
+                        permutations: outcome.permutations.unwrap_or(0),
+                    });
+                    outcome_of[j] = Some(outcome.clone());
+                }
+            }
+            // The earliest window position already holding the wanted
+            // verdict, and each member's earliest window position.
+            let member_at = |u: usize| members.binary_search(&u).ok();
+            let hit_pos = window.iter().position(|&u| {
+                member_at(u)
+                    .and_then(|j| outcome_of[j].as_ref())
+                    .map(|out| out.independent(alpha) == want)
+                    .unwrap_or(false)
+            });
+            let earliest = |j: usize| -> usize {
+                window
+                    .iter()
+                    .position(|&u| u == members[j])
+                    .unwrap_or(usize::MAX)
+            };
+            let survivors: Vec<(usize, &MitPartial)> = deferred
+                .iter()
+                .zip(&passes)
+                .filter_map(|(&j, pass)| match pass {
+                    StagePass::Escalate(partial) => Some((j, partial)),
+                    StagePass::Settled { .. } => None,
+                })
+                .collect();
+            let run: Vec<usize> = survivors
+                .iter()
+                .enumerate()
+                .filter_map(|(k, &(j, _))| match hit_pos {
+                    Some(h) => (earliest(j) < h).then_some(k),
+                    None => Some(k),
+                })
+                .collect();
+            if !run.is_empty() {
+                let resumed: Vec<TestOutcome> = hypdb_obs::span("mit_stage", || {
+                    pool.parallel_map(&run, |_, &k| {
+                        let (j, partial) = survivors[k];
+                        let PreparedTest::Perm(job) = &prepared[j] else {
+                            unreachable!("deferred positions hold jobs");
+                        };
+                        let tick = hypdb_obs::Tick::now();
+                        let out = mit_resume(partial, job.early_stop);
+                        hypdb_obs::MIT_SETTLE.observe(tick.elapsed_secs());
+                        out
+                    })
+                });
+                for (&k, out) in run.iter().zip(resumed) {
+                    let (j, _) = survivors[k];
+                    let PreparedTest::Perm(job) = &prepared[j] else {
+                        unreachable!("deferred positions hold jobs");
+                    };
+                    let stages = job.schedule.stages().len();
+                    self.cache.counters.note_stage(&StageReport {
+                        stages,
+                        stage: stages - 1,
+                        permutations: out.permutations.unwrap_or(0),
+                    });
+                    outcome_of[j] = Some(out);
+                }
+            }
+            // Screening work of the survivors the hit made moot.
+            for (k, &(_, partial)) in survivors.iter().enumerate() {
+                if !run.contains(&k) {
+                    AtomicStats::add(
+                        &self.cache.counters.mit_permutations,
+                        partial.permutations_done() as u64,
+                    );
+                }
+            }
+            for (&m, out) in members.iter().zip(&outcome_of) {
+                if let Some(out) = out {
+                    verdicts[m] = Some(out.independent(alpha));
+                }
+            }
+        });
     }
 
     /// The planned body of [`CiOracle::find_first`], split out so the
@@ -1080,10 +1312,7 @@ impl<'a, S: Scan + ?Sized> DataOracle<'a, S> {
                     &self.cache.counters.batched_statements,
                     members.len() as u64,
                 );
-                let outcomes = self.test_group(plan.unique(), &members);
-                for (&u, out) in members.iter().zip(outcomes) {
-                    verdicts[u] = Some(out.independent(self.cfg.alpha));
-                }
+                self.settle_wave(plan.unique(), &members, &slots[i..end], &mut verdicts, want);
             }
             for (k, &u) in slots[i..end].iter().enumerate() {
                 if verdicts[u] == Some(want) {
@@ -1129,53 +1358,20 @@ impl<S: Scan + ?Sized> CiOracle for DataOracle<'_, S> {
         self.vars.len()
     }
 
+    /// One statement, settled through the same staged procedure the
+    /// batched paths run ([`mit_settle_one`] agrees bit for bit with
+    /// [`mit_batch_staged`]), so call-at-a-time and batched execution
+    /// stay byte-identical at every `HYPDB_MIT_STAGES` setting.
     fn test(&self, x: Var, y: Var, z: &[Var]) -> TestOutcome {
-        assert!(x != y && !z.contains(&x) && !z.contains(&y));
-        AtomicStats::bump(&self.cache.counters.tests);
-        let mut rng = StdRng::seed_from_u64(self.statement_seed(x, y, z));
-        let early = self.cfg.mit.early_stop;
-        match self.cfg.kind {
-            IndependenceTestKind::ChiSquared => self.chi2_outcome(x, y, z),
-            IndependenceTestKind::Mit => {
-                let strata = self.strata(x, y, z);
-                let mut out = mit_early(&strata, self.cfg.mit.permutations, early, &mut rng);
+        match self.prepare_statement(x, y, z) {
+            PreparedTest::Done(out) => out,
+            PreparedTest::Perm(job) => {
+                let tick = hypdb_obs::Tick::now();
+                let (mut out, report) = mit_settle_one(&job);
+                hypdb_obs::MIT_SETTLE.observe(tick.elapsed_secs());
+                self.cache.counters.note_stage(&report);
                 out.statistic = self.cmi(x, y, z);
                 out
-            }
-            IndependenceTestKind::MitSampled { max_groups } => {
-                let strata = self.strata(x, y, z);
-                let mut out = mit_sampled_early(
-                    &strata,
-                    self.cfg.mit.permutations,
-                    max_groups,
-                    early,
-                    &mut rng,
-                );
-                out.statistic = self.cmi(x, y, z);
-                out
-            }
-            IndependenceTestKind::HyMit => {
-                let n = self.rows.len() as f64;
-                let df = self.paper_dof(x, y, z);
-                if df == 0.0 || df * self.cfg.mit.beta <= n {
-                    self.chi2_outcome(x, y, z)
-                } else {
-                    let strata = self.strata(x, y, z);
-                    let g = strata.num_groups();
-                    let mut out = if g > 64 {
-                        mit_sampled_early(
-                            &strata,
-                            self.cfg.mit.permutations,
-                            MitConfig::auto_group_sample(g),
-                            early,
-                            &mut rng,
-                        )
-                    } else {
-                        mit_early(&strata, self.cfg.mit.permutations, early, &mut rng)
-                    };
-                    out.statistic = self.cmi(x, y, z);
-                    out
-                }
             }
         }
     }
@@ -1353,6 +1549,7 @@ impl CiOracle for GraphOracle {
 mod tests {
     use super::*;
     use hypdb_graph::bayes::BayesNet;
+    use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     /// Z -> X, Z -> Y (X ⊥ Y | Z), n = 20k.
@@ -1700,6 +1897,11 @@ mod tests {
                 mit: MitConfig {
                     permutations: budget,
                     early_stop: early,
+                    // Pinned single-stage: this test is about the
+                    // early-termination rule's own budget cut; staging
+                    // would settle the statement at a screening
+                    // checkpoint first and mask it.
+                    staged: false,
                     ..MitConfig::default()
                 },
                 ..CiConfig::default()

@@ -165,7 +165,7 @@ impl Plan {
 }
 
 /// Forced planner strategy — the `HYPDB_PLAN_FORCE` escape hatch that
-/// replaced the static `min_group_joint`/`max_joint_vars` knobs. The
+/// replaced the static pre-cost-model batching knobs. The
 /// strategy decides *how* tables get built, never what any report
 /// contains: all three settings produce byte-identical output.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -265,14 +265,6 @@ pub struct BatchConfig {
     /// Master switch: `false` reverts every issuer to call-at-a-time
     /// testing (the pre-planner behaviour, bit for bit).
     pub enabled: bool,
-    /// Deprecated: superseded by the cost model ([`BatchConfig::force`])
-    /// and no longer consulted. Retained so existing configuration
-    /// literals keep compiling.
-    pub min_group_joint: usize,
-    /// Deprecated: superseded by the cost model ([`BatchConfig::force`])
-    /// and no longer consulted — a static variable cap could force a
-    /// pathological full joint whose support approaches the row count.
-    pub max_joint_vars: usize,
     /// Strategy override (default: cost-based). Initialised from
     /// `HYPDB_PLAN_FORCE` so byte-identity across strategies can be
     /// checked end to end without recompiling.
@@ -283,8 +275,6 @@ impl Default for BatchConfig {
     fn default() -> Self {
         BatchConfig {
             enabled: true,
-            min_group_joint: 2,
-            max_joint_vars: 16,
             force: PlanForce::from_env(),
         }
     }
@@ -364,9 +354,8 @@ mod tests {
     fn batch_config_defaults_enable_batching() {
         let cfg = BatchConfig::default();
         assert!(cfg.enabled);
-        // The static knobs are deprecated; strategy defaults to the
-        // cost model unless HYPDB_PLAN_FORCE overrides it (not set in
-        // the test environment).
+        // Strategy defaults to the cost model unless HYPDB_PLAN_FORCE
+        // overrides it (not set in the test environment).
         assert_eq!(cfg.force, PlanForce::Cost);
     }
 

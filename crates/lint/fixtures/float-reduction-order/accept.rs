@@ -17,3 +17,22 @@ fn exact_counts(m: &HashMap<u32, u64>) -> f64 {
     let total: u64 = m.values().sum::<u64>();
     total as f64
 }
+
+// Staged permutation screening: hits accumulate as exact integers over
+// deterministic chunk spans; the hit-rate classification does single
+// float divisions of exact integer counts (IEEE rounding of one
+// division is monotone, so no reduction order exists to get wrong).
+fn staged_screen(chunk_hits: &[u64], budget: u64, alpha: f64) -> Option<bool> {
+    let mut hits: u64 = 0;
+    let mut done: u64 = 0;
+    for &h in chunk_hits {
+        hits += h;
+        done += 16;
+        let independent = hits as f64 / budget as f64 > alpha;
+        let dependent = (hits + (budget - done)) as f64 / budget as f64 <= alpha;
+        if independent || dependent {
+            return Some(independent);
+        }
+    }
+    None
+}

@@ -12,3 +12,14 @@ fn loop_accumulation(m: &HashMap<u32, f64>) -> f64 {
 fn chained_sum(m: &HashMap<u32, f64>) -> f64 {
     m.values().map(|v| v * 2.0).sum::<f64>()
 }
+
+// Staged screening gone wrong: the per-group permutation statistics
+// accumulate as floats in hash-iteration order, so the screening
+// verdict depends on the map's layout.
+fn staged_screen_hash_order(groups: &HashMap<u32, f64>, alpha: f64) -> bool {
+    let mut stat = 0.0;
+    for weight in groups.values() {
+        stat += weight * 0.5;
+    }
+    stat > alpha
+}

@@ -19,3 +19,20 @@ fn per_chunk(master: u64, chunk: usize) -> StdRng {
 fn pinned_fixture_seed() -> StdRng {
     StdRng::seed_from_u64(0x48_7970_4442)
 }
+
+// Staged escalation resumes the *same* stream: every chunk of every
+// stage derives its RNG from the statement seed and the chunk index,
+// so a screened prefix is bit-for-bit the prefix of the full run.
+fn staged_chunk_rng(statement_seed: u64, chunk: usize) -> StdRng {
+    let derived = hypdb_exec::seed::chunk_seed(statement_seed, chunk);
+    StdRng::seed_from_u64(derived)
+}
+
+fn escalation_resumes_prefix(statement_seed: u64, from_chunk: usize, to_chunk: usize) -> u64 {
+    let mut hits = 0;
+    for chunk in from_chunk..to_chunk {
+        let mut rng = staged_chunk_rng(statement_seed, chunk);
+        hits += u64::from(rng.gen::<u8>() & 1);
+    }
+    hits
+}

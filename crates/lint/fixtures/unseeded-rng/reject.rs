@@ -22,3 +22,15 @@ fn time_seeded() -> StdRng {
 fn random_hasher() -> std::collections::hash_map::RandomState {
     std::collections::hash_map::RandomState::new()
 }
+
+// Staged escalation that reseeds from ambient entropy: the escalated
+// suffix would no longer be the suffix of the single-stage stream, so
+// verdicts would differ between staged and single-stage runs.
+fn escalation_reseeded_from_entropy(from_chunk: usize, to_chunk: usize) -> u64 {
+    let mut hits = 0;
+    for _ in from_chunk..to_chunk {
+        let mut rng = StdRng::from_entropy();
+        hits += u64::from(rng.gen::<u8>() & 1);
+    }
+    hits
+}

@@ -363,7 +363,8 @@ impl OracleSnapshot {
             "oracle: {} tests, {} scans, {} cache hits, {} marginalizations, \
              {} entropies ({} cached); planner: {} statements in {} groups, \
              {} direct scans, {} from superset, {} lattice intermediates, \
-             {} speculative skips; {} bytes resident",
+             {} speculative skips; mit: {} permutations, {} stage-1 settled, \
+             {} escalated; {} bytes resident",
             s.tests,
             s.table_scans,
             s.count_cache_hits,
@@ -376,6 +377,9 @@ impl OracleSnapshot {
             s.marginalised_from_superset,
             s.lattice_intermediates,
             s.speculative_skipped,
+            s.mit_permutations,
+            s.mit_stage1_settled,
+            s.mit_escalated,
             self.cache_bytes,
         )
     }
@@ -451,6 +455,21 @@ pub fn render_oracle_stats(stats: &hypdb_core::OracleStats) -> String {
         "hypdb_oracle_speculative_skipped_total",
         "round statements skipped by speculation pruning",
         stats.speculative_skipped,
+    );
+    metric(
+        "hypdb_mit_permutations_total",
+        "permutations evaluated across settled MIT jobs",
+        stats.mit_permutations,
+    );
+    metric(
+        "hypdb_mit_stage1_settled_total",
+        "MIT jobs settled at a screening checkpoint",
+        stats.mit_stage1_settled,
+    );
+    metric(
+        "hypdb_mit_escalated_total",
+        "screened MIT jobs escalated to their full budget",
+        stats.mit_escalated,
     );
     out
 }
@@ -592,6 +611,9 @@ mod tests {
             marginalised_from_superset: 7,
             lattice_intermediates: 1,
             speculative_skipped: 4,
+            mit_permutations: 4096,
+            mit_stage1_settled: 11,
+            mit_escalated: 2,
             ..Default::default()
         };
         let text = render_oracle_stats(&stats);
@@ -602,6 +624,9 @@ mod tests {
         assert!(text.contains("\nhypdb_oracle_marginalised_from_superset_total 7\n"));
         assert!(text.contains("\nhypdb_oracle_lattice_intermediates_total 1\n"));
         assert!(text.contains("\nhypdb_oracle_speculative_skipped_total 4\n"));
+        assert!(text.contains("\nhypdb_mit_permutations_total 4096\n"));
+        assert!(text.contains("\nhypdb_mit_stage1_settled_total 11\n"));
+        assert!(text.contains("\nhypdb_mit_escalated_total 2\n"));
 
         let text = render_oracle_cache_bytes(1536);
         assert!(text.contains("# TYPE hypdb_oracle_cache_bytes gauge"));

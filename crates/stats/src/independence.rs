@@ -210,17 +210,66 @@ pub struct MitConfig {
     /// function of `m`), so the decision — like every other output — is
     /// identical at any thread count. `None` (default) always runs the
     /// full `m`.
+    ///
+    /// Precedence under staging ([`MitConfig::staged`]): the rule
+    /// applies *within* the final full-budget stage only, at its fixed
+    /// global stream boundaries. Screening stages are shorter than the
+    /// first early-stop boundary by construction, so the reduced
+    /// budgets never have the rule applied on top of them — see
+    /// [`StageSchedule`].
     pub early_stop: Option<f64>,
+    /// When true (the default): jobs settled through the staged entry
+    /// points ([`mit_batch`], [`mit_settle_one`]) run a cheap
+    /// screening prefix of their permutation stream first and spend
+    /// the full budget only on statements whose verdict is still
+    /// reachable from both sides of `alpha` ([`StageSchedule`]).
+    /// Verdicts are provably identical either way; `false` (or
+    /// `HYPDB_MIT_STAGES=off`) pins the old single-stage path for
+    /// debugging, like `HYPDB_PLAN_FORCE`. Direct calls ([`mit`],
+    /// [`hymit`], [`mit_auto`]) are always single-stage — their
+    /// p-values are reported verbatim, so they always earn the full
+    /// budget's resolution.
+    pub staged: bool,
 }
 
 impl Default for MitConfig {
     fn default() -> Self {
         MitConfig {
             permutations: 100,
-            beta: 5.0,
+            beta: beta_from_env(),
             group_sample: None,
             early_stop: None,
+            staged: stages_enabled_from_env(),
         }
+    }
+}
+
+/// Reads `HYPDB_MIT_BETA` (a positive float; unset or unparsable →
+/// 5.0, the paper's recommendation). Raising β widens the HyMIT regime
+/// in which the permutation test is preferred over the χ²
+/// approximation — the CI smoke uses a large value to drive real
+/// permutation work (and hence the staged screening path) on fixtures
+/// small enough that the default would settle everything inline.
+pub fn beta_from_env() -> f64 {
+    match std::env::var("HYPDB_MIT_BETA") {
+        Ok(v) => match v.trim().parse::<f64>() {
+            Ok(b) if b.is_finite() && b > 0.0 => b,
+            _ => 5.0,
+        },
+        Err(_) => 5.0,
+    }
+}
+
+/// Reads `HYPDB_MIT_STAGES` (`off`/`0`/`false`/`no` → single-stage,
+/// anything else or unset → staged). Tests usually set
+/// [`MitConfig::staged`] directly instead.
+pub fn stages_enabled_from_env() -> bool {
+    match std::env::var("HYPDB_MIT_STAGES") {
+        Ok(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "off" | "0" | "false" | "no"
+        ),
+        Err(_) => true,
     }
 }
 
@@ -274,13 +323,129 @@ pub fn chi2_test(strata: &Strata) -> TestOutcome {
 
 /// Number of permutations evaluated per work chunk. The chunk layout
 /// (and hence every per-chunk RNG seed) is a pure function of `m`, so
-/// the permutation ensemble is identical at any thread count.
-const PERM_CHUNK: usize = 64;
+/// the permutation ensemble is identical at any thread count. 16 (down
+/// from the pre-staging 64) is the granularity of the staged screening
+/// checkpoints: a stage budget must be a whole number of chunks for
+/// the screened prefix to be a bit-exact prefix of the single-stage
+/// stream (RNG consumption inside a chunk is group-major, so prefixes
+/// only exist at chunk boundaries).
+pub const PERM_CHUNK: usize = 16;
 
 /// Chunks per early-termination decision batch. Decisions fall on
-/// multiples of `PERM_CHUNK · EARLY_STOP_BATCH` completed permutations
-/// — fixed points independent of the parallelism level.
-const EARLY_STOP_BATCH: usize = 4;
+/// multiples of `PERM_CHUNK · EARLY_STOP_BATCH` = 256 completed
+/// permutations — fixed points of the *whole* stream, independent of
+/// the parallelism level and of any staged checkpoint, so a resumed
+/// (escalated) run re-joins exactly the decision sequence the
+/// single-stage run takes.
+const EARLY_STOP_BATCH: usize = 16;
+
+/// Deterministic staged budget schedule for one permutation job: a
+/// strictly increasing list of cumulative permutation checkpoints
+/// ending at the full budget `m`. Every checkpoint before the last is
+/// a *screening* stage: the job evaluates its permutation stream up to
+/// the checkpoint and settles there only when the full-budget verdict
+/// at `alpha` is already implied — otherwise it escalates to the next
+/// checkpoint, continuing the *same* chunk stream (nothing is
+/// re-drawn, nothing is wasted).
+///
+/// The settle test is a conservative band at confidence 1, which is
+/// what makes verdict identity a theorem rather than a probability:
+/// with `hits` hits after `done` of `m` permutations,
+///
+/// * *decisively independent* iff `hits / m > alpha` — hits only grow,
+///   so every completion (including any early-stop point) has
+///   `p ≥ hits/m > alpha`;
+/// * *decisively dependent* iff `(hits + m − done) / m ≤ alpha` — even
+///   if every remaining permutation hit, every completion would have
+///   `p ≤ alpha`;
+/// * *near-alpha* otherwise → escalate.
+///
+/// Both bounds are monotone under IEEE rounding (single divisions of
+/// exact integers), so the implied verdict equals the single-stage
+/// float comparison bit for bit.
+///
+/// The schedule is derived solely from the statement seed, the strata
+/// shape, and the [`MitConfig`] — never from the thread count or
+/// timing — so the staged path is as deterministic as the single-stage
+/// one. Derivation refuses to screen (returns a single-stage schedule)
+/// when staging is off, when the budget is too small to be worth
+/// splitting, and for *shattered* strata (effective dof 0): there the
+/// permutation ensemble is degenerate and a screening verdict would
+/// rest on no evidence, so stage 1 must not settle anything.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSchedule {
+    /// Strictly increasing cumulative checkpoints; the last entry is
+    /// the full budget `m`.
+    checkpoints: Vec<usize>,
+    /// Significance level the screening classification is exact for.
+    alpha: f64,
+}
+
+impl StageSchedule {
+    /// The pinned single-stage schedule: one checkpoint at the full
+    /// budget, no screening.
+    pub fn single(m: usize) -> StageSchedule {
+        StageSchedule {
+            checkpoints: vec![m],
+            alpha: 0.0,
+        }
+    }
+
+    /// Derives the schedule for one statement. Screening checkpoints
+    /// sit at **every** whole-chunk boundary (see [`PERM_CHUNK`]) below
+    /// the full budget: under prefix coupling the dense ladder is
+    /// optimal in permutation work. An escalated job costs exactly `m`
+    /// permutations no matter how many checkpoints it passed — every
+    /// checkpoint is a prefix of the same seeded stream — so extra
+    /// checkpoints only ever *save* work: each settled job stops at the
+    /// earliest point its full-budget verdict is implied. When the
+    /// early-termination rule is armed the ladder stays strictly below
+    /// the first early-stop decision boundary, so a single-stage run
+    /// can never have stopped at fewer permutations than a screening
+    /// checkpoint consumed (stage budgets never have the rule applied
+    /// on top of them). The statement seed is part of the signature so
+    /// a future derivation may jitter the ladder per statement; the
+    /// dense ladder has nothing left to jitter, so the current
+    /// derivation does not consume it.
+    pub fn derive(_seed: u64, strata: &Strata, cfg: &MitConfig, alpha: f64) -> StageSchedule {
+        let m = cfg.permutations;
+        if !cfg.staged || m <= 2 * PERM_CHUNK || strata.dof() == 0.0 {
+            return StageSchedule::single(m);
+        }
+        let cap = if cfg.early_stop.is_some() {
+            EARLY_STOP_BATCH * PERM_CHUNK
+        } else {
+            m
+        };
+        let mut checkpoints: Vec<usize> = (1..)
+            .map(|c| c * PERM_CHUNK)
+            .take_while(|&cp| cp < m && cp < cap)
+            .collect();
+        checkpoints.push(m);
+        StageSchedule { checkpoints, alpha }
+    }
+
+    /// All cumulative checkpoints, ascending; the last is the budget.
+    pub fn stages(&self) -> &[usize] {
+        &self.checkpoints
+    }
+
+    /// The screening checkpoints (everything before the full budget).
+    fn screening(&self) -> &[usize] {
+        &self.checkpoints[..self.checkpoints.len() - 1]
+    }
+
+    /// True when the schedule has no screening stage (the pinned
+    /// single-stage path).
+    pub fn is_single(&self) -> bool {
+        self.checkpoints.len() == 1
+    }
+
+    /// Significance level the screening classification settles against.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
 
 /// The MIT permutation test (Alg 2): for each conditioning group, draw
 /// `m` contingency tables with the observed marginals via Patefield's
@@ -320,6 +485,138 @@ pub fn mit_sampled_early(
     mit_sampled_impl(strata, m, k, early_stop, rng)
 }
 
+/// The chunked permutation-stream evaluator shared by the single-stage
+/// and staged paths: owns the observed statistic, the one master seed,
+/// and the non-degenerate group marginals, and counts permutation hits
+/// over any whole-chunk span of the stream. Because chunk `i` is
+/// always seeded `mix(master, i)`, a span's hit count is a pure
+/// function of `(strata, master, span)` — which is what lets a staged
+/// run stop at a checkpoint and later *continue* the very same stream.
+struct ChunkWalker {
+    s0: f64,
+    master: u64,
+    groups: Vec<(Vec<u64>, Vec<u64>, f64)>,
+    m: usize,
+}
+
+impl ChunkWalker {
+    /// Consumes one master draw off `rng` (exactly as every
+    /// permutation path always has) and precomputes group marginals.
+    /// Marginals of degenerate groups are dropped — their MI is
+    /// identically 0 under any permutation.
+    fn new(strata: &Strata, m: usize, rng: &mut impl Rng) -> ChunkWalker {
+        assert!(m > 0, "need at least one permutation");
+        let s0 = strata.cmi_plugin();
+        let n = strata.total() as f64;
+        let master = rng.next_u64();
+        let groups: Vec<(Vec<u64>, Vec<u64>, f64)> = strata
+            .groups()
+            .iter()
+            .filter_map(|g| {
+                if n == 0.0 {
+                    return None;
+                }
+                let compact = g.compact();
+                let rows = compact.row_sums();
+                let cols = compact.col_sums();
+                let pz = g.total() as f64 / n;
+                (rows.len() >= 2 && cols.len() >= 2 && pz > 0.0).then_some((rows, cols, pz))
+            })
+            .collect();
+        ChunkWalker {
+            s0,
+            master,
+            groups,
+            m,
+        }
+    }
+
+    fn chunks(&self) -> usize {
+        self.m.div_ceil(PERM_CHUNK)
+    }
+
+    fn run_chunk(&self, range: std::ops::Range<usize>) -> usize {
+        let chunk_idx = (range.start / PERM_CHUNK) as u64;
+        let mut rng = StdRng::seed_from_u64(seed::mix(self.master, chunk_idx));
+        let mut stats = vec![0.0f64; range.len()];
+        for (rows, cols, pz) in &self.groups {
+            for s in stats.iter_mut() {
+                let t = sample_table(&mut rng, rows, cols);
+                *s += pz * t.mutual_information();
+            }
+        }
+        // Strict "≥" with a small tolerance: the observed table is
+        // itself a draw from the null ensemble, so ties count towards
+        // the p-value.
+        let tol = 1e-12;
+        stats.iter().filter(|&&s| s >= self.s0 - tol).count()
+    }
+
+    /// Hits over chunks `[from, to)`, fanned out on the current pool.
+    fn run_span(&self, from: usize, to: usize) -> usize {
+        let pool = ThreadPool::current();
+        let partials = pool.map_indices(to - from, |i| {
+            let lo = (from + i) * PERM_CHUNK;
+            self.run_chunk(lo..(lo + PERM_CHUNK).min(self.m))
+        });
+        partials.iter().sum()
+    }
+
+    /// Continues the stream from `from_chunk` (with `hits` already
+    /// counted over the prefix) to the full budget, honouring the
+    /// early-termination rule at its fixed boundaries. The boundaries
+    /// are positions of the *whole* stream (multiples of
+    /// [`EARLY_STOP_BATCH`] chunks), so a staged run resuming here
+    /// re-joins exactly the decision sequence a from-zero run takes.
+    fn run_to_completion(
+        &self,
+        mut hits: usize,
+        from_chunk: usize,
+        early_stop: Option<f64>,
+    ) -> (usize, usize) {
+        let chunks = self.chunks();
+        match early_stop {
+            None => {
+                hits += self.run_span(from_chunk, chunks);
+                (hits, self.m)
+            }
+            Some(alpha) => {
+                let mut next = from_chunk;
+                let mut done = (from_chunk * PERM_CHUNK).min(self.m);
+                while next < chunks {
+                    let batch_end = ((next / EARLY_STOP_BATCH + 1) * EARLY_STOP_BATCH).min(chunks);
+                    hits += self.run_span(next, batch_end);
+                    done = (batch_end * PERM_CHUNK).min(self.m);
+                    next = batch_end;
+                    if done < self.m {
+                        // Stop once the verdict is settled: alpha
+                        // outside the Wilson 95 % CI of the running
+                        // p-value.
+                        let p = hits as f64 / done as f64;
+                        let (lo95, hi95) = wilson_ci(p, done);
+                        if lo95 > alpha || hi95 < alpha {
+                            break;
+                        }
+                    }
+                }
+                (hits, done)
+            }
+        }
+    }
+
+    fn outcome(&self, hits: usize, done: usize, method: TestMethod) -> TestOutcome {
+        let p = hits as f64 / done as f64;
+        TestOutcome {
+            statistic: self.s0,
+            p_value: p,
+            ci95: Some(binomial_ci(p, done)),
+            df: None,
+            method,
+            permutations: Some(done),
+        }
+    }
+}
+
 fn mit_impl(
     strata: &Strata,
     m: usize,
@@ -327,91 +624,15 @@ fn mit_impl(
     rng: &mut impl Rng,
     method: TestMethod,
 ) -> TestOutcome {
-    assert!(m > 0, "need at least one permutation");
-    let s0 = strata.cmi_plugin();
-    let n = strata.total() as f64;
-    // One master draw, regardless of scheduling: chunk i's generator is
-    // seeded with `mix(master, i)`.
-    let master = rng.next_u64();
-    // Marginals of the non-degenerate groups (a degenerate group's MI is
-    // identically 0 under any permutation).
-    let groups: Vec<(Vec<u64>, Vec<u64>, f64)> = strata
-        .groups()
-        .iter()
-        .filter_map(|g| {
-            if n == 0.0 {
-                return None;
-            }
-            let compact = g.compact();
-            let rows = compact.row_sums();
-            let cols = compact.col_sums();
-            let pz = g.total() as f64 / n;
-            (rows.len() >= 2 && cols.len() >= 2 && pz > 0.0).then_some((rows, cols, pz))
-        })
-        .collect();
-    // Strict "≥" with a small tolerance: the observed table is itself a
-    // draw from the null ensemble, so ties count towards the p-value.
-    let tol = 1e-12;
-    let run_chunk = |range: std::ops::Range<usize>| -> usize {
-        let chunk_idx = (range.start / PERM_CHUNK) as u64;
-        let mut rng = StdRng::seed_from_u64(seed::mix(master, chunk_idx));
-        let mut stats = vec![0.0f64; range.len()];
-        for (rows, cols, pz) in &groups {
-            for s in stats.iter_mut() {
-                let t = sample_table(&mut rng, rows, cols);
-                *s += pz * t.mutual_information();
-            }
-        }
-        stats.iter().filter(|&&s| s >= s0 - tol).count()
-    };
-
-    let pool = ThreadPool::current();
-    let (hits, done) = match early_stop {
-        None => {
-            let partials = pool.map_chunks(m, PERM_CHUNK, run_chunk);
-            (partials.iter().sum::<usize>(), m)
-        }
-        Some(alpha) => {
-            let chunks = m.div_ceil(PERM_CHUNK);
-            let mut hits = 0usize;
-            let mut done = 0usize;
-            let mut next = 0usize;
-            while next < chunks {
-                let batch_end = (next + EARLY_STOP_BATCH).min(chunks);
-                let partials = pool.map_indices(batch_end - next, |i| {
-                    let lo = (next + i) * PERM_CHUNK;
-                    run_chunk(lo..(lo + PERM_CHUNK).min(m))
-                });
-                hits += partials.iter().sum::<usize>();
-                done = (batch_end * PERM_CHUNK).min(m);
-                next = batch_end;
-                if done < m {
-                    // Stop once the verdict is settled: alpha outside
-                    // the Wilson 95 % CI of the running p-value.
-                    let p = hits as f64 / done as f64;
-                    let (lo95, hi95) = wilson_ci(p, done);
-                    if lo95 > alpha || hi95 < alpha {
-                        break;
-                    }
-                }
-            }
-            (hits, done)
-        }
-    };
-    let p = hits as f64 / done as f64;
-    TestOutcome {
-        statistic: s0,
-        p_value: p,
-        ci95: Some(binomial_ci(p, done)),
-        df: None,
-        method,
-        permutations: Some(done),
-    }
+    let walker = ChunkWalker::new(strata, m, rng);
+    let (hits, done) = walker.run_to_completion(0, 0, early_stop);
+    walker.outcome(hits, done, method)
 }
 
 /// One statement's permutation-test job within a [`mit_batch`] call:
-/// its stratified summary, its budget, and — the key to batching
-/// without changing a single verdict — its *own* RNG seed.
+/// its stratified summary, its budget, its staged schedule, and — the
+/// key to batching without changing a single verdict — its *own* RNG
+/// seed.
 #[derive(Debug, Clone)]
 pub struct MitJob {
     /// Stratified cross tabs of `(X, Y)` given `Z`.
@@ -426,53 +647,279 @@ pub struct MitJob {
     pub early_stop: Option<f64>,
     /// Per-statement RNG seed. The caller derives it from the statement
     /// alone (never from batch position), so the outcome is a pure
-    /// function of `(strata, budget, seed)`.
+    /// function of `(strata, budget, schedule, seed)`.
     pub seed: u64,
+    /// Staged budget schedule ([`StageSchedule::derive`]);
+    /// [`StageSchedule::single`] pins the one-stage path.
+    pub schedule: StageSchedule,
+}
+
+impl MitJob {
+    /// Predicted full-budget settle cost (permutation budget × total
+    /// stratified mass) — the fan-out ordering key.
+    fn cost(&self) -> u64 {
+        self.permutations as u64 * self.strata.total().max(1)
+    }
+}
+
+/// Per-job settle facts reported by [`mit_batch_staged`] /
+/// [`mit_settle_one`] alongside the outcome — the feedstock of the
+/// `hypdb_mit_*` counters and nothing else (never any report byte).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageReport {
+    /// Number of stages in the job's schedule (1 = pinned
+    /// single-stage).
+    pub stages: usize,
+    /// 0-based index of the stage the verdict settled at; equals
+    /// `stages − 1` when the job ran its full budget (single-stage or
+    /// escalated).
+    pub stage: usize,
+    /// Permutations actually evaluated.
+    pub permutations: usize,
+}
+
+impl StageReport {
+    /// True when a screening stage settled the verdict (the job never
+    /// paid its full budget).
+    pub fn settled_early(&self) -> bool {
+        self.stages > 1 && self.stage + 1 < self.stages
+    }
+
+    /// True when the job was screened but escalated to the full
+    /// budget.
+    pub fn escalated(&self) -> bool {
+        self.stages > 1 && self.stage + 1 == self.stages
+    }
+}
+
+/// Resumable evaluation state of a screened permutation job: the chunk
+/// walker plus the prefix already counted. Produced by [`mit_stage1`]
+/// when a job is near-alpha, consumed by [`mit_resume`].
+pub struct MitPartial {
+    walker: ChunkWalker,
+    hits: usize,
+    chunks_done: usize,
+    method: TestMethod,
+}
+
+impl MitPartial {
+    /// Permutations evaluated so far (the screening work already paid).
+    pub fn permutations_done(&self) -> usize {
+        (self.chunks_done * PERM_CHUNK).min(self.walker.m)
+    }
+}
+
+/// Result of a job's screening pass ([`mit_stage1`]).
+pub enum StagePass {
+    /// The verdict is settled: either a screening checkpoint classified
+    /// it decisively, or the schedule was single-stage and the full
+    /// budget ran.
+    Settled {
+        /// The finished test outcome for the job.
+        outcome: TestOutcome,
+        /// Index of the settling checkpoint in the schedule.
+        stage: usize,
+    },
+    /// Near-alpha after every screening checkpoint — the job must
+    /// escalate ([`mit_resume`]) to reach a verdict.
+    Escalate(MitPartial),
+}
+
+/// Runs one job's screening stages (or, for a single-stage schedule,
+/// its whole budget). Group sampling is resolved first with the exact
+/// RNG consumption order of the single-stage path, so the evaluated
+/// ensemble is the same stream — a screened prefix is bit-for-bit the
+/// prefix of what the single-stage run evaluates.
+pub fn mit_stage1(job: &MitJob) -> StagePass {
+    let mut rng = StdRng::seed_from_u64(job.seed);
+    let owned;
+    let (eval, method): (&Strata, TestMethod) = match job.group_sample {
+        Some(k) if k < job.strata.num_groups() => {
+            let weights = job.strata.group_weights();
+            let picked = weighted_indices_without_replacement(&mut rng, &weights, k);
+            owned = job.strata.subset(&picked);
+            (&owned, TestMethod::MitSampled)
+        }
+        Some(_) => (&job.strata, TestMethod::MitSampled),
+        None => (&job.strata, TestMethod::Mit),
+    };
+    let walker = ChunkWalker::new(eval, job.permutations, &mut rng);
+    if job.schedule.is_single() {
+        let (hits, done) = walker.run_to_completion(0, 0, job.early_stop);
+        return StagePass::Settled {
+            outcome: walker.outcome(hits, done, method),
+            stage: 0,
+        };
+    }
+    let m = job.permutations;
+    let alpha = job.schedule.alpha();
+    let mut hits = 0usize;
+    let mut chunk = 0usize;
+    for (stage, &checkpoint) in job.schedule.screening().iter().enumerate() {
+        hits += walker.run_span(chunk, checkpoint / PERM_CHUNK);
+        chunk = checkpoint / PERM_CHUNK;
+        // The confidence-1 band of [`StageSchedule`]: settle only when
+        // the full-budget verdict is already implied by the prefix.
+        let independent = hits as f64 / m as f64 > alpha;
+        let dependent = (hits + (m - checkpoint)) as f64 / m as f64 <= alpha;
+        if independent || dependent {
+            return StagePass::Settled {
+                outcome: walker.outcome(hits, checkpoint, method),
+                stage,
+            };
+        }
+    }
+    StagePass::Escalate(MitPartial {
+        walker,
+        hits,
+        chunks_done: chunk,
+        method,
+    })
+}
+
+/// Escalates a near-alpha job to its full budget by continuing the
+/// remaining chunks of the same stream. The result — hit count, stop
+/// point under `early_stop`, every byte of the outcome — is identical
+/// to the single-stage run, because the prefix was the same chunks
+/// with the same seeds and the early-stop boundaries are positions of
+/// the whole stream.
+pub fn mit_resume(partial: &MitPartial, early_stop: Option<f64>) -> TestOutcome {
+    let (hits, done) =
+        partial
+            .walker
+            .run_to_completion(partial.hits, partial.chunks_done, early_stop);
+    partial.walker.outcome(hits, done, partial.method)
+}
+
+/// Settles one job start to finish — screening plus, if needed,
+/// escalation. This is the call-at-a-time staged entry point; the
+/// batched one is [`mit_batch_staged`], and they agree bit for bit.
+pub fn mit_settle_one(job: &MitJob) -> (TestOutcome, StageReport) {
+    let stages = job.schedule.stages().len();
+    match mit_stage1(job) {
+        StagePass::Settled { outcome, stage } => {
+            let permutations = outcome.permutations.unwrap_or(0);
+            (
+                outcome,
+                StageReport {
+                    stages,
+                    stage,
+                    permutations,
+                },
+            )
+        }
+        StagePass::Escalate(partial) => {
+            let outcome = mit_resume(&partial, job.early_stop);
+            let permutations = outcome.permutations.unwrap_or(0);
+            (
+                outcome,
+                StageReport {
+                    stages,
+                    stage: stages - 1,
+                    permutations,
+                },
+            )
+        }
+    }
 }
 
 /// Evaluates a batch of permutation tests on the global worker pool —
 /// the statement-group entry point of the multi-query planner: a
 /// caller that has grouped many independence statements by conditioning
 /// set builds their strata from one shared contingency pass and then
-/// settles all of them here in one fan-out.
+/// settles all of them here.
 ///
 /// Each job seeds its own `StdRng` from `job.seed` and runs exactly the
 /// procedure the call-at-a-time path runs, so the returned outcomes are
 /// **byte-identical** to evaluating the jobs one at a time, in any
 /// order, at any thread count — grouping is a pure performance choice.
 ///
-/// Jobs are *settled* in descending predicted-cost order (permutation
-/// budget × total stratified mass, the work a full run would do) so the
-/// heaviest tests start first and stragglers don't serialise the tail
-/// of the fan-out; outcomes are scattered back to submission order, so
-/// the schedule is invisible to callers.
+/// Staged jobs settle in two fan-outs (each a `mit_stage` span under
+/// `mit_settle`): first every job's screening pass, then — only for
+/// the near-alpha survivors — full-budget escalation. Within each
+/// fan-out jobs run in descending predicted-cost order (permutation
+/// budget × total stratified mass) so the heaviest tests start first
+/// and stragglers don't serialise the tail; outcomes are scattered
+/// back to submission order, so the schedule is invisible to callers.
 pub fn mit_batch(jobs: &[MitJob]) -> Vec<TestOutcome> {
-    let cost = |job: &MitJob| job.permutations as u64 * job.strata.total().max(1);
+    mit_batch_staged(jobs)
+        .into_iter()
+        .map(|(out, _)| out)
+        .collect()
+}
+
+/// [`mit_batch`] with per-job [`StageReport`]s (the counter feedstock).
+pub fn mit_batch_staged(jobs: &[MitJob]) -> Vec<(TestOutcome, StageReport)> {
     let mut order: Vec<usize> = (0..jobs.len()).collect();
-    order.sort_by_key(|&i| (std::cmp::Reverse(cost(&jobs[i])), i));
-    let outcomes = hypdb_obs::span("mit_settle", || {
-        ThreadPool::current().parallel_map(&order, |_, &i| {
-            let job = &jobs[i];
-            let tick = hypdb_obs::Tick::now();
-            let mut rng = StdRng::seed_from_u64(job.seed);
-            let out = match job.group_sample {
-                None => mit_early(&job.strata, job.permutations, job.early_stop, &mut rng),
-                Some(k) => {
-                    mit_sampled_early(&job.strata, job.permutations, k, job.early_stop, &mut rng)
+    order.sort_by_key(|&i| (std::cmp::Reverse(jobs[i].cost()), i));
+    hypdb_obs::span("mit_settle", || {
+        let passes: Vec<StagePass> = hypdb_obs::span("mit_stage", || {
+            ThreadPool::current().parallel_map(&order, |_, &i| {
+                let tick = hypdb_obs::Tick::now();
+                let pass = mit_stage1(&jobs[i]);
+                hypdb_obs::MIT_SETTLE.observe(tick.elapsed_secs());
+                pass
+            })
+        });
+        // Escalate the survivors together; `order` positions are
+        // already cost-descending, so the heaviest escalations lead.
+        let survivors: Vec<usize> = passes
+            .iter()
+            .enumerate()
+            .filter_map(|(k, p)| matches!(p, StagePass::Escalate(_)).then_some(k))
+            .collect();
+        let resumed: Vec<TestOutcome> = if survivors.is_empty() {
+            Vec::new()
+        } else {
+            hypdb_obs::span("mit_stage", || {
+                ThreadPool::current().parallel_map(&survivors, |_, &k| {
+                    let StagePass::Escalate(partial) = &passes[k] else {
+                        unreachable!("survivor positions hold partials");
+                    };
+                    let tick = hypdb_obs::Tick::now();
+                    let out = mit_resume(partial, jobs[order[k]].early_stop);
+                    hypdb_obs::MIT_SETTLE.observe(tick.elapsed_secs());
+                    out
+                })
+            })
+        };
+        let mut resumed = resumed.into_iter();
+        let mut results: Vec<Option<(TestOutcome, StageReport)>> = vec![None; jobs.len()];
+        for (k, pass) in passes.into_iter().enumerate() {
+            let i = order[k];
+            let stages = jobs[i].schedule.stages().len();
+            let settled = match pass {
+                StagePass::Settled { outcome, stage } => {
+                    let permutations = outcome.permutations.unwrap_or(0);
+                    (
+                        outcome,
+                        StageReport {
+                            stages,
+                            stage,
+                            permutations,
+                        },
+                    )
+                }
+                StagePass::Escalate(_) => {
+                    let outcome = resumed.next().expect("one resume per survivor");
+                    let permutations = outcome.permutations.unwrap_or(0);
+                    (
+                        outcome,
+                        StageReport {
+                            stages,
+                            stage: stages - 1,
+                            permutations,
+                        },
+                    )
                 }
             };
-            hypdb_obs::MIT_SETTLE.observe(tick.elapsed_secs());
-            out
-        })
-    });
-    let mut results: Vec<Option<TestOutcome>> = vec![None; jobs.len()];
-    for (&i, out) in order.iter().zip(outcomes) {
-        results[i] = Some(out);
-    }
-    results
-        .into_iter()
-        .map(|o| o.expect("every job settled"))
-        .collect()
+            results[i] = Some(settled);
+        }
+        results
+            .into_iter()
+            .map(|o| o.expect("every job settled"))
+            .collect()
+    })
 }
 
 /// MIT with automatic group sampling: exact over all conditioning
@@ -956,6 +1403,7 @@ mod tests {
                     group_sample: (i % 2 == 0).then_some(2),
                     early_stop: (i % 3 == 0).then_some(0.01),
                     seed: 0xBA7C_4000 + i as u64,
+                    schedule: StageSchedule::single(100 + 64 * i),
                 }
             })
             .collect();
@@ -986,6 +1434,214 @@ mod tests {
         let rev_out = mit_batch(&rev);
         for (a, b) in rev_out.iter().zip(sequential.iter().rev()) {
             assert_eq!(a, b, "batch order must not matter");
+        }
+    }
+
+    /// A staged job over the given strata with the default budget and
+    /// a derived schedule at alpha = 0.01.
+    fn staged_job(strata: Strata, m: usize, seed: u64) -> MitJob {
+        let cfg = MitConfig {
+            permutations: m,
+            staged: true,
+            ..MitConfig::default()
+        };
+        let schedule = StageSchedule::derive(seed, &strata, &cfg, 0.01);
+        MitJob {
+            strata,
+            permutations: m,
+            group_sample: None,
+            early_stop: None,
+            seed,
+            schedule,
+        }
+    }
+
+    #[test]
+    fn stage_schedule_is_a_pure_function_of_seed_strata_config() {
+        let strata = Strata::new(vec![dependent_tab(), independent_tab()]);
+        let cfg = MitConfig {
+            permutations: 200,
+            staged: true,
+            ..MitConfig::default()
+        };
+        let a = StageSchedule::derive(42, &strata, &cfg, 0.01);
+        let b = StageSchedule::derive(42, &strata, &cfg, 0.01);
+        assert_eq!(a, b, "same inputs must derive the same schedule");
+        assert!(!a.is_single());
+        assert_eq!(*a.stages().last().unwrap(), 200);
+        assert_eq!(a.stages()[0], PERM_CHUNK);
+        for w in a.stages().windows(2) {
+            assert!(w[0] < w[1], "checkpoints strictly increasing: {:?}", a);
+        }
+        // The dense ladder is seed-independent — every derived
+        // schedule is a valid prefix partition of the same stream.
+        let c = StageSchedule::derive(43, &strata, &cfg, 0.01);
+        assert_eq!(c.stages()[0], PERM_CHUNK);
+        assert_eq!(*c.stages().last().unwrap(), 200);
+        // Staging off or tiny budgets: pinned single stage.
+        let off = MitConfig {
+            staged: false,
+            ..cfg
+        };
+        assert!(StageSchedule::derive(42, &strata, &off, 0.01).is_single());
+        let tiny = MitConfig {
+            permutations: 2 * PERM_CHUNK,
+            ..cfg
+        };
+        assert!(StageSchedule::derive(42, &strata, &tiny, 0.01).is_single());
+    }
+
+    #[test]
+    fn shattered_strata_refuse_to_screen() {
+        // 100 singleton groups: effective dof 0, degenerate ensemble.
+        // Stage 1 must refuse to settle — the schedule is single-stage,
+        // so the job runs its pinned full budget.
+        let mut groups = Vec::new();
+        for i in 0..100u64 {
+            let mut t = CrossTab::zeros(2, 2);
+            t.add((i % 2) as usize, ((i / 2) % 2) as usize, 1);
+            groups.push(t);
+        }
+        let strata = Strata::new(groups);
+        assert_eq!(strata.dof(), 0.0);
+        let cfg = MitConfig {
+            permutations: 400,
+            staged: true,
+            ..MitConfig::default()
+        };
+        let schedule = StageSchedule::derive(7, &strata, &cfg, 0.01);
+        assert!(schedule.is_single(), "shattered strata must not screen");
+        let job = staged_job(strata, 400, 7);
+        assert!(job.schedule.is_single());
+        let (out, rep) = mit_settle_one(&job);
+        assert_eq!(rep.stages, 1);
+        assert!(!rep.settled_early() && !rep.escalated());
+        assert_eq!(out.permutations, Some(400));
+    }
+
+    #[test]
+    fn staged_verdicts_and_escalations_match_single_stage() {
+        // The tentpole invariant, at the stats layer: for a mixed batch
+        // of clearly-independent, clearly-dependent, and near-alpha
+        // jobs, staging changes neither any verdict nor any escalated
+        // outcome byte. Clear independents must actually settle early.
+        let mut r = rng();
+        let mut jobs: Vec<MitJob> = Vec::new();
+        // Null tables (independent, settles at a screening stage).
+        for i in 0..4 {
+            let t = sample_table(&mut r, &[40, 60], &[55, 45]);
+            jobs.push(staged_job(Strata::single(t), 100, 100 + i));
+        }
+        // Strong dependence (0 hits: must escalate, never settle early).
+        jobs.push(staged_job(Strata::single(dependent_tab()), 100, 200));
+        let single: Vec<TestOutcome> = jobs
+            .iter()
+            .map(|j| {
+                let mut sj = j.clone();
+                sj.schedule = StageSchedule::single(j.permutations);
+                mit_settle_one(&sj).0
+            })
+            .collect();
+        for threads in [1usize, 4] {
+            hypdb_exec::set_global_threads(threads);
+            let staged = mit_batch_staged(&jobs);
+            hypdb_exec::set_global_threads(0);
+            let mut early = 0;
+            for ((out, rep), full) in staged.iter().zip(&single) {
+                assert_eq!(
+                    out.independent(0.01),
+                    full.independent(0.01),
+                    "staging flipped a verdict (threads={threads})"
+                );
+                if rep.escalated() {
+                    assert_eq!(out, full, "escalated outcome must be byte-identical");
+                }
+                if rep.settled_early() {
+                    early += 1;
+                    assert!(out.permutations.unwrap() < full.permutations.unwrap());
+                }
+            }
+            assert!(early >= 3, "clear independents must settle early ({early})");
+            let dep = &staged[4];
+            assert!(dep.1.escalated(), "0-hit dependence must escalate");
+            assert_eq!(dep.0, single[4]);
+        }
+    }
+
+    #[test]
+    fn staged_group_sampled_prefix_uses_the_same_groups() {
+        // Group-sampled jobs draw their group pick before the master
+        // seed; a screened prefix must therefore evaluate the same
+        // sampled subset as the single-stage run. An escalated sampled
+        // job proves it: the full outcome matches bit for bit.
+        let mut groups = vec![CrossTab::new(2, 2, vec![6, 5, 5, 6]); 30];
+        groups.push(CrossTab::new(2, 2, vec![60, 20, 20, 60]));
+        let strata = Strata::new(groups);
+        let mut job = staged_job(strata, 100, 31);
+        job.group_sample = Some(6);
+        let mut single = job.clone();
+        single.schedule = StageSchedule::single(100);
+        let (full, _) = mit_settle_one(&single);
+        let (staged, rep) = mit_settle_one(&job);
+        assert_eq!(staged.method, TestMethod::MitSampled);
+        assert_eq!(
+            staged.independent(0.01),
+            full.independent(0.01),
+            "sampled staging flipped a verdict"
+        );
+        if rep.escalated() {
+            assert_eq!(staged, full);
+        }
+    }
+
+    #[test]
+    fn early_stop_applies_only_within_the_final_stage() {
+        // The precedence contract: screening budgets are shorter than
+        // the first early-stop boundary (256 perms), so early_stop can
+        // never fire inside a screening stage; an escalated run joins
+        // the single-stage decision sequence exactly. Near-alpha nulls
+        // with a big budget exercise both: the staged run's stop point
+        // must equal the single-stage run's.
+        let cfg = MitConfig {
+            permutations: 2_000,
+            staged: true,
+            early_stop: Some(0.01),
+            ..MitConfig::default()
+        };
+        for seed in 0..6u64 {
+            let t = sample_table(&mut StdRng::seed_from_u64(seed), &[40, 60], &[55, 45]);
+            let strata = Strata::single(t);
+            // Derived from the same config the job runs with: an armed
+            // early-stop rule caps the screening ladder below the first
+            // decision boundary.
+            let schedule = StageSchedule::derive(seed, &strata, &cfg, 0.01);
+            for &cp in schedule.screening() {
+                assert!(
+                    cp < PERM_CHUNK * EARLY_STOP_BATCH,
+                    "screening checkpoint {cp} crossed an early-stop boundary"
+                );
+            }
+            let job = MitJob {
+                strata,
+                permutations: 2_000,
+                group_sample: None,
+                early_stop: cfg.early_stop,
+                seed,
+                schedule,
+            };
+            let mut single = job.clone();
+            single.schedule = StageSchedule::single(2_000);
+            let (full, _) = mit_settle_one(&single);
+            let (staged, rep) = mit_settle_one(&job);
+            assert_eq!(staged.independent(0.01), full.independent(0.01));
+            if rep.escalated() {
+                assert_eq!(
+                    staged, full,
+                    "escalated early-stop run must stop at the same point"
+                );
+            } else {
+                assert!(rep.permutations < full.permutations.unwrap());
+            }
         }
     }
 

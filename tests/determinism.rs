@@ -160,6 +160,88 @@ fn batched_planning_never_changes_a_report_byte() {
 }
 
 #[test]
+fn staged_permutation_budgets_never_change_a_report_byte() {
+    // The PR-10 property: the staged permutation engine is a pure
+    // performance choice. Screening checkpoints settle a verdict only
+    // when the full-budget verdict is already implied by the evaluated
+    // prefix, and escalation continues the same RNG stream — so for
+    // cancer + adult the full wire body must be byte-identical across
+    // stages {on, off} × HYPDB_THREADS {1, 4} × plan strategy
+    // {Cost, Scan}, and the stages-on runs must actually settle some
+    // statements at a screening checkpoint.
+    use hypdb::causal::PlanForce;
+    use hypdb::core::{wire, HypDbConfig, OracleCache};
+    use std::sync::Arc;
+
+    let cases = [
+        (
+            ds::cancer_data(2_000, 1),
+            "SELECT Lung_Cancer, avg(Car_Accident) FROM CancerData GROUP BY Lung_Cancer",
+            "cancer",
+        ),
+        (
+            ds::adult_data(&ds::AdultConfig {
+                rows: 4_000,
+                seed: 1994,
+            }),
+            "SELECT Gender, avg(Income) FROM AdultData GROUP BY Gender",
+            "adult",
+        ),
+    ];
+    let mut stage1_settled = 0u64;
+    for (table, sql, name) in &cases {
+        let req = hypdb::core::AnalyzeRequest::new(*name, *sql);
+        let mut base: Option<String> = None;
+        for staged in [true, false] {
+            for threads in [1usize, 4] {
+                for force in [PlanForce::Cost, PlanForce::Scan] {
+                    let mut cfg = HypDbConfig::default();
+                    // At these row counts the default HyMIT dispatch
+                    // (β = 5) settles every statement through the χ²
+                    // shortcut, leaving no permutation stream to
+                    // stage. Pin β high so every df > 0 statement
+                    // takes the real MIT path — the regime staging
+                    // exists for, and the one where a verdict-identity
+                    // bug would actually move report bytes.
+                    cfg.ci.mit.beta = 1e12;
+                    cfg.ci.mit.staged = staged;
+                    cfg.ci.batch.force = force;
+                    let cache = Arc::new(OracleCache::new());
+                    let body = with_threads(threads, || {
+                        wire::report_body(
+                            &wire::analyze_cached(table, &req, &cfg, Some(&cache))
+                                .expect("analysis"),
+                        )
+                    });
+                    let stats = cache.stats();
+                    if staged {
+                        stage1_settled += stats.mit_stage1_settled;
+                    } else {
+                        assert_eq!(
+                            stats.mit_stage1_settled, 0,
+                            "{name}: stages off must pin the single-stage path"
+                        );
+                        assert_eq!(stats.mit_escalated, 0, "{name}: no escalations when off");
+                    }
+                    match &base {
+                        None => base = Some(body),
+                        Some(b) => assert_eq!(
+                            &body, b,
+                            "{name}: staged={staged} threads={threads} force={force:?} \
+                             changed bytes"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        stage1_settled > 0,
+        "staging must settle some statement at a screening checkpoint"
+    );
+}
+
+#[test]
 fn tracing_and_explain_never_change_a_byte() {
     // The PR-8 property: observability is pure observation. The wire
     // body and the EXPLAIN document must be byte-identical across
